@@ -1,0 +1,266 @@
+package appvsweb
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"appvsweb/internal/analysis"
+	"appvsweb/internal/core"
+	"appvsweb/internal/pii"
+	"appvsweb/internal/services"
+)
+
+// The root test/bench harness runs one full 50-service campaign (at a
+// reduced flow scale) and shares the dataset across every table/figure
+// check and benchmark.
+var (
+	campaignOnce sync.Once
+	campaignDS   *core.Dataset
+	campaignErr  error
+)
+
+const campaignScale = 0.25
+
+func campaignDataset(tb testing.TB) *core.Dataset {
+	tb.Helper()
+	campaignOnce.Do(func() {
+		eco, err := services.Start(services.Catalog())
+		if err != nil {
+			campaignErr = err
+			return
+		}
+		defer eco.Close()
+		runner, err := core.NewRunner(eco, core.Options{Scale: campaignScale})
+		if err != nil {
+			campaignErr = err
+			return
+		}
+		campaignDS, campaignErr = runner.RunCampaign()
+	})
+	if campaignErr != nil {
+		tb.Fatalf("campaign: %v", campaignErr)
+	}
+	return campaignDS
+}
+
+// TestCampaignReproducesHeadlines is the reproduction's acceptance test:
+// the measured dataset must exhibit every headline shape from §4.
+func TestCampaignReproducesHeadlines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign skipped in -short mode")
+	}
+	ds := campaignDataset(t)
+	if len(ds.Results) != 200 {
+		t.Fatalf("results = %d, want 200", len(ds.Results))
+	}
+	h := analysis.ComputeHeadlines(ds)
+
+	// Figure 1a/1b: the Web side contacts more A&A (83%/78% and 73%/80%).
+	for _, os := range services.AllOS() {
+		if v := h.WebMoreAADomainsPct[os]; v < 70 || v > 92 {
+			t.Errorf("%s: web-more-A&A-domains = %.0f%%, want ≈83/78%%", os, v)
+		}
+		if v := h.WebMoreAAFlowsPct[os]; v < 65 || v > 90 {
+			t.Errorf("%s: web-more-A&A-flows = %.0f%%, want ≈73/80%%", os, v)
+		}
+	}
+	if h.WebMoreAADomainsPct[services.Android] < h.WebMoreAADomainsPct[services.IOS] {
+		t.Error("paper ordering: Android web-more fraction exceeds iOS")
+	}
+	// Figure 1f: disjoint leak sets more than half the time; 80-90% ≤ 0.5.
+	for _, os := range services.AllOS() {
+		if v := h.JaccardZeroPct[os]; v <= 50 {
+			t.Errorf("%s: jaccard-zero = %.0f%%, want >50%%", os, v)
+		}
+		if v := h.JaccardLEHalfPct[os]; v < 80 {
+			t.Errorf("%s: jaccard ≤ 0.5 = %.0f%%, want ≥80%%", os, v)
+		}
+		// Figure 1e: apps leak one more identifier type most commonly.
+		if h.ModalLeakDiff[os] != 1 {
+			t.Errorf("%s: modal identifier diff = %+.0f, want +1", os, h.ModalLeakDiff[os])
+		}
+	}
+}
+
+// TestCampaignTable1Rates checks the leak percentages of Table 1 exactly.
+func TestCampaignTable1Rates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign skipped in -short mode")
+	}
+	ds := campaignDataset(t)
+	rows := analysis.Table1(ds)
+	want := map[string]map[services.Medium]float64{
+		"All":     {services.App: 92.0, services.Web: 78.0},
+		"android": {services.App: 85.4, services.Web: 52.1},
+		"ios":     {services.App: 86.0, services.Web: 76.0},
+	}
+	for _, r := range rows {
+		if w, ok := want[r.Group]; ok {
+			if diff := r.PctLeaking - w[r.Medium]; diff > 0.11 || diff < -0.11 {
+				t.Errorf("%s/%s leaking = %.1f%%, want %.1f%%", r.Group, r.Medium, r.PctLeaking, w[r.Medium])
+			}
+		}
+		if r.Group == "android" && r.Services != 48 {
+			t.Errorf("android n = %d, want 48 (pinned services excluded)", r.Services)
+		}
+	}
+}
+
+// TestCampaignTable3Invariants checks the hard per-type facts of Table 3.
+func TestCampaignTable3Invariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign skipped in -short mode")
+	}
+	ds := campaignDataset(t)
+	rows := analysis.Table3(ds)
+	get := func(typ pii.Type) analysis.Table3Row {
+		for _, r := range rows {
+			if r.Type == typ {
+				return r
+			}
+		}
+		t.Fatalf("type %v missing", typ)
+		return analysis.Table3Row{}
+	}
+	if r := get(pii.UniqueID); r.SvcApp != 40 || r.SvcWeb != 0 {
+		t.Errorf("UniqueID = %d/%d/%d, want 40/0/0", r.SvcApp, r.SvcBoth, r.SvcWeb)
+	}
+	if r := get(pii.DeviceName); r.SvcApp != 15 || r.SvcWeb != 0 {
+		t.Errorf("DeviceName = %d/%d/%d, want 15/0/0", r.SvcApp, r.SvcBoth, r.SvcWeb)
+	}
+	if r := get(pii.Password); r.SvcApp != 4 || r.SvcBoth != 2 || r.SvcWeb != 3 {
+		t.Errorf("Password = %d/%d/%d, want 4/2/3", r.SvcApp, r.SvcBoth, r.SvcWeb)
+	}
+	// Location is the most-leaked class, as in the paper.
+	if rows[0].Type != pii.Location {
+		t.Errorf("top-leaked type = %v, want Location", rows[0].Type)
+	}
+}
+
+// TestCampaignPasswordAudit checks the §4.2 disclosure cases end to end.
+func TestCampaignPasswordAudit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign skipped in -short mode")
+	}
+	ds := campaignDataset(t)
+	audit := strings.Join(analysis.PasswordLeaks(ds), "\n")
+	for _, want := range []string{
+		"GrubExpress (android/app) → taplytics",
+		"BlueSky Air", "usablenet",
+		"FoodTV Network", "CollegeSports Live", "gigya",
+		"DateMate", "plaintext",
+	} {
+		if !strings.Contains(audit, want) {
+			t.Errorf("password audit missing %q:\n%s", want, audit)
+		}
+	}
+	// Grubhub's bug is Android-only: iOS app must not appear.
+	if strings.Contains(audit, "GrubExpress (ios") {
+		t.Errorf("GrubExpress iOS wrongly leaks the password:\n%s", audit)
+	}
+}
+
+// TestCampaignTable2Census checks the tracker-census shape.
+func TestCampaignTable2Census(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign skipped in -short mode")
+	}
+	ds := campaignDataset(t)
+	rows := analysis.Table2(ds, 20)
+	if len(rows) != 20 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Amobee: contacted by a single service yet near the top by leaks.
+	var amobee, facebook *analysis.Table2Row
+	for i := range rows {
+		switch rows[i].Org {
+		case "amobee":
+			amobee = &rows[i]
+		case "facebook":
+			facebook = &rows[i]
+		}
+	}
+	if amobee == nil {
+		t.Fatal("amobee missing from top-20")
+	}
+	if amobee.SvcApp != 1 || amobee.SvcWeb != 1 {
+		t.Errorf("amobee contacted by %d/%d services, want 1/1", amobee.SvcApp, amobee.SvcWeb)
+	}
+	if rows[0].Org != "amobee" && rows[1].Org != "amobee" && rows[2].Org != "amobee" {
+		t.Errorf("amobee not in top-3 by leaks: top = %s,%s,%s", rows[0].Org, rows[1].Org, rows[2].Org)
+	}
+	if facebook == nil {
+		t.Fatal("facebook missing from top-20")
+	}
+	// Facebook is the most pervasively contacted tracker across apps.
+	for _, r := range rows {
+		if r.SvcApp > facebook.SvcApp {
+			t.Errorf("%s contacted by more apps (%d) than facebook (%d)", r.Org, r.SvcApp, facebook.SvcApp)
+		}
+	}
+}
+
+// TestCampaignPaperComparison runs the programmatic paper-vs-measured
+// calibration: every encoded check must pass on a measured campaign.
+func TestCampaignPaperComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign skipped in -short mode")
+	}
+	ds := campaignDataset(t)
+	checks := analysis.Compare(ds)
+	failed := 0
+	for _, c := range checks {
+		if !c.Pass {
+			failed++
+			t.Errorf("check %s %q: paper %s, measured %s", c.ID, c.Name, c.Paper, c.Measured)
+		}
+	}
+	if failed == 0 {
+		t.Logf("\n%s", analysis.RenderCompare(checks))
+	}
+}
+
+// TestCampaignDeterministic: two runs over the same ecosystem produce
+// identical analyses (timestamps aside) — the property replay and the
+// seeded catalog depend on.
+func TestCampaignDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign determinism skipped in -short mode")
+	}
+	subset := services.Catalog()[:6]
+	run := func() *core.Dataset {
+		eco, err := services.Start(subset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer eco.Close()
+		runner, err := core.NewRunner(eco, core.Options{Scale: 0.15, Parallelism: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds, err := runner.RunCampaign()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ds
+	}
+	a, b := run(), run()
+	if len(a.Results) != len(b.Results) {
+		t.Fatalf("result counts differ: %d vs %d", len(a.Results), len(b.Results))
+	}
+	for i := range a.Results {
+		x, y := a.Results[i], b.Results[i]
+		if x.Service != y.Service || x.OS != y.OS || x.Medium != y.Medium {
+			t.Fatalf("ordering differs at %d", i)
+		}
+		if x.LeakTypes != y.LeakTypes || x.TotalFlows != y.TotalFlows ||
+			x.AAFlows != y.AAFlows || len(x.Leaks) != len(y.Leaks) ||
+			len(x.AADomains) != len(y.AADomains) || len(x.PIIDomains) != len(y.PIIDomains) {
+			t.Errorf("%s/%s/%s: runs diverge: %v/%d/%d vs %v/%d/%d",
+				x.Service, x.OS, x.Medium,
+				x.LeakTypes, x.TotalFlows, x.AAFlows,
+				y.LeakTypes, y.TotalFlows, y.AAFlows)
+		}
+	}
+}

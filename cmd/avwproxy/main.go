@@ -1,0 +1,76 @@
+// Command avwproxy runs the measurement proxy standalone — the
+// Meddle + mitmproxy substrate by itself. It listens as an HTTP(S) forward
+// proxy, mints leaf certificates from a fresh interception CA (written out
+// as PEM so a client can trust it), and streams every captured flow as
+// JSONL.
+//
+// Usage:
+//
+//	avwproxy -ca ca.pem -flows flows.jsonl
+//	curl -x http://127.0.0.1:<port> --cacert ca.pem https://example.com/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"appvsweb/internal/capture"
+	"appvsweb/internal/proxy"
+)
+
+func main() {
+	var (
+		caOut   = flag.String("ca", "avwproxy-ca.pem", "path to write the interception CA certificate")
+		flowOut = flag.String("flows", "flows.jsonl", "path for the captured flow log (JSONL)")
+	)
+	flag.Parse()
+
+	ca, err := proxy.NewCA("avwproxy interception CA")
+	if err != nil {
+		fatalf("generate CA: %v", err)
+	}
+	if err := os.WriteFile(*caOut, ca.CertPEM(), 0o644); err != nil {
+		fatalf("write CA: %v", err)
+	}
+
+	f, err := os.Create(*flowOut)
+	if err != nil {
+		fatalf("open flow log: %v", err)
+	}
+	defer f.Close()
+	sink := capture.NewJSONLSink(f)
+
+	p, err := proxy.New(proxy.Config{
+		CA:       ca,
+		Resolver: proxy.SystemResolver{},
+		Sink:     sink,
+		ClientID: "avwproxy",
+	})
+	if err != nil {
+		fatalf("proxy: %v", err)
+	}
+	if err := p.Start(); err != nil {
+		fatalf("start: %v", err)
+	}
+	fmt.Printf("avwproxy listening on %s\n", p.Addr())
+	fmt.Printf("  CA certificate: %s\n", *caOut)
+	fmt.Printf("  flow log:       %s\n", *flowOut)
+	fmt.Printf("  example:        curl -x http://%s --cacert %s https://example.com/\n", p.Addr(), *caOut)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "shutting down")
+	_ = p.Close()
+	if err := sink.Err(); err != nil {
+		fatalf("flow log: %v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "avwproxy: "+format+"\n", args...)
+	os.Exit(1)
+}

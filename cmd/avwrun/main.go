@@ -1,0 +1,157 @@
+// Command avwrun executes the measurement campaign of §3: it boots the
+// simulated ecosystem (50 services, their trackers, the OS background
+// endpoints), runs every service × {Android, iOS} × {app, Web} experiment
+// through the TLS-intercepting proxy, applies the analysis pipeline, and
+// writes the resulting dataset as JSON.
+//
+// Usage:
+//
+//	avwrun -out dataset.json [-scale 1] [-duration 4m] [-recon]
+//	       [-parallelism 8] [-services weathernow,grubexpress]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"appvsweb/internal/analysis"
+	"appvsweb/internal/core"
+	"appvsweb/internal/easylist"
+	"appvsweb/internal/pii"
+	"appvsweb/internal/services"
+)
+
+func main() {
+	var (
+		out         = flag.String("out", "dataset.json", "output dataset path")
+		scale       = flag.Float64("scale", 1, "session repeat scale (1 = paper-scale sessions)")
+		duration    = flag.Duration("duration", 4*time.Minute, "virtual session length")
+		recon       = flag.Bool("recon", false, "train the ReCon classifier and annotate leak provenance")
+		parallelism = flag.Int("parallelism", 0, "concurrent experiments (0 = auto)")
+		subset      = flag.String("services", "", "comma-separated service keys (default: all 50)")
+		report      = flag.Bool("report", true, "print the evaluation report after the run")
+		protect     = flag.Bool("protect", false, "enable the ReCon-style PII-redacting protection mode")
+		adblock     = flag.Bool("adblock", false, "equip browser sessions with the bundled EasyList")
+		traceDir    = flag.String("traces", "", "directory for per-experiment flow traces (JSONL)")
+		selection   = flag.Bool("selection", false, "print the §3.1 store-crawl selection audit and exit")
+		deny        = flag.String("deny", "", "deny app permissions for these PII classes (e.g. L,UID)")
+	)
+	flag.Parse()
+
+	if *selection {
+		printSelectionAudit()
+		return
+	}
+
+	catalog := services.Catalog()
+	if *subset != "" {
+		want := make(map[string]bool)
+		for _, k := range strings.Split(*subset, ",") {
+			want[strings.TrimSpace(k)] = true
+		}
+		var filtered []*services.Spec
+		for _, s := range catalog {
+			if want[s.Key] {
+				filtered = append(filtered, s)
+				delete(want, s.Key)
+			}
+		}
+		for k := range want {
+			fatalf("unknown service %q", k)
+		}
+		catalog = filtered
+	}
+
+	fmt.Fprintf(os.Stderr, "starting ecosystem: %d services, %d A&A orgs...\n",
+		len(catalog), len(easylist.AllAANames()))
+	eco, err := services.Start(catalog)
+	if err != nil {
+		fatalf("start ecosystem: %v", err)
+	}
+	defer eco.Close()
+
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fatalf("trace dir: %v", err)
+		}
+	}
+	var denied pii.TypeSet
+	for _, part := range strings.Split(*deny, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		t, err := pii.ParseType(part)
+		if err != nil {
+			fatalf("-deny: %v", err)
+		}
+		denied = denied.Add(t)
+	}
+	runner, err := core.NewRunner(eco, core.Options{
+		Scale:           *scale,
+		Duration:        *duration,
+		Parallelism:     *parallelism,
+		TrainRecon:      *recon,
+		Protect:         *protect,
+		BrowserAdblock:  *adblock,
+		TraceDir:        *traceDir,
+		DenyPermissions: denied,
+	})
+	if err != nil {
+		fatalf("runner: %v", err)
+	}
+
+	start := time.Now()
+	ds, err := runner.RunCampaign()
+	if err != nil {
+		fatalf("campaign: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "campaign complete: %d experiments in %v\n",
+		len(ds.Results), time.Since(start).Round(time.Millisecond))
+
+	if err := ds.Save(*out); err != nil {
+		fatalf("save: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "dataset written to %s\n", *out)
+
+	if *report {
+		fmt.Println(analysis.Report(ds))
+	}
+}
+
+// printSelectionAudit reproduces the §3.1 procedure: crawl, eligibility,
+// quota-based selection, and the rejection reasons.
+func printSelectionAudit() {
+	crawl := services.StoreCrawl()
+	selected, rejected := services.SelectServices(crawl, services.DefaultQuotas())
+	eligible := 0
+	for _, c := range crawl {
+		if c.Eligible() {
+			eligible++
+		}
+	}
+	fmt.Printf("store crawl: %d candidates, %d eligible, %d selected"+"\n\n", len(crawl), eligible, len(selected))
+	fmt.Println("selected:", strings.Join(selected, ", "))
+	fmt.Println()
+	counts := map[services.RejectionReason][]string{}
+	for key, reason := range rejected {
+		counts[reason] = append(counts[reason], key)
+	}
+	for _, reason := range []services.RejectionReason{
+		services.RejectNotFree, services.RejectNoWebParity,
+		services.RejectPinning, services.RejectNotSelected,
+	} {
+		keys := counts[reason]
+		sort.Strings(keys)
+		fmt.Printf("rejected (%s): %d"+"\n  %s\n", reason, len(keys), strings.Join(keys, ", "))
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "avwrun: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,40 @@
+// Command avwserve hosts the local equivalent of the paper's interactive
+// recommendation site (https://recon.meddle.mobi/appvsweb/): a small web
+// app that scores every measured service under user-supplied privacy
+// weights and recommends the app or the Web site.
+//
+// Usage:
+//
+//	avwserve -dataset dataset.json -addr 127.0.0.1:8787
+//	open http://127.0.0.1:8787/?os=android&weights=L=3,UID=5
+//	curl  http://127.0.0.1:8787/api/recommend?os=ios
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"appvsweb/internal/core"
+	"appvsweb/internal/recommend"
+)
+
+func main() {
+	var (
+		path = flag.String("dataset", "dataset.json", "dataset produced by avwrun")
+		addr = flag.String("addr", "127.0.0.1:8787", "listen address")
+	)
+	flag.Parse()
+
+	ds, err := core.Load(*path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "avwserve: load dataset: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("avwserve on http://%s/ (%d results)\n", *addr, len(ds.Results))
+	if err := http.ListenAndServe(*addr, recommend.NewHandler(ds)); err != nil {
+		fmt.Fprintf(os.Stderr, "avwserve: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,22 @@
+// Package appvsweb reproduces the measurement pipeline of "Should You Use
+// the App for That? Comparing the Privacy Implications of App- and Web-based
+// Online Services" (IMC 2016).
+//
+// The library implements, with the Go standard library only:
+//
+//   - a TLS-intercepting measurement proxy (Meddle/mitmproxy equivalent),
+//   - a simulated ecosystem of 50 online services with app and Web variants
+//     on Android and iOS, including their advertising & analytics (A&A)
+//     third parties,
+//   - a ReCon-style machine-learned PII detector plus ground-truth string
+//     matching under common encodings,
+//   - EasyList-based domain categorization,
+//   - the paper's leak-labeling policy, and
+//   - the analyses behind every table and figure in the paper's evaluation.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured comparison. Entry points live under cmd/ and examples/.
+package appvsweb
+
+// Version identifies the reproduction release.
+const Version = "1.0.0"

@@ -1,0 +1,90 @@
+// Leakaudit reproduces the paper's §4.2 password investigation: it runs
+// the four services whose credentials reached third parties (the Grubhub
+// analytics bug, JetBlue's usablenet authentication, and the Gigya
+// identity-management logins of The Food Network and NCAA Sports), plus
+// the plaintext-password case, and prints a responsible-disclosure-style
+// audit of every password observed leaving the device.
+//
+//	go run ./examples/leakaudit
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"appvsweb/internal/analysis"
+	"appvsweb/internal/core"
+	"appvsweb/internal/pii"
+	"appvsweb/internal/services"
+)
+
+func main() {
+	keys := map[string]bool{
+		"grubexpress":   true, // Grubhub: app bug → taplytics
+		"blueskyair":    true, // JetBlue: intentional → usablenet
+		"foodtv":        true, // Food Network: Gigya-hosted login
+		"collegesports": true, // NCAA Sports: Gigya-hosted login
+		"datemate":      true, // plaintext web login
+	}
+	var catalog []*services.Spec
+	for _, s := range services.Catalog() {
+		if keys[s.Key] {
+			catalog = append(catalog, s)
+		}
+	}
+	eco, err := services.Start(catalog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eco.Close()
+
+	runner, err := core.NewRunner(eco, core.Options{Scale: 0.3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := runner.RunCampaign()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== password audit (leak definition of §3.2) ===")
+	fmt.Println()
+	for _, line := range analysis.PasswordLeaks(ds) {
+		fmt.Println(" ", line)
+	}
+
+	fmt.Println()
+	fmt.Println("=== per-flow evidence ===")
+	fmt.Println()
+	for _, r := range ds.Results {
+		if r.Excluded {
+			continue
+		}
+		for _, l := range r.Leaks {
+			if !l.Types.Contains(pii.Password) {
+				continue
+			}
+			if l.Category == "first-party" && !l.Plaintext {
+				continue
+			}
+			transport := "HTTPS (decrypted by the interception proxy)"
+			if l.Plaintext {
+				transport = "PLAINTEXT — visible to any on-path eavesdropper"
+			}
+			fmt.Printf("  %s %s/%s\n", r.Name, r.OS, r.Medium)
+			fmt.Printf("    destination: %s (%s)\n", l.Host, l.Category)
+			fmt.Printf("    transport:   %s\n", transport)
+			fmt.Printf("    also leaked in the same flows: %v\n\n", l.Types.Remove(pii.Password))
+		}
+	}
+
+	fmt.Println("=== disclosure notes ===")
+	fmt.Println(strings.TrimSpace(`
+  - GrubExpress (Grubhub): confirmed as a bug by the vendor; fixed within a
+    week, third-party data deleted.
+  - BlueSky Air (JetBlue): intentional — usablenet provides authentication;
+    credentials encrypted in motion and at rest.
+  - FoodTV / CollegeSports (Gigya): intentional use of a third-party
+    identity service, but the login pages never disclose it to users.`))
+}

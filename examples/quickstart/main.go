@@ -1,0 +1,70 @@
+// Quickstart: measure one service both ways — its Android app and its
+// mobile Web site — through the TLS-intercepting proxy, and compare what
+// each medium exposes.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"appvsweb/internal/core"
+	"appvsweb/internal/services"
+)
+
+func main() {
+	// 1. Boot a miniature internet: one first-party service (a Weather
+	//    Channel stand-in with a CDN domain) plus the full tracker
+	//    ecosystem it embeds.
+	var catalog []*services.Spec
+	for _, s := range services.Catalog() {
+		if s.Key == "weathernow" {
+			catalog = append(catalog, s)
+		}
+	}
+	eco, err := services.Start(catalog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eco.Close()
+
+	// 2. Prepare the measurement runner: it owns the interception CA (the
+	//    "Meddle profile" installed on the test devices).
+	runner, err := core.NewRunner(eco, core.Options{Scale: 0.3})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Run the two four-minute experiments.
+	spec := catalog[0]
+	app, err := runner.RunExperiment(spec, services.Cell{OS: services.Android, Medium: services.App})
+	if err != nil {
+		log.Fatal(err)
+	}
+	web, err := runner.RunExperiment(spec, services.Cell{OS: services.Android, Medium: services.Web})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Compare.
+	fmt.Printf("=== %s on Android ===\n\n", spec.Name)
+	for _, r := range []*core.ExperimentResult{app, web} {
+		fmt.Printf("%-4s  flows=%-4d  A&A domains=%-3d  A&A flows=%-4d  A&A KB=%-6d\n",
+			r.Medium, r.TotalFlows, len(r.AADomains), r.AAFlows, r.AABytes/1024)
+		fmt.Printf("      leaked identifiers: %v\n", r.LeakTypes)
+		fmt.Printf("      domains receiving PII: %v\n\n", r.PIIDomains)
+	}
+
+	diff := len(app.AADomains) - len(web.AADomains)
+	switch {
+	case diff < 0:
+		fmt.Printf("the Web site contacts %d more A&A domains than the app\n", -diff)
+	case diff > 0:
+		fmt.Printf("the app contacts %d more A&A domains than the Web site\n", diff)
+	}
+	extra := app.LeakTypes.Diff(web.LeakTypes)
+	if !extra.Empty() {
+		fmt.Printf("only the app leaks: %v (device identifiers are unreachable from a browser)\n", extra)
+	}
+}

@@ -1,0 +1,66 @@
+// Recommend demonstrates the paper's interactive interface: the same
+// measured dataset yields different app-vs-web advice for users with
+// different privacy priorities — the paper's core "it depends" finding.
+//
+//	go run ./examples/recommend
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"appvsweb/internal/core"
+	"appvsweb/internal/pii"
+	"appvsweb/internal/recommend"
+	"appvsweb/internal/services"
+)
+
+func main() {
+	keys := map[string]bool{
+		"weathernow": true, "grubexpress": true, "datemate": true,
+		"worldnews": true, "farefinder": true, "coffeeclub": true,
+		"musicstream": true, "photogram": true,
+	}
+	var catalog []*services.Spec
+	for _, s := range services.Catalog() {
+		if keys[s.Key] {
+			catalog = append(catalog, s)
+		}
+	}
+	eco, err := services.Start(catalog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eco.Close()
+
+	runner, err := core.NewRunner(eco, core.Options{Scale: 0.25})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := runner.RunCampaign()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Persona 1: default weights (device IDs and passwords weigh most).
+	fmt.Println("=== persona: balanced defaults (Android) ===")
+	fmt.Println(recommend.Render(recommend.Recommend(ds, recommend.DefaultPreferences(), services.Android)))
+
+	// Persona 2: a user who refuses persistent device tracking above all.
+	p2 := recommend.DefaultPreferences()
+	p2.Weights[pii.UniqueID] = 10
+	p2.Weights[pii.DeviceName] = 5
+	p2.TrackerWeight = 0.01
+	fmt.Println("=== persona: device-ID averse (Android) ===")
+	fmt.Println(recommend.Render(recommend.Recommend(ds, p2, services.Android)))
+
+	// Persona 3: a user who minds the tracking ecosystem itself — every
+	// A&A domain contacted is exposure, PII classes matter less.
+	p3 := recommend.DefaultPreferences()
+	p3.TrackerWeight = 1
+	fmt.Println("=== persona: tracker-ecosystem averse (iOS) ===")
+	fmt.Println(recommend.Render(recommend.Recommend(ds, p3, services.IOS)))
+
+	fmt.Println("Note how the recommendation flips per persona: there is no")
+	fmt.Println("single answer to \"should you use the app for that?\".")
+}

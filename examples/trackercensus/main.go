@@ -1,0 +1,64 @@
+// Trackercensus surveys the advertising & analytics ecosystem the way
+// Table 2 does: which A&A organizations are contacted by which media, how
+// much PII each one receives, and how platform coverage lets trackers
+// widen their data collection.
+//
+//	go run ./examples/trackercensus
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"appvsweb/internal/analysis"
+	"appvsweb/internal/core"
+	"appvsweb/internal/services"
+)
+
+func main() {
+	// A cross-category slice of the catalog keeps the run quick while
+	// still exercising diverse tracker rosters.
+	keys := map[string]bool{
+		"weathernow": true, "stormcast": true, "localweather": true,
+		"worldnews": true, "newswire": true, "recipebox": true,
+		"shopmart": true, "grubexpress": true, "coffeeclub": true,
+		"vidclips": true, "musicstream": true, "photogram": true,
+	}
+	var catalog []*services.Spec
+	for _, s := range services.Catalog() {
+		if keys[s.Key] {
+			catalog = append(catalog, s)
+		}
+	}
+	eco, err := services.Start(catalog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eco.Close()
+
+	runner, err := core.NewRunner(eco, core.Options{Scale: 0.25})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := runner.RunCampaign()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rows := analysis.Table2(ds, 20)
+	fmt.Printf("=== top A&A domains across %d services ===\n\n", len(catalog))
+	fmt.Print(analysis.RenderTable2(rows))
+
+	fmt.Println("\n=== observations ===")
+	for _, r := range rows {
+		appOnly := r.IdentApp.Diff(r.IdentWeb)
+		if !appOnly.Empty() && r.SvcApp > 0 && r.SvcWeb > 0 {
+			fmt.Printf("  %s collects %v only via apps — platform-specific collection\n", r.Org, appOnly)
+		}
+	}
+	if len(rows) > 0 {
+		top := rows[0]
+		fmt.Printf("  %s receives the most leaks (%d flows) while being contacted by only %d/%d service(s)\n",
+			top.Org, top.TotalLeaks, top.SvcApp, top.SvcWeb)
+	}
+}

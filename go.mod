@@ -1,0 +1,3 @@
+module appvsweb
+
+go 1.22

@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"appvsweb/internal/core"
+	"appvsweb/internal/pii"
+	"appvsweb/internal/services"
+)
+
+// CrossServiceRow describes one third party's cross-service reach: the
+// paper's conclusion flags "cross-service PII leaks" — the same user's
+// data arriving at one tracker from many services — as the key profiling
+// risk left for future work. A tracker that receives a stable identifier
+// (unique ID, e-mail) from several services can join those sessions into
+// one profile.
+type CrossServiceRow struct {
+	Org    string
+	Domain string
+	// Services that leaked PII to this domain, sorted.
+	Services []string
+	// Types is the union of PII classes received across services.
+	Types pii.TypeSet
+	// Joinable marks domains that received a stable cross-service join
+	// key (unique ID, e-mail, username, or phone number) from at least
+	// two services.
+	Joinable bool
+	// Media lists which media delivered the PII ("app", "web", or both).
+	Media []string
+}
+
+// joinKeys are the classes that let a tracker link sessions across
+// services.
+var joinKeys = pii.NewTypeSet(pii.UniqueID, pii.Email, pii.Username, pii.PhoneNumber)
+
+// CrossService surveys every domain that received PII from at least
+// minServices distinct services, sorted by reach (then name).
+func CrossService(ds *core.Dataset, minServices int) []CrossServiceRow {
+	type agg struct {
+		services map[string]bool
+		types    pii.TypeSet
+		joinFrom map[string]bool // services that sent a join key
+		media    map[string]bool
+	}
+	byDomain := make(map[string]*agg)
+	for _, r := range ds.Results {
+		if r.Excluded {
+			continue
+		}
+		for _, l := range r.Leaks {
+			if l.Category == "first-party" {
+				continue // a service profiling its own users is not cross-service
+			}
+			a := byDomain[l.Domain]
+			if a == nil {
+				a = &agg{services: map[string]bool{}, joinFrom: map[string]bool{}, media: map[string]bool{}}
+				byDomain[l.Domain] = a
+			}
+			a.services[r.Service] = true
+			a.types = a.types.Union(l.Types)
+			a.media[string(r.Medium)] = true
+			if !l.Types.Intersect(joinKeys).Empty() {
+				a.joinFrom[r.Service] = true
+			}
+		}
+	}
+
+	if minServices < 1 {
+		minServices = 1
+	}
+	var rows []CrossServiceRow
+	for domain, a := range byDomain {
+		if len(a.services) < minServices {
+			continue
+		}
+		row := CrossServiceRow{
+			Org:      strings.TrimSuffix(core.OrgOf(domain), "-sim"),
+			Domain:   domain,
+			Types:    a.types,
+			Joinable: len(a.joinFrom) >= 2,
+		}
+		for k := range a.services {
+			row.Services = append(row.Services, k)
+		}
+		sort.Strings(row.Services)
+		for _, m := range services.AllMedia() {
+			if a.media[string(m)] {
+				row.Media = append(row.Media, string(m))
+			}
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if len(rows[i].Services) != len(rows[j].Services) {
+			return len(rows[i].Services) > len(rows[j].Services)
+		}
+		return rows[i].Org < rows[j].Org
+	})
+	return rows
+}
+
+// RenderCrossService prints the cross-service survey.
+func RenderCrossService(rows []CrossServiceRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %4s %-9s %-8s %-22s %s\n",
+		"third party", "#svc", "media", "joinable", "pii received", "services")
+	for _, r := range rows {
+		join := ""
+		if r.Joinable {
+			join = "YES"
+		}
+		fmt.Fprintf(&b, "%-18s %4d %-9s %-8s %-22s %s\n",
+			r.Org, len(r.Services), strings.Join(r.Media, "+"), join,
+			r.Types.String(), strings.Join(r.Services, ","))
+	}
+	return b.String()
+}

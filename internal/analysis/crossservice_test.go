@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"appvsweb/internal/core"
+	"appvsweb/internal/pii"
+	"appvsweb/internal/services"
+)
+
+func crossDataset() *core.Dataset {
+	mk := func(svc string, m services.Medium, domain string, cat string, types ...pii.Type) *core.ExperimentResult {
+		ts := pii.NewTypeSet(types...)
+		return &core.ExperimentResult{
+			Service: svc, Name: svc, Category: services.Shopping,
+			OS: services.Android, Medium: m, LeakTypes: ts,
+			Leaks: []core.LeakRecord{{Domain: domain, Org: core.OrgOf(domain), Category: cat, Types: ts}},
+		}
+	}
+	return &core.Dataset{Results: []*core.ExperimentResult{
+		mk("svc1", services.App, "tracker-sim.example", "a&a", pii.UniqueID, pii.Location),
+		mk("svc2", services.App, "tracker-sim.example", "a&a", pii.UniqueID),
+		mk("svc3", services.Web, "tracker-sim.example", "a&a", pii.Location),
+		mk("svc1", services.Web, "solo-sim.example", "a&a", pii.Gender),
+		mk("svc4", services.App, "ownhome-sim.example", "first-party", pii.Location),
+	}}
+}
+
+func TestCrossService(t *testing.T) {
+	rows := CrossService(crossDataset(), 2)
+	if len(rows) != 1 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	r := rows[0]
+	if r.Org != "tracker" || len(r.Services) != 3 {
+		t.Errorf("row = %+v", r)
+	}
+	// svc1 and svc2 both sent the UID: the tracker can join their users.
+	if !r.Joinable {
+		t.Error("tracker with UIDs from two services must be joinable")
+	}
+	if len(r.Media) != 2 {
+		t.Errorf("media = %v", r.Media)
+	}
+	if !r.Types.Contains(pii.UniqueID) || !r.Types.Contains(pii.Location) {
+		t.Errorf("types = %v", r.Types)
+	}
+}
+
+func TestCrossServiceExcludesFirstParty(t *testing.T) {
+	rows := CrossService(crossDataset(), 1)
+	for _, r := range rows {
+		if r.Domain == "ownhome-sim.example" {
+			t.Error("first-party leaks must not count as cross-service")
+		}
+	}
+}
+
+func TestCrossServiceNotJoinableWithoutKeys(t *testing.T) {
+	ds := &core.Dataset{Results: []*core.ExperimentResult{
+		{Service: "a", OS: services.Android, Medium: services.App,
+			Leaks: []core.LeakRecord{{Domain: "t-sim.example", Category: "a&a", Types: pii.NewTypeSet(pii.Location)}}},
+		{Service: "b", OS: services.Android, Medium: services.App,
+			Leaks: []core.LeakRecord{{Domain: "t-sim.example", Category: "a&a", Types: pii.NewTypeSet(pii.Gender)}}},
+	}}
+	rows := CrossService(ds, 2)
+	if len(rows) != 1 || rows[0].Joinable {
+		t.Errorf("location+gender without identifiers should not be joinable: %+v", rows)
+	}
+}
+
+func TestRenderCrossService(t *testing.T) {
+	out := RenderCrossService(CrossService(crossDataset(), 2))
+	if !strings.Contains(out, "tracker") || !strings.Contains(out, "YES") {
+		t.Errorf("render = %q", out)
+	}
+}

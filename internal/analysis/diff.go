@@ -1,0 +1,205 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"appvsweb/internal/core"
+	"appvsweb/internal/pii"
+	"appvsweb/internal/services"
+)
+
+// Longitudinal comparison: §2 notes that "this study represents a snapshot
+// of online service behavior at one point in time" and that the approach
+// "can be repeated to observe how the privacy landscape evolves". Diff
+// compares two campaign datasets (e.g. two crawl dates, or a before/after
+// of a countermeasure) per experiment.
+
+// ExperimentDiff describes how one experiment changed between snapshots.
+type ExperimentDiff struct {
+	Service string
+	OS      services.OS
+	Medium  services.Medium
+
+	// Appeared/Disappeared: the experiment exists in only one snapshot
+	// (service added/removed, or newly excluded by pinning).
+	Appeared    bool
+	Disappeared bool
+
+	// NewTypes/GoneTypes: PII classes that started/stopped leaking.
+	NewTypes  pii.TypeSet
+	GoneTypes pii.TypeSet
+	// NewDomains/GoneDomains: A&A domains newly contacted / dropped.
+	NewDomains  []string
+	GoneDomains []string
+	// AAFlowsDelta is the change in A&A flow volume.
+	AAFlowsDelta int
+}
+
+// Changed reports whether anything differs.
+func (d *ExperimentDiff) Changed() bool {
+	return d.Appeared || d.Disappeared || !d.NewTypes.Empty() || !d.GoneTypes.Empty() ||
+		len(d.NewDomains) > 0 || len(d.GoneDomains) > 0 || d.AAFlowsDelta != 0
+}
+
+// DiffDatasets compares two snapshots experiment by experiment, returning
+// only changed experiments, ordered by service/OS/medium.
+func DiffDatasets(old, new *core.Dataset) []ExperimentDiff {
+	type key struct {
+		svc string
+		os  services.OS
+		med services.Medium
+	}
+	index := func(ds *core.Dataset) map[key]*core.ExperimentResult {
+		m := make(map[key]*core.ExperimentResult, len(ds.Results))
+		for _, r := range ds.Results {
+			if r.Excluded {
+				continue
+			}
+			m[key{r.Service, r.OS, r.Medium}] = r
+		}
+		return m
+	}
+	oldIdx, newIdx := index(old), index(new)
+
+	keys := make(map[key]bool)
+	for k := range oldIdx {
+		keys[k] = true
+	}
+	for k := range newIdx {
+		keys[k] = true
+	}
+	ordered := make([]key, 0, len(keys))
+	for k := range keys {
+		ordered = append(ordered, k)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		a, b := ordered[i], ordered[j]
+		if a.svc != b.svc {
+			return a.svc < b.svc
+		}
+		if a.os != b.os {
+			return a.os < b.os
+		}
+		return a.med < b.med
+	})
+
+	var out []ExperimentDiff
+	for _, k := range ordered {
+		o, hasOld := oldIdx[k]
+		n, hasNew := newIdx[k]
+		d := ExperimentDiff{Service: k.svc, OS: k.os, Medium: k.med}
+		switch {
+		case hasOld && !hasNew:
+			d.Disappeared = true
+		case !hasOld && hasNew:
+			d.Appeared = true
+			d.NewTypes = n.LeakTypes
+			d.NewDomains = n.AADomains
+		default:
+			d.NewTypes = n.LeakTypes.Diff(o.LeakTypes)
+			d.GoneTypes = o.LeakTypes.Diff(n.LeakTypes)
+			d.NewDomains = sliceDiff(n.AADomains, o.AADomains)
+			d.GoneDomains = sliceDiff(o.AADomains, n.AADomains)
+			d.AAFlowsDelta = n.AAFlows - o.AAFlows
+		}
+		if d.Changed() {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func sliceDiff(a, b []string) []string {
+	set := make(map[string]bool, len(b))
+	for _, s := range b {
+		set[s] = true
+	}
+	var out []string
+	for _, s := range a {
+		if !set[s] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// RenderDiff prints a change report. Flow-volume deltas below the noise
+// floor (±10%·|old+new| or ±5 flows, whichever is larger) are elided from
+// the rendering unless something qualitative changed too.
+func RenderDiff(diffs []ExperimentDiff) string {
+	if len(diffs) == 0 {
+		return "no changes between snapshots\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d experiment(s) changed:\n", len(diffs))
+	for _, d := range diffs {
+		fmt.Fprintf(&b, "\n%s/%s/%s:\n", d.Service, d.OS, d.Medium)
+		switch {
+		case d.Appeared:
+			fmt.Fprintf(&b, "  appeared (newly measurable); leaks %v via %d A&A domains\n", d.NewTypes, len(d.NewDomains))
+			continue
+		case d.Disappeared:
+			fmt.Fprintf(&b, "  disappeared (no longer measurable)\n")
+			continue
+		}
+		if !d.NewTypes.Empty() {
+			fmt.Fprintf(&b, "  now leaks:      %v\n", d.NewTypes)
+		}
+		if !d.GoneTypes.Empty() {
+			fmt.Fprintf(&b, "  stopped leaking: %v\n", d.GoneTypes)
+		}
+		if len(d.NewDomains) > 0 {
+			fmt.Fprintf(&b, "  new A&A domains: %s\n", strings.Join(d.NewDomains, ", "))
+		}
+		if len(d.GoneDomains) > 0 {
+			fmt.Fprintf(&b, "  dropped A&A domains: %s\n", strings.Join(d.GoneDomains, ", "))
+		}
+		if d.AAFlowsDelta != 0 {
+			fmt.Fprintf(&b, "  A&A flow delta: %+d\n", d.AAFlowsDelta)
+		}
+	}
+	return b.String()
+}
+
+// ServiceDetail renders everything measured for one service: all four
+// cells, their tracker exposure, and every leak record — the drill-down
+// view behind a Table 1 row.
+func ServiceDetail(ds *core.Dataset, key string) (string, bool) {
+	var b strings.Builder
+	found := false
+	for _, cell := range services.AllCells() {
+		r, ok := ds.Result(key, cell)
+		if !ok {
+			continue
+		}
+		found = true
+		fmt.Fprintf(&b, "%s — %s/%s\n", r.Name, r.OS, r.Medium)
+		if r.Excluded {
+			fmt.Fprintf(&b, "  excluded: %s\n\n", r.ExcludeReason)
+			continue
+		}
+		fmt.Fprintf(&b, "  flows: %d (background filtered: %d), bytes: %.1f KB\n",
+			r.TotalFlows, r.BackgroundFlows, float64(r.TotalBytes)/1024)
+		fmt.Fprintf(&b, "  A&A: %d domains, %d flows, %.1f KB\n",
+			len(r.AADomains), r.AAFlows, float64(r.AABytes)/1024)
+		fmt.Fprintf(&b, "  leaked identifiers: %v\n", r.LeakTypes)
+		byDest := map[string]pii.TypeSet{}
+		flowsTo := map[string]int{}
+		for _, l := range r.Leaks {
+			byDest[l.Domain] = byDest[l.Domain].Union(l.Types)
+			flowsTo[l.Domain]++
+		}
+		dests := make([]string, 0, len(byDest))
+		for d := range byDest {
+			dests = append(dests, d)
+		}
+		sort.Strings(dests)
+		for _, d := range dests {
+			fmt.Fprintf(&b, "    %-36s %-14s ×%d\n", d, byDest[d].String(), flowsTo[d])
+		}
+		b.WriteString("\n")
+	}
+	return b.String(), found
+}

@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"appvsweb/internal/core"
+	"appvsweb/internal/pii"
+	"appvsweb/internal/services"
+)
+
+func snapshot(leak pii.TypeSet, aa []string, flows int, excluded bool) *core.Dataset {
+	return &core.Dataset{Results: []*core.ExperimentResult{{
+		Service: "svc", Name: "Svc", OS: services.Android, Medium: services.App,
+		LeakTypes: leak, AADomains: aa, AAFlows: flows, Excluded: excluded,
+	}}}
+}
+
+func TestDiffDatasetsNoChange(t *testing.T) {
+	a := snapshot(pii.NewTypeSet(pii.Location), []string{"x.example"}, 10, false)
+	b := snapshot(pii.NewTypeSet(pii.Location), []string{"x.example"}, 10, false)
+	if diffs := DiffDatasets(a, b); len(diffs) != 0 {
+		t.Errorf("diffs = %+v", diffs)
+	}
+	if got := RenderDiff(nil); !strings.Contains(got, "no changes") {
+		t.Errorf("render = %q", got)
+	}
+}
+
+func TestDiffDatasetsTypeAndDomainChanges(t *testing.T) {
+	old := snapshot(pii.NewTypeSet(pii.Location, pii.Email), []string{"a.example", "b.example"}, 10, false)
+	new := snapshot(pii.NewTypeSet(pii.Location, pii.UniqueID), []string{"a.example", "c.example"}, 25, false)
+	diffs := DiffDatasets(old, new)
+	if len(diffs) != 1 {
+		t.Fatalf("diffs = %+v", diffs)
+	}
+	d := diffs[0]
+	if !d.NewTypes.Contains(pii.UniqueID) || d.NewTypes.Contains(pii.Location) {
+		t.Errorf("NewTypes = %v", d.NewTypes)
+	}
+	if !d.GoneTypes.Contains(pii.Email) {
+		t.Errorf("GoneTypes = %v", d.GoneTypes)
+	}
+	if len(d.NewDomains) != 1 || d.NewDomains[0] != "c.example" {
+		t.Errorf("NewDomains = %v", d.NewDomains)
+	}
+	if len(d.GoneDomains) != 1 || d.GoneDomains[0] != "b.example" {
+		t.Errorf("GoneDomains = %v", d.GoneDomains)
+	}
+	if d.AAFlowsDelta != 15 {
+		t.Errorf("AAFlowsDelta = %d", d.AAFlowsDelta)
+	}
+	out := RenderDiff(diffs)
+	for _, want := range []string{"now leaks", "stopped leaking", "new A&A", "dropped A&A", "+15"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDiffDatasetsAppearDisappear(t *testing.T) {
+	measured := snapshot(pii.NewTypeSet(pii.Location), []string{"a.example"}, 5, false)
+	gone := snapshot(0, nil, 0, true) // excluded in the new snapshot
+	diffs := DiffDatasets(measured, gone)
+	if len(diffs) != 1 || !diffs[0].Disappeared {
+		t.Errorf("diffs = %+v", diffs)
+	}
+	diffs = DiffDatasets(gone, measured)
+	if len(diffs) != 1 || !diffs[0].Appeared {
+		t.Errorf("diffs = %+v", diffs)
+	}
+	if !strings.Contains(RenderDiff(diffs), "appeared") {
+		t.Error("render missing appearance")
+	}
+}
+
+func TestDiffAgainstSelfOnSyntheticCampaign(t *testing.T) {
+	ds := synthDataset()
+	if diffs := DiffDatasets(ds, ds); len(diffs) != 0 {
+		t.Errorf("self-diff = %+v", diffs)
+	}
+}
+
+func TestServiceDetail(t *testing.T) {
+	ds := snapshot(pii.NewTypeSet(pii.Location), []string{"x.example"}, 10, false)
+	ds.Results[0].Leaks = []core.LeakRecord{
+		{Domain: "x.example", Category: "a&a", Types: pii.NewTypeSet(pii.Location)},
+		{Domain: "x.example", Category: "a&a", Types: pii.NewTypeSet(pii.Location)},
+	}
+	out, ok := ServiceDetail(ds, "svc")
+	if !ok {
+		t.Fatal("service not found")
+	}
+	if !strings.Contains(out, "x.example") || !strings.Contains(out, "×2") {
+		t.Errorf("detail = %q", out)
+	}
+	if _, ok := ServiceDetail(ds, "missing"); ok {
+		t.Error("missing service found")
+	}
+	excluded := snapshot(0, nil, 0, true)
+	out, ok = ServiceDetail(excluded, "svc")
+	if !ok || !strings.Contains(out, "excluded") {
+		t.Errorf("excluded detail = %q", out)
+	}
+}

@@ -1,0 +1,218 @@
+package analysis
+
+import (
+	"sort"
+
+	"appvsweb/internal/core"
+	"appvsweb/internal/services"
+)
+
+// FigureSeries maps a curve name ("android", "ios") to its points.
+type FigureSeries map[string][]Point
+
+// Metric selects the per-service quantity compared between app and Web.
+type Metric int
+
+// The comparison metrics of Figure 1.
+const (
+	MetricAADomains  Metric = iota // Fig 1a: unique A&A domains contacted
+	MetricAAFlows                  // Fig 1b: flows to A&A domains
+	MetricAAMB                     // Fig 1c: MB of traffic to A&A
+	MetricPIIDomains               // Fig 1d: domains receiving PII
+	MetricLeakTypes                // Fig 1e: distinct leaked identifiers
+)
+
+func metricOf(r *core.ExperimentResult, m Metric) float64 {
+	switch m {
+	case MetricAADomains:
+		return float64(len(r.AADomains))
+	case MetricAAFlows:
+		return float64(r.AAFlows)
+	case MetricAAMB:
+		return float64(r.AABytes) / (1 << 20)
+	case MetricPIIDomains:
+		return float64(len(r.PIIDomains))
+	case MetricLeakTypes:
+		return float64(r.LeakTypes.Len())
+	}
+	return 0
+}
+
+// Diffs computes the per-service (App − Web) differences of a metric for
+// one OS. Negative values mean the Web side is larger, as in the paper's
+// figures.
+func Diffs(ds *core.Dataset, m Metric, os services.OS) []float64 {
+	var out []float64
+	for _, p := range pairs(ds, os) {
+		out = append(out, metricOf(p.app, m)-metricOf(p.web, m))
+	}
+	return out
+}
+
+// Jaccards computes the per-service Jaccard index of leaked identifier
+// sets for one OS (Figure 1f). The figure follows the paper's phrasing —
+// "the types of PII leaked ... share nothing in common" — so a service
+// whose app and Web leak sets have an empty intersection scores 0, even
+// when both sets are empty (the 0/0 case, where the pure set-theoretic
+// convention of pii.TypeSet.Jaccard would score 1).
+func Jaccards(ds *core.Dataset, os services.OS) []float64 {
+	var out []float64
+	for _, p := range pairs(ds, os) {
+		if p.app.LeakTypes.Intersect(p.web.LeakTypes).Empty() {
+			out = append(out, 0)
+			continue
+		}
+		out = append(out, p.app.LeakTypes.Jaccard(p.web.LeakTypes))
+	}
+	return out
+}
+
+func figureCDF(ds *core.Dataset, m Metric) FigureSeries {
+	fs := make(FigureSeries)
+	for _, os := range services.AllOS() {
+		fs[string(os)] = CDF(Diffs(ds, m, os))
+	}
+	return fs
+}
+
+// Figure1a is the CDF of (App−Web) unique A&A domains contacted.
+func Figure1a(ds *core.Dataset) FigureSeries { return figureCDF(ds, MetricAADomains) }
+
+// Figure1b is the CDF of (App−Web) flows to A&A domains.
+func Figure1b(ds *core.Dataset) FigureSeries { return figureCDF(ds, MetricAAFlows) }
+
+// Figure1c is the CDF of (App−Web) MB of traffic to A&A domains.
+func Figure1c(ds *core.Dataset) FigureSeries { return figureCDF(ds, MetricAAMB) }
+
+// Figure1d is the CDF of (App−Web) domains receiving PII.
+func Figure1d(ds *core.Dataset) FigureSeries { return figureCDF(ds, MetricPIIDomains) }
+
+// Figure1e is the PDF of (App−Web) distinct leaked identifiers.
+func Figure1e(ds *core.Dataset) FigureSeries {
+	fs := make(FigureSeries)
+	for _, os := range services.AllOS() {
+		fs[string(os)] = PDF(Diffs(ds, MetricLeakTypes, os))
+	}
+	return fs
+}
+
+// Figure1f is the CDF of the Jaccard index of leaked identifier sets.
+func Figure1f(ds *core.Dataset) FigureSeries {
+	fs := make(FigureSeries)
+	for _, os := range services.AllOS() {
+		fs[string(os)] = CDF(Jaccards(ds, os))
+	}
+	return fs
+}
+
+// Headlines are the paper's summary statistics, used to check the
+// reproduction's shape against §4's prose.
+type Headlines struct {
+	// WebMoreAADomainsPct[os]: % of services whose Web site contacts more
+	// A&A domains than the app (83% Android / 78% iOS in the paper).
+	WebMoreAADomainsPct map[services.OS]float64
+	// WebMoreAAFlowsPct: % with more flows to A&A via Web (73% / 80%).
+	WebMoreAAFlowsPct map[services.OS]float64
+	// JaccardZeroPct: % of services sharing no leaked identifiers between
+	// app and Web (paper: > 50%).
+	JaccardZeroPct map[services.OS]float64
+	// JaccardLEHalfPct: % with Jaccard ≤ 0.5 (paper: 80–90%).
+	JaccardLEHalfPct map[services.OS]float64
+	// ModalLeakDiff: the most common nonzero (App−Web) identifier-count
+	// difference (paper: +1).
+	ModalLeakDiff map[services.OS]float64
+}
+
+// ComputeHeadlines derives the headline statistics from a dataset.
+func ComputeHeadlines(ds *core.Dataset) Headlines {
+	h := Headlines{
+		WebMoreAADomainsPct: map[services.OS]float64{},
+		WebMoreAAFlowsPct:   map[services.OS]float64{},
+		JaccardZeroPct:      map[services.OS]float64{},
+		JaccardLEHalfPct:    map[services.OS]float64{},
+		ModalLeakDiff:       map[services.OS]float64{},
+	}
+	for _, os := range services.AllOS() {
+		h.WebMoreAADomainsPct[os] = FractionBelow(Diffs(ds, MetricAADomains, os), 0)
+		h.WebMoreAAFlowsPct[os] = FractionBelow(Diffs(ds, MetricAAFlows, os), 0)
+		js := Jaccards(ds, os)
+		zero, leHalf := 0, 0
+		for _, j := range js {
+			if j == 0 {
+				zero++
+			}
+			if j <= 0.5 {
+				leHalf++
+			}
+		}
+		if len(js) > 0 {
+			h.JaccardZeroPct[os] = 100 * float64(zero) / float64(len(js))
+			h.JaccardLEHalfPct[os] = 100 * float64(leHalf) / float64(len(js))
+		}
+		diffs := Diffs(ds, MetricLeakTypes, os)
+		var nonzero []float64
+		for _, d := range diffs {
+			if d != 0 {
+				nonzero = append(nonzero, d)
+			}
+		}
+		h.ModalLeakDiff[os] = Mode(nonzero)
+	}
+	return h
+}
+
+// Extreme is one service singled out by a §4.1-style superlative.
+type Extreme struct {
+	Service string
+	Name    string
+	OS      services.OS
+	Value   float64
+}
+
+// TopWebAAFlows lists the services whose Web sessions sent the most flows
+// to A&A domains — the paper names All Recipes Dinner Spinner, BBC News
+// and CNN News as triggering over a thousand TCP connections.
+func TopWebAAFlows(ds *core.Dataset, n int) []Extreme {
+	var out []Extreme
+	for _, r := range ds.Results {
+		if r.Excluded || r.Medium != services.Web {
+			continue
+		}
+		out = append(out, Extreme{Service: r.Service, Name: r.Name, OS: r.OS, Value: float64(r.AAFlows)})
+	}
+	sortExtremes(out)
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// TopWebAADomainGap lists the services with the largest Web-over-app A&A
+// domain excess (the Accuweather/BBC/Starbucks observation: ≤4 in-app,
+// tens on the Web).
+func TopWebAADomainGap(ds *core.Dataset, n int) []Extreme {
+	var out []Extreme
+	for _, os := range services.AllOS() {
+		for _, p := range pairs(ds, os) {
+			gap := float64(len(p.web.AADomains) - len(p.app.AADomains))
+			out = append(out, Extreme{Service: p.key, Name: p.app.Name, OS: os, Value: gap})
+		}
+	}
+	sortExtremes(out)
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+func sortExtremes(xs []Extreme) {
+	sort.Slice(xs, func(i, j int) bool {
+		if xs[i].Value != xs[j].Value {
+			return xs[i].Value > xs[j].Value
+		}
+		if xs[i].Service != xs[j].Service {
+			return xs[i].Service < xs[j].Service
+		}
+		return xs[i].OS < xs[j].OS
+	})
+}

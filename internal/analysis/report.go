@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"appvsweb/internal/core"
+	"appvsweb/internal/pii"
+	"appvsweb/internal/services"
+)
+
+// figureSpec wires each Figure 1 panel to its generator and axis label.
+var figureSpecs = []struct {
+	ID    string
+	Title string
+	XAxis string
+	Gen   func(*core.Dataset) FigureSeries
+}{
+	{"1a", "CDF of (App − Web) A&A domains contacted", "(app-web) a&a domains", Figure1a},
+	{"1b", "CDF of (App − Web) flows to A&A domains", "(app-web) a&a flows", Figure1b},
+	{"1c", "CDF of (App − Web) MB of traffic to A&A", "(app-web) a&a MB", Figure1c},
+	{"1d", "CDF of (App − Web) domains sent PII", "(app-web) pii domains", Figure1d},
+	{"1e", "PDF of (App − Web) leaked identifiers", "(app-web) identifiers", Figure1e},
+	{"1f", "CDF of Jaccard of leaked identifiers", "jaccard", Figure1f},
+}
+
+// Figures renders every Figure 1 panel as text series.
+func Figures(ds *core.Dataset) string {
+	var b strings.Builder
+	for _, f := range figureSpecs {
+		b.WriteString(RenderSeries("Figure "+f.ID+": "+f.Title, f.XAxis, f.Gen(ds)))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// FigureCSV renders one panel ("1a".."1f") as CSV.
+func FigureCSV(ds *core.Dataset, id string) (string, bool) {
+	for _, f := range figureSpecs {
+		if f.ID == id {
+			return SeriesCSV(f.Gen(ds)), true
+		}
+	}
+	return "", false
+}
+
+// FigureIDs lists the available panels.
+func FigureIDs() []string {
+	out := make([]string, len(figureSpecs))
+	for i, f := range figureSpecs {
+		out[i] = f.ID
+	}
+	return out
+}
+
+// PasswordLeaks extracts every password-leak record sent to a third party
+// — the §4.2 responsible-disclosure cases.
+func PasswordLeaks(ds *core.Dataset) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, r := range ds.Results {
+		if r.Excluded {
+			continue
+		}
+		for _, l := range r.Leaks {
+			if !l.Types.Contains(pii.Password) {
+				continue
+			}
+			if l.Category == "first-party" && !l.Plaintext {
+				continue
+			}
+			desc := fmt.Sprintf("%s (%s/%s) → %s [%s%s]", r.Name, r.OS, r.Medium,
+				strings.TrimSuffix(l.Org, "-sim"), l.Category, plaintextTag(l.Plaintext))
+			if !seen[desc] {
+				seen[desc] = true
+				out = append(out, desc)
+			}
+		}
+	}
+	return out
+}
+
+func plaintextTag(p bool) string {
+	if p {
+		return ", plaintext"
+	}
+	return ""
+}
+
+// Report renders the complete evaluation: headline findings, all three
+// tables, every figure, and the password audit.
+func Report(ds *core.Dataset) string {
+	var b strings.Builder
+	h := ComputeHeadlines(ds)
+	fmt.Fprintf(&b, "== appvsweb evaluation report (scale %.2f, %d services) ==\n\n",
+		ds.Meta.Scale, ds.Meta.Services)
+	fmt.Fprintf(&b, "Headline shapes (paper → measured):\n")
+	fmt.Fprintf(&b, "  web contacts more A&A domains: android 83%% → %.0f%%, ios 78%% → %.0f%%\n",
+		h.WebMoreAADomainsPct[services.Android], h.WebMoreAADomainsPct[services.IOS])
+	fmt.Fprintf(&b, "  web sends more flows to A&A:   android 73%% → %.0f%%, ios 80%% → %.0f%%\n",
+		h.WebMoreAAFlowsPct[services.Android], h.WebMoreAAFlowsPct[services.IOS])
+	fmt.Fprintf(&b, "  jaccard of leaked IDs is 0:    >50%% → android %.0f%%, ios %.0f%%\n",
+		h.JaccardZeroPct[services.Android], h.JaccardZeroPct[services.IOS])
+	fmt.Fprintf(&b, "  jaccard ≤ 0.5:                 80-90%% → android %.0f%%, ios %.0f%%\n",
+		h.JaccardLEHalfPct[services.Android], h.JaccardLEHalfPct[services.IOS])
+	fmt.Fprintf(&b, "  modal (app−web) identifier diff: +1 → android %+.0f, ios %+.0f\n\n",
+		h.ModalLeakDiff[services.Android], h.ModalLeakDiff[services.IOS])
+
+	b.WriteString("-- §4.1 extremes --\n")
+	for _, e := range TopWebAAFlows(ds, 5) {
+		fmt.Fprintf(&b, "  %-20s %-8s %6.0f flows to A&A (web session)\n", e.Name, e.OS, e.Value)
+	}
+	for _, e := range TopWebAADomainGap(ds, 3) {
+		fmt.Fprintf(&b, "  %-20s %-8s web contacts %+.0f more A&A domains than the app\n", e.Name, e.OS, e.Value)
+	}
+	b.WriteString("\n-- Table 1: services by OS and category --\n")
+	b.WriteString(RenderTable1Grid(Table1(ds)))
+	b.WriteString("\n-- Table 2: top-20 A&A domains by total leaks --\n")
+	b.WriteString(RenderTable2(Table2(ds, 20)))
+	b.WriteString("\n-- Table 3: PII types by total leaks --\n")
+	b.WriteString(RenderTable3(Table3(ds)))
+	b.WriteString("\n-- Password leaks to third parties (§4.2) --\n")
+	for _, s := range PasswordLeaks(ds) {
+		fmt.Fprintf(&b, "  %s\n", s)
+	}
+	b.WriteString("\n-- Cross-service PII reach (future work, §5) --\n")
+	b.WriteString(RenderCrossService(CrossService(ds, 3)))
+	b.WriteString("\n")
+	b.WriteString(Figures(ds))
+	if ds.Meta.ReconReport != "" {
+		b.WriteString("\n-- ReCon classifier evaluation (training corpus) --\n")
+		b.WriteString(ds.Meta.ReconReport)
+	}
+	if ds.Meta.ReconHoldout != "" {
+		b.WriteString("\n-- ReCon classifier evaluation (held-out 50/50) --\n")
+		b.WriteString(ds.Meta.ReconHoldout)
+	}
+	return b.String()
+}

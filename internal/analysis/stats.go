@@ -1,0 +1,158 @@
+// Package analysis computes every table and figure of the paper's
+// evaluation (§4) from a measurement dataset: Table 1 (per-OS/category
+// leak summary), Table 2 (top-20 A&A domains), Table 3 (per-PII-type
+// summary), and Figures 1a–1f (app-vs-web CDFs/PDFs of A&A contact,
+// flows, bytes, leak domains, leaked identifier counts, and Jaccard
+// similarity).
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// MeanStd returns the mean and population standard deviation.
+func MeanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	std = math.Sqrt(std / float64(len(xs)))
+	return mean, std
+}
+
+// Point is one (x, y) sample of a distribution curve.
+type Point struct {
+	X float64
+	Y float64 // percentage in [0, 100]
+}
+
+// CDF converts samples into a cumulative distribution: for each distinct
+// x, the percentage of samples ≤ x. Matches the paper's "CDF of services"
+// axes.
+func CDF(xs []float64) []Point {
+	if len(xs) == 0 {
+		return nil
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	var pts []Point
+	n := float64(len(s))
+	for i := 0; i < len(s); i++ {
+		// advance to the last duplicate
+		if i+1 < len(s) && s[i+1] == s[i] {
+			continue
+		}
+		pts = append(pts, Point{X: s[i], Y: 100 * float64(i+1) / n})
+	}
+	return pts
+}
+
+// PDF converts integer-valued samples into a probability histogram (% of
+// samples at each value), as in Figure 1e.
+func PDF(xs []float64) []Point {
+	if len(xs) == 0 {
+		return nil
+	}
+	count := make(map[float64]int)
+	for _, x := range xs {
+		count[x]++
+	}
+	var pts []Point
+	for x, c := range count {
+		pts = append(pts, Point{X: x, Y: 100 * float64(c) / float64(len(xs))})
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].X < pts[j].X })
+	return pts
+}
+
+// FractionBelow returns the percentage of samples strictly below x.
+func FractionBelow(xs []float64, x float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range xs {
+		if v < x {
+			n++
+		}
+	}
+	return 100 * float64(n) / float64(len(xs))
+}
+
+// Median returns the sample median.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s)%2 == 1 {
+		return s[len(s)/2]
+	}
+	return (s[len(s)/2-1] + s[len(s)/2]) / 2
+}
+
+// Mode returns the most frequent value (smallest wins ties).
+func Mode(xs []float64) float64 {
+	count := make(map[float64]int)
+	for _, x := range xs {
+		count[x]++
+	}
+	best, bestN := 0.0, -1
+	keys := make([]float64, 0, len(count))
+	for k := range count {
+		keys = append(keys, k)
+	}
+	sort.Float64s(keys)
+	for _, k := range keys {
+		if count[k] > bestN {
+			best, bestN = k, count[k]
+		}
+	}
+	return best
+}
+
+// RenderSeries prints one or more named curves as aligned text columns,
+// the harness's stand-in for gnuplot output.
+func RenderSeries(title, xlabel string, series map[string][]Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", title)
+	names := make([]string, 0, len(series))
+	for n := range series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "## series %s  (%s vs %%)\n", name, xlabel)
+		for _, p := range series[name] {
+			fmt.Fprintf(&b, "%12.3f %8.2f\n", p.X, p.Y)
+		}
+	}
+	return b.String()
+}
+
+// SeriesCSV renders curves as CSV (series,x,y) for external plotting.
+func SeriesCSV(series map[string][]Point) string {
+	var b strings.Builder
+	b.WriteString("series,x,y\n")
+	names := make([]string, 0, len(series))
+	for n := range series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		for _, p := range series[name] {
+			fmt.Fprintf(&b, "%s,%g,%g\n", name, p.X, p.Y)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanStd(t *testing.T) {
+	m, s := MeanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if m != 5 || s != 2 {
+		t.Errorf("MeanStd = %v, %v; want 5, 2", m, s)
+	}
+	if m, s := MeanStd(nil); m != 0 || s != 0 {
+		t.Errorf("empty = %v, %v", m, s)
+	}
+}
+
+func TestCDFKnown(t *testing.T) {
+	pts := CDF([]float64{1, 1, 2, 4})
+	want := []Point{{1, 50}, {2, 75}, {4, 100}}
+	if len(pts) != len(want) {
+		t.Fatalf("CDF = %v", pts)
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Errorf("CDF[%d] = %v, want %v", i, pts[i], want[i])
+		}
+	}
+	if CDF(nil) != nil {
+		t.Error("empty CDF should be nil")
+	}
+}
+
+// Property: CDFs are monotone in x and y and end at 100%.
+func TestCDFProperties(t *testing.T) {
+	f := func(raw []int8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		pts := CDF(xs)
+		if math.Abs(pts[len(pts)-1].Y-100) > 1e-9 {
+			return false
+		}
+		for i := 1; i < len(pts); i++ {
+			if pts[i].X <= pts[i-1].X || pts[i].Y < pts[i-1].Y {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: PDFs sum to 100%.
+func TestPDFProperties(t *testing.T) {
+	f := func(raw []int8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		pts := PDF(xs)
+		sum := 0.0
+		for _, p := range pts {
+			sum += p.Y
+		}
+		return math.Abs(sum-100) < 1e-6 && sort.SliceIsSorted(pts, func(i, j int) bool { return pts[i].X < pts[j].X })
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFractionBelow(t *testing.T) {
+	xs := []float64{-3, -1, 0, 2}
+	if got := FractionBelow(xs, 0); got != 50 {
+		t.Errorf("FractionBelow = %v", got)
+	}
+	if got := FractionBelow(nil, 0); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+}
+
+func TestMedianMode(t *testing.T) {
+	if m := Median([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("Median odd = %v", m)
+	}
+	if m := Median([]float64{4, 1, 2, 3}); m != 2.5 {
+		t.Errorf("Median even = %v", m)
+	}
+	if m := Mode([]float64{1, 1, 2, 3, 1, 2}); m != 1 {
+		t.Errorf("Mode = %v", m)
+	}
+	if m := Mode([]float64{2, 1}); m != 1 {
+		t.Errorf("Mode tie should pick smallest: %v", m)
+	}
+}
+
+func TestRenderSeriesAndCSV(t *testing.T) {
+	series := map[string][]Point{"android": {{-2, 50}, {1, 100}}}
+	txt := RenderSeries("Figure X", "diff", series)
+	if !strings.Contains(txt, "# Figure X") || !strings.Contains(txt, "series android") {
+		t.Errorf("render = %q", txt)
+	}
+	csv := SeriesCSV(series)
+	if !strings.HasPrefix(csv, "series,x,y\n") || !strings.Contains(csv, "android,-2,50") {
+		t.Errorf("csv = %q", csv)
+	}
+}

@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"appvsweb/internal/core"
+)
+
+// SVG rendering turns the figure series into real plots, so "regenerate
+// every figure" produces figures, not just number columns. Output is
+// dependency-free SVG 1.1.
+
+// seriesColors matches the paper's plot styling (Android red, iOS blue).
+var seriesColors = map[string]string{
+	"android": "#c0392b",
+	"ios":     "#2960a8",
+}
+
+const (
+	svgW, svgH             = 560, 360
+	padL, padR, padT, padB = 62, 16, 34, 46
+)
+
+// RenderSVG draws one figure panel as an SVG line chart. Step rendering is
+// used for CDFs (stepped: true); PDFs draw marker-linked lines.
+func RenderSVG(title, xlabel, ylabel string, series FigureSeries, stepped bool) string {
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := 0.0, 0.0
+	for _, pts := range series {
+		for _, p := range pts {
+			minX = math.Min(minX, p.X)
+			maxX = math.Max(maxX, p.X)
+			maxY = math.Max(maxY, p.Y)
+		}
+	}
+	if math.IsInf(minX, 1) { // empty
+		minX, maxX, maxY = 0, 1, 100
+	}
+	if minX == maxX {
+		minX, maxX = minX-1, maxX+1
+	}
+	if maxY <= 0 {
+		maxY = 100
+	}
+	// Headroom for PDF-style panels; CDFs always span 0..100.
+	if stepped {
+		maxY = 100
+	} else {
+		maxY = math.Ceil(maxY/10) * 10
+	}
+
+	plotW := float64(svgW - padL - padR)
+	plotH := float64(svgH - padT - padB)
+	xpos := func(x float64) float64 { return float64(padL) + (x-minX)/(maxX-minX)*plotW }
+	ypos := func(y float64) float64 { return float64(svgH-padB) - (y-minY)/(maxY-minY)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", svgW, svgH, svgW, svgH)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", svgW, svgH)
+	fmt.Fprintf(&b, `<text x="%d" y="20" font-family="sans-serif" font-size="14" text-anchor="middle">%s</text>`+"\n", svgW/2, xmlEscape(title))
+
+	// Gridlines and ticks.
+	for _, t := range ticks(minY, maxY, 5) {
+		y := ypos(t)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n", padL, y, svgW-padR, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n", padL-6, y+4, trimNum(t))
+	}
+	for _, t := range ticks(minX, maxX, 7) {
+		x := xpos(t)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#eee"/>`+"\n", x, padT, x, svgH-padB)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n", x, svgH-padB+16, trimNum(t))
+	}
+	// Zero marker when the x-range crosses zero (the app-vs-web divide).
+	if minX < 0 && maxX > 0 {
+		x := xpos(0)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#999" stroke-dasharray="4 3"/>`+"\n", x, padT, x, svgH-padB)
+	}
+	// Axes.
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%.0f" height="%.0f" fill="none" stroke="#444"/>`+"\n", padL, padT, plotW, plotH)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n", padL+int(plotW)/2, svgH-10, xmlEscape(xlabel))
+	fmt.Fprintf(&b, `<text x="16" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n", padT+int(plotH)/2, padT+int(plotH)/2, xmlEscape(ylabel))
+
+	// Curves.
+	names := make([]string, 0, len(series))
+	for n := range series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for i, name := range names {
+		pts := series[name]
+		if len(pts) == 0 {
+			continue
+		}
+		color := seriesColors[name]
+		if color == "" {
+			color = "#555"
+		}
+		var poly strings.Builder
+		prevY := ypos(0)
+		for j, p := range pts {
+			x, y := xpos(p.X), ypos(p.Y)
+			if stepped && j > 0 {
+				fmt.Fprintf(&poly, "%.1f,%.1f ", x, prevY)
+			}
+			fmt.Fprintf(&poly, "%.1f,%.1f ", x, y)
+			prevY = y
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"/>`+"\n",
+			strings.TrimSpace(poly.String()), color)
+		if !stepped {
+			for _, p := range pts {
+				fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.6" fill="%s"/>`+"\n", xpos(p.X), ypos(p.Y), color)
+			}
+		}
+		// Legend.
+		lx, ly := svgW-padR-120, padT+14+18*i
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n", lx, ly, lx+22, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="12">%s</text>`+"\n", lx+28, ly+4, xmlEscape(name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// FigureSVG renders one of the paper's panels ("1a".."1f") as SVG.
+func FigureSVG(ds *core.Dataset, id string) (string, bool) {
+	for _, f := range figureSpecs {
+		if f.ID != id {
+			continue
+		}
+		stepped := id != "1e" // 1e is the lone PDF
+		ylabel := "CDF of services (%)"
+		if !stepped {
+			ylabel = "% of services"
+		}
+		return RenderSVG("Figure "+f.ID+": "+f.Title, f.XAxis, ylabel, f.Gen(ds), stepped), true
+	}
+	return "", false
+}
+
+// ticks produces ~n round tick values covering [lo, hi].
+func ticks(lo, hi float64, n int) []float64 {
+	if hi <= lo || n < 2 {
+		return []float64{lo, hi}
+	}
+	raw := (hi - lo) / float64(n)
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	var step float64
+	switch {
+	case raw/mag >= 5:
+		step = 5 * mag
+	case raw/mag >= 2:
+		step = 2 * mag
+	default:
+		step = mag
+	}
+	var out []float64
+	for t := math.Ceil(lo/step) * step; t <= hi+step/1e6; t += step {
+		out = append(out, t)
+	}
+	return out
+}
+
+func trimNum(f float64) string {
+	s := fmt.Sprintf("%.2f", f)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func TestRenderSVGWellFormed(t *testing.T) {
+	series := FigureSeries{
+		"android": {{-10, 20}, {-5, 60}, {0, 80}, {5, 100}},
+		"ios":     {{-8, 30}, {0, 70}, {3, 100}},
+	}
+	svg := RenderSVG("Figure 1a: test", "(app-web) a&a domains", "CDF of services (%)", series, true)
+	// Must parse as XML.
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG not well-formed: %v", err)
+		}
+	}
+	for _, want := range []string{"<svg", "polyline", "#c0392b", "#2960a8", "Figure 1a"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("svg missing %q", want)
+		}
+	}
+	// Zero marker for a range crossing zero.
+	if !strings.Contains(svg, "stroke-dasharray") {
+		t.Error("zero divider missing")
+	}
+}
+
+func TestRenderSVGEmptySeries(t *testing.T) {
+	svg := RenderSVG("empty", "x", "y", FigureSeries{}, true)
+	if !strings.HasPrefix(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+		t.Errorf("empty svg = %q", svg)
+	}
+}
+
+func TestRenderSVGEscapesTitles(t *testing.T) {
+	svg := RenderSVG(`<script>"x"&`, "a<b", "y", FigureSeries{"android": {{0, 50}, {1, 100}}}, true)
+	if strings.Contains(svg, "<script>") {
+		t.Error("unescaped title")
+	}
+	if !strings.Contains(svg, "&lt;script&gt;") {
+		t.Error("escape missing")
+	}
+}
+
+func TestFigureSVGAllPanels(t *testing.T) {
+	ds := synthDataset()
+	for _, id := range FigureIDs() {
+		svg, ok := FigureSVG(ds, id)
+		if !ok || !strings.Contains(svg, "Figure "+id) {
+			t.Errorf("panel %s: ok=%v", id, ok)
+		}
+	}
+	if _, ok := FigureSVG(ds, "nope"); ok {
+		t.Error("unknown panel accepted")
+	}
+	// 1e is the PDF panel: markers, not steps.
+	svg, _ := FigureSVG(ds, "1e")
+	if !strings.Contains(svg, "<circle") {
+		t.Error("PDF panel missing markers")
+	}
+}
+
+func TestTicks(t *testing.T) {
+	got := ticks(0, 100, 5)
+	if len(got) < 3 || got[0] != 0 || got[len(got)-1] != 100 {
+		t.Errorf("ticks = %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("ticks not increasing: %v", got)
+		}
+	}
+	got = ticks(-60, 20, 7)
+	crossesZero := false
+	for _, v := range got {
+		if v == 0 {
+			crossesZero = true
+		}
+	}
+	if !crossesZero {
+		t.Errorf("ticks over [-60,20] should include 0: %v", got)
+	}
+}
+
+func TestCompareOnSyntheticDataset(t *testing.T) {
+	// The 3-service synthetic dataset fails most calibration checks —
+	// what matters here is that every check runs and renders.
+	checks := Compare(synthDataset())
+	if len(checks) < 20 {
+		t.Fatalf("checks = %d", len(checks))
+	}
+	out := RenderCompare(checks)
+	if !strings.Contains(out, "checks pass") || !strings.Contains(out, "paper") {
+		t.Errorf("render = %q", out)
+	}
+	ids := map[string]bool{}
+	for _, c := range checks {
+		ids[c.ID] = true
+	}
+	for _, want := range []string{"T1", "T3", "F1a", "F1b", "F1e", "F1f", "P0"} {
+		if !ids[want] {
+			t.Errorf("check family %s missing", want)
+		}
+	}
+}
+
+func TestReportMarkdown(t *testing.T) {
+	md := ReportMarkdown(synthDataset())
+	for _, want := range []string{
+		"# appvsweb evaluation", "## Table 1", "## Table 2", "## Table 3",
+		"## Password leaks", "## Calibration checks", "| Group | Medium |",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q", want)
+		}
+	}
+	// Every table row must keep its column count (6 pipes + edges for T1).
+	inT1 := false
+	for _, line := range strings.Split(md, "\n") {
+		if strings.HasPrefix(line, "## Table 1") {
+			inT1 = true
+			continue
+		}
+		if inT1 && strings.HasPrefix(line, "## ") {
+			break
+		}
+		if inT1 && strings.HasPrefix(line, "|") {
+			if got := strings.Count(line, "|"); got != 7 {
+				t.Errorf("table 1 row has %d pipes: %q", got, line)
+			}
+		}
+	}
+}

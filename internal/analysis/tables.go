@@ -1,0 +1,418 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"appvsweb/internal/core"
+	"appvsweb/internal/pii"
+	"appvsweb/internal/services"
+)
+
+// pair holds one service's app and web results for one OS, present only
+// when both experiments were measured (pinned services drop out of that
+// OS entirely, as in the paper's n=48 Android column).
+type pair struct {
+	key      string
+	app, web *core.ExperimentResult
+}
+
+// pairs collects the comparable app/web result pairs for one OS.
+func pairs(ds *core.Dataset, os services.OS) []pair {
+	var out []pair
+	for _, key := range ds.ServiceKeys() {
+		app, okA := ds.Included(key, services.Cell{OS: os, Medium: services.App})
+		web, okW := ds.Included(key, services.Cell{OS: os, Medium: services.Web})
+		if okA && okW {
+			out = append(out, pair{key, app, web})
+		}
+	}
+	return out
+}
+
+// unionCell aggregates a service's results for one medium across both OSes
+// (used by the "All" and category rows of Table 1 and by Tables 2–3).
+type unionCell struct {
+	key       string
+	name      string
+	category  services.Category
+	rank      int
+	leakTypes pii.TypeSet
+	piiDoms   map[string]bool
+	aaDoms    map[string]bool
+	leaks     []core.LeakRecord
+	measured  bool
+}
+
+func unionCells(ds *core.Dataset, medium services.Medium) map[string]*unionCell {
+	out := make(map[string]*unionCell)
+	for _, r := range ds.Results {
+		if r.Medium != medium || r.Excluded {
+			continue
+		}
+		u := out[r.Service]
+		if u == nil {
+			u = &unionCell{
+				key: r.Service, name: r.Name, category: r.Category, rank: r.Rank,
+				piiDoms: make(map[string]bool), aaDoms: make(map[string]bool),
+			}
+			out[r.Service] = u
+		}
+		u.measured = true
+		u.leakTypes = u.leakTypes.Union(r.LeakTypes)
+		for _, d := range r.PIIDomains {
+			u.piiDoms[d] = true
+		}
+		for _, d := range r.AADomains {
+			u.aaDoms[d] = true
+		}
+		u.leaks = append(u.leaks, r.Leaks...)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------- Table 1
+
+// Table1Row is one row of the paper's Table 1.
+type Table1Row struct {
+	Group       string // "All", "android", "ios", or a category
+	Medium      services.Medium
+	Services    int
+	AvgRank     float64
+	PctLeaking  float64
+	AvgDomains  float64 // domains receiving PII, averaged over leaking services
+	StdDomains  float64
+	Identifiers pii.TypeSet
+}
+
+// Table1 computes the full table: All rows, per-OS rows, then per-category
+// rows (categories aggregate across OSes, like the All rows).
+func Table1(ds *core.Dataset) []Table1Row {
+	var rows []Table1Row
+	for _, m := range services.AllMedia() {
+		rows = append(rows, table1Union(ds, "All", m, ""))
+	}
+	for _, os := range services.AllOS() {
+		for _, m := range services.AllMedia() {
+			rows = append(rows, table1OS(ds, os, m))
+		}
+	}
+	for _, cat := range services.Categories() {
+		for _, m := range services.AllMedia() {
+			rows = append(rows, table1Union(ds, string(cat), m, cat))
+		}
+	}
+	return rows
+}
+
+func table1Union(ds *core.Dataset, group string, m services.Medium, cat services.Category) Table1Row {
+	cells := unionCells(ds, m)
+	row := Table1Row{Group: group, Medium: m}
+	var domCounts []float64
+	var ranks []float64
+	leaking := 0
+	for _, key := range ds.ServiceKeys() {
+		u := cells[key]
+		if u == nil || !u.measured {
+			continue
+		}
+		if cat != "" && u.category != cat {
+			continue
+		}
+		row.Services++
+		ranks = append(ranks, float64(u.rank))
+		if u.leakTypes.Empty() {
+			continue
+		}
+		leaking++
+		domCounts = append(domCounts, float64(len(u.piiDoms)))
+		row.Identifiers = row.Identifiers.Union(u.leakTypes)
+	}
+	if row.Services > 0 {
+		row.PctLeaking = 100 * float64(leaking) / float64(row.Services)
+	}
+	row.AvgRank, _ = MeanStd(ranks)
+	row.AvgDomains, row.StdDomains = MeanStd(domCounts)
+	return row
+}
+
+func table1OS(ds *core.Dataset, os services.OS, m services.Medium) Table1Row {
+	row := Table1Row{Group: string(os), Medium: m}
+	var domCounts, ranks []float64
+	leaking := 0
+	for _, p := range pairs(ds, os) {
+		r := p.app
+		if m == services.Web {
+			r = p.web
+		}
+		row.Services++
+		ranks = append(ranks, float64(r.Rank))
+		if r.LeakTypes.Empty() {
+			continue
+		}
+		leaking++
+		domCounts = append(domCounts, float64(len(r.PIIDomains)))
+		row.Identifiers = row.Identifiers.Union(r.LeakTypes)
+	}
+	if row.Services > 0 {
+		row.PctLeaking = 100 * float64(leaking) / float64(row.Services)
+	}
+	row.AvgRank, _ = MeanStd(ranks)
+	row.AvgDomains, row.StdDomains = MeanStd(domCounts)
+	return row
+}
+
+// RenderTable1 prints the table in the paper's layout (one App and one Web
+// row per group; identifier columns as check-style abbreviations).
+func RenderTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-15s %-4s %4s %6s %9s %14s  %s\n",
+		"group", "med", "n", "rank", "%leaking", "domains(±std)", "identifiers")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-15s %-4s %4d %6.1f %8.1f%% %6.1f ± %5.1f  %s\n",
+			r.Group, r.Medium, r.Services, r.AvgRank, r.PctLeaking,
+			r.AvgDomains, r.StdDomains, r.Identifiers)
+	}
+	return b.String()
+}
+
+// RenderTable1Grid prints Table 1 in the paper's exact layout: one column
+// per identifier class (B D E G L N P# U PW UID) with a check mark where
+// the group leaks that class.
+func RenderTable1Grid(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-15s %-4s %4s %9s %15s ", "group", "med", "n", "%leaking", "domains(±std)")
+	for _, t := range pii.AllTypes() {
+		fmt.Fprintf(&b, "%4s", t.Abbrev())
+	}
+	b.WriteString("\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-15s %-4s %4d %8.1f%% %6.1f ± %6.1f ",
+			r.Group, r.Medium, r.Services, r.PctLeaking, r.AvgDomains, r.StdDomains)
+		for _, t := range pii.AllTypes() {
+			mark := "."
+			if r.Identifiers.Contains(t) {
+				mark = "✓"
+			}
+			fmt.Fprintf(&b, "%4s", mark)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Table 2
+
+// Table2Row summarizes one A&A domain (Table 2).
+type Table2Row struct {
+	Org        string // domain absent its TLD, "-sim" suffix stripped
+	Domain     string
+	SvcApp     int // services contacting via app (any OS)
+	SvcBoth    int
+	SvcWeb     int
+	AvgLeakApp float64 // leak flows per contacting service
+	AvgLeakWeb float64
+	IdentApp   pii.TypeSet
+	IdentWeb   pii.TypeSet
+	TotalLeaks int
+}
+
+// IdentBoth is the identifier overlap between platforms.
+func (r *Table2Row) IdentBoth() pii.TypeSet { return r.IdentApp.Intersect(r.IdentWeb) }
+
+// Table2 computes the top-N A&A domains sorted by total leaks received.
+func Table2(ds *core.Dataset, topN int) []Table2Row {
+	type agg struct {
+		row      Table2Row
+		app, web map[string]bool // contacting services (by key)
+		appCells map[string]bool // contacting (service, OS) cells
+		webCells map[string]bool
+		la, lw   int // leak flows via app / web
+	}
+	byDomain := make(map[string]*agg)
+	get := func(domain string) *agg {
+		a := byDomain[domain]
+		if a == nil {
+			org := strings.TrimSuffix(core.OrgOf(domain), "-sim")
+			a = &agg{
+				row: Table2Row{Org: org, Domain: domain},
+				app: map[string]bool{}, web: map[string]bool{},
+				appCells: map[string]bool{}, webCells: map[string]bool{},
+			}
+			byDomain[domain] = a
+		}
+		return a
+	}
+
+	// Contact and leak counting is per (service, OS) cell so that the
+	// "avg leaks" column reflects one four-minute session, as the paper's
+	// magnitudes do; the services columns deduplicate by service.
+	for _, r := range ds.Results {
+		if r.Excluded {
+			continue
+		}
+		cell := r.Service + "|" + string(r.OS)
+		for _, d := range r.AADomains {
+			a := get(d)
+			if r.Medium == services.Web {
+				a.web[r.Service] = true
+				a.webCells[cell] = true
+			} else {
+				a.app[r.Service] = true
+				a.appCells[cell] = true
+			}
+		}
+		for _, l := range r.Leaks {
+			if l.Category != "a&a" {
+				continue
+			}
+			a := get(l.Domain)
+			if r.Medium == services.Web {
+				a.web[r.Service] = true
+				a.webCells[cell] = true
+				a.lw++
+				a.row.IdentWeb = a.row.IdentWeb.Union(l.Types)
+			} else {
+				a.app[r.Service] = true
+				a.appCells[cell] = true
+				a.la++
+				a.row.IdentApp = a.row.IdentApp.Union(l.Types)
+			}
+		}
+	}
+
+	var rows []Table2Row
+	for _, a := range byDomain {
+		r := a.row
+		r.SvcApp = len(a.app)
+		r.SvcWeb = len(a.web)
+		for k := range a.app {
+			if a.web[k] {
+				r.SvcBoth++
+			}
+		}
+		if n := len(a.appCells); n > 0 {
+			r.AvgLeakApp = float64(a.la) / float64(n)
+		}
+		if n := len(a.webCells); n > 0 {
+			r.AvgLeakWeb = float64(a.lw) / float64(n)
+		}
+		r.TotalLeaks = a.la + a.lw
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].TotalLeaks != rows[j].TotalLeaks {
+			return rows[i].TotalLeaks > rows[j].TotalLeaks
+		}
+		return rows[i].Org < rows[j].Org
+	})
+	if topN > 0 && len(rows) > topN {
+		rows = rows[:topN]
+	}
+	return rows
+}
+
+// RenderTable2 prints the table in the paper's layout.
+func RenderTable2(rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %5s %5s %5s %9s %9s %6s %6s %6s\n",
+		"a&a domain", "app", "∩", "web", "leaks/app", "leaks/web", "idApp", "id∩", "idWeb")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18s %5d %5d %5d %9.1f %9.1f %6d %6d %6d\n",
+			r.Org, r.SvcApp, r.SvcBoth, r.SvcWeb, r.AvgLeakApp, r.AvgLeakWeb,
+			r.IdentApp.Len(), r.IdentBoth().Len(), r.IdentWeb.Len())
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Table 3
+
+// Table3Row summarizes one PII class (Table 3).
+type Table3Row struct {
+	Type       pii.Type
+	SvcApp     int
+	SvcBoth    int
+	SvcWeb     int
+	AvgLeakApp float64 // flows carrying the class per leaking service
+	AvgLeakWeb float64
+	DomApp     int // distinct domains receiving the class
+	DomBoth    int
+	DomWeb     int
+	TotalLeaks int
+}
+
+// Table3 computes the per-type summary sorted by total leaks.
+func Table3(ds *core.Dataset) []Table3Row {
+	var rows []Table3Row
+	for _, t := range pii.AllTypes() {
+		row := Table3Row{Type: t}
+		appSvc, webSvc := map[string]bool{}, map[string]bool{}
+		appDom, webDom := map[string]bool{}, map[string]bool{}
+		appCellN, webCellN := map[string]bool{}, map[string]bool{}
+		var la, lw int
+		for _, r := range ds.Results {
+			if r.Excluded {
+				continue
+			}
+			cell := r.Service + "|" + string(r.OS)
+			for _, l := range r.Leaks {
+				if !l.Types.Contains(t) {
+					continue
+				}
+				if r.Medium == services.Web {
+					webSvc[r.Service] = true
+					webCellN[cell] = true
+					webDom[l.Domain] = true
+					lw++
+				} else {
+					appSvc[r.Service] = true
+					appCellN[cell] = true
+					appDom[l.Domain] = true
+					la++
+				}
+			}
+		}
+		row.SvcApp, row.SvcWeb = len(appSvc), len(webSvc)
+		for k := range appSvc {
+			if webSvc[k] {
+				row.SvcBoth++
+			}
+		}
+		row.DomApp, row.DomWeb = len(appDom), len(webDom)
+		for d := range appDom {
+			if webDom[d] {
+				row.DomBoth++
+			}
+		}
+		// Averages are per leaking (service, OS) cell: one session's worth.
+		if n := len(appCellN); n > 0 {
+			row.AvgLeakApp = float64(la) / float64(n)
+		}
+		if n := len(webCellN); n > 0 {
+			row.AvgLeakWeb = float64(lw) / float64(n)
+		}
+		row.TotalLeaks = la + lw
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].TotalLeaks != rows[j].TotalLeaks {
+			return rows[i].TotalLeaks > rows[j].TotalLeaks
+		}
+		return rows[i].Type < rows[j].Type
+	})
+	return rows
+}
+
+// RenderTable3 prints the table in the paper's layout.
+func RenderTable3(rows []Table3Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %5s %5s %5s %9s %9s %6s %6s %6s\n",
+		"pii", "app", "∩", "web", "leaks/app", "leaks/web", "domApp", "dom∩", "domWeb")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %5d %5d %5d %9.1f %9.1f %6d %6d %6d\n",
+			r.Type, r.SvcApp, r.SvcBoth, r.SvcWeb, r.AvgLeakApp, r.AvgLeakWeb,
+			r.DomApp, r.DomBoth, r.DomWeb)
+	}
+	return b.String()
+}

@@ -1,0 +1,342 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"appvsweb/internal/core"
+	"appvsweb/internal/pii"
+	"appvsweb/internal/services"
+)
+
+// synthDataset hand-crafts a dataset with known aggregates:
+//
+//	svcA (Weather): app leaks L,UID to 2 domains; web leaks L to 1 domain
+//	svcB (Shopping): app leaks PW,E to taplytics; web leaks nothing
+//	svcC (Social):  pinned on Android (app+web excluded there);
+//	                iOS app leaks UID, iOS web leaks N
+func synthDataset() *core.Dataset {
+	mk := func(key string, cat services.Category, os services.OS, m services.Medium) *core.ExperimentResult {
+		return &core.ExperimentResult{
+			Service: key, Name: strings.ToUpper(key), Category: cat, Rank: 10,
+			OS: os, Medium: m,
+			AADomains: []string{"ga-sim.example"}, AAFlows: 5, AABytes: 1 << 20,
+			TotalFlows: 20, TotalBytes: 4 << 20,
+		}
+	}
+	leak := func(r *core.ExperimentResult, domain string, cat string, types ...pii.Type) {
+		ts := pii.NewTypeSet(types...)
+		r.Leaks = append(r.Leaks, core.LeakRecord{
+			Host: domain, Domain: domain, Org: core.OrgOf(domain), Category: cat, Types: ts,
+		})
+		r.LeakTypes = r.LeakTypes.Union(ts)
+		for _, d := range r.PIIDomains {
+			if d == domain {
+				return
+			}
+		}
+		r.PIIDomains = append(r.PIIDomains, domain)
+	}
+
+	ds := &core.Dataset{Meta: core.Meta{Services: 3, Scale: 1}}
+	for _, os := range services.AllOS() {
+		// svcA
+		app := mk("svca", services.Weather, os, services.App)
+		app.AADomains = []string{"ga-sim.example", "moat-sim.example"}
+		app.AAFlows = 40
+		leak(app, "ga-sim.example", "a&a", pii.Location, pii.UniqueID)
+		leak(app, "moat-sim.example", "a&a", pii.Location)
+		leak(app, "moat-sim.example", "a&a", pii.Location) // repeated beacons
+		leak(app, "moat-sim.example", "a&a", pii.Location)
+		web := mk("svca", services.Weather, os, services.Web)
+		web.AADomains = []string{"ga-sim.example", "moat-sim.example", "criteo-sim.example"}
+		web.AAFlows = 100
+		leak(web, "ga-sim.example", "a&a", pii.Location)
+		ds.Results = append(ds.Results, app, web)
+
+		// svcB
+		app = mk("svcb", services.Shopping, os, services.App)
+		leak(app, "taplytics-sim.example", "a&a", pii.Password, pii.Email)
+		web = mk("svcb", services.Shopping, os, services.Web)
+		web.AADomains = []string{"ga-sim.example", "criteo-sim.example", "moat-sim.example", "krxd-sim.example"}
+		web.AAFlows = 60
+		ds.Results = append(ds.Results, app, web)
+
+		// svcC
+		app = mk("svcc", services.Social, os, services.App)
+		web = mk("svcc", services.Social, os, services.Web)
+		if os == services.Android {
+			app.Excluded = true
+			app.ExcludeReason = "certificate pinning prevents traffic decryption"
+			web.Excluded = true
+			web.ExcludeReason = "service excluded from Android comparison"
+		} else {
+			leak(app, "mixpanel-sim.example", "a&a", pii.UniqueID)
+			leak(web, "facebook-sim.example", "a&a", pii.Name)
+		}
+		ds.Results = append(ds.Results, app, web)
+	}
+	ds.Sort()
+	return ds
+}
+
+func TestTable1Synthetic(t *testing.T) {
+	ds := synthDataset()
+	rows := Table1(ds)
+	byKey := func(group string, m services.Medium) Table1Row {
+		for _, r := range rows {
+			if r.Group == group && r.Medium == m {
+				return r
+			}
+		}
+		t.Fatalf("row %s/%s missing", group, m)
+		return Table1Row{}
+	}
+
+	all := byKey("All", services.App)
+	if all.Services != 3 || all.PctLeaking != 100 {
+		t.Errorf("All/app = %+v", all)
+	}
+	if !all.Identifiers.Contains(pii.Password) || !all.Identifiers.Contains(pii.Location) {
+		t.Errorf("All/app identifiers = %v", all.Identifiers)
+	}
+	allWeb := byKey("All", services.Web)
+	// svca and svcc leak on web; svcb does not: 2/3.
+	if allWeb.PctLeaking < 66 || allWeb.PctLeaking > 67 {
+		t.Errorf("All/web %%leaking = %v", allWeb.PctLeaking)
+	}
+
+	android := byKey("android", services.App)
+	if android.Services != 2 {
+		t.Errorf("android n = %d, want 2 (svcc excluded)", android.Services)
+	}
+	ios := byKey("ios", services.App)
+	if ios.Services != 3 || ios.PctLeaking != 100 {
+		t.Errorf("ios/app = %+v", ios)
+	}
+
+	weather := byKey("Weather", services.App)
+	if weather.Services != 1 || weather.AvgDomains != 2 {
+		t.Errorf("Weather/app = %+v", weather)
+	}
+	txt := RenderTable1(rows)
+	if !strings.Contains(txt, "Weather") || !strings.Contains(txt, "%") {
+		t.Errorf("render: %q", txt)
+	}
+}
+
+func TestTable2Synthetic(t *testing.T) {
+	ds := synthDataset()
+	rows := Table2(ds, 20)
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// moat receives the most leaks (2 flows per OS via app from svca = 4).
+	if rows[0].Org != "moat" {
+		t.Errorf("top domain = %s, want moat", rows[0].Org)
+	}
+	var ga Table2Row
+	for _, r := range rows {
+		if r.Org == "ga" {
+			ga = r
+		}
+	}
+	// ga contacted by: app svca+svcb+svcc(via default AADomains) = 3; web 3.
+	if ga.SvcApp != 3 || ga.SvcWeb != 3 || ga.SvcBoth != 3 {
+		t.Errorf("ga contact counts = %+v", ga)
+	}
+	if !ga.IdentApp.Contains(pii.Location) || !ga.IdentApp.Contains(pii.UniqueID) {
+		t.Errorf("ga app identifiers = %v", ga.IdentApp)
+	}
+	if ga.IdentBoth() != pii.NewTypeSet(pii.Location) {
+		t.Errorf("ga shared identifiers = %v", ga.IdentBoth())
+	}
+	// taplytics is app-only.
+	var tap Table2Row
+	for _, r := range rows {
+		if r.Org == "taplytics" {
+			tap = r
+		}
+	}
+	if tap.SvcWeb != 0 || tap.SvcApp != 1 || tap.IdentApp.Len() != 2 {
+		t.Errorf("taplytics = %+v", tap)
+	}
+	if !strings.Contains(RenderTable2(rows), "taplytics") {
+		t.Error("render missing taplytics")
+	}
+}
+
+func TestTable3Synthetic(t *testing.T) {
+	ds := synthDataset()
+	rows := Table3(ds)
+	get := func(typ pii.Type) Table3Row {
+		for _, r := range rows {
+			if r.Type == typ {
+				return r
+			}
+		}
+		t.Fatalf("type %v missing", typ)
+		return Table3Row{}
+	}
+	loc := get(pii.Location)
+	// svca leaks L via app (4 flows per OS cell) and web (1 flow per OS
+	// cell); averages are per leaking (service, OS) cell.
+	if loc.SvcApp != 1 || loc.SvcWeb != 1 || loc.SvcBoth != 1 {
+		t.Errorf("Location services = %+v", loc)
+	}
+	if loc.AvgLeakApp != 4 || loc.AvgLeakWeb != 1 {
+		t.Errorf("Location avg leaks = %+v", loc)
+	}
+	if loc.DomApp != 2 || loc.DomWeb != 1 || loc.DomBoth != 1 {
+		t.Errorf("Location domains = %+v", loc)
+	}
+	uid := get(pii.UniqueID)
+	if uid.SvcWeb != 0 || uid.SvcApp != 2 {
+		t.Errorf("UniqueID = %+v", uid)
+	}
+	// Rows are sorted by total leaks: Location (8) first.
+	if rows[0].Type != pii.Location {
+		t.Errorf("first row = %v", rows[0].Type)
+	}
+	if !strings.Contains(RenderTable3(rows), "Location") {
+		t.Error("render missing Location")
+	}
+}
+
+func TestFiguresSynthetic(t *testing.T) {
+	ds := synthDataset()
+	// Fig 1a android: svca diff = 2-3 = -1; svcb diff = 1-4 = -3.
+	diffs := Diffs(ds, MetricAADomains, services.Android)
+	if len(diffs) != 2 {
+		t.Fatalf("android pairs = %d, want 2", len(diffs))
+	}
+	sum := diffs[0] + diffs[1]
+	if sum != -4 {
+		t.Errorf("android diffs = %v", diffs)
+	}
+	ios := Diffs(ds, MetricAADomains, services.IOS)
+	if len(ios) != 3 {
+		t.Errorf("ios pairs = %d, want 3", len(ios))
+	}
+
+	fig := Figure1a(ds)
+	if len(fig["android"]) == 0 || len(fig["ios"]) == 0 {
+		t.Error("figure series missing")
+	}
+	// Fig 1f: svcb jaccard = 0 (app leaks, web empty); svca = |{L}|/|{L,UID}| = 0.5.
+	js := Jaccards(ds, services.Android)
+	found0, found05 := false, false
+	for _, j := range js {
+		if j == 0 {
+			found0 = true
+		}
+		if j == 0.5 {
+			found05 = true
+		}
+	}
+	if !found0 || !found05 {
+		t.Errorf("jaccards = %v", js)
+	}
+	// Fig 1e PDF present.
+	if pts := Figure1e(ds)["ios"]; len(pts) == 0 {
+		t.Error("figure 1e empty")
+	}
+	// MB metric uses AABytes.
+	mb := Diffs(ds, MetricAAMB, services.IOS)
+	for _, d := range mb {
+		if d != 0 {
+			t.Errorf("synthetic MB diffs should be 0: %v", mb)
+		}
+	}
+}
+
+func TestHeadlinesSynthetic(t *testing.T) {
+	ds := synthDataset()
+	h := ComputeHeadlines(ds)
+	if h.WebMoreAADomainsPct[services.Android] != 100 {
+		t.Errorf("android web-more = %v", h.WebMoreAADomainsPct[services.Android])
+	}
+	if h.JaccardZeroPct[services.Android] != 50 {
+		t.Errorf("android jaccard-zero = %v", h.JaccardZeroPct[services.Android])
+	}
+}
+
+func TestPasswordLeaksAudit(t *testing.T) {
+	ds := synthDataset()
+	leaks := PasswordLeaks(ds)
+	if len(leaks) != 2 { // svcb android + ios app
+		t.Fatalf("password leaks = %v", leaks)
+	}
+	if !strings.Contains(leaks[0], "taplytics") {
+		t.Errorf("leak = %q", leaks[0])
+	}
+}
+
+func TestReportRenders(t *testing.T) {
+	ds := synthDataset()
+	rep := Report(ds)
+	for _, want := range []string{
+		"Table 1", "Table 2", "Table 3", "Figure 1a", "Figure 1f",
+		"Password leaks", "Headline shapes",
+	} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestFigureCSVAndIDs(t *testing.T) {
+	ds := synthDataset()
+	if ids := FigureIDs(); len(ids) != 6 || ids[0] != "1a" {
+		t.Errorf("FigureIDs = %v", ids)
+	}
+	csv, ok := FigureCSV(ds, "1f")
+	if !ok || !strings.HasPrefix(csv, "series,x,y") {
+		t.Errorf("csv = %q, %v", csv, ok)
+	}
+	if _, ok := FigureCSV(ds, "9z"); ok {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func BenchmarkTablesSynthetic(b *testing.B) {
+	ds := synthDataset()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Table1(ds)
+		Table2(ds, 20)
+		Table3(ds)
+	}
+}
+
+func TestRenderTable1Grid(t *testing.T) {
+	out := RenderTable1Grid(Table1(synthDataset()))
+	if !strings.Contains(out, "UID") || !strings.Contains(out, "✓") {
+		t.Errorf("grid = %q", out)
+	}
+	// Web rows must never check the device-identifier columns.
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.Contains(line, " web ") {
+			continue
+		}
+		cols := strings.Fields(line)
+		if len(cols) > 2 && cols[len(cols)-1] == "✓" { // UID is the last column
+			t.Errorf("web row checks UID: %q", line)
+		}
+	}
+}
+
+func TestExtremes(t *testing.T) {
+	ds := synthDataset()
+	top := TopWebAAFlows(ds, 2)
+	if len(top) != 2 || top[0].Value < top[1].Value {
+		t.Errorf("TopWebAAFlows = %+v", top)
+	}
+	if top[0].Service != "svca" { // 100 web A&A flows
+		t.Errorf("top service = %s", top[0].Service)
+	}
+	gaps := TopWebAADomainGap(ds, 1)
+	if len(gaps) != 1 || gaps[0].Service != "svcb" || gaps[0].Value != 3 {
+		t.Errorf("TopWebAADomainGap = %+v", gaps)
+	}
+}

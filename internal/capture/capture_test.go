@@ -1,0 +1,415 @@
+package capture
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func sampleFlow(id int64, host string) *Flow {
+	return &Flow{
+		ID:       id,
+		Start:    time.Date(2016, 4, 1, 12, 0, 0, 0, time.UTC),
+		Client:   "android-1",
+		Protocol: HTTPS,
+		Method:   "POST",
+		Host:     host,
+		URL:      "https://" + host + "/api/v1/track?uid=42",
+		RequestHeaders: map[string]string{
+			"Content-Type": "application/json",
+			"Cookie":       "sid=abc",
+			"User-Agent":   "SimBrowser/1.0",
+		},
+		RequestBody:  `{"email":"x@y.example"}`,
+		Status:       200,
+		ResponseSize: 512,
+		BytesUp:      300,
+		BytesDown:    700,
+		Intercepted:  true,
+	}
+}
+
+func TestFlowAccessors(t *testing.T) {
+	f := sampleFlow(1, "t.example")
+	if f.Plaintext() {
+		t.Error("https flow reported plaintext")
+	}
+	if got := f.Header("content-type"); got != "application/json" {
+		t.Errorf("case-insensitive header = %q", got)
+	}
+	if got := f.ContentType(); got != "application/json" {
+		t.Errorf("ContentType = %q", got)
+	}
+	if got := f.Cookie(); got != "sid=abc" {
+		t.Errorf("Cookie = %q", got)
+	}
+	if got := f.Path(); got != "/api/v1/track" {
+		t.Errorf("Path = %q", got)
+	}
+	if got := f.Bytes(); got != 1000 {
+		t.Errorf("Bytes = %d", got)
+	}
+	if got := f.Header("missing"); got != "" {
+		t.Errorf("missing header = %q", got)
+	}
+	bad := &Flow{URL: "://x"}
+	if got := bad.Path(); got != "" {
+		t.Errorf("bad URL Path = %q", got)
+	}
+}
+
+func TestFlowSections(t *testing.T) {
+	f := sampleFlow(1, "t.example")
+	s := f.Sections()
+	if s["url"] != f.URL || s["body"] != f.RequestBody {
+		t.Error("sections missing url/body")
+	}
+	if !strings.Contains(s["headers"], "Cookie: sid=abc\r\n") {
+		t.Errorf("headers section = %q", s["headers"])
+	}
+	// Headers serialize in sorted key order for determinism.
+	if !(strings.Index(s["headers"], "Content-Type") < strings.Index(s["headers"], "Cookie")) {
+		t.Error("headers not sorted")
+	}
+}
+
+func TestFlowCloneIsDeep(t *testing.T) {
+	f := sampleFlow(1, "t.example")
+	c := f.Clone()
+	c.RequestHeaders["Cookie"] = "changed"
+	if f.RequestHeaders["Cookie"] == "changed" {
+		t.Error("clone shares header map")
+	}
+}
+
+func TestMemSinkAssignsIDsAndCopies(t *testing.T) {
+	s := NewMemSink()
+	f := sampleFlow(0, "a.example")
+	s.Record(f)
+	f.Host = "mutated.example"
+	s.Record(f)
+	got := s.Flows()
+	if len(got) != 2 || got[0].ID != 1 || got[1].ID != 2 {
+		t.Fatalf("ids = %+v", got)
+	}
+	if got[0].Host != "a.example" {
+		t.Error("sink did not copy flow")
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	s.Reset()
+	if s.Len() != 0 {
+		t.Error("Reset did not clear")
+	}
+	s.Record(f)
+	if s.Flows()[0].ID != 3 {
+		t.Error("ID counter reset")
+	}
+}
+
+func TestMemSinkConcurrent(t *testing.T) {
+	s := NewMemSink()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				s.Record(sampleFlow(0, "c.example"))
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != 800 {
+		t.Errorf("Len = %d, want 800", s.Len())
+	}
+	ids := make(map[int64]bool)
+	for _, f := range s.Flows() {
+		if ids[f.ID] {
+			t.Fatalf("duplicate ID %d", f.ID)
+		}
+		ids[f.ID] = true
+	}
+}
+
+func TestCountingSink(t *testing.T) {
+	var s CountingSink
+	s.Record(sampleFlow(1, "a.example"))
+	s.Record(sampleFlow(2, "b.example"))
+	if s.Count.Load() != 2 || s.Bytes.Load() != 2000 {
+		t.Errorf("count=%d bytes=%d", s.Count.Load(), s.Bytes.Load())
+	}
+}
+
+func TestTeeSink(t *testing.T) {
+	a, b := NewMemSink(), NewMemSink()
+	tee := TeeSink{a, b}
+	tee.Record(sampleFlow(1, "x.example"))
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Error("tee did not duplicate")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	flows := []*Flow{sampleFlow(1, "a.example"), sampleFlow(2, "b.example")}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, flows); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || !reflect.DeepEqual(got[0], flows[0]) {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestReadJSONLCorrupt(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{\"id\":1}\nnot-json\n")); err == nil {
+		t.Error("corrupt trace accepted")
+	}
+}
+
+func TestSaveLoadTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	flows := []*Flow{sampleFlow(1, "a.example")}
+	if err := SaveTrace(path, flows); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Host != "a.example" {
+		t.Errorf("loaded %+v", got)
+	}
+	if _, err := LoadTrace(filepath.Join(t.TempDir(), "missing.jsonl")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestFilterBackground(t *testing.T) {
+	flows := []*Flow{
+		sampleFlow(1, "api.svc.example"),
+		sampleFlow(2, "sync.play-services.example"),
+		sampleFlow(3, "ads.tracker.example"),
+	}
+	kept, dropped := FilterBackground(flows, func(h string) bool {
+		return strings.Contains(h, "play-services")
+	})
+	if len(kept) != 2 || len(dropped) != 1 {
+		t.Fatalf("kept=%d dropped=%d", len(kept), len(dropped))
+	}
+	if dropped[0].ID != 2 {
+		t.Error("wrong flow dropped")
+	}
+	kept, dropped = FilterBackground(flows, nil)
+	if len(kept) != 3 || dropped != nil {
+		t.Error("nil classifier must keep everything")
+	}
+}
+
+func TestFilterClient(t *testing.T) {
+	a := sampleFlow(1, "x.example")
+	b := sampleFlow(2, "x.example")
+	b.Client = "ios-1"
+	got := FilterClient([]*Flow{a, b}, "ios-1")
+	if len(got) != 1 || got[0].ID != 2 {
+		t.Errorf("FilterClient = %+v", got)
+	}
+}
+
+func TestHostsAndTotalBytes(t *testing.T) {
+	flows := []*Flow{
+		sampleFlow(1, "A.example"),
+		sampleFlow(2, "b.example"),
+		sampleFlow(3, "a.example"),
+	}
+	if got := Hosts(flows); !reflect.DeepEqual(got, []string{"a.example", "b.example"}) {
+		t.Errorf("Hosts = %v", got)
+	}
+	if got := TotalBytes(flows); got != 3000 {
+		t.Errorf("TotalBytes = %d", got)
+	}
+}
+
+func BenchmarkMemSinkRecord(b *testing.B) {
+	s := NewMemSink()
+	f := sampleFlow(0, "bench.example")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Record(f)
+	}
+}
+
+func BenchmarkJSONLWrite(b *testing.B) {
+	flows := make([]*Flow, 100)
+	for i := range flows {
+		flows[i] = sampleFlow(int64(i), "bench.example")
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WriteJSONL(&buf, flows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestWriteHAR(t *testing.T) {
+	f := sampleFlow(1, "tracker.example")
+	f.ResponseHeaders = map[string]string{"Content-Type": "image/gif"}
+	pinned := &Flow{
+		ID: 2, Start: f.Start, Protocol: HTTPS, Method: "CONNECT",
+		Host: "pinned.example", URL: "https://pinned.example/",
+	}
+	var buf bytes.Buffer
+	if err := WriteHAR(&buf, "appvsweb-test", []*Flow{f, pinned}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Log struct {
+			Version string `json:"version"`
+			Creator struct {
+				Name string `json:"name"`
+			} `json:"creator"`
+			Entries []struct {
+				Request struct {
+					Method      string                         `json:"method"`
+					URL         string                         `json:"url"`
+					QueryString []struct{ Name, Value string } `json:"queryString"`
+					PostData    *struct {
+						MimeType string `json:"mimeType"`
+						Text     string `json:"text"`
+					} `json:"postData"`
+				} `json:"request"`
+				Response struct {
+					Status  int `json:"status"`
+					Content struct {
+						MimeType string `json:"mimeType"`
+					} `json:"content"`
+				} `json:"response"`
+				Comment string `json:"comment"`
+			} `json:"entries"`
+		} `json:"log"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("HAR is not valid JSON: %v", err)
+	}
+	if doc.Log.Version != "1.2" || doc.Log.Creator.Name != "appvsweb-test" {
+		t.Errorf("log header = %+v", doc.Log)
+	}
+	e := doc.Log.Entries[0]
+	if e.Request.Method != "POST" || e.Request.PostData == nil || e.Request.PostData.MimeType != "application/json" {
+		t.Errorf("entry request = %+v", e.Request)
+	}
+	if len(e.Request.QueryString) != 1 || e.Request.QueryString[0].Name != "uid" {
+		t.Errorf("queryString = %+v", e.Request.QueryString)
+	}
+	if e.Response.Status != 200 || e.Response.Content.MimeType != "image/gif" {
+		t.Errorf("entry response = %+v", e.Response)
+	}
+	if doc.Log.Entries[1].Comment == "" {
+		t.Error("pinned flow should carry an explanatory comment")
+	}
+}
+
+func TestJSONLSinkConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				s.Record(sampleFlow(0, "stream.example"))
+			}
+		}()
+	}
+	wg.Wait()
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	flows, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("interleaved writes corrupted the stream: %v", err)
+	}
+	if len(flows) != 400 {
+		t.Errorf("flows = %d, want 400", len(flows))
+	}
+	ids := make(map[int64]bool)
+	for _, f := range flows {
+		if f.ID == 0 || ids[f.ID] {
+			t.Fatalf("bad or duplicate ID %d", f.ID)
+		}
+		ids[f.ID] = true
+	}
+}
+
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	w.n++
+	if w.n > 1 {
+		return 0, errWriteFailed
+	}
+	return len(p), nil
+}
+
+var errWriteFailed = &writeErr{}
+
+type writeErr struct{}
+
+func (*writeErr) Error() string { return "disk full" }
+
+func TestJSONLSinkSurfacesWriteErrors(t *testing.T) {
+	s := NewJSONLSink(&failWriter{})
+	for i := 0; i < 2000; i++ { // enough to overflow the bufio buffer
+		s.Record(sampleFlow(0, "x.example"))
+	}
+	if s.Err() == nil {
+		t.Error("write error swallowed")
+	}
+}
+
+func TestHARRoundTrip(t *testing.T) {
+	in := []*Flow{sampleFlow(1, "rt.example")}
+	var buf bytes.Buffer
+	if err := WriteHAR(&buf, "test", in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadHAR(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("flows = %d", len(out))
+	}
+	f := out[0]
+	if f.Method != "POST" || f.Host != "rt.example" || f.URL != in[0].URL {
+		t.Errorf("round trip = %+v", f)
+	}
+	if f.RequestBody != in[0].RequestBody || f.ContentType() != "application/json" {
+		t.Errorf("body/type = %q %q", f.RequestBody, f.ContentType())
+	}
+	if !f.Start.Equal(in[0].Start) {
+		t.Errorf("start = %v", f.Start)
+	}
+	if f.Protocol != HTTPS {
+		t.Errorf("protocol = %v", f.Protocol)
+	}
+}
+
+func TestReadHARRejectsGarbage(t *testing.T) {
+	if _, err := ReadHAR(strings.NewReader("not json")); err == nil {
+		t.Error("garbage HAR accepted")
+	}
+}

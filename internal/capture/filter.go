@@ -1,0 +1,60 @@
+package capture
+
+import (
+	"strings"
+)
+
+// HostClassifier decides whether a destination host is OS/background
+// traffic that must be removed from a trace before analysis (§3.2
+// "Filtering"). domains.Categorizer satisfies this via a small adapter.
+type HostClassifier func(host string) bool
+
+// FilterBackground partitions flows into (kept, dropped) using the
+// classifier. Flow order is preserved.
+func FilterBackground(flows []*Flow, isBackground HostClassifier) (kept, dropped []*Flow) {
+	for _, f := range flows {
+		if isBackground != nil && isBackground(f.Host) {
+			dropped = append(dropped, f)
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return kept, dropped
+}
+
+// FilterClient keeps only flows originating from the given client session.
+// The paper achieves the same isolation physically (factory-reset phones,
+// one app installed at a time); the simulator multiplexes sessions through
+// one proxy and separates them here.
+func FilterClient(flows []*Flow, client string) []*Flow {
+	var out []*Flow
+	for _, f := range flows {
+		if f.Client == client {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Hosts returns the distinct destination hosts in first-seen order.
+func Hosts(flows []*Flow) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, f := range flows {
+		h := strings.ToLower(f.Host)
+		if !seen[h] {
+			seen[h] = true
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// TotalBytes sums both directions across the flows.
+func TotalBytes(flows []*Flow) int64 {
+	var n int64
+	for _, f := range flows {
+		n += f.Bytes()
+	}
+	return n
+}

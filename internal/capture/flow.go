@@ -1,0 +1,129 @@
+// Package capture defines the flow record — the unit of analysis for the
+// whole study — along with in-memory and JSONL trace stores and the
+// background-traffic filter of §3.2.
+//
+// A Flow is one HTTP request/response exchange observed at the measurement
+// proxy. The simulated clients disable connection reuse, so one flow
+// corresponds to one TCP connection, matching the paper's flow counting in
+// Figure 1b.
+package capture
+
+import (
+	"fmt"
+	"net/url"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Protocol distinguishes plaintext from intercepted-TLS exchanges.
+type Protocol string
+
+const (
+	HTTP  Protocol = "http"
+	HTTPS Protocol = "https"
+)
+
+// Flow is one captured request/response exchange.
+type Flow struct {
+	ID       int64     `json:"id"`
+	Start    time.Time `json:"start"`
+	Client   string    `json:"client"`   // device/session identifier
+	Protocol Protocol  `json:"protocol"` // http or https
+	Method   string    `json:"method"`
+	Host     string    `json:"host"` // destination host (SNI / Host header)
+	URL      string    `json:"url"`  // absolute request URL
+
+	RequestHeaders  map[string]string `json:"request_headers,omitempty"`
+	RequestBody     string            `json:"request_body,omitempty"`
+	Status          int               `json:"status"`
+	ResponseHeaders map[string]string `json:"response_headers,omitempty"`
+	ResponseSize    int64             `json:"response_size"` // body bytes (not stored)
+
+	BytesUp   int64 `json:"bytes_up"`
+	BytesDown int64 `json:"bytes_down"`
+
+	// Intercepted marks HTTPS flows whose plaintext was recovered by the
+	// proxy. Non-intercepted TLS (certificate pinning) records metadata
+	// only.
+	Intercepted bool `json:"intercepted"`
+
+	// Rewritten marks flows whose content the proxy's protection rewriter
+	// modified before forwarding; the recorded content is what actually
+	// reached the network.
+	Rewritten bool `json:"rewritten,omitempty"`
+}
+
+// Plaintext reports whether the flow's content travelled unencrypted and
+// was therefore visible to on-path eavesdroppers — the paper's leak
+// condition (1).
+func (f *Flow) Plaintext() bool { return f.Protocol == HTTP }
+
+// Header returns a request header (canonical lookup is case-insensitive).
+func (f *Flow) Header(name string) string {
+	if v, ok := f.RequestHeaders[name]; ok {
+		return v
+	}
+	for k, v := range f.RequestHeaders {
+		if strings.EqualFold(k, name) {
+			return v
+		}
+	}
+	return ""
+}
+
+// ContentType returns the request body's declared media type.
+func (f *Flow) ContentType() string { return f.Header("Content-Type") }
+
+// Cookie returns the request Cookie header.
+func (f *Flow) Cookie() string { return f.Header("Cookie") }
+
+// Sections splits the flow into the named content sections the PII matcher
+// scans: the URL, the serialized request headers, and the request body.
+func (f *Flow) Sections() map[string]string {
+	var hdr strings.Builder
+	keys := make([]string, 0, len(f.RequestHeaders))
+	for k := range f.RequestHeaders {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&hdr, "%s: %s\r\n", k, f.RequestHeaders[k])
+	}
+	return map[string]string{
+		"url":     f.URL,
+		"headers": hdr.String(),
+		"body":    f.RequestBody,
+	}
+}
+
+// Path returns the URL path, or "" if the URL does not parse.
+func (f *Flow) Path() string {
+	u, err := url.Parse(f.URL)
+	if err != nil {
+		return ""
+	}
+	return u.Path
+}
+
+// Bytes returns total bytes carried by the flow in both directions.
+func (f *Flow) Bytes() int64 { return f.BytesUp + f.BytesDown }
+
+// Clone returns a deep copy of the flow.
+func (f *Flow) Clone() *Flow {
+	c := *f
+	c.RequestHeaders = cloneMap(f.RequestHeaders)
+	c.ResponseHeaders = cloneMap(f.ResponseHeaders)
+	return &c
+}
+
+func cloneMap(m map[string]string) map[string]string {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

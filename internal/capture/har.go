@@ -1,0 +1,280 @@
+package capture
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"time"
+)
+
+// HAR export: flow traces interoperate with standard HTTP tooling (browser
+// devtools, har analyzers) via the HTTP Archive 1.2 format.
+
+type harLog struct {
+	Log harLogBody `json:"log"`
+}
+
+type harLogBody struct {
+	Version string     `json:"version"`
+	Creator harCreator `json:"creator"`
+	Entries []harEntry `json:"entries"`
+}
+
+type harCreator struct {
+	Name    string `json:"name"`
+	Version string `json:"version"`
+}
+
+type harNV struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+type harEntry struct {
+	StartedDateTime string      `json:"startedDateTime"`
+	Time            float64     `json:"time"`
+	Request         harRequest  `json:"request"`
+	Response        harResponse `json:"response"`
+	Cache           struct{}    `json:"cache"`
+	Timings         harTimings  `json:"timings"`
+	Comment         string      `json:"comment,omitempty"`
+}
+
+type harRequest struct {
+	Method      string       `json:"method"`
+	URL         string       `json:"url"`
+	HTTPVersion string       `json:"httpVersion"`
+	Cookies     []harNV      `json:"cookies"`
+	Headers     []harNV      `json:"headers"`
+	QueryString []harNV      `json:"queryString"`
+	PostData    *harPostData `json:"postData,omitempty"`
+	HeadersSize int64        `json:"headersSize"`
+	BodySize    int64        `json:"bodySize"`
+}
+
+type harPostData struct {
+	MimeType string `json:"mimeType"`
+	Text     string `json:"text"`
+}
+
+type harResponse struct {
+	Status      int        `json:"status"`
+	StatusText  string     `json:"statusText"`
+	HTTPVersion string     `json:"httpVersion"`
+	Cookies     []harNV    `json:"cookies"`
+	Headers     []harNV    `json:"headers"`
+	Content     harContent `json:"content"`
+	RedirectURL string     `json:"redirectURL"`
+	HeadersSize int64      `json:"headersSize"`
+	BodySize    int64      `json:"bodySize"`
+}
+
+type harContent struct {
+	Size     int64  `json:"size"`
+	MimeType string `json:"mimeType"`
+}
+
+type harTimings struct {
+	Send    float64 `json:"send"`
+	Wait    float64 `json:"wait"`
+	Receive float64 `json:"receive"`
+}
+
+// WriteHAR exports flows as an HTTP Archive 1.2 document.
+func WriteHAR(w io.Writer, creator string, flows []*Flow) error {
+	doc := harLog{Log: harLogBody{
+		Version: "1.2",
+		Creator: harCreator{Name: creator, Version: "1.0"},
+		Entries: make([]harEntry, 0, len(flows)),
+	}}
+	for _, f := range flows {
+		doc.Log.Entries = append(doc.Log.Entries, flowToHAR(f))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("capture: encode HAR: %w", err)
+	}
+	return nil
+}
+
+func flowToHAR(f *Flow) harEntry {
+	e := harEntry{
+		StartedDateTime: f.Start.UTC().Format(time.RFC3339Nano),
+		Time:            1,
+		Timings:         harTimings{Send: 0, Wait: 1, Receive: 0},
+	}
+	if !f.Intercepted && f.Protocol == HTTPS {
+		e.Comment = "TLS not intercepted (certificate pinning); metadata only"
+	}
+	e.Request = harRequest{
+		Method:      f.Method,
+		URL:         f.URL,
+		HTTPVersion: "HTTP/1.1",
+		Cookies:     []harNV{},
+		Headers:     nvPairs(f.RequestHeaders),
+		QueryString: queryPairs(f.URL),
+		HeadersSize: -1,
+		BodySize:    int64(len(f.RequestBody)),
+	}
+	if f.RequestBody != "" {
+		e.Request.PostData = &harPostData{MimeType: f.ContentType(), Text: f.RequestBody}
+	}
+	respCT := ""
+	if f.ResponseHeaders != nil {
+		respCT = f.ResponseHeaders["Content-Type"]
+	}
+	e.Response = harResponse{
+		Status:      f.Status,
+		StatusText:  statusText(f.Status),
+		HTTPVersion: "HTTP/1.1",
+		Cookies:     []harNV{},
+		Headers:     nvPairs(f.ResponseHeaders),
+		Content:     harContent{Size: f.ResponseSize, MimeType: respCT},
+		HeadersSize: -1,
+		BodySize:    f.ResponseSize,
+	}
+	return e
+}
+
+func nvPairs(m map[string]string) []harNV {
+	out := make([]harNV, 0, len(m))
+	for k, v := range m {
+		out = append(out, harNV{k, v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func queryPairs(raw string) []harNV {
+	u, err := url.Parse(raw)
+	if err != nil {
+		return []harNV{}
+	}
+	out := []harNV{}
+	for _, part := range splitQuery(u.RawQuery) {
+		out = append(out, part)
+	}
+	return out
+}
+
+func splitQuery(q string) []harNV {
+	var out []harNV
+	for q != "" {
+		var part string
+		part, q = cutAmp(q)
+		if part == "" {
+			continue
+		}
+		k, v := cutEq(part)
+		if uk, err := url.QueryUnescape(k); err == nil {
+			k = uk
+		}
+		if uv, err := url.QueryUnescape(v); err == nil {
+			v = uv
+		}
+		out = append(out, harNV{k, v})
+	}
+	return out
+}
+
+func cutAmp(s string) (string, string) {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '&' {
+			return s[:i], s[i+1:]
+		}
+	}
+	return s, ""
+}
+
+func cutEq(s string) (string, string) {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '=' {
+			return s[:i], s[i+1:]
+		}
+	}
+	return s, ""
+}
+
+func statusText(code int) string {
+	if code == 0 {
+		return ""
+	}
+	return http.StatusText(code)
+}
+
+// ReadHAR imports an HTTP Archive document (e.g. exported from browser
+// devtools or mitmproxy) as flows, so traffic captured by other tools can
+// run through the same PII analysis pipeline.
+func ReadHAR(r io.Reader) ([]*Flow, error) {
+	var doc struct {
+		Log struct {
+			Entries []struct {
+				StartedDateTime string `json:"startedDateTime"`
+				Request         struct {
+					Method   string  `json:"method"`
+					URL      string  `json:"url"`
+					Headers  []harNV `json:"headers"`
+					PostData *struct {
+						MimeType string `json:"mimeType"`
+						Text     string `json:"text"`
+					} `json:"postData"`
+					BodySize int64 `json:"bodySize"`
+				} `json:"request"`
+				Response struct {
+					Status  int `json:"status"`
+					Content struct {
+						Size int64 `json:"size"`
+					} `json:"content"`
+				} `json:"response"`
+			} `json:"entries"`
+		} `json:"log"`
+	}
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("capture: decode HAR: %w", err)
+	}
+	flows := make([]*Flow, 0, len(doc.Log.Entries))
+	for i, e := range doc.Log.Entries {
+		f := &Flow{
+			ID:           int64(i + 1),
+			Method:       e.Request.Method,
+			URL:          e.Request.URL,
+			Status:       e.Response.Status,
+			ResponseSize: e.Response.Content.Size,
+			Intercepted:  true,
+		}
+		if t, err := time.Parse(time.RFC3339Nano, e.StartedDateTime); err == nil {
+			f.Start = t
+		}
+		if u, err := url.Parse(e.Request.URL); err == nil {
+			f.Host = u.Hostname()
+			if u.Scheme == "http" {
+				f.Protocol = HTTP
+			} else {
+				f.Protocol = HTTPS
+			}
+		}
+		if len(e.Request.Headers) > 0 {
+			f.RequestHeaders = make(map[string]string, len(e.Request.Headers))
+			for _, h := range e.Request.Headers {
+				f.RequestHeaders[h.Name] = h.Value
+			}
+		}
+		if e.Request.PostData != nil {
+			f.RequestBody = e.Request.PostData.Text
+			if f.RequestHeaders == nil {
+				f.RequestHeaders = map[string]string{}
+			}
+			if f.RequestHeaders["Content-Type"] == "" {
+				f.RequestHeaders["Content-Type"] = e.Request.PostData.MimeType
+			}
+		}
+		f.BytesUp = int64(len(f.RequestBody))
+		f.BytesDown = f.ResponseSize
+		flows = append(flows, f)
+	}
+	return flows, nil
+}

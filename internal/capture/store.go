@@ -1,0 +1,177 @@
+package capture
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Sink receives flows as the proxy records them. Implementations must be
+// safe for concurrent use: the proxy serves connections in parallel.
+type Sink interface {
+	Record(f *Flow)
+}
+
+// MemSink collects flows in memory, assigning monotonically increasing IDs.
+type MemSink struct {
+	mu    sync.Mutex
+	next  int64
+	flows []*Flow
+}
+
+// NewMemSink returns an empty in-memory sink.
+func NewMemSink() *MemSink { return &MemSink{} }
+
+// Record stores a copy of the flow.
+func (s *MemSink) Record(f *Flow) {
+	c := f.Clone()
+	s.mu.Lock()
+	s.next++
+	c.ID = s.next
+	s.flows = append(s.flows, c)
+	s.mu.Unlock()
+}
+
+// Flows returns the captured flows ordered by ID.
+func (s *MemSink) Flows() []*Flow {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Flow, len(s.flows))
+	copy(out, s.flows)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Len reports how many flows have been recorded.
+func (s *MemSink) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.flows)
+}
+
+// Reset discards all captured flows but keeps the ID counter monotonic.
+func (s *MemSink) Reset() {
+	s.mu.Lock()
+	s.flows = nil
+	s.mu.Unlock()
+}
+
+// CountingSink counts flows and bytes without retaining content; useful for
+// load tests and ablation runs.
+type CountingSink struct {
+	Count atomic.Int64
+	Bytes atomic.Int64
+}
+
+// Record implements Sink.
+func (s *CountingSink) Record(f *Flow) {
+	s.Count.Add(1)
+	s.Bytes.Add(f.Bytes())
+}
+
+// JSONLSink streams flows to a writer as they are recorded, one JSON
+// document per line, serializing concurrent recordings. IDs are assigned
+// monotonically. The proxy serves connections in parallel, so a streaming
+// sink must lock around each write.
+type JSONLSink struct {
+	mu   sync.Mutex
+	next int64
+	w    *bufio.Writer
+	err  error
+}
+
+// NewJSONLSink wraps w in a streaming sink.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{w: bufio.NewWriter(w)}
+}
+
+// Record implements Sink.
+func (s *JSONLSink) Record(f *Flow) {
+	c := f.Clone()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.next++
+	c.ID = s.next
+	enc := json.NewEncoder(s.w)
+	if err := enc.Encode(c); err != nil {
+		s.err = err
+		return
+	}
+	s.err = s.w.Flush()
+}
+
+// Err returns the first write error, if any.
+func (s *JSONLSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// TeeSink duplicates flows to several sinks.
+type TeeSink []Sink
+
+// Record implements Sink.
+func (t TeeSink) Record(f *Flow) {
+	for _, s := range t {
+		s.Record(f)
+	}
+}
+
+// WriteJSONL streams flows to w, one JSON document per line.
+func WriteJSONL(w io.Writer, flows []*Flow) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, f := range flows {
+		if err := enc.Encode(f); err != nil {
+			return fmt.Errorf("capture: encode flow %d: %w", f.ID, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL reads a JSONL flow trace produced by WriteJSONL.
+func ReadJSONL(r io.Reader) ([]*Flow, error) {
+	var flows []*Flow
+	dec := json.NewDecoder(r)
+	for {
+		var f Flow
+		if err := dec.Decode(&f); err != nil {
+			if err == io.EOF {
+				return flows, nil
+			}
+			return nil, fmt.Errorf("capture: decode flow %d: %w", len(flows), err)
+		}
+		flows = append(flows, &f)
+	}
+}
+
+// SaveTrace writes flows to a JSONL file.
+func SaveTrace(path string, flows []*Flow) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := WriteJSONL(f, flows); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadTrace reads a JSONL flow trace from disk.
+func LoadTrace(path string) ([]*Flow, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJSONL(f)
+}

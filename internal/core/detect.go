@@ -1,0 +1,72 @@
+package core
+
+import (
+	"appvsweb/internal/capture"
+	"appvsweb/internal/pii"
+	"appvsweb/internal/recon"
+)
+
+// Detector implements the PII-identification step of §3.2: the ReCon
+// classifier flags likely PII, direct string matching on the known
+// ground-truth values (under common encodings) augments it, and manual
+// verification against ground truth removes false positives. Because the
+// experiments are controlled, the string matcher doubles as the
+// ground-truth oracle used for that verification.
+type Detector struct {
+	Matcher *pii.Matcher
+	Recon   *recon.Classifier // optional; nil = string matching only
+	// SkipStringMatch disables the ground-truth matcher, leaving only
+	// (unverified) ReCon predictions: the detection-ablation mode.
+	SkipStringMatch bool
+}
+
+// Provenance records which detector(s) identified a PII class in a flow.
+const (
+	ByString = "string"
+	ByRecon  = "recon"
+	ByBoth   = "both"
+)
+
+// Detection is the outcome for one flow.
+type Detection struct {
+	Types   pii.TypeSet       // verified PII classes present
+	FoundBy map[string]string // type abbrev → provenance
+	// ReconRaw is the unverified classifier output (kept for evaluating
+	// the classifier itself).
+	ReconRaw pii.TypeSet
+}
+
+// Detect runs the full identification step on one flow.
+func (d *Detector) Detect(f *capture.Flow) Detection {
+	var matched pii.TypeSet
+	if !d.SkipStringMatch && d.Matcher != nil {
+		matched = pii.MatchTypes(d.Matcher.ScanAll(f.Sections()))
+	}
+	var predicted pii.TypeSet
+	if d.Recon != nil {
+		predicted = d.Recon.Predict(f)
+	}
+
+	det := Detection{FoundBy: make(map[string]string), ReconRaw: predicted}
+	if d.SkipStringMatch {
+		// Ablation: trust the classifier without verification.
+		det.Types = predicted
+		for _, t := range predicted.Types() {
+			det.FoundBy[t.Abbrev()] = ByRecon
+		}
+		return det
+	}
+
+	// Manual verification: classifier predictions survive only when
+	// ground truth confirms them; string matches always survive.
+	verified := predicted.Intersect(matched)
+	det.Types = matched
+	for _, t := range matched.Types() {
+		if verified.Contains(t) {
+			det.FoundBy[t.Abbrev()] = ByBoth
+		} else {
+			det.FoundBy[t.Abbrev()] = ByString
+		}
+	}
+	return det
+}

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"appvsweb/internal/capture"
+	"appvsweb/internal/domains"
+	"appvsweb/internal/pii"
+)
+
+// LeakPolicy encodes the leak definition of §3.2:
+//
+//   - PII transmitted in plaintext is a leak, to anyone.
+//   - PII sent to any destination is a leak unless it is a login
+//     credential (username, password, or e-mail address) sent over HTTPS
+//     to the first party or to a single sign-on service.
+//
+// The paper deliberately errs toward labeling first-party sharing: "a
+// birthday sent to a first party using encryption is a leak."
+type LeakPolicy struct{}
+
+// credentialTypes are exempt when sent to first-party/SSO over HTTPS.
+var credentialTypes = pii.NewTypeSet(pii.Username, pii.Password, pii.Email)
+
+// LeakTypes reduces the detected PII classes of one flow to the classes
+// that count as leaks given the destination category and transport.
+func (LeakPolicy) LeakTypes(f *capture.Flow, detected pii.TypeSet, cat domains.Category) pii.TypeSet {
+	if detected.Empty() {
+		return 0
+	}
+	if f.Plaintext() {
+		return detected // eavesdroppers see everything
+	}
+	if cat == domains.FirstParty || cat == domains.SSO {
+		return detected.Diff(credentialTypes)
+	}
+	return detected
+}
+
+// IsLeak reports whether any detected class survives the policy.
+func (p LeakPolicy) IsLeak(f *capture.Flow, detected pii.TypeSet, cat domains.Category) bool {
+	return !p.LeakTypes(f, detected, cat).Empty()
+}

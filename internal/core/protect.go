@@ -1,0 +1,58 @@
+package core
+
+import (
+	"appvsweb/internal/capture"
+	"appvsweb/internal/domains"
+	"appvsweb/internal/pii"
+)
+
+// Protector is the protection mode the paper's conclusion proposes
+// ("how we might augment ReCon to provide improved protection in the
+// mobile environment"): the measurement proxy, already holding the
+// device's ground truth, rewrites PII out of flows *before* they reach
+// the network. The same leak policy that labels leaks decides what to
+// redact, so permitted transmissions (login credentials to the first
+// party over HTTPS) pass untouched and the service keeps working.
+type Protector struct {
+	service    string
+	matcher    *pii.Matcher
+	redactor   *pii.Redactor
+	categorize func(service, host string) domains.Category
+	policy     LeakPolicy
+}
+
+// NewProtector builds a protector for one experiment's ground truth.
+func NewProtector(service string, rec *pii.Record, cat *domains.Categorizer) *Protector {
+	return &Protector{
+		service:    service,
+		matcher:    pii.NewMatcher(rec),
+		redactor:   pii.NewRedactor(rec),
+		categorize: cat.Categorize,
+	}
+}
+
+// Rewrite implements proxy.Rewriter.
+func (p *Protector) Rewrite(host string, plaintext bool, url string, body []byte) (string, []byte, bool) {
+	detected := pii.MatchTypes(p.matcher.ScanAll(map[string]string{
+		"url":  url,
+		"body": string(body),
+	}))
+	if detected.Empty() {
+		return url, body, false
+	}
+	cat := p.categorize(p.service, host)
+	pseudo := &capture.Flow{Protocol: capture.HTTPS, Intercepted: true}
+	if plaintext {
+		pseudo.Protocol = capture.HTTP
+	}
+	toRedact := p.policy.LeakTypes(pseudo, detected, cat)
+	if toRedact.Empty() {
+		return url, body, false
+	}
+	newURL, hitU := p.redactor.Redact(url, toRedact)
+	newBody, hitB := p.redactor.Redact(string(body), toRedact)
+	if hitU.Union(hitB).Empty() {
+		return url, body, false
+	}
+	return newURL, []byte(newBody), true
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"appvsweb/internal/capture"
+	"appvsweb/internal/pii"
+	"appvsweb/internal/services"
+)
+
+// ReplayCampaign re-runs the analysis pipeline over the flow traces a
+// previous campaign persisted (Options.TraceDir) — the "we make our
+// dataset and code available" workflow: anyone holding the traces can
+// regenerate every result without re-measuring, or re-analyze them under
+// different pipeline settings (e.g. the filtering ablation).
+//
+// Ground truth is reconstructed deterministically: the same service key
+// always yields the same account, and the same OS the same handset, so
+// the detector sees exactly the values the original session carried.
+func ReplayCampaign(catalog []*services.Spec, traceDir string, disableBGFilter bool) (*Dataset, error) {
+	cat := services.BuildCategorizer(catalog)
+	ds := &Dataset{
+		Meta: Meta{
+			GeneratedAt: time.Now(),
+			Services:    len(catalog),
+			Scale:       0, // unknown at replay time; carried by the traces
+		},
+	}
+	for _, spec := range catalog {
+		for _, cell := range services.AllCells() {
+			result := &ExperimentResult{
+				Service: spec.Key, Name: spec.Name, Category: spec.Category,
+				Rank: spec.Rank, OS: cell.OS, Medium: cell.Medium,
+			}
+			path := filepath.Join(traceDir, TraceFileName(spec.Key, cell))
+			flows, err := capture.LoadTrace(path)
+			switch {
+			case err == nil:
+				det := &Detector{Matcher: pii.NewMatcher(IdentityFor(spec.Key, cell.OS))}
+				AnalyzeFlows(cat, disableBGFilter, spec.Key, result, det, flows)
+			case os.IsNotExist(err) && spec.PinsAndroid && cell.OS == services.Android && cell.Medium == services.App:
+				// Pinned experiments never produced a trace.
+				result.Excluded = true
+				result.ExcludeReason = "certificate pinning prevents traffic decryption"
+			default:
+				return nil, fmt.Errorf("core: replay %s: %w", path, err)
+			}
+			ds.Results = append(ds.Results, result)
+		}
+	}
+	ds.Sort()
+	return ds, nil
+}

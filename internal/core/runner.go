@@ -1,0 +1,399 @@
+package core
+
+import (
+	"crypto/x509"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"appvsweb/internal/capture"
+	"appvsweb/internal/device"
+	"appvsweb/internal/domains"
+	"appvsweb/internal/easylist"
+	"appvsweb/internal/pii"
+	"appvsweb/internal/proxy"
+	"appvsweb/internal/recon"
+	"appvsweb/internal/services"
+	"appvsweb/internal/vclock"
+)
+
+// Options configure a measurement campaign.
+type Options struct {
+	// Scale multiplies per-session repeat counts; 1 reproduces the
+	// paper-scale sessions, tests use smaller values.
+	Scale float64
+	// Duration is the virtual session length (default 4 minutes, §3.2).
+	Duration time.Duration
+	// Parallelism bounds concurrently running experiments. Each
+	// experiment gets its own proxy, sink, and virtual clock, so
+	// parallelism does not perturb results. Default: NumCPU, capped at 8.
+	Parallelism int
+	// TrainRecon trains the ReCon classifier on the campaign's labeled
+	// flows and annotates every leak with its detector provenance.
+	TrainRecon bool
+	// ReconAlgorithm selects the learner when TrainRecon is set.
+	ReconAlgorithm recon.Algorithm
+	// DisableBackgroundFilter keeps OS traffic in the analysis (the
+	// filtering ablation).
+	DisableBackgroundFilter bool
+	// Protect enables the ReCon-style protection mode: the proxy redacts
+	// leak-position PII from flows before they reach the network (the
+	// paper's proposed extension).
+	Protect bool
+	// BrowserAdblock equips the browser sessions with the bundled
+	// EasyList (the "existing browser privacy protection tools" question
+	// from the paper's conclusion). Apps are unaffected: content blockers
+	// do not reach inside native apps.
+	BrowserAdblock bool
+	// TraceDir, when set, persists each experiment's post-filter flows as
+	// JSONL under this directory ("we make our dataset and code
+	// available"); ReplayCampaign re-analyzes them without re-measuring.
+	TraceDir string
+	// DenyPermissions starves the listed PII classes in app sessions
+	// (simulated permission denial) — the app-side counterpart of the
+	// adblock extension.
+	DenyPermissions pii.TypeSet
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	if o.Duration <= 0 {
+		o.Duration = 4 * time.Minute
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.NumCPU()
+		if o.Parallelism > 8 {
+			o.Parallelism = 8
+		}
+	}
+	return o
+}
+
+// Runner executes experiments against a running ecosystem.
+type Runner struct {
+	Eco  *services.Ecosystem
+	Opts Options
+
+	ca    *proxy.CA // shared interception CA (the installed profile)
+	trust *x509.CertPool
+}
+
+// NewRunner prepares a runner: it generates the interception CA and the
+// device trust store (platform roots + installed profile).
+func NewRunner(eco *services.Ecosystem, opts Options) (*Runner, error) {
+	ca, err := proxy.NewCA("Meddle Interception CA")
+	if err != nil {
+		return nil, err
+	}
+	trust := ca.Pool()
+	trust.AppendCertsFromPEM(eco.Internet.CA.CertPEM())
+	return &Runner{Eco: eco, Opts: opts.withDefaults(), ca: ca, trust: trust}, nil
+}
+
+// experimentRun couples a result with the retained flows and detection
+// context needed for the optional ReCon annotation pass.
+type experimentRun struct {
+	result *ExperimentResult
+	flows  []*capture.Flow
+	det    *Detector
+}
+
+// RunExperiment performs one service × OS × medium experiment.
+func (r *Runner) RunExperiment(spec *services.Spec, cell services.Cell) (*ExperimentResult, error) {
+	run, err := r.runExperiment(spec, cell, time.Date(2016, 4, 1, 9, 0, 0, 0, time.UTC))
+	if err != nil {
+		return nil, err
+	}
+	return run.result, nil
+}
+
+func (r *Runner) runExperiment(spec *services.Spec, cell services.Cell, base time.Time) (*experimentRun, error) {
+	clock := vclock.New(base)
+	sink := capture.NewMemSink()
+	clientID := fmt.Sprintf("%s/%s/%s", spec.Key, cell.OS, cell.Medium)
+	dev := device.NewDevice(cell.OS, deviceIndex(spec.Key))
+	identity := dev.Identity(device.NewAccount(spec.Key))
+	pxCfg := proxy.Config{
+		CA:         r.ca,
+		Resolver:   r.Eco.Internet.Resolver,
+		OriginPool: r.Eco.Internet.CA.Pool(),
+		Sink:       sink,
+		Now:        clock.Now,
+		ClientID:   clientID,
+	}
+	if r.Opts.Protect {
+		pxCfg.Rewriter = NewProtector(spec.Key, identity, r.Eco.Categorizer)
+	}
+	px, err := proxy.New(pxCfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := px.Start(); err != nil {
+		return nil, err
+	}
+	defer px.Close()
+
+	result := &ExperimentResult{
+		Service: spec.Key, Name: spec.Name, Category: spec.Category,
+		Rank: spec.Rank, OS: cell.OS, Medium: cell.Medium,
+	}
+
+	pin := ""
+	if spec.PinsAndroid && cell.OS == services.Android && cell.Medium == services.App {
+		pin, err = r.Eco.Internet.CA.LeafFingerprint(spec.Domain())
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	sessCfg := device.SessionConfig{
+		Device:   dev,
+		Service:  spec,
+		Medium:   cell.Medium,
+		ProxyURL: px.URL(),
+		Trust:    r.trust,
+		Pin:      pin,
+		Clock:    clock,
+		Duration: r.Opts.Duration,
+		Scale:    r.Opts.Scale,
+	}
+	if r.Opts.BrowserAdblock && cell.Medium == services.Web {
+		sessCfg.Adblock = easylist.Bundled()
+	}
+	sessCfg.DenyPermissions = r.Opts.DenyPermissions
+	sres, err := device.RunSession(sessCfg)
+	if err != nil {
+		if errors.Is(err, device.ErrPinned) {
+			result.Excluded = true
+			result.ExcludeReason = "certificate pinning prevents traffic decryption"
+			return &experimentRun{result: result}, nil
+		}
+		return nil, fmt.Errorf("core: %s: %w", clientID, err)
+	}
+	result.Requests = sres.Requests
+	result.FailedRequests = sres.Failed
+	result.BlockedRequests = sres.Blocked
+	result.Virtual = clock.Since(base)
+
+	det := &Detector{Matcher: pii.NewMatcher(identity)}
+	raw := sink.Flows()
+	flows := r.analyze(spec, result, det, raw)
+	if r.Opts.TraceDir != "" {
+		// Persist the pre-filter capture so replay can redo the full
+		// pipeline, including the background-filtering step.
+		path := filepath.Join(r.Opts.TraceDir, TraceFileName(spec.Key, cell))
+		if err := capture.SaveTrace(path, raw); err != nil {
+			return nil, fmt.Errorf("core: save trace: %w", err)
+		}
+	}
+	return &experimentRun{result: result, flows: flows, det: det}, nil
+}
+
+// TraceFileName names one experiment's persisted flow trace.
+func TraceFileName(key string, cell services.Cell) string {
+	return fmt.Sprintf("%s_%s_%s.jsonl", key, cell.OS, cell.Medium)
+}
+
+// IdentityFor reconstructs the deterministic ground-truth record of one
+// experiment (handset identifiers + service account); replay and the
+// protection mode rely on this determinism.
+func IdentityFor(key string, os services.OS) *pii.Record {
+	dev := device.NewDevice(os, deviceIndex(key))
+	return dev.Identity(device.NewAccount(key))
+}
+
+// deviceIndex alternates between the two handsets per platform, as the
+// paper's lab did.
+func deviceIndex(key string) int {
+	n := 0
+	for _, c := range key {
+		n += int(c)
+	}
+	return n % 2
+}
+
+// analyze applies the §3.2 pipeline to the captured flows and fills the
+// result. It returns the analyzed (post-filter) flows for optional reuse.
+func (r *Runner) analyze(spec *services.Spec, result *ExperimentResult, det *Detector, flows []*capture.Flow) []*capture.Flow {
+	return AnalyzeFlows(r.Eco.Categorizer, r.Opts.DisableBackgroundFilter, spec.Key, result, det, flows)
+}
+
+// AnalyzeFlows is the standalone §3.2 pipeline: filtering, detection with
+// verification, domain categorization, and leak labeling. It fills result
+// and returns the post-filter flows. Exposed for trace replay.
+func AnalyzeFlows(cat *domains.Categorizer, disableBGFilter bool, serviceKey string, result *ExperimentResult, det *Detector, flows []*capture.Flow) []*capture.Flow {
+	isBackground := func(host string) bool {
+		return cat.Categorize(serviceKey, host) == domains.Background
+	}
+	var kept, dropped []*capture.Flow
+	if disableBGFilter {
+		kept = flows
+	} else {
+		kept, dropped = capture.FilterBackground(flows, isBackground)
+	}
+	result.TotalFlows = len(kept)
+	result.BackgroundFlows = len(dropped)
+
+	var policy LeakPolicy
+	aaDomains := make(map[string]bool)
+	piiDomains := make(map[string]bool)
+	for _, f := range kept {
+		result.TotalBytes += f.Bytes()
+		fcat := cat.Categorize(serviceKey, f.Host)
+		reg := domains.ETLDPlusOne(f.Host)
+		if fcat == domains.AdvertisingAnalytics {
+			aaDomains[reg] = true
+			result.AAFlows++
+			result.AABytes += f.Bytes()
+		}
+		if !f.Intercepted && f.Protocol == capture.HTTPS {
+			continue // pinned tunnel metadata: no content to analyze
+		}
+		detection := det.Detect(f)
+		leakTypes := policy.LeakTypes(f, detection.Types, fcat)
+		if leakTypes.Empty() {
+			continue
+		}
+		foundBy := make(map[string]string, leakTypes.Len())
+		for _, t := range leakTypes.Types() {
+			foundBy[t.Abbrev()] = detection.FoundBy[t.Abbrev()]
+		}
+		result.Leaks = append(result.Leaks, LeakRecord{
+			FlowID:    f.ID,
+			Host:      f.Host,
+			Domain:    reg,
+			Org:       domains.Org(f.Host),
+			Category:  fcat.String(),
+			Plaintext: f.Plaintext(),
+			Types:     leakTypes,
+			FoundBy:   foundBy,
+		})
+		result.LeakTypes = result.LeakTypes.Union(leakTypes)
+		piiDomains[reg] = true
+	}
+	result.AADomains = sortedKeys(aaDomains)
+	result.PIIDomains = sortedKeys(piiDomains)
+	return kept
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RunCampaign measures every service in the ecosystem's catalog across
+// all four configurations and returns the dataset behind §4.
+func (r *Runner) RunCampaign() (*Dataset, error) {
+	type job struct {
+		spec *services.Spec
+		cell services.Cell
+		idx  int
+	}
+	var jobs []job
+	idx := 0
+	for _, spec := range r.Eco.Catalog {
+		for _, cell := range services.AllCells() {
+			jobs = append(jobs, job{spec, cell, idx})
+			idx++
+		}
+	}
+
+	runs := make([]*experimentRun, len(jobs))
+	errs := make([]error, len(jobs))
+	sem := make(chan struct{}, r.Opts.Parallelism)
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			base := time.Date(2016, 4, 1, 9, 0, 0, 0, time.UTC).Add(time.Duration(j.idx) * 10 * time.Minute)
+			runs[j.idx], errs[j.idx] = r.runExperiment(j.spec, j.cell, base)
+		}(j)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	ds := &Dataset{
+		Meta: Meta{
+			GeneratedAt: time.Now(),
+			Services:    len(r.Eco.Catalog),
+			Scale:       r.Opts.Scale,
+			Duration:    r.Opts.Duration,
+		},
+	}
+	for _, run := range runs {
+		ds.Results = append(ds.Results, run.result)
+	}
+	if r.Opts.TrainRecon {
+		report, holdout := r.annotateWithRecon(runs)
+		ds.Meta.ReconReport = report
+		ds.Meta.ReconHoldout = holdout
+	}
+	ds.Sort()
+	return ds, nil
+}
+
+// annotateWithRecon trains the classifier on the campaign's labeled flows
+// (ground truth from the controlled experiments) and re-annotates every
+// leak record with detector provenance. It returns the training-corpus
+// evaluation and a held-out (50/50 split) generalization report.
+func (r *Runner) annotateWithRecon(runs []*experimentRun) (report, holdout string) {
+	var labeled []recon.LabeledFlow
+	for _, run := range runs {
+		if run == nil || run.result.Excluded {
+			continue
+		}
+		for _, f := range run.flows {
+			labeled = append(labeled, recon.LabeledFlow{
+				Flow:  f,
+				Types: run.det.Detect(f).Types,
+			})
+		}
+	}
+	if len(labeled) == 0 {
+		return "", ""
+	}
+	clf := recon.Train(labeled, recon.Options{Algorithm: r.Opts.ReconAlgorithm})
+
+	for _, run := range runs {
+		if run == nil || run.result.Excluded {
+			continue
+		}
+		run.det.Recon = clf
+		byID := make(map[int64]*capture.Flow, len(run.flows))
+		for _, f := range run.flows {
+			byID[f.ID] = f
+		}
+		for i := range run.result.Leaks {
+			l := &run.result.Leaks[i]
+			f := byID[l.FlowID]
+			if f == nil {
+				continue
+			}
+			detection := run.det.Detect(f)
+			for _, t := range l.Types.Types() {
+				if v, ok := detection.FoundBy[t.Abbrev()]; ok {
+					l.FoundBy[t.Abbrev()] = v
+				}
+			}
+		}
+	}
+	return recon.Report(recon.Evaluate(clf, labeled)),
+		recon.Report(recon.SplitEvaluate(labeled, 0.5, recon.Options{Algorithm: r.Opts.ReconAlgorithm}))
+}

@@ -1,0 +1,190 @@
+// Package device simulates the test phones of §3.2 — factory-reset
+// Nexus 4/5 handsets on Android 4.4 and iPhone 5s on iOS 9.3.1 — and the
+// scripted four-minute sessions a human tester performed: install the app,
+// log in with pre-created credentials, use the service, or visit the same
+// service's mobile site in a private-mode browser.
+//
+// The device is where ground truth lives: every identifier, account field,
+// and the lab GPS position are known, exactly as in the paper's controlled
+// experiments. Template placeholders in session plans ({{email}},
+// {{md5:uid}}, ...) are expanded from this ground truth; on the Web,
+// device-identifier placeholders expand to nothing, because a mobile
+// browser has no API access to the IMEI or advertising ID.
+package device
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"appvsweb/internal/pii"
+	"appvsweb/internal/services"
+)
+
+// Device models one test handset.
+type Device struct {
+	OS    services.OS
+	Model string
+	// Record holds the device-resident identifiers (IMEI, MAC, ad IDs).
+	Record pii.Record
+}
+
+// Lab coordinates: the Boston test location of §3.3.
+const (
+	LabLatitude  = 42.340382
+	LabLongitude = -71.089001
+	LabZIP       = "02115"
+)
+
+// NewDevice builds a deterministic test handset. n distinguishes multiple
+// phones per platform (the paper used two of each).
+func NewDevice(os services.OS, n int) *Device {
+	d := &Device{OS: os}
+	suffix := deterministicHex(fmt.Sprintf("%s-%d", os, n), 12)
+	switch os {
+	case services.IOS:
+		d.Model = "iPhone 5"
+		d.Record = pii.Record{
+			IDFA:       strings.ToUpper(deterministicUUID("idfa-" + suffix)),
+			DeviceName: "iPhone 5",
+			Serial:     strings.ToUpper(deterministicHex("serial-"+suffix, 12)),
+			MAC:        deterministicMAC("mac-" + suffix),
+		}
+	default:
+		if n%2 == 0 {
+			d.Model = "Nexus 5"
+		} else {
+			d.Model = "Nexus 4"
+		}
+		d.Record = pii.Record{
+			IMEI:       "3569380" + deterministicDigits("imei-"+suffix, 8),
+			AndroidID:  deterministicHex("aid-"+suffix, 16),
+			AdID:       deterministicUUID("adid-" + suffix),
+			DeviceName: d.Model,
+			Serial:     strings.ToUpper(deterministicHex("serial-"+suffix, 16)),
+			MAC:        deterministicMAC("mac-" + suffix),
+		}
+	}
+	d.Record.DeviceName = d.Model
+	return d
+}
+
+// AdvertisingID returns the platform advertising identifier (AdID on
+// Android, IDFA on iOS) — the unique ID apps most commonly transmit.
+func (d *Device) AdvertisingID() string {
+	if d.OS == services.IOS {
+		return d.Record.IDFA
+	}
+	return d.Record.AdID
+}
+
+// BrowserUserAgent returns the OS default browser UA (Chrome on Android,
+// Safari on iOS — the paper tests only the platform's native browser).
+// Device model names are deliberately absent: the paper does not count
+// UA-derived model strings as device-info leaks (device info never leaks
+// from the Web in Table 3), so the simulated UAs must not carry them.
+func (d *Device) BrowserUserAgent() string {
+	if d.OS == services.IOS {
+		return "Mozilla/5.0 (iPhone; CPU iPhone OS 9_3_1 like Mac OS X) AppleWebKit/601.1.46 Version/9.0 Mobile/13E238 Safari/601.1"
+	}
+	return "Mozilla/5.0 (Linux; Android 4.4.4; Mobile) AppleWebKit/537.36 Chrome/33.0.0.0 Mobile Safari/537.36"
+}
+
+// AppUserAgent returns the UA an app's HTTP stack would send. As with the
+// browser UA, no device model appears here; apps that transmit the device
+// name do so through explicit SDK beacons.
+func (d *Device) AppUserAgent(serviceName string) string {
+	slug := strings.ReplaceAll(serviceName, " ", "")
+	if d.OS == services.IOS {
+		return slug + "/3.2 (iPhone; CPU iPhone OS 9_3_1 like Mac OS X)"
+	}
+	return slug + "/3.2 (Linux; Android 4.4.4)"
+}
+
+// Account is the pre-created login used for one service. As in the paper,
+// each service gets a previously unused e-mail address, and the same
+// credentials are reused across the app and Web tests of that service.
+type Account struct {
+	Username  string
+	Password  string
+	Email     string
+	FirstName string
+	LastName  string
+	Gender    string
+	Birthday  string
+	Phone     string
+}
+
+// NewAccount derives the deterministic test account for a service.
+func NewAccount(serviceKey string) Account {
+	h := deterministicDigits("account-"+serviceKey, 4)
+	// The mailbox deliberately avoids the account's name and username:
+	// otherwise every credential flow would also substring-match the Name
+	// class, a confound the paper's manual verification would have
+	// rejected.
+	return Account{
+		Username:  "jdoe" + h,
+		Password:  "S3cret!" + deterministicHex("pw-"+serviceKey, 6),
+		Email:     "qa" + h + "+" + serviceKey + "@testmail.example",
+		FirstName: "Jane",
+		LastName:  "Doering",
+		Gender:    "female",
+		Birthday:  "1990-04-12",
+		Phone:     "617555" + h,
+	}
+}
+
+// Identity merges the device identifiers, the service account, and the lab
+// location into the complete ground-truth record for one experiment.
+func (d *Device) Identity(acct Account) *pii.Record {
+	rec := d.Record
+	rec.Username = acct.Username
+	rec.Password = acct.Password
+	rec.Email = acct.Email
+	rec.FirstName = acct.FirstName
+	rec.LastName = acct.LastName
+	rec.Gender = acct.Gender
+	rec.Birthday = acct.Birthday
+	rec.Phone = acct.Phone
+	rec.ZIP = LabZIP
+	rec.Latitude = LabLatitude
+	rec.Longitude = LabLongitude
+	return &rec
+}
+
+// --- deterministic identifier derivation -----------------------------------
+
+func digest(seed string) []byte {
+	sum := sha256.Sum256([]byte("appvsweb-device|" + seed))
+	return sum[:]
+}
+
+func deterministicHex(seed string, n int) string {
+	s := hex.EncodeToString(digest(seed))
+	for len(s) < n {
+		s += s
+	}
+	return s[:n]
+}
+
+func deterministicDigits(seed string, n int) string {
+	var b strings.Builder
+	for _, c := range digest(seed) {
+		fmt.Fprintf(&b, "%d", c%10)
+		if b.Len() >= n {
+			break
+		}
+	}
+	return b.String()[:n]
+}
+
+func deterministicMAC(seed string) string {
+	h := digest(seed)
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", h[0], h[1], h[2], h[3], h[4], h[5])
+}
+
+func deterministicUUID(seed string) string {
+	h := hex.EncodeToString(digest(seed))
+	return fmt.Sprintf("%s-%s-%s-%s-%s", h[0:8], h[8:12], h[12:16], h[16:20], h[20:32])
+}

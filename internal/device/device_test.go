@@ -1,0 +1,224 @@
+package device
+
+import (
+	"strings"
+	"testing"
+
+	"appvsweb/internal/easylist"
+	"appvsweb/internal/pii"
+	"appvsweb/internal/services"
+)
+
+func TestNewDeviceDeterministic(t *testing.T) {
+	a := NewDevice(services.Android, 0)
+	b := NewDevice(services.Android, 0)
+	if a.Record != b.Record {
+		t.Error("device identity not deterministic")
+	}
+	c := NewDevice(services.Android, 1)
+	if a.Record.IMEI == c.Record.IMEI {
+		t.Error("distinct handsets share an IMEI")
+	}
+	if a.Model != "Nexus 5" || c.Model != "Nexus 4" {
+		t.Errorf("models = %q, %q", a.Model, c.Model)
+	}
+}
+
+func TestNewDevicePlatformIdentifiers(t *testing.T) {
+	android := NewDevice(services.Android, 0)
+	ios := NewDevice(services.IOS, 0)
+	if android.Record.IMEI == "" || android.Record.AdID == "" || android.Record.AndroidID == "" {
+		t.Errorf("android identifiers incomplete: %+v", android.Record)
+	}
+	if android.Record.IDFA != "" {
+		t.Error("android device has an IDFA")
+	}
+	if ios.Record.IDFA == "" || ios.Record.IMEI != "" {
+		t.Errorf("ios identifiers wrong: %+v", ios.Record)
+	}
+	if len(android.Record.IMEI) != 15 {
+		t.Errorf("IMEI length = %d", len(android.Record.IMEI))
+	}
+	if android.AdvertisingID() != android.Record.AdID || ios.AdvertisingID() != ios.Record.IDFA {
+		t.Error("AdvertisingID wrong")
+	}
+}
+
+func TestUserAgents(t *testing.T) {
+	android := NewDevice(services.Android, 0)
+	ios := NewDevice(services.IOS, 0)
+	if !strings.Contains(android.BrowserUserAgent(), "Android 4.4") || !strings.Contains(android.BrowserUserAgent(), "Chrome") {
+		t.Errorf("android browser UA = %q", android.BrowserUserAgent())
+	}
+	if !strings.Contains(ios.BrowserUserAgent(), "iPhone OS 9_3_1") || !strings.Contains(ios.BrowserUserAgent(), "Safari") {
+		t.Errorf("ios browser UA = %q", ios.BrowserUserAgent())
+	}
+	if services.OSFromUserAgent(android.AppUserAgent("WeatherNow")) != services.Android {
+		t.Error("app UA does not identify Android")
+	}
+	if services.OSFromUserAgent(ios.AppUserAgent("WeatherNow")) != services.IOS {
+		t.Error("app UA does not identify iOS")
+	}
+}
+
+func TestNewAccountPerService(t *testing.T) {
+	a := NewAccount("weathernow")
+	b := NewAccount("weathernow")
+	c := NewAccount("yelpish")
+	if a != b {
+		t.Error("account not deterministic")
+	}
+	if a.Email == c.Email {
+		t.Error("services share an email (paper: previously unused address per service)")
+	}
+	if !strings.Contains(a.Email, "weathernow") {
+		t.Errorf("email = %q", a.Email)
+	}
+}
+
+func TestIdentityMerge(t *testing.T) {
+	d := NewDevice(services.Android, 0)
+	acct := NewAccount("yelpish")
+	rec := d.Identity(acct)
+	if rec.Username != acct.Username || rec.IMEI != d.Record.IMEI {
+		t.Error("identity merge incomplete")
+	}
+	if rec.ZIP != LabZIP || rec.Latitude != LabLatitude {
+		t.Error("lab location missing")
+	}
+	// Ground truth must cover every PII class for the matcher.
+	types := pii.TypesOf(rec.Values())
+	for _, typ := range pii.AllTypes() {
+		if !types.Contains(typ) {
+			t.Errorf("identity missing class %v", typ)
+		}
+	}
+}
+
+func TestExpanderValues(t *testing.T) {
+	d := NewDevice(services.Android, 0)
+	rec := d.Identity(NewAccount("svc"))
+	e := NewExpander(rec, services.Android, services.App)
+
+	cases := map[string]string{
+		"{{email}}":    strings.ReplaceAll(strings.ReplaceAll(rec.Email, "+", "%2B"), "@", "%40"),
+		"{{gps}}":      "42.3404%2C-71.0890",
+		"{{username}}": rec.Username,
+		"{{gender}}":   "female",
+		"{{unknown}}":  "",
+	}
+	for tmpl, want := range cases {
+		if got := e.Expand(tmpl); got != want {
+			t.Errorf("Expand(%q) = %q, want %q", tmpl, got, want)
+		}
+	}
+	// Name is escaped in URLs but raw in bodies.
+	if got := e.Expand("{{name}}"); got != "Jane+Doering" {
+		t.Errorf("Expand name = %q", got)
+	}
+	if got := e.ExpandBody("{{name}}"); got != "Jane Doering" {
+		t.Errorf("ExpandBody name = %q", got)
+	}
+}
+
+func TestExpanderEncodings(t *testing.T) {
+	d := NewDevice(services.Android, 0)
+	rec := d.Identity(NewAccount("svc"))
+	e := NewExpander(rec, services.Android, services.App)
+	got := e.Expand("{{md5:email}}")
+	want := pii.Encode(pii.EncMD5, rec.Email)
+	if got != want {
+		t.Errorf("md5 token = %q, want %q", got, want)
+	}
+	if e.Expand("{{sha256:uid}}") != pii.Encode(pii.EncSHA256, rec.AdID) {
+		t.Error("sha256:uid wrong")
+	}
+}
+
+func TestExpanderWebBlocksDeviceIdentifiers(t *testing.T) {
+	d := NewDevice(services.IOS, 0)
+	rec := d.Identity(NewAccount("svc"))
+	web := NewExpander(rec, services.IOS, services.Web)
+	if got := web.Expand("{{uid}}"); got != "" {
+		t.Errorf("web uid = %q, want empty (browsers cannot read the IDFA)", got)
+	}
+	if got := web.Expand("{{devicename}}"); got != "" {
+		t.Errorf("web devicename = %q", got)
+	}
+	if got := web.Expand("{{imei}}"); got != "" {
+		t.Errorf("web imei = %q", got)
+	}
+	app := NewExpander(rec, services.IOS, services.App)
+	if app.Expand("{{uid}}") == "" {
+		t.Error("app uid must expand")
+	}
+}
+
+func TestExpanderNonceUnique(t *testing.T) {
+	d := NewDevice(services.Android, 0)
+	e := NewExpander(d.Identity(NewAccount("svc")), services.Android, services.App)
+	a := e.Expand("{{nonce}}")
+	b := e.Expand("{{nonce}}")
+	if a == b {
+		t.Errorf("nonces repeat: %q", a)
+	}
+}
+
+func TestExpanderMalformedTemplates(t *testing.T) {
+	d := NewDevice(services.Android, 0)
+	e := NewExpander(d.Identity(NewAccount("svc")), services.Android, services.App)
+	if got := e.Expand("no tokens"); got != "no tokens" {
+		t.Errorf("plain = %q", got)
+	}
+	if got := e.Expand("broken {{email"); got != "broken {{email" {
+		t.Errorf("unterminated = %q", got)
+	}
+	if got := e.Expand("a{{email}}b{{gender}}c"); !strings.Contains(got, "female") {
+		t.Errorf("multi = %q", got)
+	}
+}
+
+func TestParsePageResources(t *testing.T) {
+	page := `<!doctype html><head>
+<script src="https://ads.criteo-sim.example/js/tag.js?sz=100&amp;cb={{nonce}}" data-repeat="12"></script>
+<img src="http://pixel.moatads-sim.example/track/pixel?ll={{gps}}" data-repeat="24"></img>
+<link src="/static/app.css" data-repeat="3"></link>
+<script src="https://no-repeat.example/x.js"></script>
+</head>`
+	plan := ParsePageResources(page)
+	if len(plan) != 3 {
+		t.Fatalf("plan = %d entries, want 3 (no-repeat tags are not session resources)", len(plan))
+	}
+	if plan[0].Repeat != 12 || !strings.Contains(plan[0].URL, "sz=100&cb=") {
+		t.Errorf("entry 0 = %+v", plan[0])
+	}
+	if plan[1].Repeat != 24 || !strings.HasPrefix(plan[1].URL, "http://") {
+		t.Errorf("entry 1 = %+v", plan[1])
+	}
+}
+
+func TestRunSessionConfigValidation(t *testing.T) {
+	if _, err := RunSession(SessionConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+}
+
+func TestFilterAdblock(t *testing.T) {
+	plan := []services.PlannedRequest{
+		{Method: "GET", URL: "https://pixel.criteo-sim.example/track/pixel?ll={{gps}}", Repeat: 10},
+		{Method: "GET", URL: "https://svc-sim.example/static/app.css", Repeat: 3},
+		{Method: "GET", URL: "https://login.gigya-sim.example/accounts/login?pwd={{password}}", Repeat: 2},
+	}
+	kept, blocked := FilterAdblock(plan, easylist.Bundled(), "svc-sim.example")
+	if blocked != 10 {
+		t.Errorf("blocked = %d, want 10 (the tracker pixel's full repeat budget)", blocked)
+	}
+	if len(kept) != 2 {
+		t.Fatalf("kept = %+v", kept)
+	}
+	for _, r := range kept {
+		if strings.Contains(r.URL, "criteo") {
+			t.Error("tracker fetch survived the blocker")
+		}
+	}
+}

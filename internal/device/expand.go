@@ -1,0 +1,167 @@
+package device
+
+import (
+	"fmt"
+	"net/url"
+	"strings"
+	"sync/atomic"
+
+	"appvsweb/internal/pii"
+	"appvsweb/internal/services"
+)
+
+// Expander resolves {{placeholder}} tokens in session plans against a
+// ground-truth record. The same expander persists across one session so
+// {{nonce}} values stay unique.
+type Expander struct {
+	rec    *pii.Record
+	medium services.Medium
+	os     services.OS
+	denied pii.TypeSet
+	nonce  atomic.Int64
+}
+
+// NewExpander builds an expander for one experiment session.
+func NewExpander(rec *pii.Record, os services.OS, medium services.Medium) *Expander {
+	return &Expander{rec: rec, medium: medium, os: os}
+}
+
+// Deny marks PII classes whose system permission the user declined: their
+// placeholders expand to nothing, exactly as a runtime-permission denial
+// starves the API. (The paper's testers approved every prompt, §3.2; this
+// is the what-if ablation.) Only meaningful for app sessions — the Web
+// already has no privileged APIs.
+func (e *Expander) Deny(types pii.TypeSet) { e.denied = types }
+
+// Expand substitutes every {{token}} in the template. Tokens take the form
+// {{name}} or {{encoding:name}}. Values destined for URLs are
+// query-escaped by the caller's template position — beacons place tokens
+// in query strings, so Expand escapes values unless the template is a JSON
+// body (escapeJSON=false callers use ExpandBody).
+func (e *Expander) Expand(template string) string {
+	return e.expand(template, true)
+}
+
+// ExpandBody substitutes tokens for a JSON/form body without URL-escaping.
+func (e *Expander) ExpandBody(template string) string {
+	return e.expand(template, false)
+}
+
+func (e *Expander) expand(template string, escape bool) string {
+	var b strings.Builder
+	rest := template
+	for {
+		i := strings.Index(rest, "{{")
+		if i < 0 {
+			b.WriteString(rest)
+			return b.String()
+		}
+		j := strings.Index(rest[i:], "}}")
+		if j < 0 {
+			b.WriteString(rest)
+			return b.String()
+		}
+		b.WriteString(rest[:i])
+		token := rest[i+2 : i+j]
+		rest = rest[i+j+2:]
+		v := e.resolve(token)
+		if escape {
+			v = url.QueryEscape(v)
+		}
+		b.WriteString(v)
+	}
+}
+
+// resolve evaluates one token: [encoding:]name.
+func (e *Expander) resolve(token string) string {
+	enc := pii.EncIdentity
+	name := token
+	if k, rest, ok := strings.Cut(token, ":"); ok {
+		enc = pii.Encoding(k)
+		name = rest
+	}
+	v := e.value(name)
+	if v == "" {
+		return ""
+	}
+	return pii.Encode(enc, v)
+}
+
+// value resolves a bare placeholder name. Device identifiers are
+// unavailable to Web sessions: mobile browsers expose no IMEI/IDFA/ad-ID
+// API, which is precisely why the paper finds unique IDs leaking only
+// from apps. Denied permissions starve their placeholders the same way.
+func (e *Expander) value(name string) string {
+	if t, ok := placeholderType(name); ok && e.denied.Contains(t) {
+		return ""
+	}
+	switch name {
+	case "nonce":
+		return fmt.Sprintf("%d", e.nonce.Add(1))
+	case "birthday":
+		return e.rec.Birthday
+	case "email":
+		return e.rec.Email
+	case "gender":
+		return e.rec.Gender
+	case "gps":
+		return fmt.Sprintf("%.4f,%.4f", e.rec.Latitude, e.rec.Longitude)
+	case "zip":
+		return e.rec.ZIP
+	case "name":
+		return e.rec.FullName()
+	case "phone":
+		return e.rec.Phone
+	case "username":
+		return e.rec.Username
+	case "password":
+		return e.rec.Password
+	case "devicename":
+		if e.medium == services.Web {
+			return ""
+		}
+		return e.rec.DeviceName
+	case "uid":
+		if e.medium == services.Web {
+			return ""
+		}
+		if e.os == services.IOS {
+			return e.rec.IDFA
+		}
+		return e.rec.AdID
+	case "imei":
+		if e.medium == services.Web {
+			return ""
+		}
+		return e.rec.IMEI
+	default:
+		return ""
+	}
+}
+
+// placeholderType maps a placeholder name back to its PII class.
+func placeholderType(name string) (pii.Type, bool) {
+	switch name {
+	case "birthday":
+		return pii.Birthday, true
+	case "devicename":
+		return pii.DeviceName, true
+	case "email":
+		return pii.Email, true
+	case "gender":
+		return pii.Gender, true
+	case "gps", "zip":
+		return pii.Location, true
+	case "name":
+		return pii.Name, true
+	case "phone":
+		return pii.PhoneNumber, true
+	case "username":
+		return pii.Username, true
+	case "password":
+		return pii.Password, true
+	case "uid", "imei":
+		return pii.UniqueID, true
+	}
+	return 0, false
+}

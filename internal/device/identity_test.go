@@ -1,0 +1,53 @@
+package device
+
+import (
+	"strings"
+	"testing"
+
+	"appvsweb/internal/services"
+)
+
+// TestIdentifiersFreeOfShortDigitNeedles guards against accidental
+// substring collisions: the deterministic device identifiers must not
+// contain the short all-digit ground-truth values (ZIP code, phone, date
+// forms), which would fabricate PII matches in every flow carrying an ID.
+func TestIdentifiersFreeOfShortDigitNeedles(t *testing.T) {
+	needles := []string{LabZIP, "19900412", "1990-04-12"}
+	for _, os := range services.AllOS() {
+		for n := 0; n < 2; n++ {
+			d := NewDevice(os, n)
+			ids := []string{
+				d.Record.IMEI, d.Record.MAC, d.Record.AndroidID,
+				d.Record.IDFA, d.Record.AdID, d.Record.Serial,
+			}
+			for _, id := range ids {
+				for _, needle := range needles {
+					if id != "" && strings.Contains(strings.ToLower(id), strings.ToLower(needle)) {
+						t.Errorf("%s/%d identifier %q contains ground-truth needle %q", os, n, id, needle)
+					}
+				}
+			}
+		}
+	}
+	// Accounts: the derived digits must not collide with the ZIP.
+	for _, svc := range services.Catalog() {
+		acct := NewAccount(svc.Key)
+		if strings.Contains(acct.Phone, LabZIP) || strings.Contains(acct.Username, LabZIP) {
+			t.Errorf("account for %s embeds the lab ZIP: %+v", svc.Key, acct)
+		}
+	}
+}
+
+// TestUserAgentsCarryNoModelNames pins the design decision that device
+// model strings never ride user agents (the paper does not count UA model
+// names as device-info leaks).
+func TestUserAgentsCarryNoModelNames(t *testing.T) {
+	for _, os := range services.AllOS() {
+		d := NewDevice(os, 0)
+		for _, ua := range []string{d.BrowserUserAgent(), d.AppUserAgent("WeatherNow")} {
+			if strings.Contains(ua, d.Model) {
+				t.Errorf("%s UA %q embeds the device model %q", os, ua, d.Model)
+			}
+		}
+	}
+}

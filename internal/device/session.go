@@ -1,0 +1,404 @@
+package device
+
+import (
+	"crypto/x509"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/cookiejar"
+	"net/url"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+
+	"appvsweb/internal/domains"
+	"appvsweb/internal/easylist"
+	"appvsweb/internal/pii"
+	"appvsweb/internal/proxy"
+	"appvsweb/internal/services"
+	"appvsweb/internal/vclock"
+)
+
+// SessionConfig describes one four-minute experiment session (§3.2
+// "Interacting with Services").
+type SessionConfig struct {
+	Device  *Device
+	Service *services.Spec
+	Medium  services.Medium
+
+	// ProxyURL is the measurement proxy (the Meddle VPN endpoint).
+	ProxyURL *url.URL
+	// Trust is the device root store: the platform roots plus the
+	// installed interception profile.
+	Trust *x509.CertPool
+	// Pin, when non-empty, makes the app verify the origin certificate
+	// fingerprint (certificate pinning). Only meaningful for app sessions.
+	Pin string
+
+	Clock *vclock.Clock
+	// Duration is the session length in virtual time (default 4 minutes).
+	Duration time.Duration
+	// Scale multiplies planned repeat counts; tests use small scales.
+	// Defaults to 1.
+	Scale float64
+	// DisableBackground suppresses the OS background traffic (for
+	// focused unit tests; the campaign always generates it, then filters
+	// it, as the paper does).
+	DisableBackground bool
+	// Adblock, when non-nil, makes the browser skip resources the filter
+	// list blocks — the "how effective are existing browser privacy
+	// protection tools" question from the paper's conclusion. Web
+	// sessions only.
+	Adblock *easylist.List
+	// DenyPermissions starves the listed PII classes in app sessions, as
+	// if the user declined the corresponding system permissions. The
+	// paper's testers approved every prompt (§3.2); this is the what-if.
+	DenyPermissions pii.TypeSet
+	// ActionLog, when set, receives a human-readable transcript of the
+	// §3.2 test procedure as the session performs it (install → VPN →
+	// interact → uninstall), timestamped in virtual time.
+	ActionLog io.Writer
+}
+
+// SessionResult summarizes a completed session.
+type SessionResult struct {
+	Requests int // requests attempted (including background)
+	Failed   int // requests that returned transport errors
+	Blocked  int // resources the adblocker suppressed (Web + Adblock only)
+}
+
+// ErrPinned marks a session aborted because certificate pinning defeated
+// the interception proxy — the condition that excluded services from the
+// paper's Android comparison.
+var ErrPinned = errors.New("session aborted: certificate pinning defeated interception")
+
+// sessionState carries the per-session machinery.
+type sessionState struct {
+	cfg      SessionConfig
+	client   *http.Client
+	expander *Expander
+	ua       string
+	result   SessionResult
+	pace     time.Duration
+	bgEvery  int
+	bgHost   string
+}
+
+// RunSession performs one scripted session and returns its statistics. The
+// caller owns the proxy and its flow sink; this function only generates
+// traffic.
+func RunSession(cfg SessionConfig) (*SessionResult, error) {
+	if cfg.Device == nil || cfg.Service == nil || cfg.ProxyURL == nil || cfg.Clock == nil {
+		return nil, errors.New("device: incomplete session config")
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 4 * time.Minute
+	}
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+
+	profile, err := cfg.Service.Profile(services.Cell{OS: cfg.Device.OS, Medium: cfg.Medium})
+	if err != nil {
+		return nil, err
+	}
+	acct := NewAccount(cfg.Service.Key)
+	identity := cfg.Device.Identity(acct)
+
+	s := &sessionState{
+		cfg:      cfg,
+		expander: NewExpander(identity, cfg.Device.OS, cfg.Medium),
+	}
+	if cfg.Medium == services.App && !cfg.DenyPermissions.Empty() {
+		s.expander.Deny(cfg.DenyPermissions)
+	}
+	var transport http.RoundTripper
+	if cfg.Pin != "" && cfg.Medium == services.App {
+		transport = proxy.PinnedTransport(cfg.ProxyURL, cfg.Trust, cfg.Pin)
+	} else {
+		transport = proxy.ClientTransport(cfg.ProxyURL, cfg.Trust)
+	}
+	s.client = &http.Client{Transport: transport, Timeout: 15 * time.Second}
+	if cfg.Medium == services.Web {
+		// Private-mode browsing: a fresh cookie jar per session.
+		jar, _ := cookiejar.New(nil)
+		s.client.Jar = jar
+		s.ua = cfg.Device.BrowserUserAgent()
+	} else {
+		s.ua = cfg.Device.AppUserAgent(cfg.Service.Name)
+	}
+	if cfg.Device.OS == services.IOS {
+		s.bgHost = "icloud-sim.example"
+	} else {
+		s.bgHost = "play-services.example"
+	}
+
+	if cfg.Medium == services.App {
+		s.log("factory-reset %s (%s); install %q; connect Meddle VPN", cfg.Device.Model, cfg.Device.OS, cfg.Service.Name)
+		if cfg.DenyPermissions.Empty() {
+			s.log("approve all system permission prompts")
+		} else {
+			s.log("DENY permissions for %v; approve the rest", cfg.DenyPermissions)
+		}
+		res, err := s.runApp(profile, acct)
+		s.log("close VPN; uninstall %q (%d requests, %d failed)", cfg.Service.Name, s.result.Requests, s.result.Failed)
+		return res, err
+	}
+	s.log("factory-reset %s (%s); open %s in private mode; connect Meddle VPN",
+		cfg.Device.Model, cfg.Device.OS, browserName(cfg.Device.OS))
+	res, err := s.runWeb(profile, acct)
+	s.log("close VPN; clear session (%d requests, %d failed, %d blocked)",
+		s.result.Requests, s.result.Failed, s.result.Blocked)
+	return res, err
+}
+
+func browserName(os services.OS) string {
+	if os == services.IOS {
+		return "Safari"
+	}
+	return "Chrome"
+}
+
+// log writes one transcript line stamped with the virtual clock.
+func (s *sessionState) log(format string, args ...any) {
+	if s.cfg.ActionLog == nil {
+		return
+	}
+	fmt.Fprintf(s.cfg.ActionLog, "[%s] ", s.cfg.Clock.Now().Format("15:04:05"))
+	fmt.Fprintf(s.cfg.ActionLog, format+"\n", args...)
+}
+
+// scaled converts a planned repeat count into the effective count for this
+// session: scaled by the test's Scale and by Duration relative to the
+// standard four minutes (flows grow with session length, §3.2; the PII
+// type set does not).
+func (s *sessionState) scaled(repeat int) int {
+	f := float64(repeat) * s.cfg.Scale * (float64(s.cfg.Duration) / float64(4*time.Minute))
+	n := int(f + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// runApp executes the app session: install (implicit), log in, then the
+// interleaved SDK/content/beacon plan.
+func (s *sessionState) runApp(p *services.Profile, acct Account) (*SessionResult, error) {
+	plan := p.RequestPlan()
+	if err := s.paceSetup(plan, 1); err != nil {
+		return nil, err
+	}
+	if p.Login {
+		s.log("log in with pre-created account %s", acct.Username)
+		body := fmt.Sprintf(`{"login":%q,"password":%q,"email":%q}`, acct.Username, acct.Password, acct.Email)
+		if err := s.do("POST", "https://"+s.cfg.Service.Domain()+"/api/login", body, "application/json"); err != nil {
+			if errors.Is(err, proxy.ErrPinMismatch) {
+				return &s.result, fmt.Errorf("%w (%s)", ErrPinned, s.cfg.Service.Key)
+			}
+			// Login failure is fatal: the tester cannot proceed.
+			return &s.result, fmt.Errorf("device: app login: %w", err)
+		}
+	}
+	s.executePlan(plan)
+	return &s.result, nil
+}
+
+// runWeb executes the browser session: load the page in private mode, log
+// in, then fetch every embedded resource with its repeat count, following
+// redirect chains.
+func (s *sessionState) runWeb(p *services.Profile, acct Account) (*SessionResult, error) {
+	pageURL := "https://" + s.cfg.Service.Domain() + "/"
+	page, err := s.fetchPage(pageURL)
+	if err != nil {
+		return &s.result, fmt.Errorf("device: load page: %w", err)
+	}
+	plan := ParsePageResources(page)
+	s.log("page loaded: %d resource templates discovered", len(plan))
+	if s.cfg.Adblock != nil {
+		var blocked int
+		plan, blocked = FilterAdblock(plan, s.cfg.Adblock, s.cfg.Service.Domain())
+		s.result.Blocked = blocked
+	}
+	if err := s.paceSetup(plan, 2); err != nil {
+		return nil, err
+	}
+	if p.Login {
+		s.log("log in on the site with the same pre-created account %s", acct.Username)
+		form := url.Values{"username": {acct.Username}, "password": {acct.Password}}
+		if err := s.do("POST", "https://"+s.cfg.Service.Domain()+"/login", form.Encode(), "application/x-www-form-urlencoded"); err != nil {
+			return &s.result, fmt.Errorf("device: web login: %w", err)
+		}
+	}
+	s.executePlan(plan)
+	return &s.result, nil
+}
+
+// paceSetup computes the virtual-time step per request so the session
+// spans its configured duration.
+func (s *sessionState) paceSetup(plan []services.PlannedRequest, extra int) error {
+	total := extra
+	for _, r := range plan {
+		total += s.scaled(r.Repeat)
+	}
+	if total < 1 {
+		total = 1
+	}
+	s.pace = s.cfg.Duration / time.Duration(total+total/12+1)
+	s.bgEvery = total/6 + 1
+	return nil
+}
+
+// executePlan interleaves the plan's entries round-robin so beacons spread
+// across the session like periodic SDK timers, injecting OS background
+// traffic at intervals.
+func (s *sessionState) executePlan(plan []services.PlannedRequest) {
+	remaining := make([]int, len(plan))
+	for i, r := range plan {
+		remaining[i] = s.scaled(r.Repeat)
+	}
+	sent := 0
+	for {
+		progress := false
+		for i := range plan {
+			if remaining[i] == 0 {
+				continue
+			}
+			remaining[i]--
+			progress = true
+			r := plan[i]
+			u := s.expander.Expand(r.URL)
+			body := s.expander.ExpandBody(r.Body)
+			if err := s.do(r.Method, u, body, r.ContentType); err != nil {
+				s.result.Failed++
+			}
+			sent++
+			if !s.cfg.DisableBackground && sent%s.bgEvery == 0 {
+				s.backgroundBeacon()
+			}
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+// do issues one request through the proxy and advances the virtual clock.
+func (s *sessionState) do(method, rawURL, body, contentType string) error {
+	defer s.cfg.Clock.Advance(s.pace)
+	var rdr io.Reader
+	if body != "" {
+		rdr = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, rawURL, rdr)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("User-Agent", s.ua)
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	s.result.Requests++
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode >= 500 {
+		return fmt.Errorf("device: %s %s: status %d", method, rawURL, resp.StatusCode)
+	}
+	return nil
+}
+
+// fetchPage loads the service's mobile page and returns its HTML.
+func (s *sessionState) fetchPage(u string) (string, error) {
+	req, err := http.NewRequest(http.MethodGet, u, nil)
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("User-Agent", s.ua)
+	s.result.Requests++
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	s.cfg.Clock.Advance(500 * time.Millisecond)
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("device: page status %d", resp.StatusCode)
+	}
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// backgroundBeacon emits one OS platform flow (Play services / iCloud
+// sync). These deliberately carry device identifiers: the filtering step
+// must remove them before analysis or they would pollute the results.
+func (s *sessionState) backgroundBeacon() {
+	u := fmt.Sprintf("https://%s/sync?device=%s&ts={{nonce}}", s.bgHost, s.cfg.Device.AdvertisingID())
+	if err := s.do("GET", s.expander.Expand(u), "", ""); err != nil {
+		s.result.Failed++
+	}
+}
+
+// FilterAdblock drops the planned resources an Adblock-style filter list
+// would block, counting suppressed fetches (each dropped entry counts its
+// full repeat budget, as the periodic beacon would never be installed).
+func FilterAdblock(plan []services.PlannedRequest, list *easylist.List, originHost string) ([]services.PlannedRequest, int) {
+	var kept []services.PlannedRequest
+	blocked := 0
+	for _, r := range plan {
+		host := hostOfURL(r.URL)
+		req := easylist.Request{
+			URL:        strings.ToLower(r.URL),
+			Host:       host,
+			OriginHost: originHost,
+			ThirdParty: !domains.SameSite(host, originHost),
+		}
+		if _, hit := list.Match(req); hit {
+			blocked += r.Repeat
+			continue
+		}
+		kept = append(kept, r)
+	}
+	return kept, blocked
+}
+
+func hostOfURL(u string) string {
+	s := u
+	if i := strings.Index(s, "://"); i >= 0 {
+		s = s[i+3:]
+	}
+	if i := strings.IndexAny(s, "/?#"); i >= 0 {
+		s = s[:i]
+	}
+	return strings.ToLower(s)
+}
+
+var resourceRe = regexp.MustCompile(`<(?:script|img|link)[^>]*\ssrc="([^"]+)"[^>]*\sdata-repeat="(\d+)"`)
+
+// ParsePageResources extracts the resource plan from a rendered page: the
+// browser-side equivalent of executing the page's resource loads and
+// periodic JavaScript beacons.
+func ParsePageResources(page string) []services.PlannedRequest {
+	var plan []services.PlannedRequest
+	for _, m := range resourceRe.FindAllStringSubmatch(page, -1) {
+		rep, err := strconv.Atoi(m[2])
+		if err != nil || rep < 1 {
+			rep = 1
+		}
+		u := htmlUnescape(m[1])
+		plan = append(plan, services.PlannedRequest{Method: http.MethodGet, URL: u, Repeat: rep})
+	}
+	return plan
+}
+
+func htmlUnescape(s string) string {
+	r := strings.NewReplacer("&amp;", "&", "&lt;", "<", "&gt;", ">", "&#34;", `"`, "&#39;", "'", "&quot;", `"`)
+	return r.Replace(s)
+}

@@ -1,0 +1,219 @@
+package domains
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Category labels a flow destination the way the paper's methodology does.
+type Category int
+
+const (
+	// Unknown means the categorizer had no information for the host.
+	Unknown Category = iota
+	// FirstParty destinations belong to the service under test (or its CDN
+	// domains, e.g. weather.com and imwx.com for The Weather Channel).
+	FirstParty
+	// SSO destinations are single sign-on identity providers; credentials
+	// sent to them over HTTPS are not leaks (§3.2, footnote 1).
+	SSO
+	// AdvertisingAnalytics (A&A) destinations match the EasyList-derived
+	// tracker list.
+	AdvertisingAnalytics
+	// OtherThirdParty destinations are third parties that are not A&A
+	// (CDNs, payment processors, ...).
+	OtherThirdParty
+	// Background destinations belong to the OS platform (Google Play
+	// services, Apple iCloud, ...) and are filtered from traces.
+	Background
+)
+
+var categoryNames = map[Category]string{
+	Unknown:              "unknown",
+	FirstParty:           "first-party",
+	SSO:                  "sso",
+	AdvertisingAnalytics: "a&a",
+	OtherThirdParty:      "other-third-party",
+	Background:           "background",
+}
+
+func (c Category) String() string {
+	if s, ok := categoryNames[c]; ok {
+		return s
+	}
+	return "invalid"
+}
+
+// ThirdParty reports whether the category counts as a third party for the
+// leak policy. SSO is deliberately excluded: the paper treats single
+// sign-on like a first party for credential flows.
+func (c Category) ThirdParty() bool {
+	return c == AdvertisingAnalytics || c == OtherThirdParty
+}
+
+// BackgroundDomains are eTLD+1s of OS platform services whose traffic the
+// methodology filters out before analysis (§3.2 "Filtering").
+var BackgroundDomains = []string{
+	// Android / Google platform.
+	"gvt1.example", "play-services.example", "android-sync.example",
+	"gstatic-sim.example", "crashlytics-os.example",
+	// iOS / Apple platform.
+	"icloud-sim.example", "apple-push.example", "ocsp-sim.example",
+	// Real-world equivalents kept for trace compatibility.
+	"googleapis.com", "gvt1.com", "gstatic.com", "icloud.com", "apple.com",
+	"mzstatic.com", "push.apple.com",
+}
+
+// Categorizer labels hosts. It combines a first-party registry (service →
+// owned registrable domains), an SSO list, an A&A matcher (EasyList), and
+// the background list. Lookup results are memoized; the categorizer is safe
+// for concurrent use.
+type Categorizer struct {
+	mu         sync.RWMutex
+	firstParty map[string]string // eTLD+1 → service key
+	sso        map[string]bool   // eTLD+1 → true
+	background map[string]bool   // eTLD+1 → true
+	aa         func(host string) bool
+
+	cacheMu sync.Mutex
+	cache   map[string]Category
+}
+
+// NewCategorizer builds a categorizer. aaMatcher may be nil, in which case
+// no host is labeled A&A (useful for ablation runs).
+func NewCategorizer(aaMatcher func(host string) bool) *Categorizer {
+	c := &Categorizer{
+		firstParty: make(map[string]string),
+		sso:        make(map[string]bool),
+		background: make(map[string]bool),
+		aa:         aaMatcher,
+		cache:      make(map[string]Category),
+	}
+	for _, d := range BackgroundDomains {
+		c.background[ETLDPlusOne(d)] = true
+	}
+	return c
+}
+
+// RegisterFirstParty associates one or more domains (any subdomain of their
+// eTLD+1 counts) with a service key.
+func (c *Categorizer) RegisterFirstParty(service string, hosts ...string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, h := range hosts {
+		c.firstParty[ETLDPlusOne(h)] = service
+	}
+	c.invalidate()
+}
+
+// RegisterSSO marks a domain as a single sign-on provider.
+func (c *Categorizer) RegisterSSO(hosts ...string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, h := range hosts {
+		c.sso[ETLDPlusOne(h)] = true
+	}
+	c.invalidate()
+}
+
+// RegisterBackground adds extra OS/background domains.
+func (c *Categorizer) RegisterBackground(hosts ...string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, h := range hosts {
+		c.background[ETLDPlusOne(h)] = true
+	}
+	c.invalidate()
+}
+
+func (c *Categorizer) invalidate() {
+	c.cacheMu.Lock()
+	c.cache = make(map[string]Category)
+	c.cacheMu.Unlock()
+}
+
+// FirstPartyOf returns the service key owning host, if any.
+func (c *Categorizer) FirstPartyOf(host string) (string, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	svc, ok := c.firstParty[ETLDPlusOne(host)]
+	return svc, ok
+}
+
+// Categorize labels a destination host relative to the service under test.
+// Order matters and mirrors the paper: background filtering first, then
+// first-party association, then SSO, then EasyList A&A, else other third
+// party.
+func (c *Categorizer) Categorize(service, host string) Category {
+	key := service + "\x00" + host
+	c.cacheMu.Lock()
+	if cat, ok := c.cache[key]; ok {
+		c.cacheMu.Unlock()
+		return cat
+	}
+	c.cacheMu.Unlock()
+
+	cat := c.categorize(service, host)
+
+	c.cacheMu.Lock()
+	c.cache[key] = cat
+	c.cacheMu.Unlock()
+	return cat
+}
+
+func (c *Categorizer) categorize(service, host string) Category {
+	reg := ETLDPlusOne(host)
+	c.mu.RLock()
+	bg := c.background[reg]
+	owner, owned := c.firstParty[reg]
+	sso := c.sso[reg]
+	aa := c.aa
+	c.mu.RUnlock()
+
+	switch {
+	case bg:
+		return Background
+	case owned && owner == service:
+		return FirstParty
+	case sso:
+		return SSO
+	case aa != nil && aa(host):
+		return AdvertisingAnalytics
+	case owned: // some other service's domain: a third party here
+		return OtherThirdParty
+	case host == "":
+		return Unknown
+	default:
+		return OtherThirdParty
+	}
+}
+
+// Services returns the registered service keys in sorted order.
+func (c *Categorizer) Services() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	set := make(map[string]bool)
+	for _, svc := range c.firstParty {
+		set[svc] = true
+	}
+	out := make([]string, 0, len(set))
+	for svc := range set {
+		out = append(out, svc)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsLocalhost reports whether the host is a loopback name. The simulated
+// ecosystem runs on loopback; naming still flows through Host headers and
+// SNI, but raw 127.0.0.1 dials are treated as unknown infrastructure.
+func IsLocalhost(host string) bool {
+	h := strings.ToLower(strings.TrimSuffix(host, "."))
+	if h == "::1" || h == "[::1]" {
+		return true
+	}
+	h = normalizeHost(h)
+	return h == "localhost" || h == "127.0.0.1" ||
+		strings.HasSuffix(h, ".localhost")
+}

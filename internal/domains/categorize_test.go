@@ -1,0 +1,154 @@
+package domains
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func testCategorizer() *Categorizer {
+	aa := func(host string) bool {
+		return strings.Contains(host, "ads") || strings.Contains(host, "analytics")
+	}
+	c := NewCategorizer(aa)
+	c.RegisterFirstParty("weather", "weather-sim.example", "wxcdn-sim.example")
+	c.RegisterFirstParty("yelp", "yelp-sim.example")
+	c.RegisterSSO("gigya-sim.example")
+	return c
+}
+
+func TestCategorizeOrder(t *testing.T) {
+	c := testCategorizer()
+	cases := []struct {
+		service, host string
+		want          Category
+	}{
+		{"weather", "api.weather-sim.example", FirstParty},
+		{"weather", "cdn.wxcdn-sim.example", FirstParty},
+		{"weather", "yelp-sim.example", OtherThirdParty}, // someone else's first party
+		{"weather", "ads.adnet.example", AdvertisingAnalytics},
+		{"weather", "metrics.analytics-co.example", AdvertisingAnalytics},
+		{"weather", "login.gigya-sim.example", SSO},
+		{"weather", "cdn.cloudfiles.example", OtherThirdParty},
+		{"weather", "sync.play-services.example", Background},
+		{"weather", "push.apple.com", Background},
+		{"yelp", "yelp-sim.example", FirstParty},
+	}
+	for _, tc := range cases {
+		if got := c.Categorize(tc.service, tc.host); got != tc.want {
+			t.Errorf("Categorize(%q, %q) = %v, want %v", tc.service, tc.host, got, tc.want)
+		}
+	}
+}
+
+func TestCategorizeBackgroundBeatsAA(t *testing.T) {
+	// A platform domain that also looks like analytics must still be
+	// filtered as background: filtering happens before categorization.
+	c := testCategorizer()
+	c.RegisterBackground("analytics-os.example")
+	if got := c.Categorize("weather", "analytics-os.example"); got != Background {
+		t.Errorf("background beaten by A&A: %v", got)
+	}
+}
+
+func TestCategorizeNilAAMatcher(t *testing.T) {
+	c := NewCategorizer(nil)
+	if got := c.Categorize("svc", "ads.tracker.example"); got != OtherThirdParty {
+		t.Errorf("nil matcher: %v", got)
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	for cat, want := range map[Category]string{
+		FirstParty:           "first-party",
+		AdvertisingAnalytics: "a&a",
+		Background:           "background",
+		SSO:                  "sso",
+		OtherThirdParty:      "other-third-party",
+		Unknown:              "unknown",
+	} {
+		if got := cat.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", cat, got, want)
+		}
+	}
+	if got := Category(99).String(); got != "invalid" {
+		t.Errorf("invalid category = %q", got)
+	}
+}
+
+func TestThirdParty(t *testing.T) {
+	if !AdvertisingAnalytics.ThirdParty() || !OtherThirdParty.ThirdParty() {
+		t.Error("A&A/other must be third parties")
+	}
+	for _, c := range []Category{FirstParty, SSO, Background, Unknown} {
+		if c.ThirdParty() {
+			t.Errorf("%v must not be a third party", c)
+		}
+	}
+}
+
+func TestFirstPartyOf(t *testing.T) {
+	c := testCategorizer()
+	svc, ok := c.FirstPartyOf("deep.api.weather-sim.example")
+	if !ok || svc != "weather" {
+		t.Errorf("FirstPartyOf = %q, %v", svc, ok)
+	}
+	if _, ok := c.FirstPartyOf("unknown.example"); ok {
+		t.Error("unknown host claimed")
+	}
+}
+
+func TestServicesSorted(t *testing.T) {
+	c := testCategorizer()
+	got := c.Services()
+	if len(got) != 2 || got[0] != "weather" || got[1] != "yelp" {
+		t.Errorf("Services = %v", got)
+	}
+}
+
+func TestCategorizeCacheInvalidation(t *testing.T) {
+	c := testCategorizer()
+	host := "newsvc-sim.example"
+	if got := c.Categorize("newsvc", host); got != OtherThirdParty {
+		t.Fatalf("pre-registration: %v", got)
+	}
+	c.RegisterFirstParty("newsvc", host)
+	if got := c.Categorize("newsvc", host); got != FirstParty {
+		t.Errorf("post-registration (cache stale?): %v", got)
+	}
+}
+
+func TestCategorizeConcurrent(t *testing.T) {
+	c := testCategorizer()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				c.Categorize("weather", "ads.adnet.example")
+				c.Categorize("weather", "api.weather-sim.example")
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestIsLocalhost(t *testing.T) {
+	for _, h := range []string{"localhost", "127.0.0.1", "::1", "svc.localhost", "LOCALHOST"} {
+		if !IsLocalhost(h) {
+			t.Errorf("IsLocalhost(%q) = false", h)
+		}
+	}
+	if IsLocalhost("example.com") {
+		t.Error("example.com is not localhost")
+	}
+}
+
+func BenchmarkCategorize(b *testing.B) {
+	c := testCategorizer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Categorize("weather", "ads.adnet.example")
+	}
+}

@@ -1,0 +1,194 @@
+// Package domains implements the domain-labeling substrate of the study:
+// effective-TLD (public suffix) computation, first-party association between
+// a service and the domains it owns, known OS/background service domains,
+// and the categorizer that labels each flow destination as first party,
+// advertising & analytics (A&A), other third party, or platform background
+// traffic (§3.2 "Filtering" and "Domain Categorization").
+package domains
+
+import (
+	"fmt"
+	"strings"
+)
+
+// suffixRule is one public-suffix-list rule. Wildcard rules ("*.ck") match
+// any single label in the starred position; exception rules ("!www.ck")
+// override a wildcard.
+type suffixRule struct {
+	labels    []string // reversed: ["uk","co"] for "co.uk"
+	wildcard  bool
+	exception bool
+}
+
+// suffixList is a compiled public suffix list.
+type suffixList struct {
+	rules map[string][]suffixRule // keyed by final (TLD) label
+}
+
+// defaultSuffixes is the subset of the public suffix list relevant to the
+// study's services and trackers, plus the standard wildcard/exception
+// examples so the matching semantics are exercised in full.
+var defaultSuffixes = []string{
+	"com", "net", "org", "edu", "gov", "mil", "int", "info", "biz",
+	"io", "co", "tv", "me", "mobi", "app", "dev", "ly", "fm", "am",
+	"example", "test", "invalid", "localhost",
+	"co.uk", "org.uk", "ac.uk", "gov.uk",
+	"com.au", "net.au", "org.au",
+	"co.jp", "ne.jp", "or.jp",
+	"com.br", "com.cn", "com.mx",
+	"de", "fr", "it", "nl", "se", "no", "es", "ru", "in", "ca", "us", "uk", "jp", "cn", "br", "au", "mx",
+	"*.ck", "!www.ck",
+	"*.bd",
+}
+
+var defaultList = mustCompileSuffixes(defaultSuffixes)
+
+func mustCompileSuffixes(rules []string) *suffixList {
+	l, err := compileSuffixes(rules)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+func compileSuffixes(raw []string) (*suffixList, error) {
+	l := &suffixList{rules: make(map[string][]suffixRule)}
+	for _, r := range raw {
+		r = strings.TrimSpace(strings.ToLower(r))
+		if r == "" || strings.HasPrefix(r, "//") {
+			continue
+		}
+		rule := suffixRule{}
+		if strings.HasPrefix(r, "!") {
+			rule.exception = true
+			r = r[1:]
+		}
+		labels := strings.Split(r, ".")
+		if len(labels) == 0 || labels[0] == "" {
+			return nil, fmt.Errorf("domains: bad suffix rule %q", r)
+		}
+		for i, lb := range labels {
+			if lb == "*" {
+				if i != 0 {
+					return nil, fmt.Errorf("domains: wildcard only allowed leftmost in %q", r)
+				}
+				rule.wildcard = true
+			}
+		}
+		// Store labels reversed (TLD first) for suffix walking.
+		rev := make([]string, len(labels))
+		for i, lb := range labels {
+			rev[len(labels)-1-i] = lb
+		}
+		if rule.wildcard {
+			rev = rev[:len(rev)-1] // drop the "*" (it was leftmost → last in rev)
+		}
+		rule.labels = rev
+		tld := rev[0]
+		l.rules[tld] = append(l.rules[tld], rule)
+	}
+	return l, nil
+}
+
+// publicSuffixLen returns how many trailing labels of the (reversed) label
+// list form the public suffix.
+func (l *suffixList) publicSuffixLen(rev []string) int {
+	if len(rev) == 0 {
+		return 0
+	}
+	best := 1 // unknown TLDs are themselves public suffixes (PSL "*" default)
+	for _, rule := range l.rules[rev[0]] {
+		n := len(rule.labels)
+		if n > len(rev) {
+			continue
+		}
+		match := true
+		for i := 0; i < n; i++ {
+			if rule.labels[i] != rev[i] {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		if rule.exception {
+			// Exception: the public suffix is one label shorter than the rule.
+			return n - 1
+		}
+		span := n
+		if rule.wildcard {
+			span = n + 1
+			if span > len(rev) {
+				continue
+			}
+		}
+		if span > best {
+			best = span
+		}
+	}
+	return best
+}
+
+// PublicSuffix returns the effective TLD of host ("co.uk" for
+// "shop.example.co.uk").
+func PublicSuffix(host string) string {
+	host = normalizeHost(host)
+	rev := reverseLabels(host)
+	n := defaultList.publicSuffixLen(rev)
+	if n == 0 {
+		return ""
+	}
+	labels := strings.Split(host, ".")
+	return strings.Join(labels[len(labels)-n:], ".")
+}
+
+// ETLDPlusOne returns the registrable domain (eTLD+1) of host, e.g.
+// "example.co.uk" for "shop.example.co.uk". If the host is itself a public
+// suffix (or empty), it returns the host unchanged: for this study a bare
+// suffix is still a usable aggregation key.
+func ETLDPlusOne(host string) string {
+	host = normalizeHost(host)
+	rev := reverseLabels(host)
+	n := defaultList.publicSuffixLen(rev)
+	labels := strings.Split(host, ".")
+	if n >= len(labels) {
+		return host
+	}
+	return strings.Join(labels[len(labels)-n-1:], ".")
+}
+
+// Org returns the organizational label of a host: the label immediately
+// left of the public suffix ("doubleclick" for "ad.doubleclick.net"). The
+// paper's Table 2 lists A&A domains this way ("absent its top-level
+// domain").
+func Org(host string) string {
+	reg := ETLDPlusOne(host)
+	label, _, _ := strings.Cut(reg, ".")
+	return label
+}
+
+// SameSite reports whether two hosts share a registrable domain.
+func SameSite(a, b string) bool {
+	return ETLDPlusOne(a) == ETLDPlusOne(b) && ETLDPlusOne(a) != ""
+}
+
+func normalizeHost(host string) string {
+	host = strings.ToLower(strings.TrimSuffix(host, "."))
+	if i := strings.IndexByte(host, ':'); i >= 0 {
+		host = host[:i]
+	}
+	return host
+}
+
+func reverseLabels(host string) []string {
+	if host == "" {
+		return nil
+	}
+	labels := strings.Split(host, ".")
+	rev := make([]string, len(labels))
+	for i, lb := range labels {
+		rev[len(labels)-1-i] = lb
+	}
+	return rev
+}

@@ -1,0 +1,109 @@
+package domains
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPublicSuffix(t *testing.T) {
+	cases := []struct{ host, want string }{
+		{"shop.example.co.uk", "co.uk"},
+		{"example.com", "com"},
+		{"a.b.c.example.com", "com"},
+		{"weather-sim.example", "example"},
+		{"foo.ck", "foo.ck"},     // wildcard *.ck
+		{"bar.foo.ck", "foo.ck"}, // wildcard matches one label
+		{"www.ck", "ck"},         // exception !www.ck
+		{"something.zz", "zz"},   // unknown TLD defaults to itself
+		{"com", "com"},
+		{"EXAMPLE.COM.", "com"}, // case + trailing dot normalization
+		{"example.com:8443", "com"},
+	}
+	for _, c := range cases {
+		if got := PublicSuffix(c.host); got != c.want {
+			t.Errorf("PublicSuffix(%q) = %q, want %q", c.host, got, c.want)
+		}
+	}
+}
+
+func TestETLDPlusOne(t *testing.T) {
+	cases := []struct{ host, want string }{
+		{"shop.example.co.uk", "example.co.uk"},
+		{"ad.doubleclick-sim.example", "doubleclick-sim.example"},
+		{"example.com", "example.com"},
+		{"deep.a.b.example.com", "example.com"},
+		{"www.ck", "www.ck"}, // exception rule: www.ck is registrable
+		{"x.y.foo.ck", "y.foo.ck"},
+		{"com", "com"}, // bare suffix returns itself
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := ETLDPlusOne(c.host); got != c.want {
+			t.Errorf("ETLDPlusOne(%q) = %q, want %q", c.host, got, c.want)
+		}
+	}
+}
+
+func TestOrg(t *testing.T) {
+	cases := []struct{ host, want string }{
+		{"ad.doubleclick.net", "doubleclick"},
+		{"www.google-analytics.com", "google-analytics"},
+		{"pixel.taplytics-sim.example", "taplytics-sim"},
+		{"shop.example.co.uk", "example"},
+	}
+	for _, c := range cases {
+		if got := Org(c.host); got != c.want {
+			t.Errorf("Org(%q) = %q, want %q", c.host, got, c.want)
+		}
+	}
+}
+
+func TestSameSite(t *testing.T) {
+	if !SameSite("a.example.com", "b.example.com") {
+		t.Error("subdomains of same registrable domain should be same site")
+	}
+	if SameSite("a.example.com", "a.example.org") {
+		t.Error("different TLDs are different sites")
+	}
+	if SameSite("", "") {
+		t.Error("empty hosts are not a site")
+	}
+}
+
+// Property: eTLD+1 of eTLD+1 is a fixed point, and eTLD+1 is always a
+// suffix of the input host.
+func TestETLDPlusOneProperties(t *testing.T) {
+	labels := []string{"a", "b", "shop", "www", "example", "tracker", "cdn"}
+	tlds := []string{"com", "co.uk", "example", "io", "zz", "ck", "net.au"}
+	f := func(i, j, k uint8) bool {
+		host := labels[int(i)%len(labels)] + "." + labels[int(j)%len(labels)] + "." + tlds[int(k)%len(tlds)]
+		e1 := ETLDPlusOne(host)
+		if !strings.HasSuffix(host, e1) {
+			return false
+		}
+		return ETLDPlusOne(e1) == e1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompileSuffixesRejectsBadRules(t *testing.T) {
+	if _, err := compileSuffixes([]string{"foo.*.bar"}); err == nil {
+		t.Error("inner wildcard accepted")
+	}
+	if _, err := compileSuffixes([]string{""}); err != nil {
+		t.Errorf("blank line should be skipped: %v", err)
+	}
+	if _, err := compileSuffixes([]string{"// comment", "com"}); err != nil {
+		t.Errorf("comment should be skipped: %v", err)
+	}
+}
+
+func BenchmarkETLDPlusOne(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = ETLDPlusOne("deep.nested.sub.shop.example.co.uk")
+	}
+}

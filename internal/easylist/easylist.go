@@ -1,0 +1,201 @@
+// Package easylist implements the Adblock Plus filter syntax used by
+// EasyList and the matcher the paper uses to label third-party flows as
+// advertising & analytics (§3.2 "Domain Categorization": "we further
+// categorize them as advertisers or analytics by comparing the destination
+// domain to EasyList").
+//
+// Supported syntax: `||` domain anchors, `|` start/end anchors, `*`
+// wildcards, `^` separator placeholders, `@@` exception rules,
+// `$third-party` / `$~third-party`, `$domain=a|~b` option filters, and `!`
+// comments. Element-hiding rules (`##`, `#@#`) are parsed and ignored, as
+// they do not affect network-flow classification.
+package easylist
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Rule is one parsed network filter.
+type Rule struct {
+	Raw          string
+	Exception    bool // @@ rule
+	DomainAnchor bool // ||
+	StartAnchor  bool // leading |
+	EndAnchor    bool // trailing |
+	Pattern      string
+
+	// Options (after $).
+	ThirdParty      *bool    // nil: unset; true: $third-party; false: $~third-party
+	Domains         []string // $domain= includes (eTLD+1 compared by suffix)
+	ExcludedDomains []string // $domain= excludes (~)
+	ResourceTypes   []string // script, image, ... (recorded, not enforced)
+}
+
+// Request carries the flow attributes the matcher needs.
+type Request struct {
+	URL        string // full URL, e.g. "https://ads.x.example/pixel?u=1"
+	Host       string // destination host
+	OriginHost string // the page/app first-party host ("" if unknown)
+	ThirdParty bool   // destination is third-party relative to origin
+}
+
+// List is a compiled filter list.
+type List struct {
+	block      []*Rule
+	except     []*Rule
+	hostIndex  map[string][]*Rule // literal-host domain-anchored block rules
+	exceptIdx  map[string][]*Rule
+	numIgnored int // element-hiding and unsupported rules
+}
+
+// Parse compiles a filter list from its text form. Unsupported cosmetic
+// rules are counted but not errors; genuinely malformed network rules are.
+func Parse(text string) (*List, error) {
+	l := &List{
+		hostIndex: make(map[string][]*Rule),
+		exceptIdx: make(map[string][]*Rule),
+	}
+	for lineNo, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		switch {
+		case line == "" || strings.HasPrefix(line, "!") || strings.HasPrefix(line, "["):
+			continue
+		case strings.Contains(line, "##") || strings.Contains(line, "#@#") || strings.Contains(line, "#?#"):
+			l.numIgnored++
+			continue
+		}
+		r, err := parseRule(line)
+		if err != nil {
+			return nil, fmt.Errorf("easylist: line %d: %w", lineNo+1, err)
+		}
+		l.add(r)
+	}
+	return l, nil
+}
+
+// MustParse is Parse that panics on error, for compiled-in lists.
+func MustParse(text string) *List {
+	l, err := Parse(text)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+func (l *List) add(r *Rule) {
+	idx, rules := l.hostIndex, &l.block
+	if r.Exception {
+		idx, rules = l.exceptIdx, &l.except
+	}
+	if host, ok := r.literalHost(); ok {
+		idx[host] = append(idx[host], r)
+		return
+	}
+	*rules = append(*rules, r)
+}
+
+// literalHost extracts the indexable host of a ||host^-style rule: the
+// pattern must begin with a literal host name terminated by '^', '/', or
+// end of pattern, with no preceding wildcard.
+func (r *Rule) literalHost() (string, bool) {
+	if !r.DomainAnchor {
+		return "", false
+	}
+	host := r.Pattern
+	for i := 0; i < len(host); i++ {
+		switch host[i] {
+		case '^', '/':
+			return host[:i], i > 0
+		case '*', '|':
+			return "", false
+		}
+	}
+	return host, host != ""
+}
+
+// NumRules returns (block, exception) rule counts.
+func (l *List) NumRules() (int, int) {
+	nb := len(l.block)
+	ne := len(l.except)
+	for _, rs := range l.hostIndex {
+		nb += len(rs)
+	}
+	for _, rs := range l.exceptIdx {
+		ne += len(rs)
+	}
+	return nb, ne
+}
+
+// NumIgnored returns how many cosmetic/unsupported rules were skipped.
+func (l *List) NumIgnored() int { return l.numIgnored }
+
+func parseRule(line string) (*Rule, error) {
+	r := &Rule{Raw: line}
+	if strings.HasPrefix(line, "@@") {
+		r.Exception = true
+		line = line[2:]
+	}
+	// Split off options. '$' inside a URL pattern is rare in EasyList and
+	// unsupported here; the last '$' is the option separator.
+	if i := strings.LastIndexByte(line, '$'); i >= 0 {
+		opts := line[i+1:]
+		line = line[:i]
+		if err := r.parseOptions(opts); err != nil {
+			return nil, err
+		}
+	}
+	if strings.HasPrefix(line, "||") {
+		r.DomainAnchor = true
+		line = line[2:]
+	} else if strings.HasPrefix(line, "|") {
+		r.StartAnchor = true
+		line = line[1:]
+	}
+	if strings.HasSuffix(line, "|") {
+		r.EndAnchor = true
+		line = line[:len(line)-1]
+	}
+	if line == "" {
+		return nil, fmt.Errorf("empty pattern in %q", r.Raw)
+	}
+	r.Pattern = strings.ToLower(line)
+	return r, nil
+}
+
+func (r *Rule) parseOptions(opts string) error {
+	for _, o := range strings.Split(opts, ",") {
+		o = strings.TrimSpace(o)
+		if o == "" {
+			continue
+		}
+		lower := strings.ToLower(o)
+		switch {
+		case lower == "third-party":
+			v := true
+			r.ThirdParty = &v
+		case lower == "~third-party":
+			v := false
+			r.ThirdParty = &v
+		case strings.HasPrefix(lower, "domain="):
+			for _, d := range strings.Split(o[len("domain="):], "|") {
+				d = strings.ToLower(strings.TrimSpace(d))
+				if d == "" {
+					continue
+				}
+				if strings.HasPrefix(d, "~") {
+					r.ExcludedDomains = append(r.ExcludedDomains, d[1:])
+				} else {
+					r.Domains = append(r.Domains, d)
+				}
+			}
+		case lower == "script", lower == "image", lower == "stylesheet", lower == "xmlhttprequest",
+			lower == "subdocument", lower == "popup", lower == "media", lower == "object", lower == "other",
+			strings.HasPrefix(lower, "~"):
+			r.ResourceTypes = append(r.ResourceTypes, lower)
+		default:
+			return fmt.Errorf("unsupported option %q", o)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,47 @@
+package easylist_test
+
+import (
+	"fmt"
+
+	"appvsweb/internal/easylist"
+)
+
+// Parse compiles Adblock-syntax rules; Match applies them to requests the
+// way the paper labels A&A destinations.
+func ExampleParse() {
+	list, err := easylist.Parse(`
+! ads and trackers
+||ads.example^
+/banner/*$third-party
+@@||ads.example/acceptable/
+`)
+	if err != nil {
+		panic(err)
+	}
+	reqs := []easylist.Request{
+		{URL: "http://ads.example/pixel", Host: "ads.example", ThirdParty: true},
+		{URL: "http://cdn.example/banner/x.gif", Host: "cdn.example", ThirdParty: true},
+		{URL: "http://cdn.example/banner/x.gif", Host: "cdn.example", ThirdParty: false},
+		{URL: "http://ads.example/acceptable/a.js", Host: "ads.example", ThirdParty: true},
+	}
+	for _, r := range reqs {
+		_, blocked := list.Match(r)
+		fmt.Printf("%-38s third-party=%-5v blocked=%v\n", r.URL, r.ThirdParty, blocked)
+	}
+	// Output:
+	// http://ads.example/pixel               third-party=true  blocked=true
+	// http://cdn.example/banner/x.gif        third-party=true  blocked=true
+	// http://cdn.example/banner/x.gif        third-party=false blocked=false
+	// http://ads.example/acceptable/a.js     third-party=true  blocked=false
+}
+
+// MatchHost is the categorizer's question: does this destination belong to
+// the advertising & analytics ecosystem?
+func ExampleList_MatchHost() {
+	list := easylist.Bundled()
+	fmt.Println(list.MatchHost("pixel.criteo-sim.example"))
+	fmt.Println(list.MatchHost("api.weather-sim.example"))
+	// Output:
+	// true
+	// false
+}

@@ -1,0 +1,72 @@
+package easylist
+
+import (
+	"strings"
+	"testing"
+)
+
+func isASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 0x80 {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzParseRule: arbitrary filter lines must either fail cleanly or
+// produce a rule whose matcher never panics.
+func FuzzParseRule(f *testing.F) {
+	for _, seed := range []string{
+		"||ads.example^", "@@||ok.example^$third-party", "/banner/*",
+		"|http://x|", "||a.b/c$domain=x.com|~y.com", "a^b*c", "@@",
+		"||x^$script,image", "$third-party", "!comment",
+	} {
+		f.Add(seed)
+	}
+	req := Request{URL: "http://ads.example/banner/x?y=1", Host: "ads.example", ThirdParty: true}
+	f.Fuzz(func(t *testing.T, line string) {
+		r, err := parseRule(line)
+		if err != nil {
+			return
+		}
+		_ = r.matches(strings.ToLower(req.URL), req)
+	})
+}
+
+// FuzzMatchPattern cross-checks the hand-rolled matcher against the
+// regexp-based reference on arbitrary inputs.
+func FuzzMatchPattern(f *testing.F) {
+	f.Add("a*b^c", "aXb/c", true)
+	f.Add("^", "", false)
+	f.Add("**a", "za", true)
+	f.Fuzz(func(t *testing.T, pattern, subject string, end bool) {
+		if len(pattern) > 64 || len(subject) > 256 {
+			return // keep the reference regexp cheap
+		}
+		// The reference is a Go regexp, which decodes runes; the real
+		// matcher is deliberately byte-wise ('^' consumes one byte —
+		// URLs on the wire are ASCII). Compare only where the two
+		// definitions coincide: ASCII input.
+		if !isASCII(pattern) || !isASCII(subject) {
+			return
+		}
+		got := matchPattern(pattern, subject, end)
+		want := refMatch(pattern, subject, end)
+		if got != want {
+			t.Fatalf("matchPattern(%q, %q, %v) = %v, reference %v", pattern, subject, end, got, want)
+		}
+	})
+}
+
+// FuzzParseList: whole list documents must never panic the parser.
+func FuzzParseList(f *testing.F) {
+	f.Add("||a^\n@@||b^\n!c\nx##y\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		l, err := Parse(text)
+		if err != nil {
+			return
+		}
+		l.MatchHost("probe.example")
+	})
+}

@@ -1,0 +1,123 @@
+package easylist
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// refMatch is a regexp-based reference implementation of matchPattern used
+// to cross-check the hand-rolled matcher.
+func refMatch(p, s string, endAnchor bool) bool {
+	var re strings.Builder
+	re.WriteString("(?s)^") // ABP '*' spans any byte, including newlines
+	for i := 0; i < len(p); i++ {
+		switch c := p[i]; c {
+		case '*':
+			re.WriteString(".*")
+		case '^':
+			re.WriteString(`(?:[^a-zA-Z0-9_\-.%]|$)`)
+		default:
+			re.WriteString(regexp.QuoteMeta(string(c)))
+		}
+	}
+	if endAnchor {
+		re.WriteString("$")
+	}
+	return regexp.MustCompile(re.String()).MatchString(s)
+}
+
+func TestMatchPatternAgainstReference(t *testing.T) {
+	patterns := []string{
+		"abc", "a*c", "*abc", "abc*", "a^b", "^", "a^", "^a", "a*b*c",
+		"a^*^b", "**", "a.b", "%2f", "a-b_c",
+	}
+	subjects := []string{
+		"", "abc", "aXc", "a/c", "abcd", "xabc", "a", "ab", "a/b", "a//b",
+		"a.b", "abc/", "/abc", "a%2fb", "a-b_c", "aa/bb/cc",
+	}
+	for _, p := range patterns {
+		for _, s := range subjects {
+			for _, end := range []bool{false, true} {
+				got := matchPattern(p, s, end)
+				want := refMatch(p, s, end)
+				if got != want {
+					t.Errorf("matchPattern(%q, %q, end=%v) = %v, reference %v", p, s, end, got, want)
+				}
+			}
+		}
+	}
+}
+
+// Property: random patterns over a small alphabet agree with the reference.
+func TestMatchPatternQuick(t *testing.T) {
+	alphabet := []byte("ab/*^.")
+	build := func(seed uint64, n int) string {
+		var b []byte
+		for i := 0; i < n; i++ {
+			b = append(b, alphabet[int(seed%uint64(len(alphabet)))])
+			seed /= uint64(len(alphabet))
+		}
+		return string(b)
+	}
+	f := func(ps, ss uint64, pn, sn uint8, end bool) bool {
+		p := build(ps, int(pn%6)+1)
+		s := strings.Map(func(r rune) rune {
+			if r == '*' || r == '^' {
+				return '/'
+			}
+			return r
+		}, build(ss, int(sn%8)))
+		return matchPattern(p, s, end) == refMatch(p, s, end)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDomainAnchorStarts(t *testing.T) {
+	got := domainAnchorStarts("http://a.b.example/x.y?z=1.2")
+	// host starts at 7; dots inside host at offsets of "a.b.example".
+	want := []int{7, 9, 11}
+	if len(got) != len(want) {
+		t.Fatalf("starts = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("starts = %v, want %v", got, want)
+		}
+	}
+	if got := domainAnchorStarts("no-scheme.example/p"); got[0] != 0 {
+		t.Errorf("schemeless start = %v", got)
+	}
+}
+
+func TestIsSeparator(t *testing.T) {
+	for _, c := range []byte("/?:=&#@!,;()") {
+		if !isSeparator(c) {
+			t.Errorf("%q should be a separator", c)
+		}
+	}
+	for _, c := range []byte("abcXYZ019_-.%") {
+		if isSeparator(c) {
+			t.Errorf("%q should not be a separator", c)
+		}
+	}
+}
+
+func TestLiteralPrefix(t *testing.T) {
+	cases := map[string]string{"abc*d": "abc", "*x": "", "^y": "", "plain": "plain"}
+	for in, want := range cases {
+		if got := literalPrefix(in); got != want {
+			t.Errorf("literalPrefix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func BenchmarkMatchPattern(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		matchPattern("a*b^c", "aXXXXXXb/c", false)
+	}
+}

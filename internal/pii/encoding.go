@@ -1,0 +1,101 @@
+package pii
+
+import (
+	"crypto/md5"
+	"crypto/sha1"
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/hex"
+	"net/url"
+	"strings"
+)
+
+// Encoding names a reversible or one-way transformation commonly applied to
+// PII before it is placed in a URL, header, or body. ReCon and the paper's
+// string-matching step both search for PII under these encodings, since
+// trackers rarely transmit raw values.
+type Encoding string
+
+// The encodings searched by the direct matcher. Identity is the raw value.
+const (
+	EncIdentity  Encoding = "identity"
+	EncLower     Encoding = "lowercase"
+	EncUpper     Encoding = "uppercase"
+	EncURL       Encoding = "urlencoded"
+	EncBase64    Encoding = "base64"
+	EncBase64URL Encoding = "base64url"
+	EncHex       Encoding = "hex"
+	EncMD5       Encoding = "md5"
+	EncSHA1      Encoding = "sha1"
+	EncSHA256    Encoding = "sha256"
+)
+
+// Encoder transforms a plaintext value into its on-the-wire form.
+type Encoder struct {
+	Name  Encoding
+	Apply func(string) string
+	// OneWay marks digest encodings: they can be detected but not decoded.
+	OneWay bool
+}
+
+// Encoders returns the full encoder set in deterministic order.
+func Encoders() []Encoder {
+	return []Encoder{
+		{EncIdentity, func(s string) string { return s }, false},
+		{EncLower, strings.ToLower, false},
+		{EncUpper, strings.ToUpper, false},
+		{EncURL, url.QueryEscape, false},
+		{EncBase64, func(s string) string { return base64.StdEncoding.EncodeToString([]byte(s)) }, false},
+		{EncBase64URL, func(s string) string { return base64.URLEncoding.EncodeToString([]byte(s)) }, false},
+		{EncHex, func(s string) string { return hex.EncodeToString([]byte(s)) }, false},
+		{EncMD5, func(s string) string { h := md5.Sum([]byte(s)); return hex.EncodeToString(h[:]) }, true},
+		{EncSHA1, func(s string) string { h := sha1.Sum([]byte(s)); return hex.EncodeToString(h[:]) }, true},
+		{EncSHA256, func(s string) string { h := sha256.Sum256([]byte(s)); return hex.EncodeToString(h[:]) }, true},
+	}
+}
+
+// Encode applies the named encoding to s. Unknown encodings return s
+// unchanged.
+func Encode(enc Encoding, s string) string {
+	for _, e := range Encoders() {
+		if e.Name == enc {
+			return e.Apply(s)
+		}
+	}
+	return s
+}
+
+// Decode inverts a reversible encoding. One-way (digest) encodings and
+// unknown names return ("", false).
+func Decode(enc Encoding, s string) (string, bool) {
+	switch enc {
+	case EncIdentity, EncLower, EncUpper:
+		return s, true
+	case EncURL:
+		v, err := url.QueryUnescape(s)
+		if err != nil {
+			return "", false
+		}
+		return v, true
+	case EncBase64:
+		b, err := base64.StdEncoding.DecodeString(s)
+		if err != nil {
+			return "", false
+		}
+		return string(b), true
+	case EncBase64URL:
+		b, err := base64.URLEncoding.DecodeString(s)
+		if err != nil {
+			return "", false
+		}
+		return string(b), true
+	case EncHex:
+		b, err := hex.DecodeString(s)
+		if err != nil {
+			return "", false
+		}
+		return string(b), true
+	default:
+		return "", false
+	}
+}

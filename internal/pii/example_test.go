@@ -1,0 +1,56 @@
+package pii_test
+
+import (
+	"fmt"
+
+	"appvsweb/internal/pii"
+)
+
+// A matcher finds ground-truth PII in flow content even when the value is
+// encoded — here the email travels as an MD5 digest, the way trackers
+// pseudonymize identifiers.
+func ExampleMatcher() {
+	rec := &pii.Record{Email: "tester@mail.example", Username: "jdoe1990"}
+	m := pii.NewMatcher(rec)
+
+	body := "uid=" + pii.Encode(pii.EncMD5, "tester@mail.example") + "&plan=free"
+	for _, match := range m.Scan("body", body) {
+		fmt.Printf("%s found via %s\n", match.Type, match.Encoding)
+	}
+	// Output:
+	// Email found via md5
+}
+
+// The Jaccard index quantifies how similar the app's and the Web site's
+// leaked-identifier sets are (Figure 1f).
+func ExampleTypeSet_Jaccard() {
+	app := pii.NewTypeSet(pii.Location, pii.UniqueID, pii.DeviceName)
+	web := pii.NewTypeSet(pii.Location, pii.Name)
+	fmt.Printf("app=%v web=%v jaccard=%.2f\n", app, web, app.Jaccard(web))
+	// Output:
+	// app=D,L,UID web=L,N jaccard=0.25
+}
+
+// A redactor rewrites PII out of content before it leaves the device — the
+// protection mode built on the measurement proxy.
+func ExampleRedactor() {
+	rec := &pii.Record{Email: "tester@mail.example"}
+	r := pii.NewRedactor(rec)
+	out, hit := r.Redact("email=tester@mail.example&page=2", pii.NewTypeSet(pii.Email))
+	fmt.Println(out)
+	fmt.Println("redacted:", hit)
+	// Output:
+	// email=__redacted__&page=2
+	// redacted: E
+}
+
+// Structured extraction flattens tracker payloads into key/value pairs for
+// the classifier's features.
+func ExampleExtractJSON() {
+	for _, kv := range pii.ExtractJSON(`{"user":{"email":"x@y.example"},"sdk":"v2"}`) {
+		fmt.Printf("%s = %s\n", kv.Key, kv.Value)
+	}
+	// Output:
+	// sdk = v2
+	// user.email = x@y.example
+}

@@ -1,0 +1,169 @@
+package pii
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime"
+	"mime/multipart"
+	"net/url"
+	"sort"
+	"strings"
+)
+
+// KV is one key/value pair extracted from structured flow content. ReCon's
+// feature extraction and the leak-attribution step both operate on these
+// pairs rather than raw bytes.
+type KV struct {
+	Key   string
+	Value string
+}
+
+// ExtractQuery parses a raw query string (or fragment) into key/value
+// pairs. Malformed escapes are kept verbatim rather than dropped, because
+// trackers frequently send half-escaped values.
+func ExtractQuery(raw string) []KV {
+	var out []KV
+	for _, part := range strings.Split(raw, "&") {
+		if part == "" {
+			continue
+		}
+		k, v, _ := strings.Cut(part, "=")
+		if uk, err := url.QueryUnescape(k); err == nil {
+			k = uk
+		}
+		if uv, err := url.QueryUnescape(v); err == nil {
+			v = uv
+		}
+		out = append(out, KV{k, v})
+	}
+	return out
+}
+
+// ExtractJSON flattens a JSON document into dotted-path key/value pairs:
+// {"user":{"email":"x"}} becomes {"user.email","x"}. Arrays use numeric
+// path segments. Non-JSON input returns nil.
+func ExtractJSON(raw string) []KV {
+	var doc any
+	dec := json.NewDecoder(strings.NewReader(raw))
+	dec.UseNumber()
+	if err := dec.Decode(&doc); err != nil {
+		return nil
+	}
+	var out []KV
+	flattenJSON("", doc, &out)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+func flattenJSON(prefix string, v any, out *[]KV) {
+	switch x := v.(type) {
+	case map[string]any:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			flattenJSON(joinPath(prefix, k), x[k], out)
+		}
+	case []any:
+		for i, e := range x {
+			flattenJSON(joinPath(prefix, fmt.Sprintf("%d", i)), e, out)
+		}
+	case json.Number:
+		*out = append(*out, KV{prefix, x.String()})
+	case string:
+		*out = append(*out, KV{prefix, x})
+	case bool:
+		*out = append(*out, KV{prefix, fmt.Sprintf("%t", x)})
+	case nil:
+		*out = append(*out, KV{prefix, ""})
+	}
+}
+
+func joinPath(prefix, key string) string {
+	if prefix == "" {
+		return key
+	}
+	return prefix + "." + key
+}
+
+// ExtractMultipart parses a multipart/form-data body into field/value
+// pairs. File parts contribute their filename as the value.
+func ExtractMultipart(contentType, body string) []KV {
+	_, params, err := mime.ParseMediaType(contentType)
+	if err != nil || params["boundary"] == "" {
+		return nil
+	}
+	mr := multipart.NewReader(strings.NewReader(body), params["boundary"])
+	var out []KV
+	for {
+		part, err := mr.NextPart()
+		if err != nil {
+			return out
+		}
+		name := part.FormName()
+		if name == "" {
+			continue
+		}
+		if fn := part.FileName(); fn != "" {
+			out = append(out, KV{name, fn})
+			continue
+		}
+		data, err := io.ReadAll(io.LimitReader(part, 64<<10))
+		if err != nil {
+			return out
+		}
+		out = append(out, KV{name, string(data)})
+	}
+}
+
+// ExtractBody parses an HTTP body according to its Content-Type, falling
+// back to trying both form and JSON shapes when the type is absent or
+// unrecognized (trackers often mislabel payloads).
+func ExtractBody(contentType, body string) []KV {
+	if body == "" {
+		return nil
+	}
+	ct := strings.ToLower(contentType)
+	switch {
+	case strings.Contains(ct, "json"):
+		return ExtractJSON(body)
+	case strings.Contains(ct, "x-www-form-urlencoded"):
+		return ExtractQuery(body)
+	case strings.Contains(ct, "multipart/form-data"):
+		return ExtractMultipart(contentType, body)
+	}
+	if kvs := ExtractJSON(body); kvs != nil {
+		return kvs
+	}
+	if strings.ContainsRune(body, '=') && !strings.ContainsAny(body, " <>{}") {
+		return ExtractQuery(body)
+	}
+	return nil
+}
+
+// ExtractFlowKVs gathers every key/value pair visible in a flow: URL query
+// parameters, cookie pairs, selected headers, and the parsed body.
+func ExtractFlowKVs(rawURL, cookie, contentType, body string) []KV {
+	var out []KV
+	if u, err := url.Parse(rawURL); err == nil {
+		out = append(out, ExtractQuery(u.RawQuery)...)
+		if u.Fragment != "" {
+			out = append(out, ExtractQuery(u.Fragment)...)
+		}
+	}
+	for _, part := range strings.Split(cookie, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if ok {
+			out = append(out, KV{"cookie." + k, v})
+		}
+	}
+	out = append(out, ExtractBody(contentType, body)...)
+	return out
+}

@@ -1,0 +1,143 @@
+package pii
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestExtractQuery(t *testing.T) {
+	got := ExtractQuery("a=1&b=two%20words&empty=&novalue")
+	want := []KV{{"a", "1"}, {"b", "two words"}, {"empty", ""}, {"novalue", ""}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ExtractQuery = %v, want %v", got, want)
+	}
+}
+
+func TestExtractQueryMalformedEscapeKeptVerbatim(t *testing.T) {
+	got := ExtractQuery("k=%ZZbad")
+	if len(got) != 1 || got[0].Value != "%ZZbad" {
+		t.Errorf("malformed escape = %v", got)
+	}
+}
+
+func TestExtractQueryEmpty(t *testing.T) {
+	if got := ExtractQuery(""); got != nil {
+		t.Errorf("empty = %v", got)
+	}
+}
+
+func TestExtractJSONNested(t *testing.T) {
+	got := ExtractJSON(`{"user":{"email":"x@y.z","ids":[7,8]},"ok":true,"note":null}`)
+	want := []KV{
+		{"note", ""},
+		{"ok", "true"},
+		{"user.email", "x@y.z"},
+		{"user.ids.0", "7"},
+		{"user.ids.1", "8"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ExtractJSON = %v, want %v", got, want)
+	}
+}
+
+func TestExtractJSONScalarRoot(t *testing.T) {
+	got := ExtractJSON(`"hello"`)
+	if len(got) != 1 || got[0] != (KV{"", "hello"}) {
+		t.Errorf("scalar root = %v", got)
+	}
+}
+
+func TestExtractJSONInvalid(t *testing.T) {
+	if got := ExtractJSON("not json at all {"); got != nil {
+		t.Errorf("invalid json = %v", got)
+	}
+}
+
+func TestExtractJSONPreservesBigNumbers(t *testing.T) {
+	got := ExtractJSON(`{"imei":356938035643809}`)
+	if len(got) != 1 || got[0].Value != "356938035643809" {
+		t.Errorf("big number mangled: %v", got)
+	}
+}
+
+func TestExtractBodyByContentType(t *testing.T) {
+	if got := ExtractBody("application/json; charset=utf-8", `{"a":"b"}`); len(got) != 1 || got[0] != (KV{"a", "b"}) {
+		t.Errorf("json body = %v", got)
+	}
+	if got := ExtractBody("application/x-www-form-urlencoded", "a=b&c=d"); len(got) != 2 {
+		t.Errorf("form body = %v", got)
+	}
+	if got := ExtractBody("", `{"a":"b"}`); len(got) != 1 {
+		t.Errorf("sniffed json = %v", got)
+	}
+	if got := ExtractBody("text/plain", "a=b&c=d"); len(got) != 2 {
+		t.Errorf("sniffed form = %v", got)
+	}
+	if got := ExtractBody("text/html", "<html>a=b</html>"); got != nil {
+		t.Errorf("html should not parse as form: %v", got)
+	}
+	if got := ExtractBody("application/json", ""); got != nil {
+		t.Errorf("empty body = %v", got)
+	}
+}
+
+func TestExtractFlowKVs(t *testing.T) {
+	got := ExtractFlowKVs(
+		"https://t.example/p?uid=42#frag=1",
+		"sid=abc; theme=dark",
+		"application/json",
+		`{"loc":"42.34"}`,
+	)
+	want := []KV{
+		{"uid", "42"},
+		{"frag", "1"},
+		{"cookie.sid", "abc"},
+		{"cookie.theme", "dark"},
+		{"loc", "42.34"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ExtractFlowKVs = %v, want %v", got, want)
+	}
+}
+
+func TestExtractFlowKVsBadURL(t *testing.T) {
+	got := ExtractFlowKVs("://bad", "", "", "k=v")
+	if len(got) != 1 || got[0] != (KV{"k", "v"}) {
+		t.Errorf("bad URL handling = %v", got)
+	}
+}
+
+func BenchmarkExtractJSON(b *testing.B) {
+	doc := `{"user":{"email":"x@y.z","name":"Jane Doe","ids":[1,2,3,4,5]},"device":{"os":"android","idfa":"abc"}}`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if kvs := ExtractJSON(doc); len(kvs) == 0 {
+			b.Fatal("no kvs")
+		}
+	}
+}
+
+func TestExtractMultipart(t *testing.T) {
+	body := "--BOUND\r\n" +
+		"Content-Disposition: form-data; name=\"email\"\r\n\r\n" +
+		"x@y.example\r\n" +
+		"--BOUND\r\n" +
+		"Content-Disposition: form-data; name=\"avatar\"; filename=\"me.png\"\r\n" +
+		"Content-Type: image/png\r\n\r\n" +
+		"\x89PNG...\r\n" +
+		"--BOUND--\r\n"
+	got := ExtractBody(`multipart/form-data; boundary=BOUND`, body)
+	want := []KV{{"email", "x@y.example"}, {"avatar", "me.png"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("multipart = %v, want %v", got, want)
+	}
+}
+
+func TestExtractMultipartMalformed(t *testing.T) {
+	if got := ExtractMultipart("multipart/form-data", "x"); got != nil {
+		t.Errorf("missing boundary = %v", got)
+	}
+	if got := ExtractMultipart("multipart/form-data; boundary=B", "garbage"); len(got) != 0 {
+		t.Errorf("garbage = %v", got)
+	}
+}

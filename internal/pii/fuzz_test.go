@@ -1,0 +1,66 @@
+package pii
+
+import (
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzExtractJSON: arbitrary bodies must never panic the flattener, and
+// every produced key must be non-crazy.
+func FuzzExtractJSON(f *testing.F) {
+	f.Add(`{"a":{"b":[1,2,{"c":"d"}]}}`)
+	f.Add(`"scalar"`)
+	f.Add(`[[[[1]]]]`)
+	f.Add(`{"a":`)
+	f.Fuzz(func(t *testing.T, body string) {
+		for _, kv := range ExtractJSON(body) {
+			if !utf8.ValidString(kv.Key) && utf8.ValidString(body) {
+				t.Fatalf("invalid key %q from valid input", kv.Key)
+			}
+		}
+	})
+}
+
+// FuzzExtractQuery: splitting must be total and lossless in pair count.
+func FuzzExtractQuery(f *testing.F) {
+	f.Add("a=1&b=%20&c")
+	f.Add("%%%=%%%&==")
+	f.Fuzz(func(t *testing.T, q string) {
+		_ = ExtractQuery(q)
+	})
+}
+
+// FuzzMatcherScan: the matcher must handle arbitrary content without
+// panicking and stay consistent between calls.
+func FuzzMatcherScan(f *testing.F) {
+	m := NewMatcher(testRecord())
+	f.Add("email=jane.doe.test@example.com")
+	f.Add("\x00\xff binary \xfe")
+	f.Fuzz(func(t *testing.T, content string) {
+		a := m.Scan("body", content)
+		b := m.Scan("body", content)
+		if len(a) != len(b) {
+			t.Fatalf("scan not deterministic: %d vs %d", len(a), len(b))
+		}
+	})
+}
+
+// FuzzRedact: redaction output must never still contain a raw needle of
+// the requested classes.
+func FuzzRedact(f *testing.F) {
+	rec := testRecord()
+	r := NewRedactor(rec)
+	m := NewMatcher(rec)
+	all := TypeSet(0)
+	for _, t := range AllTypes() {
+		all = all.Add(t)
+	}
+	f.Add("email=" + rec.Email)
+	f.Add("x=" + Encode(EncBase64, rec.IMEI))
+	f.Fuzz(func(t *testing.T, content string) {
+		out, _ := r.Redact(content, all)
+		if ms := m.Scan("body", out); len(ms) != 0 {
+			t.Fatalf("redacted content still matches %v: %q", ms, out)
+		}
+	})
+}

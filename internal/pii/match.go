@@ -1,0 +1,150 @@
+package pii
+
+import (
+	"sort"
+	"strings"
+)
+
+// Match is one occurrence of ground-truth PII found in flow content.
+type Match struct {
+	Type     Type
+	Value    string   // the plaintext ground-truth value
+	Encoding Encoding // how the value appeared on the wire
+	Where    string   // which part of the flow matched ("url", "headers", "body")
+}
+
+// Matcher searches flow content for the ground-truth values of a Record
+// under every supported encoding. Build one per device record and reuse it:
+// construction precomputes every (value, encoding) needle.
+type Matcher struct {
+	needles []needle
+}
+
+type needle struct {
+	text      string // what to search for
+	plaintext string // the original value
+	typ       Type
+	enc       Encoding
+	fold      bool // case-insensitive search
+}
+
+// minNeedleLen guards against false positives from very short values
+// matching incidental substrings, mirroring ReCon's length filter.
+const minNeedleLen = 3
+
+// NewMatcher precompiles the search needles for a ground-truth record.
+func NewMatcher(rec *Record) *Matcher {
+	m := &Matcher{}
+	encs := Encoders()
+	seen := make(map[string]bool)
+	for _, v := range rec.Values() {
+		for _, e := range encs {
+			t := e.Apply(v.Text)
+			if len(t) < minNeedleLen {
+				continue
+			}
+			// Case-insensitive matching only makes sense for textual
+			// encodings; digests and base64 are case-sensitive by nature
+			// (except hex digests, which appear in both cases — cover via
+			// fold on pure-hex needles).
+			fold := e.Name == EncIdentity || e.Name == EncLower || e.Name == EncUpper ||
+				e.Name == EncURL || e.Name == EncHex || e.OneWay
+			key := string(e.Name) + "\x00" + t
+			if fold {
+				key = string(e.Name) + "\x00" + asciiLower(t)
+			}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			m.needles = append(m.needles, needle{
+				text:      t,
+				plaintext: v.Text,
+				typ:       v.Type,
+				enc:       e.Name,
+				fold:      fold,
+			})
+		}
+	}
+	return m
+}
+
+// NumNeedles reports how many precompiled needles the matcher scans for.
+func (m *Matcher) NumNeedles() int { return len(m.needles) }
+
+// Scan searches one labeled section of flow content (e.g. the URL, the
+// header block, or the body) and returns all matches found, deduplicated by
+// (type, value, encoding).
+func (m *Matcher) Scan(where, content string) []Match {
+	if content == "" {
+		return nil
+	}
+	lower := ""
+	var out []Match
+	type dedup struct {
+		t Type
+		v string
+		e Encoding
+	}
+	found := make(map[dedup]bool)
+	for i := range m.needles {
+		n := &m.needles[i]
+		var hit bool
+		if n.fold {
+			if lower == "" {
+				// ASCII-only folding, matching the redactor: see
+				// asciiLower for why strings.ToLower is unsuitable.
+				lower = asciiLower(content)
+			}
+			hit = strings.Contains(lower, asciiLower(n.text))
+		} else {
+			hit = strings.Contains(content, n.text)
+		}
+		if !hit {
+			continue
+		}
+		k := dedup{n.typ, n.plaintext, n.enc}
+		if found[k] {
+			continue
+		}
+		found[k] = true
+		out = append(out, Match{Type: n.typ, Value: n.plaintext, Encoding: n.enc, Where: where})
+	}
+	sortMatches(out)
+	return out
+}
+
+// ScanAll scans several sections at once; the map key is the section name.
+func (m *Matcher) ScanAll(sections map[string]string) []Match {
+	names := make([]string, 0, len(sections))
+	for k := range sections {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var out []Match
+	for _, name := range names {
+		out = append(out, m.Scan(name, sections[name])...)
+	}
+	return out
+}
+
+// MatchTypes summarizes matches into the set of PII classes present.
+func MatchTypes(ms []Match) TypeSet {
+	var s TypeSet
+	for _, m := range ms {
+		s = s.Add(m.Type)
+	}
+	return s
+}
+
+func sortMatches(ms []Match) {
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].Type != ms[j].Type {
+			return ms[i].Type < ms[j].Type
+		}
+		if ms[i].Value != ms[j].Value {
+			return ms[i].Value < ms[j].Value
+		}
+		return ms[i].Encoding < ms[j].Encoding
+	})
+}

@@ -1,0 +1,147 @@
+package pii
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMatcherFindsIdentity(t *testing.T) {
+	m := NewMatcher(testRecord())
+	ms := m.Scan("url", "https://tracker.example/pixel?e=jane.doe.test@example.com")
+	if got := MatchTypes(ms); !got.Contains(Email) {
+		t.Fatalf("email not found, matches=%v", ms)
+	}
+}
+
+func TestMatcherFindsEncodedForms(t *testing.T) {
+	rec := testRecord()
+	m := NewMatcher(rec)
+	cases := []struct {
+		name string
+		body string
+		typ  Type
+		enc  Encoding
+	}{
+		{"urlencoded email", "e=jane.doe.test%40example.com", Email, EncURL},
+		{"base64 imei", "id=" + Encode(EncBase64, rec.IMEI), UniqueID, EncBase64},
+		{"md5 email", "h=" + Encode(EncMD5, rec.Email), Email, EncMD5},
+		{"sha256 adid", "h=" + Encode(EncSHA256, rec.AdID), UniqueID, EncSHA256},
+		{"hex mac", "m=" + Encode(EncHex, rec.MAC), UniqueID, EncHex},
+		{"uppercase username", "u=JDOE1990", Username, EncIdentity},
+	}
+	for _, c := range cases {
+		ms := m.Scan("body", c.body)
+		found := false
+		for _, match := range ms {
+			if match.Type == c.typ {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: type %v not detected in %q (got %v)", c.name, c.typ, c.body, ms)
+		}
+	}
+}
+
+func TestMatcherUppercaseHitMapsToSomeEncoding(t *testing.T) {
+	// "JDOE1990" matches the EncUpper needle of the username; the match must
+	// report the plaintext value regardless of which fold found it.
+	m := NewMatcher(testRecord())
+	ms := m.Scan("body", "u=JDOE1990")
+	if len(ms) == 0 {
+		t.Fatal("no match")
+	}
+	for _, match := range ms {
+		if match.Value != "jdoe1990" {
+			t.Errorf("match value = %q, want plaintext ground truth", match.Value)
+		}
+	}
+}
+
+func TestMatcherGPSPrecision(t *testing.T) {
+	m := NewMatcher(testRecord())
+	// Service truncates coordinates to two decimals.
+	ms := m.Scan("url", "https://ads.example/loc?ll=42.34,-71.09")
+	if !MatchTypes(ms).Contains(Location) {
+		t.Errorf("truncated GPS not detected: %v", ms)
+	}
+}
+
+func TestMatcherNoFalsePositiveOnCleanFlow(t *testing.T) {
+	m := NewMatcher(testRecord())
+	ms := m.Scan("body", "status=ok&count=12&ts=1458754800&session=zZtOpQ")
+	if len(ms) != 0 {
+		t.Errorf("false positives: %v", ms)
+	}
+}
+
+func TestMatcherEmptyContent(t *testing.T) {
+	m := NewMatcher(testRecord())
+	if ms := m.Scan("body", ""); ms != nil {
+		t.Errorf("empty scan = %v", ms)
+	}
+}
+
+func TestMatcherDeduplicates(t *testing.T) {
+	m := NewMatcher(testRecord())
+	body := "a=jdoe1990&b=jdoe1990&c=jdoe1990"
+	ms := m.Scan("body", body)
+	count := 0
+	for _, match := range ms {
+		if match.Type == Username && match.Encoding == EncIdentity {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("identity username matched %d times, want 1", count)
+	}
+}
+
+func TestScanAllIsDeterministic(t *testing.T) {
+	m := NewMatcher(testRecord())
+	sections := map[string]string{
+		"url":  "https://x.example/?u=jdoe1990",
+		"body": "e=jane.doe.test@example.com",
+	}
+	a := m.ScanAll(sections)
+	b := m.ScanAll(sections)
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("nondeterministic order at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// url section sorts before body alphabetically? "body" < "url", so body
+	// matches come first.
+	if a[0].Where != "body" {
+		t.Errorf("sections not scanned in sorted order: first=%v", a[0])
+	}
+}
+
+func TestMatcherPasswordInJSON(t *testing.T) {
+	m := NewMatcher(testRecord())
+	body := `{"event":"login","props":{"user":"jdoe1990","password":"s3cr3tPass!"}}`
+	got := MatchTypes(m.Scan("body", body))
+	if !got.Contains(Password) || !got.Contains(Username) {
+		t.Errorf("password/username not detected in JSON body: %v", got)
+	}
+}
+
+func TestNumNeedlesScalesWithEncoders(t *testing.T) {
+	m := NewMatcher(testRecord())
+	if m.NumNeedles() < len(testRecord().Values()) {
+		t.Errorf("needles (%d) fewer than values (%d)", m.NumNeedles(), len(testRecord().Values()))
+	}
+}
+
+func TestMatcherLongBodyPerformanceShape(t *testing.T) {
+	// Guard against accidental O(needles × n²) behaviour: a 1 MB body should
+	// still scan quickly. This is a smoke check, not a benchmark.
+	m := NewMatcher(testRecord())
+	body := strings.Repeat("x", 1<<20)
+	if ms := m.Scan("body", body); len(ms) != 0 {
+		t.Errorf("unexpected matches: %v", ms)
+	}
+}

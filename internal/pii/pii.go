@@ -1,0 +1,327 @@
+// Package pii defines the taxonomy of personally identifiable information
+// used throughout the study, ground-truth records for controlled
+// experiments, common wire encodings of PII values, a direct string
+// matcher, and structured key/value extractors for HTTP flows.
+//
+// The taxonomy mirrors the ten identifier classes of the paper's Table 1:
+// Birthday, Device info (device name), Email address, Gender, Location,
+// Name, Phone number, Username, Password, and Unique identifiers.
+package pii
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// Type identifies one class of personally identifiable information.
+type Type uint8
+
+// The identifier classes of Table 1, in the paper's column order
+// (B, D, E, G, L, N, P#, U, PW, UID).
+const (
+	Birthday Type = iota
+	DeviceName
+	Email
+	Gender
+	Location
+	Name
+	PhoneNumber
+	Username
+	Password
+	UniqueID
+
+	numTypes
+)
+
+// NumTypes is the number of distinct PII classes.
+const NumTypes = int(numTypes)
+
+var typeNames = [numTypes]string{
+	Birthday:    "Birthday",
+	DeviceName:  "Device Name",
+	Email:       "Email",
+	Gender:      "Gender",
+	Location:    "Location",
+	Name:        "Name",
+	PhoneNumber: "Phone #",
+	Username:    "Username",
+	Password:    "Password",
+	UniqueID:    "Unique ID",
+}
+
+var typeAbbrevs = [numTypes]string{
+	Birthday:    "B",
+	DeviceName:  "D",
+	Email:       "E",
+	Gender:      "G",
+	Location:    "L",
+	Name:        "N",
+	PhoneNumber: "P#",
+	Username:    "U",
+	Password:    "PW",
+	UniqueID:    "UID",
+}
+
+// String returns the human-readable name used in the paper's tables.
+func (t Type) String() string {
+	if t >= numTypes {
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+	return typeNames[t]
+}
+
+// Abbrev returns the short column label used in Table 1 (B, D, E, G, L, N,
+// P#, U, PW, UID).
+func (t Type) Abbrev() string {
+	if t >= numTypes {
+		return "?"
+	}
+	return typeAbbrevs[t]
+}
+
+// Valid reports whether t names one of the defined PII classes.
+func (t Type) Valid() bool { return t < numTypes }
+
+// ParseType resolves a type from its name or abbreviation,
+// case-insensitively.
+func ParseType(s string) (Type, error) {
+	for t := Type(0); t < numTypes; t++ {
+		if strings.EqualFold(s, typeNames[t]) || strings.EqualFold(s, typeAbbrevs[t]) {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("pii: unknown type %q", s)
+}
+
+// AllTypes returns the PII classes in canonical (Table 1 column) order.
+func AllTypes() []Type {
+	ts := make([]Type, numTypes)
+	for i := range ts {
+		ts[i] = Type(i)
+	}
+	return ts
+}
+
+// TypeSet is a bit set of PII classes. The zero value is the empty set.
+type TypeSet uint16
+
+// NewTypeSet builds a set from the given classes.
+func NewTypeSet(types ...Type) TypeSet {
+	var s TypeSet
+	for _, t := range types {
+		s = s.Add(t)
+	}
+	return s
+}
+
+// Add returns the set with t included.
+func (s TypeSet) Add(t Type) TypeSet {
+	if !t.Valid() {
+		return s
+	}
+	return s | 1<<t
+}
+
+// Remove returns the set with t excluded.
+func (s TypeSet) Remove(t Type) TypeSet { return s &^ (1 << t) }
+
+// Contains reports whether t is in the set.
+func (s TypeSet) Contains(t Type) bool { return t.Valid() && s&(1<<t) != 0 }
+
+// Union returns s ∪ o.
+func (s TypeSet) Union(o TypeSet) TypeSet { return s | o }
+
+// Intersect returns s ∩ o.
+func (s TypeSet) Intersect(o TypeSet) TypeSet { return s & o }
+
+// Diff returns s \ o.
+func (s TypeSet) Diff(o TypeSet) TypeSet { return s &^ o }
+
+// Len returns the number of classes in the set.
+func (s TypeSet) Len() int { return bits.OnesCount16(uint16(s)) }
+
+// Empty reports whether the set has no members.
+func (s TypeSet) Empty() bool { return s == 0 }
+
+// Types returns the members in canonical order.
+func (s TypeSet) Types() []Type {
+	var ts []Type
+	for t := Type(0); t < numTypes; t++ {
+		if s.Contains(t) {
+			ts = append(ts, t)
+		}
+	}
+	return ts
+}
+
+// Jaccard returns the Jaccard index |s∩o| / |s∪o| of the two sets. By the
+// paper's convention (Figure 1f), two empty sets have index 1: they leak
+// identical (empty) information.
+func (s TypeSet) Jaccard(o TypeSet) float64 {
+	u := s.Union(o).Len()
+	if u == 0 {
+		return 1
+	}
+	return float64(s.Intersect(o).Len()) / float64(u)
+}
+
+// String renders the set as its abbreviations, e.g. "L,N,UID".
+func (s TypeSet) String() string {
+	if s.Empty() {
+		return "∅"
+	}
+	var parts []string
+	for _, t := range s.Types() {
+		parts = append(parts, t.Abbrev())
+	}
+	return strings.Join(parts, ",")
+}
+
+// Record holds the ground-truth PII loaded onto a test device for a
+// controlled experiment. As in the paper (§3.2), experiments are controlled:
+// every value that could possibly leak is known in advance.
+type Record struct {
+	Username  string
+	Password  string
+	Email     string
+	FirstName string
+	LastName  string
+	Gender    string // "male" / "female"
+	Birthday  string // ISO date, e.g. "1990-04-12"
+	Phone     string // digits only, e.g. "6175551234"
+	ZIP       string
+
+	Latitude  float64
+	Longitude float64
+
+	// Device-specific identifiers.
+	IMEI       string
+	MAC        string // colon-separated lowercase hex
+	AndroidID  string
+	IDFA       string // iOS advertising identifier
+	AdID       string // Google advertising identifier
+	DeviceName string // e.g. "Nexus 5", "iPhone 5"
+	Serial     string
+}
+
+// FullName returns "First Last" or the empty string if unknown.
+func (r *Record) FullName() string {
+	if r.FirstName == "" && r.LastName == "" {
+		return ""
+	}
+	return strings.TrimSpace(r.FirstName + " " + r.LastName)
+}
+
+// Value is one concrete ground-truth string, tagged with its class.
+type Value struct {
+	Type Type
+	Text string
+}
+
+// Values expands the record into the concrete strings a matcher should look
+// for, including the common variants a service might transmit (name order,
+// MAC without separators, GPS at several precisions, birthday formats).
+// Values shorter than four characters are excluded except where the class
+// makes short values meaningful; this mirrors ReCon's guard against
+// false-positive substring hits.
+func (r *Record) Values() []Value {
+	var vs []Value
+	add := func(t Type, texts ...string) {
+		for _, s := range texts {
+			if s == "" {
+				continue
+			}
+			vs = append(vs, Value{t, s})
+		}
+	}
+
+	add(Username, r.Username)
+	add(Password, r.Password)
+	add(Email, r.Email)
+	if n := r.FullName(); n != "" {
+		add(Name, n, r.LastName+" "+r.FirstName, r.FirstName+"+"+r.LastName)
+	}
+	if len(r.FirstName) >= 4 {
+		add(Name, r.FirstName)
+	}
+	if len(r.LastName) >= 4 {
+		add(Name, r.LastName)
+	}
+	add(Gender, r.Gender)
+	if r.Birthday != "" {
+		add(Birthday, r.Birthday, strings.ReplaceAll(r.Birthday, "-", "/"), strings.ReplaceAll(r.Birthday, "-", ""))
+	}
+	add(PhoneNumber, r.Phone)
+	if len(r.Phone) == 10 {
+		add(PhoneNumber, fmt.Sprintf("(%s) %s-%s", r.Phone[:3], r.Phone[3:6], r.Phone[6:]),
+			fmt.Sprintf("%s-%s-%s", r.Phone[:3], r.Phone[3:6], r.Phone[6:]),
+			"+1"+r.Phone)
+	}
+	add(Location, r.ZIP)
+	for _, v := range gpsVariants(r.Latitude, r.Longitude) {
+		add(Location, v)
+	}
+	add(UniqueID, r.IMEI, r.AndroidID, r.IDFA, r.AdID, r.Serial)
+	if r.MAC != "" {
+		add(UniqueID, r.MAC, strings.ReplaceAll(r.MAC, ":", ""), strings.ToUpper(r.MAC))
+	}
+	add(DeviceName, r.DeviceName)
+
+	// Deduplicate while keeping order stable.
+	seen := make(map[Value]bool, len(vs))
+	out := vs[:0]
+	for _, v := range vs {
+		if len(v.Text) < 3 {
+			continue
+		}
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// gpsVariants renders a coordinate pair at the precisions services
+// typically use (the paper notes GPS locations are "sent with arbitrary
+// precision"). Both "lat,lon" and the bare latitude string are produced so
+// that split query parameters (lat=..&lon=..) still match.
+func gpsVariants(lat, lon float64) []string {
+	if lat == 0 && lon == 0 {
+		return nil
+	}
+	var out []string
+	for _, prec := range []int{6, 4, 2} {
+		la := trimFloat(lat, prec)
+		lo := trimFloat(lon, prec)
+		out = append(out, la+","+lo, la)
+	}
+	return out
+}
+
+func trimFloat(f float64, prec int) string {
+	s := fmt.Sprintf("%.*f", prec, f)
+	return s
+}
+
+// TypesOf summarizes a slice of values into the set of classes present.
+func TypesOf(vs []Value) TypeSet {
+	var s TypeSet
+	for _, v := range vs {
+		s = s.Add(v.Type)
+	}
+	return s
+}
+
+// SortValues orders values by class then text; useful for deterministic
+// output in reports and tests.
+func SortValues(vs []Value) {
+	sort.Slice(vs, func(i, j int) bool {
+		if vs[i].Type != vs[j].Type {
+			return vs[i].Type < vs[j].Type
+		}
+		return vs[i].Text < vs[j].Text
+	})
+}

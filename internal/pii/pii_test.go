@@ -1,0 +1,261 @@
+package pii
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func testRecord() *Record {
+	return &Record{
+		Username:   "jdoe1990",
+		Password:   "s3cr3tPass!",
+		Email:      "jane.doe.test@example.com",
+		FirstName:  "Jane",
+		LastName:   "Doering",
+		Gender:     "female",
+		Birthday:   "1990-04-12",
+		Phone:      "6175551234",
+		ZIP:        "02115",
+		Latitude:   42.340382,
+		Longitude:  -71.089001,
+		IMEI:       "356938035643809",
+		MAC:        "ac:37:43:9b:aa:01",
+		AndroidID:  "9774d56d682e549c",
+		IDFA:       "EA7583CD-A667-48BC-B806-42ECB2B48606",
+		AdID:       "cdda802e-fb9c-47ad-9866-0794d394c912",
+		DeviceName: "Nexus 5",
+		Serial:     "014E05DE0F02000E",
+	}
+}
+
+func TestTypeStringAndAbbrev(t *testing.T) {
+	cases := []struct {
+		t      Type
+		name   string
+		abbrev string
+	}{
+		{Birthday, "Birthday", "B"},
+		{DeviceName, "Device Name", "D"},
+		{Email, "Email", "E"},
+		{Gender, "Gender", "G"},
+		{Location, "Location", "L"},
+		{Name, "Name", "N"},
+		{PhoneNumber, "Phone #", "P#"},
+		{Username, "Username", "U"},
+		{Password, "Password", "PW"},
+		{UniqueID, "Unique ID", "UID"},
+	}
+	if len(cases) != NumTypes {
+		t.Fatalf("test covers %d types, want %d", len(cases), NumTypes)
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.name {
+			t.Errorf("%v.String() = %q, want %q", int(c.t), got, c.name)
+		}
+		if got := c.t.Abbrev(); got != c.abbrev {
+			t.Errorf("%v.Abbrev() = %q, want %q", c.name, got, c.abbrev)
+		}
+	}
+}
+
+func TestTypeInvalid(t *testing.T) {
+	bad := Type(200)
+	if bad.Valid() {
+		t.Error("Type(200).Valid() = true")
+	}
+	if got := bad.String(); got != "Type(200)" {
+		t.Errorf("invalid String() = %q", got)
+	}
+	if got := bad.Abbrev(); got != "?" {
+		t.Errorf("invalid Abbrev() = %q", got)
+	}
+}
+
+func TestParseType(t *testing.T) {
+	for _, typ := range AllTypes() {
+		for _, s := range []string{typ.String(), typ.Abbrev()} {
+			got, err := ParseType(s)
+			if err != nil {
+				t.Fatalf("ParseType(%q): %v", s, err)
+			}
+			if got != typ {
+				t.Errorf("ParseType(%q) = %v, want %v", s, got, typ)
+			}
+		}
+	}
+	if got, err := ParseType("phone #"); err != nil || got != PhoneNumber {
+		t.Errorf("case-insensitive parse failed: %v %v", got, err)
+	}
+	if _, err := ParseType("nonsense"); err == nil {
+		t.Error("ParseType(nonsense) succeeded")
+	}
+}
+
+func TestTypeSetBasics(t *testing.T) {
+	s := NewTypeSet(Location, UniqueID)
+	if !s.Contains(Location) || !s.Contains(UniqueID) || s.Contains(Email) {
+		t.Errorf("membership wrong: %v", s)
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d, want 2", s.Len())
+	}
+	s = s.Add(Email).Remove(Location)
+	if s.Contains(Location) || !s.Contains(Email) {
+		t.Errorf("add/remove wrong: %v", s)
+	}
+	if got := NewTypeSet(Location, Name, UniqueID).String(); got != "L,N,UID" {
+		t.Errorf("String = %q", got)
+	}
+	if got := TypeSet(0).String(); got != "∅" {
+		t.Errorf("empty String = %q", got)
+	}
+	// Adding an invalid type is a no-op.
+	if got := TypeSet(0).Add(Type(99)); !got.Empty() {
+		t.Errorf("Add(invalid) = %v", got)
+	}
+}
+
+func TestTypeSetTypesRoundTrip(t *testing.T) {
+	in := []Type{Birthday, Gender, Password}
+	s := NewTypeSet(in...)
+	if got := s.Types(); !reflect.DeepEqual(got, in) {
+		t.Errorf("Types() = %v, want %v", got, in)
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	a := NewTypeSet(Location, Name)
+	b := NewTypeSet(Location, UniqueID)
+	if got := a.Jaccard(b); got != 1.0/3.0 {
+		t.Errorf("Jaccard = %v, want 1/3", got)
+	}
+	if got := a.Jaccard(a); got != 1 {
+		t.Errorf("self Jaccard = %v", got)
+	}
+	if got := TypeSet(0).Jaccard(TypeSet(0)); got != 1 {
+		t.Errorf("empty-empty Jaccard = %v (paper convention: 1)", got)
+	}
+	if got := a.Jaccard(TypeSet(0)); got != 0 {
+		t.Errorf("disjoint Jaccard = %v", got)
+	}
+}
+
+// Property: Jaccard is symmetric, bounded in [0,1], and 1 on equal sets.
+func TestJaccardProperties(t *testing.T) {
+	f := func(x, y uint16) bool {
+		a := TypeSet(x) & (1<<numTypes - 1)
+		b := TypeSet(y) & (1<<numTypes - 1)
+		j1, j2 := a.Jaccard(b), b.Jaccard(a)
+		if j1 != j2 {
+			return false
+		}
+		if j1 < 0 || j1 > 1 {
+			return false
+		}
+		return a.Jaccard(a) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: set algebra obeys the inclusion–exclusion cardinality law.
+func TestSetAlgebraProperties(t *testing.T) {
+	f := func(x, y uint16) bool {
+		a := TypeSet(x) & (1<<numTypes - 1)
+		b := TypeSet(y) & (1<<numTypes - 1)
+		return a.Union(b).Len()+a.Intersect(b).Len() == a.Len()+b.Len() &&
+			a.Diff(b).Len() == a.Len()-a.Intersect(b).Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecordValuesCoverAllClasses(t *testing.T) {
+	rec := testRecord()
+	got := TypesOf(rec.Values())
+	for _, typ := range AllTypes() {
+		if !got.Contains(typ) {
+			t.Errorf("Values() missing class %v", typ)
+		}
+	}
+}
+
+func TestRecordValuesVariants(t *testing.T) {
+	rec := testRecord()
+	want := map[string]Type{
+		"Jane Doering":      Name,
+		"ac:37:43:9b:aa:01": UniqueID,
+		"ac37439baa01":      UniqueID,
+		"(617) 555-1234":    PhoneNumber,
+		"+16175551234":      PhoneNumber,
+		"1990/04/12":        Birthday,
+		"19900412":          Birthday,
+		"42.340382":         Location,
+		"42.34":             Location,
+		"42.3404,-71.0890":  Location,
+	}
+	have := make(map[string]Type)
+	for _, v := range rec.Values() {
+		have[v.Text] = v.Type
+	}
+	for text, typ := range want {
+		gt, ok := have[text]
+		if !ok {
+			t.Errorf("Values() missing variant %q", text)
+			continue
+		}
+		if gt != typ {
+			t.Errorf("variant %q classified %v, want %v", text, gt, typ)
+		}
+	}
+}
+
+func TestRecordValuesNoDuplicatesOrShorts(t *testing.T) {
+	rec := testRecord()
+	vs := rec.Values()
+	seen := make(map[Value]bool)
+	for _, v := range vs {
+		if len(v.Text) < 3 {
+			t.Errorf("short value %q survived", v.Text)
+		}
+		if seen[v] {
+			t.Errorf("duplicate value %+v", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestFullName(t *testing.T) {
+	if got := (&Record{}).FullName(); got != "" {
+		t.Errorf("empty FullName = %q", got)
+	}
+	if got := (&Record{FirstName: "Jane"}).FullName(); got != "Jane" {
+		t.Errorf("first-only FullName = %q", got)
+	}
+}
+
+func TestSortValuesDeterministic(t *testing.T) {
+	vs := []Value{{Name, "b"}, {Birthday, "z"}, {Name, "a"}}
+	SortValues(vs)
+	want := []Value{{Birthday, "z"}, {Name, "a"}, {Name, "b"}}
+	if !reflect.DeepEqual(vs, want) {
+		t.Errorf("SortValues = %v", vs)
+	}
+}
+
+func TestGPSVariantsZeroIsland(t *testing.T) {
+	if got := gpsVariants(0, 0); got != nil {
+		t.Errorf("gpsVariants(0,0) = %v, want nil", got)
+	}
+}
+
+func BenchmarkRecordValues(b *testing.B) {
+	rec := testRecord()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = rec.Values()
+	}
+}

@@ -1,0 +1,133 @@
+package pii
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRedactPlainValues(t *testing.T) {
+	r := NewRedactor(testRecord())
+	out, hit := r.Redact("email=jane.doe.test@example.com&sid=9", NewTypeSet(Email))
+	if strings.Contains(out, "jane.doe.test@example.com") {
+		t.Errorf("email survived: %q", out)
+	}
+	if !strings.Contains(out, RedactionMark) || !hit.Contains(Email) {
+		t.Errorf("out=%q hit=%v", out, hit)
+	}
+	if !strings.Contains(out, "sid=9") {
+		t.Errorf("non-PII content damaged: %q", out)
+	}
+}
+
+func TestRedactEncodedValues(t *testing.T) {
+	rec := testRecord()
+	r := NewRedactor(rec)
+	for _, enc := range []Encoding{EncURL, EncBase64, EncMD5, EncSHA256} {
+		in := "v=" + Encode(enc, rec.Email)
+		out, hit := r.Redact(in, NewTypeSet(Email))
+		if !hit.Contains(Email) {
+			t.Errorf("%s: not redacted: %q", enc, out)
+		}
+	}
+}
+
+func TestRedactRespectsTypeFilter(t *testing.T) {
+	rec := testRecord()
+	r := NewRedactor(rec)
+	in := "email=" + rec.Email + "&user=" + rec.Username
+	out, hit := r.Redact(in, NewTypeSet(Email))
+	if !strings.Contains(out, rec.Username) {
+		t.Errorf("username redacted despite filter: %q", out)
+	}
+	if hit != NewTypeSet(Email) {
+		t.Errorf("hit = %v", hit)
+	}
+	out2, hit2 := r.Redact(in, 0)
+	if out2 != in || !hit2.Empty() {
+		t.Error("empty filter must be a no-op")
+	}
+}
+
+func TestRedactCaseInsensitive(t *testing.T) {
+	r := NewRedactor(testRecord())
+	out, hit := r.Redact("u=JDOE1990", NewTypeSet(Username))
+	if !hit.Contains(Username) || strings.Contains(strings.ToLower(out), "jdoe1990") {
+		t.Errorf("fold redaction failed: %q", out)
+	}
+}
+
+func TestRedactLongestFirst(t *testing.T) {
+	// "Jane Doering" must be redacted as one unit, not leave "Jane "
+	// behind after "Doering" is cut out.
+	r := NewRedactor(testRecord())
+	out, _ := r.Redact("name=Jane Doering", NewTypeSet(Name))
+	if strings.Contains(out, "Jane") || strings.Contains(out, "Doering") {
+		t.Errorf("partial name survived: %q", out)
+	}
+}
+
+func TestRedactIdempotentOnCleanContent(t *testing.T) {
+	r := NewRedactor(testRecord())
+	in := "k=v&status=ok"
+	out, hit := r.Redact(in, NewTypeSet(Email, Location, UniqueID))
+	if out != in || !hit.Empty() {
+		t.Errorf("clean content modified: %q %v", out, hit)
+	}
+}
+
+func TestRedactJSONBodyStructurePreserved(t *testing.T) {
+	rec := testRecord()
+	r := NewRedactor(rec)
+	in := `{"props":{"email":"` + rec.Email + `","ll":"42.3404,-71.0890"}}`
+	out, hit := r.Redact(in, NewTypeSet(Email, Location))
+	if !hit.Contains(Email) || !hit.Contains(Location) {
+		t.Fatalf("hit = %v (%q)", hit, out)
+	}
+	// The body must still be JSON: values replaced inside their quotes.
+	if ExtractJSON(out) == nil {
+		t.Errorf("redacted body is no longer JSON: %q", out)
+	}
+}
+
+func BenchmarkRedact(b *testing.B) {
+	rec := testRecord()
+	r := NewRedactor(rec)
+	in := "email=" + rec.Email + "&ll=42.3404,-71.0890&device_id=" + rec.AdID
+	all := TypeSet(0)
+	for _, t := range AllTypes() {
+		all = all.Add(t)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, hit := r.Redact(in, all); hit.Empty() {
+			b.Fatal("nothing redacted")
+		}
+	}
+}
+
+// Property: redaction is complete — after redacting a class, the matcher
+// finds no trace of it, for every encoding the matcher itself knows.
+func TestRedactThenScanFindsNothing(t *testing.T) {
+	rec := testRecord()
+	m := NewMatcher(rec)
+	r := NewRedactor(rec)
+	all := TypeSet(0)
+	for _, typ := range AllTypes() {
+		all = all.Add(typ)
+	}
+	var contents []string
+	for _, v := range rec.Values() {
+		for _, e := range Encoders() {
+			contents = append(contents,
+				"k="+e.Apply(v.Text)+"&pad=1",
+				`{"field":"`+e.Apply(v.Text)+`"}`,
+				"prefix "+e.Apply(v.Text)+" suffix")
+		}
+	}
+	for _, c := range contents {
+		out, _ := r.Redact(c, all)
+		if ms := m.Scan("body", out); len(ms) != 0 {
+			t.Fatalf("matcher still finds %v in %q (from %q)", ms, out, c)
+		}
+	}
+}

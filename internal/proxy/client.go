@@ -1,0 +1,53 @@
+package proxy
+
+import (
+	"crypto/tls"
+	"crypto/x509"
+	"fmt"
+	"net/http"
+	"net/url"
+)
+
+// ClientTransport returns the device-side transport: every request is sent
+// through the measurement proxy, TLS trusts the device's root store (which
+// includes the interception CA, as on a phone provisioned with the
+// mitmproxy profile), and connections are not reused so that one request
+// equals one TCP connection — the paper's flow unit.
+func ClientTransport(proxyURL *url.URL, trust *x509.CertPool) *http.Transport {
+	return &http.Transport{
+		Proxy: http.ProxyURL(proxyURL),
+		TLSClientConfig: &tls.Config{
+			RootCAs:            trust,
+			ClientSessionCache: tls.NewLRUClientSessionCache(64),
+		},
+		DisableKeepAlives:  true,
+		DisableCompression: true,
+	}
+}
+
+// ErrPinMismatch is returned (wrapped) by pinned transports when the
+// presented certificate does not carry the expected public identity.
+var ErrPinMismatch = fmt.Errorf("certificate pin mismatch")
+
+// PinnedTransport returns a transport for an app that pins its origin
+// server's certificate (the behaviour that excluded Facebook and Twitter
+// from the study, §3.1/§3.3). The chain must verify against the device
+// store and the leaf must match the pinned SHA-256 fingerprint; behind an
+// intercepting proxy the minted leaf cannot match, so requests fail.
+func PinnedTransport(proxyURL *url.URL, trust *x509.CertPool, pinSHA256 string) *http.Transport {
+	t := ClientTransport(proxyURL, trust)
+	t.TLSClientConfig.VerifyPeerCertificate = func(rawCerts [][]byte, _ [][]*x509.Certificate) error {
+		if len(rawCerts) == 0 {
+			return fmt.Errorf("%w: no certificate presented", ErrPinMismatch)
+		}
+		leaf, err := x509.ParseCertificate(rawCerts[0])
+		if err != nil {
+			return err
+		}
+		if got := Fingerprint(leaf); got != pinSHA256 {
+			return fmt.Errorf("%w: got %s", ErrPinMismatch, got[:16])
+		}
+		return nil
+	}
+	return t
+}

@@ -1,0 +1,504 @@
+package proxy
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"crypto/tls"
+	"crypto/x509"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"appvsweb/internal/capture"
+)
+
+// Config parameterizes a measurement proxy.
+type Config struct {
+	// CA is the interception authority. Required to decrypt HTTPS; with a
+	// nil CA, CONNECT tunnels are refused (plaintext-only proxying).
+	CA *CA
+	// Resolver locates upstream servers. Required.
+	Resolver Resolver
+	// OriginPool holds the roots the proxy trusts when dialing upstream
+	// TLS servers (the simulated web PKI). Nil means system roots.
+	OriginPool *x509.CertPool
+	// Sink receives one capture.Flow per exchange. Required.
+	Sink capture.Sink
+	// Now supplies flow timestamps; the experiment runner injects its
+	// virtual clock. Defaults to time.Now.
+	Now func() time.Time
+	// ClientID is stamped on every flow (the device/session identity the
+	// Meddle VPN would provide).
+	ClientID string
+	// MaxBodyBytes caps recorded request bodies. Defaults to 1 MiB.
+	MaxBodyBytes int64
+	// DisableTLSResume turns off the upstream TLS session cache; used by
+	// the ablation bench.
+	DisableTLSResume bool
+	// Rewriter, when set, may rewrite each intercepted request before it
+	// is forwarded upstream — the ReCon-style protection mode the paper's
+	// conclusion proposes. Recorded flows reflect what actually reached
+	// the network.
+	Rewriter Rewriter
+}
+
+// Rewriter rewrites intercepted requests in flight.
+type Rewriter interface {
+	// Rewrite receives the destination host, whether the transport is
+	// plaintext, the absolute URL, and the request body. It returns the
+	// (possibly modified) URL and body, and whether anything changed.
+	Rewrite(host string, plaintext bool, url string, body []byte) (newURL string, newBody []byte, changed bool)
+}
+
+// Proxy is a recording HTTP(S) forward proxy.
+type Proxy struct {
+	cfg      Config
+	upstream *http.Transport
+	srv      *http.Server
+	ln       net.Listener
+
+	mu     sync.Mutex
+	closed bool
+
+	stats struct {
+		tunnels        atomic.Int64 // CONNECT tunnels accepted
+		tunnelFailures atomic.Int64 // tunnels that died before a request
+		requests       atomic.Int64 // exchanges served (plain + tunneled)
+		upstreamErrors atomic.Int64 // 502s returned
+		bytesUp        atomic.Int64
+		bytesDown      atomic.Int64
+	}
+}
+
+// Stats is a snapshot of the proxy's operational counters.
+type Stats struct {
+	Tunnels        int64
+	TunnelFailures int64
+	Requests       int64
+	UpstreamErrors int64
+	BytesUp        int64
+	BytesDown      int64
+}
+
+// Stats returns the current counters.
+func (p *Proxy) Stats() Stats {
+	return Stats{
+		Tunnels:        p.stats.tunnels.Load(),
+		TunnelFailures: p.stats.tunnelFailures.Load(),
+		Requests:       p.stats.requests.Load(),
+		UpstreamErrors: p.stats.upstreamErrors.Load(),
+		BytesUp:        p.stats.bytesUp.Load(),
+		BytesDown:      p.stats.bytesDown.Load(),
+	}
+}
+
+// hop-by-hop headers stripped when forwarding (RFC 7230 §6.1).
+var hopHeaders = []string{
+	"Connection", "Proxy-Connection", "Keep-Alive", "Proxy-Authenticate",
+	"Proxy-Authorization", "Te", "Trailer", "Transfer-Encoding", "Upgrade",
+}
+
+// New builds a proxy from the config.
+func New(cfg Config) (*Proxy, error) {
+	if cfg.Resolver == nil {
+		return nil, errors.New("proxy: Resolver is required")
+	}
+	if cfg.Sink == nil {
+		return nil, errors.New("proxy: Sink is required")
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	tlsCfg := &tls.Config{RootCAs: cfg.OriginPool}
+	if !cfg.DisableTLSResume {
+		tlsCfg.ClientSessionCache = tls.NewLRUClientSessionCache(256)
+	}
+	p := &Proxy{
+		cfg: cfg,
+		upstream: &http.Transport{
+			DialContext:         DialContext(cfg.Resolver),
+			TLSClientConfig:     tlsCfg,
+			MaxIdleConnsPerHost: 8,
+			IdleConnTimeout:     30 * time.Second,
+		},
+	}
+	p.srv = &http.Server{Handler: p}
+	return p, nil
+}
+
+// Start listens on an ephemeral loopback port and serves until Close.
+func (p *Proxy) Start() error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("proxy: listen: %w", err)
+	}
+	p.ln = ln
+	go p.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return nil
+}
+
+// Addr returns the proxy's listen address, e.g. "127.0.0.1:40123".
+func (p *Proxy) Addr() string {
+	if p.ln == nil {
+		return ""
+	}
+	return p.ln.Addr().String()
+}
+
+// URL returns the proxy URL for http.Transport.Proxy.
+func (p *Proxy) URL() *url.URL {
+	return &url.URL{Scheme: "http", Host: p.Addr()}
+}
+
+// Close shuts the proxy down and releases its upstream connections.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.upstream.CloseIdleConnections()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return p.srv.Shutdown(ctx)
+}
+
+// ServeHTTP dispatches plaintext proxying and CONNECT interception.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodConnect {
+		p.handleConnect(w, r)
+		return
+	}
+	p.handleHTTP(w, r)
+}
+
+// handleHTTP forwards an absolute-URI plaintext request.
+func (p *Proxy) handleHTTP(w http.ResponseWriter, r *http.Request) {
+	if !r.URL.IsAbs() {
+		http.Error(w, "proxy: absolute URI required", http.StatusBadRequest)
+		return
+	}
+	start := p.cfg.Now()
+	body, err := p.readBody(r)
+	if err != nil {
+		http.Error(w, "proxy: read body: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	host := strings.ToLower(r.URL.Hostname())
+	absURL, body, rewritten := p.rewrite(host, true, r.URL.String(), body)
+	out := p.outboundRequest(r, absURL, body)
+	resp, respBody, upErr := p.roundTrip(out)
+
+	f := p.newFlow(start, capture.HTTP, r, host, absURL, body, false)
+	f.Rewritten = rewritten
+	if upErr != nil {
+		p.writeError(w, f, upErr)
+		return
+	}
+	p.finishFlow(f, resp, respBody)
+	for k, vv := range resp.Header {
+		for _, v := range vv {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	w.Write(respBody) //nolint:errcheck // client teardown is not an error
+	p.recordStats(f)
+	p.cfg.Sink.Record(f)
+}
+
+// handleConnect hijacks the connection, terminates TLS with a minted
+// certificate, and serves the decrypted requests inside the tunnel.
+func (p *Proxy) handleConnect(w http.ResponseWriter, r *http.Request) {
+	if p.cfg.CA == nil {
+		http.Error(w, "proxy: TLS interception disabled", http.StatusForbidden)
+		return
+	}
+	host, _, err := net.SplitHostPort(r.Host)
+	if err != nil {
+		host = r.Host
+	}
+	host = strings.ToLower(host)
+
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		http.Error(w, "proxy: hijacking unsupported", http.StatusInternalServerError)
+		return
+	}
+	raw, _, err := hj.Hijack()
+	if err != nil {
+		return
+	}
+	p.stats.tunnels.Add(1)
+	defer raw.Close()
+	if _, err := io.WriteString(raw, "HTTP/1.1 200 Connection Established\r\n\r\n"); err != nil {
+		return
+	}
+
+	tlsConn := tls.Server(raw, &tls.Config{GetCertificate: p.cfg.CA.GetCertificate(host)})
+	defer tlsConn.Close()
+	start := p.cfg.Now()
+	if err := tlsConn.HandshakeContext(r.Context()); err != nil {
+		p.recordTunnelFailure(start, host, "handshake: "+err.Error())
+		return
+	}
+
+	br := bufio.NewReader(tlsConn)
+	served := 0
+	for {
+		req, err := http.ReadRequest(br)
+		if err != nil {
+			if served == 0 {
+				// The client completed the handshake but sent nothing:
+				// the signature of certificate pinning rejecting our
+				// minted certificate (§3.1: Facebook's app fails
+				// criterion 4).
+				p.recordTunnelFailure(start, host, "tunnel aborted before first request")
+			}
+			return
+		}
+		if !p.serveTunneledRequest(tlsConn, req, host) {
+			return
+		}
+		served++
+	}
+}
+
+// serveTunneledRequest forwards one decrypted request; reports whether the
+// tunnel should continue.
+func (p *Proxy) serveTunneledRequest(conn net.Conn, r *http.Request, tunnelHost string) bool {
+	start := p.cfg.Now()
+	reqHost := r.Host
+	if reqHost == "" {
+		reqHost = tunnelHost
+	}
+	if h, _, err := net.SplitHostPort(reqHost); err == nil {
+		reqHost = h
+	}
+	reqHost = strings.ToLower(reqHost)
+	absURL := "https://" + reqHost + r.RequestURI
+
+	body, err := p.readBody(r)
+	if err != nil {
+		return false
+	}
+	absURL, body, rewritten := p.rewrite(reqHost, false, absURL, body)
+	out := p.outboundRequest(r, absURL, body)
+	resp, respBody, upErr := p.roundTrip(out)
+
+	f := p.newFlow(start, capture.HTTPS, r, reqHost, absURL, body, true)
+	f.Rewritten = rewritten
+	if upErr != nil {
+		f.Status = http.StatusBadGateway
+		f.ResponseHeaders = map[string]string{"X-Proxy-Error": upErr.Error()}
+		n, _ := writeSimpleResponse(conn, http.StatusBadGateway, nil, nil)
+		f.BytesUp = requestWireSize(r, body)
+		f.BytesDown = n
+		p.stats.upstreamErrors.Add(1)
+		p.recordStats(f)
+		p.cfg.Sink.Record(f)
+		return false
+	}
+	p.finishFlow(f, resp, respBody)
+	n, werr := writeSimpleResponse(conn, resp.StatusCode, resp.Header, respBody)
+	f.BytesDown = n
+	p.recordStats(f)
+	p.cfg.Sink.Record(f)
+	return werr == nil
+}
+
+// rewrite applies the configured protection rewriter, if any.
+func (p *Proxy) rewrite(host string, plaintext bool, absURL string, body []byte) (string, []byte, bool) {
+	if p.cfg.Rewriter == nil {
+		return absURL, body, false
+	}
+	newURL, newBody, changed := p.cfg.Rewriter.Rewrite(host, plaintext, absURL, body)
+	if !changed {
+		return absURL, body, false
+	}
+	return newURL, newBody, true
+}
+
+// outboundRequest builds the upstream copy of an intercepted request.
+func (p *Proxy) outboundRequest(r *http.Request, absURL string, body []byte) *http.Request {
+	u, err := url.Parse(absURL)
+	if err != nil {
+		u = r.URL
+	}
+	out := &http.Request{
+		Method:        r.Method,
+		URL:           u,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        make(http.Header, len(r.Header)),
+		Host:          u.Host,
+		ContentLength: int64(len(body)),
+	}
+	for k, vv := range r.Header {
+		out.Header[k] = append([]string(nil), vv...)
+	}
+	for _, h := range hopHeaders {
+		out.Header.Del(h)
+	}
+	if len(body) > 0 {
+		out.Body = io.NopCloser(bytes.NewReader(body))
+	}
+	return out.WithContext(r.Context())
+}
+
+// roundTrip performs the upstream exchange and drains the response body.
+func (p *Proxy) roundTrip(out *http.Request) (*http.Response, []byte, error) {
+	resp, err := p.upstream.RoundTrip(out)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp, respBody, nil
+}
+
+func (p *Proxy) readBody(r *http.Request) ([]byte, error) {
+	if r.Body == nil {
+		return nil, nil
+	}
+	defer r.Body.Close()
+	return io.ReadAll(io.LimitReader(r.Body, p.cfg.MaxBodyBytes))
+}
+
+// newFlow builds the flow skeleton for one exchange.
+func (p *Proxy) newFlow(start time.Time, proto capture.Protocol, r *http.Request, host, absURL string, body []byte, intercepted bool) *capture.Flow {
+	hdrs := make(map[string]string, len(r.Header))
+	for k, vv := range r.Header {
+		hdrs[k] = strings.Join(vv, ", ")
+	}
+	for _, h := range hopHeaders {
+		delete(hdrs, h)
+	}
+	return &capture.Flow{
+		Start:          start,
+		Client:         p.cfg.ClientID,
+		Protocol:       proto,
+		Method:         r.Method,
+		Host:           host,
+		URL:            absURL,
+		RequestHeaders: hdrs,
+		RequestBody:    string(body),
+		BytesUp:        requestWireSize(r, body),
+		Intercepted:    intercepted,
+	}
+}
+
+func (p *Proxy) finishFlow(f *capture.Flow, resp *http.Response, respBody []byte) {
+	f.Status = resp.StatusCode
+	f.ResponseSize = int64(len(respBody))
+	rh := make(map[string]string, len(resp.Header))
+	for k, vv := range resp.Header {
+		rh[k] = strings.Join(vv, ", ")
+	}
+	f.ResponseHeaders = rh
+	f.BytesDown = responseWireSize(resp, respBody)
+}
+
+func (p *Proxy) writeError(w http.ResponseWriter, f *capture.Flow, err error) {
+	f.Status = http.StatusBadGateway
+	f.ResponseHeaders = map[string]string{"X-Proxy-Error": err.Error()}
+	http.Error(w, "proxy: upstream: "+err.Error(), http.StatusBadGateway)
+	p.stats.upstreamErrors.Add(1)
+	p.recordStats(f)
+	p.cfg.Sink.Record(f)
+}
+
+// recordStats folds one completed exchange into the counters.
+func (p *Proxy) recordStats(f *capture.Flow) {
+	p.stats.requests.Add(1)
+	p.stats.bytesUp.Add(f.BytesUp)
+	p.stats.bytesDown.Add(f.BytesDown)
+}
+
+func (p *Proxy) recordTunnelFailure(start time.Time, host, reason string) {
+	p.stats.tunnelFailures.Add(1)
+	p.cfg.Sink.Record(&capture.Flow{
+		Start:           start,
+		Client:          p.cfg.ClientID,
+		Protocol:        capture.HTTPS,
+		Method:          http.MethodConnect,
+		Host:            host,
+		URL:             "https://" + host + "/",
+		Status:          0,
+		ResponseHeaders: map[string]string{"X-Proxy-Error": reason},
+		Intercepted:     false,
+	})
+}
+
+// requestWireSize approximates the on-the-wire size of a request.
+func requestWireSize(r *http.Request, body []byte) int64 {
+	n := int64(len(r.Method) + 1 + len(r.RequestURI) + 1 + len("HTTP/1.1") + 2)
+	for k, vv := range r.Header {
+		for _, v := range vv {
+			n += int64(len(k) + 2 + len(v) + 2)
+		}
+	}
+	return n + 2 + int64(len(body))
+}
+
+// responseWireSize approximates the on-the-wire size of a response.
+func responseWireSize(resp *http.Response, body []byte) int64 {
+	n := int64(len("HTTP/1.1 200 OK") + 2)
+	for k, vv := range resp.Header {
+		for _, v := range vv {
+			n += int64(len(k) + 2 + len(v) + 2)
+		}
+	}
+	return n + 2 + int64(len(body))
+}
+
+// writeSimpleResponse serializes a response with an explicit
+// Content-Length, returning the bytes written.
+func writeSimpleResponse(w io.Writer, status int, header http.Header, body []byte) (int64, error) {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "HTTP/1.1 %d %s\r\n", status, http.StatusText(status))
+	keys := make([]string, 0, len(header))
+	for k := range header {
+		if isHopHeader(k) || strings.EqualFold(k, "Content-Length") {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, v := range header[k] {
+			fmt.Fprintf(&b, "%s: %s\r\n", k, v)
+		}
+	}
+	fmt.Fprintf(&b, "Content-Length: %d\r\n\r\n", len(body))
+	b.Write(body)
+	n, err := w.Write(b.Bytes())
+	return int64(n), err
+}
+
+func isHopHeader(k string) bool {
+	for _, h := range hopHeaders {
+		if strings.EqualFold(h, k) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,111 @@
+package proxy
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+)
+
+// Resolver maps domain names to dialable addresses. The simulated internet
+// runs on loopback listeners; naming still flows through Host headers and
+// SNI exactly as on the real network, and this resolver plays the role of
+// DNS.
+type Resolver interface {
+	// Resolve returns the address ("127.0.0.1:43211") serving host's port
+	// ("80" or "443").
+	Resolve(host, port string) (string, error)
+}
+
+// MapResolver is a concurrency-safe Resolver backed by a registration
+// table. Registrations are per host and scheme port; a wildcard entry for
+// a registrable domain covers its subdomains.
+type MapResolver struct {
+	mu sync.RWMutex
+	m  map[string]string // "host|port" → addr
+}
+
+// NewMapResolver returns an empty resolver.
+func NewMapResolver() *MapResolver {
+	return &MapResolver{m: make(map[string]string)}
+}
+
+// Register maps host:port to addr. Registering "*.example.com" covers any
+// subdomain.
+func (r *MapResolver) Register(host, port, addr string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.m[key(host, port)] = addr
+}
+
+// Resolve implements Resolver.
+func (r *MapResolver) Resolve(host, port string) (string, error) {
+	host = strings.ToLower(host)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if addr, ok := r.m[key(host, port)]; ok {
+		return addr, nil
+	}
+	// Wildcard walk: a.b.c tries *.b.c, then *.c.
+	h := host
+	for {
+		i := strings.IndexByte(h, '.')
+		if i < 0 {
+			break
+		}
+		h = h[i+1:]
+		if addr, ok := r.m[key("*."+h, port)]; ok {
+			return addr, nil
+		}
+	}
+	return "", &net.DNSError{Err: "no such host", Name: host, IsNotFound: true}
+}
+
+func key(host, port string) string { return strings.ToLower(host) + "|" + port }
+
+// SystemResolver defers to the operating system's name resolution: the
+// dialer receives the original host:port untouched. Used when the proxy
+// fronts the real internet rather than the simulated one.
+type SystemResolver struct{}
+
+// Resolve implements Resolver.
+func (SystemResolver) Resolve(host, port string) (string, error) {
+	return net.JoinHostPort(host, port), nil
+}
+
+// Hosts returns every registered (non-wildcard) host name, for diagnostics.
+func (r *MapResolver) Hosts() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []string
+	seen := make(map[string]bool)
+	for k := range r.m {
+		h, _, _ := strings.Cut(k, "|")
+		if !strings.HasPrefix(h, "*.") && !seen[h] {
+			seen[h] = true
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// DialContext returns a dial function for net/http transports that routes
+// through the resolver. Addresses that are already loopback IPs bypass it.
+func DialContext(r Resolver) func(ctx context.Context, network, addr string) (net.Conn, error) {
+	var d net.Dialer
+	return func(ctx context.Context, network, addr string) (net.Conn, error) {
+		host, port, err := net.SplitHostPort(addr)
+		if err != nil {
+			return nil, err
+		}
+		if ip := net.ParseIP(host); ip != nil {
+			return d.DialContext(ctx, network, addr)
+		}
+		real, err := r.Resolve(host, port)
+		if err != nil {
+			return nil, fmt.Errorf("proxy: resolve %s: %w", addr, err)
+		}
+		return d.DialContext(ctx, network, real)
+	}
+}

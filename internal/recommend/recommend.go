@@ -1,0 +1,202 @@
+// Package recommend implements the paper's interactive recommendation
+// interface (https://recon.meddle.mobi/appvsweb/): given a user's privacy
+// preferences — how much each PII class matters to them, and how much they
+// mind tracker exposure — it scores the app and Web versions of every
+// measured service and recommends the less invasive medium. The paper's
+// central finding is that no medium dominates; the right answer depends on
+// these weights.
+package recommend
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"appvsweb/internal/core"
+	"appvsweb/internal/pii"
+	"appvsweb/internal/services"
+)
+
+// Preferences weight the privacy dimensions a user cares about.
+type Preferences struct {
+	// Weights score each leaked PII class (default 1 per class; a user
+	// who cares most about location sets Location high).
+	Weights map[pii.Type]float64
+	// TrackerWeight scores each A&A domain contacted (exposure to the
+	// tracking ecosystem even without PII).
+	TrackerWeight float64
+	// PlaintextMultiplier inflates classes that leaked over plaintext
+	// (eavesdropper-visible).
+	PlaintextMultiplier float64
+}
+
+// DefaultPreferences treats every class equally, with device identifiers
+// and credentials weighted up (they enable persistent tracking and account
+// compromise) and a modest tracker-exposure term.
+func DefaultPreferences() Preferences {
+	w := make(map[pii.Type]float64, pii.NumTypes)
+	for _, t := range pii.AllTypes() {
+		w[t] = 1
+	}
+	w[pii.UniqueID] = 2
+	w[pii.Password] = 3
+	w[pii.Location] = 1.5
+	return Preferences{Weights: w, TrackerWeight: 0.1, PlaintextMultiplier: 2}
+}
+
+// ParseWeights parses "L=3,UID=0.5,PW=5"-style weight overrides.
+func ParseWeights(s string) (map[pii.Type]float64, error) {
+	out := make(map[pii.Type]float64)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("recommend: bad weight %q (want TYPE=WEIGHT)", part)
+		}
+		t, err := pii.ParseType(strings.TrimSpace(k))
+		if err != nil {
+			return nil, err
+		}
+		var f float64
+		if _, err := fmt.Sscanf(strings.TrimSpace(v), "%g", &f); err != nil {
+			return nil, fmt.Errorf("recommend: bad weight value %q", v)
+		}
+		out[t] = f
+	}
+	return out, nil
+}
+
+// Choice is a recommendation outcome.
+type Choice string
+
+// The possible recommendations.
+const (
+	ChooseApp    Choice = "app"
+	ChooseWeb    Choice = "web"
+	ChooseEither Choice = "either"
+)
+
+// Recommendation is the scored comparison for one service on one OS.
+type Recommendation struct {
+	Service  string
+	Name     string
+	Category services.Category
+	OS       services.OS
+
+	AppScore float64
+	WebScore float64
+	AppTypes pii.TypeSet
+	WebTypes pii.TypeSet
+	Choice   Choice
+	Reason   string
+}
+
+// score evaluates one experiment under the preferences.
+func score(r *core.ExperimentResult, p Preferences) float64 {
+	var plaintext pii.TypeSet
+	for _, l := range r.Leaks {
+		if l.Plaintext {
+			plaintext = plaintext.Union(l.Types)
+		}
+	}
+	s := p.TrackerWeight * float64(len(r.AADomains))
+	for _, t := range r.LeakTypes.Types() {
+		w := p.Weights[t]
+		if w == 0 {
+			w = 1
+		}
+		if plaintext.Contains(t) && p.PlaintextMultiplier > 0 {
+			w *= p.PlaintextMultiplier
+		}
+		s += w
+	}
+	return s
+}
+
+// epsilon below which the two media are considered equivalent.
+const epsilon = 0.05
+
+// Recommend scores every service measured on the OS and returns
+// recommendations sorted by service key.
+func Recommend(ds *core.Dataset, p Preferences, os services.OS) []Recommendation {
+	var out []Recommendation
+	for _, key := range ds.ServiceKeys() {
+		app, okA := ds.Included(key, services.Cell{OS: os, Medium: services.App})
+		web, okW := ds.Included(key, services.Cell{OS: os, Medium: services.Web})
+		if !okA || !okW {
+			continue
+		}
+		rec := Recommendation{
+			Service: key, Name: app.Name, Category: app.Category, OS: os,
+			AppScore: score(app, p), WebScore: score(web, p),
+			AppTypes: app.LeakTypes, WebTypes: web.LeakTypes,
+		}
+		diff := rec.AppScore - rec.WebScore
+		switch {
+		case diff < -epsilon:
+			rec.Choice = ChooseApp
+			rec.Reason = explain(app, web)
+		case diff > epsilon:
+			rec.Choice = ChooseWeb
+			rec.Reason = explain(web, app)
+		default:
+			rec.Choice = ChooseEither
+			rec.Reason = "both media expose a comparable privacy footprint"
+		}
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Service < out[j].Service })
+	return out
+}
+
+func explain(better, worse *core.ExperimentResult) string {
+	extra := worse.LeakTypes.Diff(better.LeakTypes)
+	switch {
+	case !extra.Empty():
+		return fmt.Sprintf("the %s additionally leaks %s", worse.Medium, extra)
+	case len(worse.AADomains) > len(better.AADomains):
+		return fmt.Sprintf("the %s contacts %d A&A domains vs %d",
+			worse.Medium, len(worse.AADomains), len(better.AADomains))
+	default:
+		return fmt.Sprintf("the %s leaks more under your weights", worse.Medium)
+	}
+}
+
+// Summary tallies choices across services, showing the paper's "it
+// depends" conclusion quantitatively.
+type Summary struct {
+	App, Web, Either int
+}
+
+// Summarize counts recommendation outcomes.
+func Summarize(recs []Recommendation) Summary {
+	var s Summary
+	for _, r := range recs {
+		switch r.Choice {
+		case ChooseApp:
+			s.App++
+		case ChooseWeb:
+			s.Web++
+		default:
+			s.Either++
+		}
+	}
+	return s
+}
+
+// Render prints recommendations as an aligned table.
+func Render(recs []Recommendation) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-15s %-14s %-8s %8s %8s %-7s %s\n",
+		"service", "category", "os", "appScore", "webScore", "use", "why")
+	for _, r := range recs {
+		fmt.Fprintf(&b, "%-15s %-14s %-8s %8.2f %8.2f %-7s %s\n",
+			r.Service, r.Category, r.OS, r.AppScore, r.WebScore, r.Choice, r.Reason)
+	}
+	s := Summarize(recs)
+	fmt.Fprintf(&b, "\nuse the app: %d   use the web: %d   either: %d\n", s.App, s.Web, s.Either)
+	return b.String()
+}

@@ -1,0 +1,138 @@
+package recommend
+
+import (
+	"strings"
+	"testing"
+
+	"appvsweb/internal/core"
+	"appvsweb/internal/pii"
+	"appvsweb/internal/services"
+)
+
+// twoCellDataset builds one service with controllable leak sets.
+func twoCellDataset(appTypes, webTypes pii.TypeSet, appAA, webAA int, appPlain bool) *core.Dataset {
+	mk := func(m services.Medium, types pii.TypeSet, aa int, plain bool) *core.ExperimentResult {
+		r := &core.ExperimentResult{
+			Service: "svc", Name: "Svc", Category: services.Shopping,
+			OS: services.Android, Medium: m, LeakTypes: types,
+		}
+		for i := 0; i < aa; i++ {
+			r.AADomains = append(r.AADomains, string(rune('a'+i))+".example")
+		}
+		if !types.Empty() {
+			r.Leaks = []core.LeakRecord{{Domain: "t.example", Category: "a&a", Types: types, Plaintext: plain}}
+		}
+		return r
+	}
+	return &core.Dataset{Results: []*core.ExperimentResult{
+		mk(services.App, appTypes, appAA, appPlain),
+		mk(services.Web, webTypes, webAA, false),
+	}}
+}
+
+func TestRecommendPrefersFewerLeaks(t *testing.T) {
+	ds := twoCellDataset(pii.NewTypeSet(pii.Location, pii.UniqueID), pii.NewTypeSet(pii.Location), 2, 2, false)
+	recs := Recommend(ds, DefaultPreferences(), services.Android)
+	if len(recs) != 1 {
+		t.Fatalf("recs = %v", recs)
+	}
+	if recs[0].Choice != ChooseWeb {
+		t.Errorf("choice = %v (app leaks strictly more)", recs[0].Choice)
+	}
+	if !strings.Contains(recs[0].Reason, "UID") {
+		t.Errorf("reason = %q", recs[0].Reason)
+	}
+}
+
+func TestRecommendTrackerExposureBreaksTies(t *testing.T) {
+	ds := twoCellDataset(pii.NewTypeSet(pii.Location), pii.NewTypeSet(pii.Location), 2, 40, false)
+	recs := Recommend(ds, DefaultPreferences(), services.Android)
+	if recs[0].Choice != ChooseApp {
+		t.Errorf("choice = %v (web contacts 40 trackers)", recs[0].Choice)
+	}
+	if !strings.Contains(recs[0].Reason, "A&A domains") {
+		t.Errorf("reason = %q", recs[0].Reason)
+	}
+}
+
+func TestRecommendEither(t *testing.T) {
+	ds := twoCellDataset(pii.NewTypeSet(pii.Location), pii.NewTypeSet(pii.Location), 3, 3, false)
+	recs := Recommend(ds, DefaultPreferences(), services.Android)
+	if recs[0].Choice != ChooseEither {
+		t.Errorf("choice = %v, want either", recs[0].Choice)
+	}
+}
+
+func TestRecommendWeightsFlipTheAnswer(t *testing.T) {
+	// App leaks UID; Web leaks Gender+Name+Email. Default weights favor
+	// the... let the user decide.
+	ds := twoCellDataset(pii.NewTypeSet(pii.UniqueID),
+		pii.NewTypeSet(pii.Gender, pii.Name, pii.Email), 2, 2, false)
+
+	uidHater := DefaultPreferences()
+	uidHater.Weights[pii.UniqueID] = 10
+	recs := Recommend(ds, uidHater, services.Android)
+	if recs[0].Choice != ChooseWeb {
+		t.Errorf("UID-averse user should use the web: %v", recs[0].Choice)
+	}
+
+	profileHater := DefaultPreferences()
+	profileHater.Weights[pii.UniqueID] = 0.1
+	profileHater.Weights[pii.Gender] = 5
+	profileHater.Weights[pii.Name] = 5
+	recs = Recommend(ds, profileHater, services.Android)
+	if recs[0].Choice != ChooseApp {
+		t.Errorf("profile-averse user should use the app: %v", recs[0].Choice)
+	}
+}
+
+func TestPlaintextMultiplier(t *testing.T) {
+	plain := twoCellDataset(pii.NewTypeSet(pii.Location), pii.NewTypeSet(pii.Location), 2, 2, true)
+	recs := Recommend(plain, DefaultPreferences(), services.Android)
+	if recs[0].Choice != ChooseWeb {
+		t.Errorf("plaintext app leak should push toward web: %v", recs[0].Choice)
+	}
+}
+
+func TestRecommendSkipsExcluded(t *testing.T) {
+	ds := twoCellDataset(0, 0, 1, 1, false)
+	ds.Results[0].Excluded = true
+	if recs := Recommend(ds, DefaultPreferences(), services.Android); len(recs) != 0 {
+		t.Errorf("excluded service recommended: %v", recs)
+	}
+}
+
+func TestParseWeights(t *testing.T) {
+	w, err := ParseWeights("L=3, UID=0.5, PW=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w[pii.Location] != 3 || w[pii.UniqueID] != 0.5 || w[pii.Password] != 5 {
+		t.Errorf("weights = %v", w)
+	}
+	for _, bad := range []string{"L", "X=1", "L=abc"} {
+		if _, err := ParseWeights(bad); err == nil {
+			t.Errorf("ParseWeights(%q) succeeded", bad)
+		}
+	}
+	if w, err := ParseWeights(""); err != nil || len(w) != 0 {
+		t.Errorf("empty = %v, %v", w, err)
+	}
+}
+
+func TestSummarizeAndRender(t *testing.T) {
+	recs := []Recommendation{
+		{Service: "a", Choice: ChooseApp},
+		{Service: "b", Choice: ChooseWeb},
+		{Service: "c", Choice: ChooseEither},
+		{Service: "d", Choice: ChooseWeb},
+	}
+	s := Summarize(recs)
+	if s.App != 1 || s.Web != 2 || s.Either != 1 {
+		t.Errorf("summary = %+v", s)
+	}
+	out := Render(recs)
+	if !strings.Contains(out, "use the app: 1") {
+		t.Errorf("render = %q", out)
+	}
+}

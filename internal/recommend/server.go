@@ -1,0 +1,124 @@
+package recommend
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"io"
+	"net/http"
+	"strings"
+
+	"appvsweb/internal/analysis"
+	"appvsweb/internal/core"
+	"appvsweb/internal/services"
+)
+
+// NewHandler serves the interactive recommendation interface over a
+// measured dataset: an HTML page at "/", a JSON API at "/api/recommend"
+// (both accepting ?os=android|ios and ?weights=L=3,UID=5-style
+// overrides), and the rendered evaluation figures at "/figures/<id>.svg".
+// This is the local equivalent of the paper's
+// https://recon.meddle.mobi/appvsweb/ site.
+func NewHandler(ds *core.Dataset) http.Handler {
+	s := &server{ds: ds}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.page)
+	mux.HandleFunc("/api/recommend", s.api)
+	mux.HandleFunc("/figures/", s.figure)
+	return mux
+}
+
+// figure serves one Figure 1 panel as SVG.
+func (s *server) figure(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimSuffix(strings.TrimPrefix(r.URL.Path, "/figures/"), ".svg")
+	svg, ok := analysis.FigureSVG(s.ds, id)
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "image/svg+xml")
+	_, _ = io.WriteString(w, svg)
+}
+
+type server struct {
+	ds *core.Dataset
+}
+
+// prefs parses the request's os and weights parameters.
+func (s *server) prefs(r *http.Request) (services.OS, Preferences, error) {
+	osName := services.OS(r.URL.Query().Get("os"))
+	if osName != services.IOS {
+		osName = services.Android
+	}
+	p := DefaultPreferences()
+	if w := r.URL.Query().Get("weights"); w != "" {
+		overrides, err := ParseWeights(w)
+		if err != nil {
+			return osName, p, err
+		}
+		for t, v := range overrides {
+			p.Weights[t] = v
+		}
+	}
+	return osName, p, nil
+}
+
+func (s *server) api(w http.ResponseWriter, r *http.Request) {
+	osName, p, err := s.prefs(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	recs := Recommend(s.ds, p, osName)
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(map[string]any{
+		"os":              osName,
+		"recommendations": recs,
+		"summary":         Summarize(recs),
+	})
+}
+
+func (s *server) page(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	osName, p, err := s.prefs(r)
+	if err != nil {
+		// Escape before reflecting: the message embeds the user's input.
+		http.Error(w, html.EscapeString(err.Error()), http.StatusBadRequest)
+		return
+	}
+	recs := Recommend(s.ds, p, osName)
+	sum := Summarize(recs)
+
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, `<!doctype html><html><head><title>Should You Use the App for That?</title>
+<style>body{font-family:sans-serif;margin:2em}table{border-collapse:collapse}
+td,th{border:1px solid #999;padding:4px 8px;font-size:14px}
+.app{background:#e7f7e7}.web{background:#e7eef9}.either{background:#f5f5f5}</style></head><body>
+<h1>Should You Use the App for That?</h1>
+<p>Custom privacy recommendations per service, from the measured dataset.</p>
+<form method="get">
+ OS: <select name="os"><option value="android">Android</option>
+ <option value="ios"`)
+	if osName == services.IOS {
+		fmt.Fprint(w, ` selected`)
+	}
+	fmt.Fprintf(w, `>iOS</option></select>
+ Weights (e.g. <code>L=3,UID=5,PW=10</code>): <input name="weights" size="40" value="%s">
+ <button>Recommend</button></form>`, html.EscapeString(r.URL.Query().Get("weights")))
+	fmt.Fprintf(w, `<p><b>Use the app:</b> %d &nbsp; <b>Use the web:</b> %d &nbsp; <b>Either:</b> %d</p>`,
+		sum.App, sum.Web, sum.Either)
+	fmt.Fprint(w, `<table><tr><th>service</th><th>category</th><th>app leaks</th><th>web leaks</th>
+<th>app score</th><th>web score</th><th>use</th><th>why</th></tr>`)
+	for _, rec := range recs {
+		fmt.Fprintf(w, `<tr class="%s"><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%.2f</td><td>%.2f</td><td><b>%s</b></td><td>%s</td></tr>`,
+			rec.Choice, html.EscapeString(rec.Name), rec.Category,
+			rec.AppTypes, rec.WebTypes, rec.AppScore, rec.WebScore,
+			rec.Choice, html.EscapeString(rec.Reason))
+	}
+	fmt.Fprint(w, `</table></body></html>`)
+}

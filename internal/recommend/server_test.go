@@ -1,0 +1,128 @@
+package recommend
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"appvsweb/internal/pii"
+	"appvsweb/internal/services"
+)
+
+func serverDataset() *httptest.Server {
+	ds := twoCellDataset(pii.NewTypeSet(pii.Location, pii.UniqueID), pii.NewTypeSet(pii.Location), 3, 12, false)
+	return httptest.NewServer(NewHandler(ds))
+}
+
+func TestHandlerPage(t *testing.T) {
+	srv := serverDataset()
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/?os=android")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	page := string(body)
+	if resp.StatusCode != 200 || !strings.Contains(page, "Should You Use the App for That?") {
+		t.Fatalf("status=%d page=%q", resp.StatusCode, page[:120])
+	}
+	if !strings.Contains(page, "Svc") || !strings.Contains(page, "Use the app") {
+		t.Errorf("page missing recommendation table: %s", page)
+	}
+}
+
+func TestHandlerAPI(t *testing.T) {
+	srv := serverDataset()
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/api/recommend?os=android&weights=UID=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		OS              services.OS      `json:"os"`
+		Recommendations []Recommendation `json:"recommendations"`
+		Summary         Summary          `json:"summary"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.OS != services.Android || len(out.Recommendations) != 1 {
+		t.Fatalf("api = %+v", out)
+	}
+	// UID weighted to 10: the web wins decisively.
+	if out.Recommendations[0].Choice != ChooseWeb {
+		t.Errorf("choice = %v", out.Recommendations[0].Choice)
+	}
+}
+
+func TestHandlerBadWeights(t *testing.T) {
+	srv := serverDataset()
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/api/recommend?weights=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestHandlerNotFound(t *testing.T) {
+	srv := serverDataset()
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestHandlerEscapesUserInput(t *testing.T) {
+	srv := serverDataset()
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + `/?weights=` + `%3Cscript%3EL=1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	// Invalid weights → 400; but the reflected value must never appear
+	// unescaped anywhere.
+	if strings.Contains(string(body), "<script>") {
+		t.Error("unescaped user input reflected")
+	}
+}
+
+func TestHandlerFigureSVG(t *testing.T) {
+	srv := serverDataset()
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/figures/1a.svg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || resp.Header.Get("Content-Type") != "image/svg+xml" {
+		t.Fatalf("status=%d ct=%q", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	if !strings.HasPrefix(string(body), "<svg") {
+		t.Errorf("body = %q", body[:40])
+	}
+	resp, err = http.Get(srv.URL + "/figures/9z.svg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown figure status = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,87 @@
+package recon
+
+import (
+	"math"
+	"sort"
+)
+
+// Bayes is a Bernoulli naive Bayes classifier over boolean features,
+// provided as the comparison learner for the detection ablation
+// (DESIGN.md §5). Log-probabilities with Laplace smoothing keep it stable
+// on sparse vocabularies.
+type Bayes struct {
+	vocab     []string
+	vocabIdx  map[string]int
+	logPrior  [2]float64   // [neg, pos]
+	logPres   [2][]float64 // log P(feature present | class)
+	logAbsent [2][]float64 // log P(feature absent | class)
+	threshold float64      // decision threshold on log-odds; 0 = MAP
+}
+
+// TrainBayes fits the classifier on the samples.
+func TrainBayes(samples []*Sample) *Bayes {
+	vocabSet := make(map[string]bool)
+	for _, s := range samples {
+		for f := range s.Features {
+			vocabSet[f] = true
+		}
+	}
+	vocab := make([]string, 0, len(vocabSet))
+	for f := range vocabSet {
+		vocab = append(vocab, f)
+	}
+	sort.Strings(vocab)
+	idx := make(map[string]int, len(vocab))
+	for i, f := range vocab {
+		idx[f] = i
+	}
+
+	b := &Bayes{vocab: vocab, vocabIdx: idx}
+	var classN [2]int
+	presence := [2][]int{make([]int, len(vocab)), make([]int, len(vocab))}
+	for _, s := range samples {
+		c := 0
+		if s.Label {
+			c = 1
+		}
+		classN[c]++
+		for f := range s.Features {
+			presence[c][idx[f]]++
+		}
+	}
+	total := classN[0] + classN[1]
+	for c := 0; c < 2; c++ {
+		b.logPrior[c] = math.Log(float64(classN[c]+1) / float64(total+2))
+		b.logPres[c] = make([]float64, len(vocab))
+		b.logAbsent[c] = make([]float64, len(vocab))
+		for i := range vocab {
+			p := float64(presence[c][i]+1) / float64(classN[c]+2)
+			b.logPres[c][i] = math.Log(p)
+			b.logAbsent[c][i] = math.Log(1 - p)
+		}
+	}
+	return b
+}
+
+// LogOdds returns log P(pos|x) − log P(neg|x) up to a shared constant.
+func (b *Bayes) LogOdds(fs FeatureSet) float64 {
+	score := [2]float64{b.logPrior[0], b.logPrior[1]}
+	for c := 0; c < 2; c++ {
+		for i := range b.vocab {
+			if fs.Has(b.vocab[i]) {
+				score[c] += b.logPres[c][i]
+			} else {
+				score[c] += b.logAbsent[c][i]
+			}
+		}
+	}
+	return score[1] - score[0]
+}
+
+// Predict classifies a feature set.
+func (b *Bayes) Predict(fs FeatureSet) bool {
+	return b.LogOdds(fs) > b.threshold
+}
+
+// VocabSize reports the training vocabulary size.
+func (b *Bayes) VocabSize() int { return len(b.vocab) }

@@ -1,0 +1,234 @@
+package recon
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"appvsweb/internal/capture"
+	"appvsweb/internal/domains"
+	"appvsweb/internal/pii"
+)
+
+// LabeledFlow pairs a flow with its ground-truth PII classes, known because
+// experiments are controlled (§3.2).
+type LabeledFlow struct {
+	Flow  *capture.Flow
+	Types pii.TypeSet
+}
+
+// Algorithm selects the learner.
+type Algorithm int
+
+const (
+	// DecisionTree mirrors ReCon's C4.5 classifiers (the default).
+	DecisionTree Algorithm = iota
+	// NaiveBayes is the ablation comparison learner.
+	NaiveBayes
+)
+
+// Options configure classifier training.
+type Options struct {
+	Algorithm Algorithm
+	Tree      TreeOptions
+	// MinPositives skips training a per-type model when the training set
+	// has fewer positive examples; such types are never predicted.
+	// Defaults to 3.
+	MinPositives int
+	// PerDomain additionally trains specialized classifiers for each
+	// destination with enough traffic, as ReCon does ("per-domain
+	// classifiers"), falling back to the general model for long-tail
+	// destinations. Specialization captures destination-specific key
+	// vocabularies.
+	PerDomain bool
+	// MinDomainFlows is the traffic threshold for specializing a domain
+	// (default 50 flows).
+	MinDomainFlows int
+}
+
+type predictor interface {
+	Predict(FeatureSet) bool
+}
+
+// Classifier holds one model per PII class, as ReCon trains one classifier
+// per label, optionally specialized per destination domain.
+type Classifier struct {
+	models map[pii.Type]predictor
+	algo   Algorithm
+	// perDomain maps a destination eTLD+1's organizational key to its
+	// specialized classifier.
+	perDomain map[string]*Classifier
+}
+
+// Train fits per-type models from labeled flows.
+func Train(flows []LabeledFlow, opts Options) *Classifier {
+	c := trainGeneral(flows, opts)
+	if !opts.PerDomain {
+		return c
+	}
+	if opts.MinDomainFlows <= 0 {
+		opts.MinDomainFlows = 50
+	}
+	byDomain := make(map[string][]LabeledFlow)
+	for _, lf := range flows {
+		byDomain[domains.ETLDPlusOne(lf.Flow.Host)] = append(byDomain[domains.ETLDPlusOne(lf.Flow.Host)], lf)
+	}
+	sub := opts
+	sub.PerDomain = false
+	c.perDomain = make(map[string]*Classifier)
+	for d, fs := range byDomain {
+		if len(fs) < opts.MinDomainFlows {
+			continue
+		}
+		c.perDomain[d] = trainGeneral(fs, sub)
+	}
+	return c
+}
+
+func trainGeneral(flows []LabeledFlow, opts Options) *Classifier {
+	if opts.MinPositives <= 0 {
+		opts.MinPositives = 3
+	}
+	features := make([]FeatureSet, len(flows))
+	for i, lf := range flows {
+		features[i] = Extract(lf.Flow)
+	}
+	c := &Classifier{models: make(map[pii.Type]predictor), algo: opts.Algorithm}
+	for _, t := range pii.AllTypes() {
+		samples := make([]*Sample, len(flows))
+		positives := 0
+		for i, lf := range flows {
+			label := lf.Types.Contains(t)
+			if label {
+				positives++
+			}
+			samples[i] = &Sample{Features: features[i], Label: label}
+		}
+		if positives < opts.MinPositives {
+			continue
+		}
+		switch opts.Algorithm {
+		case NaiveBayes:
+			c.models[t] = TrainBayes(samples)
+		default:
+			c.models[t] = TrainTree(samples, opts.Tree)
+		}
+	}
+	return c
+}
+
+// Predict returns the PII classes the models believe the flow carries,
+// preferring the destination's specialized classifier when one exists.
+func (c *Classifier) Predict(f *capture.Flow) pii.TypeSet {
+	if c.perDomain != nil {
+		if sub, ok := c.perDomain[domains.ETLDPlusOne(f.Host)]; ok {
+			return sub.PredictFeatures(Extract(f))
+		}
+	}
+	return c.PredictFeatures(Extract(f))
+}
+
+// NumDomainModels reports how many destinations have specialized models.
+func (c *Classifier) NumDomainModels() int { return len(c.perDomain) }
+
+// PredictFeatures is Predict on a pre-extracted feature set.
+func (c *Classifier) PredictFeatures(fs FeatureSet) pii.TypeSet {
+	var out pii.TypeSet
+	for t, m := range c.models {
+		if m.Predict(fs) {
+			out = out.Add(t)
+		}
+	}
+	return out
+}
+
+// ModeledTypes lists the classes with trained models, in canonical order.
+func (c *Classifier) ModeledTypes() []pii.Type {
+	var out []pii.Type
+	for _, t := range pii.AllTypes() {
+		if _, ok := c.models[t]; ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// SplitEvaluate trains on a deterministic fraction of the corpus and
+// evaluates on the held-out remainder, measuring generalization rather
+// than training fit. Flows are interleaved (every k-th goes to the test
+// set) so both halves cover all services and destinations.
+func SplitEvaluate(flows []LabeledFlow, trainFrac float64, opts Options) []Metrics {
+	if trainFrac <= 0 || trainFrac >= 1 {
+		trainFrac = 0.5
+	}
+	var train, test []LabeledFlow
+	period := 100
+	cut := int(trainFrac * float64(period))
+	for i, lf := range flows {
+		if i%period < cut {
+			train = append(train, lf)
+		} else {
+			test = append(test, lf)
+		}
+	}
+	c := Train(train, opts)
+	return Evaluate(c, test)
+}
+
+// Metrics summarize per-type evaluation results.
+type Metrics struct {
+	Type              pii.Type
+	TP, FP, FN, TN    int
+	Precision, Recall float64
+	F1                float64
+}
+
+// Evaluate scores the classifier against labeled flows.
+func Evaluate(c *Classifier, flows []LabeledFlow) []Metrics {
+	byType := make(map[pii.Type]*Metrics)
+	for _, t := range c.ModeledTypes() {
+		byType[t] = &Metrics{Type: t}
+	}
+	for _, lf := range flows {
+		pred := c.Predict(lf.Flow)
+		for t, m := range byType {
+			p, a := pred.Contains(t), lf.Types.Contains(t)
+			switch {
+			case p && a:
+				m.TP++
+			case p && !a:
+				m.FP++
+			case !p && a:
+				m.FN++
+			default:
+				m.TN++
+			}
+		}
+	}
+	out := make([]Metrics, 0, len(byType))
+	for _, m := range byType {
+		if m.TP+m.FP > 0 {
+			m.Precision = float64(m.TP) / float64(m.TP+m.FP)
+		}
+		if m.TP+m.FN > 0 {
+			m.Recall = float64(m.TP) / float64(m.TP+m.FN)
+		}
+		if m.Precision+m.Recall > 0 {
+			m.F1 = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+		}
+		out = append(out, *m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Type < out[j].Type })
+	return out
+}
+
+// Report renders evaluation metrics as an aligned text table.
+func Report(ms []Metrics) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %5s %5s %5s %5s %9s %9s %9s\n", "type", "tp", "fp", "fn", "tn", "precision", "recall", "f1")
+	for _, m := range ms {
+		fmt.Fprintf(&b, "%-12s %5d %5d %5d %5d %9.3f %9.3f %9.3f\n",
+			m.Type, m.TP, m.FP, m.FN, m.TN, m.Precision, m.Recall, m.F1)
+	}
+	return b.String()
+}

@@ -1,0 +1,38 @@
+package recon_test
+
+import (
+	"fmt"
+
+	"appvsweb/internal/capture"
+	"appvsweb/internal/pii"
+	"appvsweb/internal/recon"
+)
+
+// Train learns which structural contexts carry PII; Predict then flags
+// flows whose concrete values it has never seen — ReCon's core trick.
+func ExampleTrain() {
+	mk := func(url string) *capture.Flow {
+		return &capture.Flow{Method: "GET", Host: "t.example", URL: url}
+	}
+	var corpus []recon.LabeledFlow
+	for i := 0; i < 10; i++ {
+		corpus = append(corpus,
+			recon.LabeledFlow{
+				Flow:  mk(fmt.Sprintf("https://t.example/c?email=user%d%%40x.example", i)),
+				Types: pii.NewTypeSet(pii.Email),
+			},
+			recon.LabeledFlow{
+				Flow: mk(fmt.Sprintf("https://t.example/c?ts=%d", 1000+i)),
+			},
+		)
+	}
+	clf := recon.Train(corpus, recon.Options{})
+
+	unseen := mk("https://t.example/c?email=stranger%40elsewhere.example")
+	clean := mk("https://t.example/c?ts=99999")
+	fmt.Println("unseen email flow:", clf.Predict(unseen))
+	fmt.Println("clean flow:       ", clf.Predict(clean))
+	// Output:
+	// unseen email flow: E
+	// clean flow:        ∅
+}

@@ -1,0 +1,66 @@
+// Package recon reimplements the inference core of ReCon (Ren et al.,
+// MobiSys 2016), the machine-learning PII detector the paper uses to flag
+// likely PII in network flows without knowing the concrete values (§3.2
+// "Identifying PII"). Flows are reduced to bag-of-words structural
+// features (keys, path segments, header names — never raw values, which
+// would not generalize), and a per-PII-type classifier is trained on
+// labeled flows from controlled experiments. A decision-tree learner
+// mirrors ReCon's C4.5 classifiers; a Bernoulli naive Bayes learner is
+// provided for the ablation comparison.
+package recon
+
+import (
+	"net/url"
+	"strings"
+
+	"appvsweb/internal/capture"
+	"appvsweb/internal/domains"
+	"appvsweb/internal/pii"
+)
+
+// FeatureSet is a bag of boolean features describing one flow.
+type FeatureSet map[string]bool
+
+// Extract converts a flow into its structural features:
+//
+//	method:<verb>         request method
+//	host:<org>            organizational label of the destination
+//	path:<segment>        each URL path segment
+//	key:<name>            each query/body/cookie parameter name
+//	kv:<name>             parameter names carrying non-empty values
+//	hdr:<name>            request header names
+//
+// Values never become features; ReCon's insight is that the *context*
+// (key names, endpoints) identifies PII-bearing flows generically.
+func Extract(f *capture.Flow) FeatureSet {
+	fs := make(FeatureSet, 32)
+	fs["method:"+strings.ToLower(f.Method)] = true
+	if f.Host != "" {
+		fs["host:"+domains.Org(f.Host)] = true
+	}
+	if u, err := url.Parse(f.URL); err == nil {
+		for _, seg := range strings.Split(u.Path, "/") {
+			seg = strings.ToLower(strings.TrimSpace(seg))
+			if seg != "" && len(seg) <= 40 {
+				fs["path:"+seg] = true
+			}
+		}
+	}
+	for _, kv := range pii.ExtractFlowKVs(f.URL, f.Cookie(), f.ContentType(), f.RequestBody) {
+		k := strings.ToLower(kv.Key)
+		if k == "" || len(k) > 40 {
+			continue
+		}
+		fs["key:"+k] = true
+		if kv.Value != "" {
+			fs["kv:"+k] = true
+		}
+	}
+	for name := range f.RequestHeaders {
+		fs["hdr:"+strings.ToLower(name)] = true
+	}
+	return fs
+}
+
+// Has reports feature presence (nil-safe).
+func (fs FeatureSet) Has(name string) bool { return fs != nil && fs[name] }

@@ -1,0 +1,321 @@
+package recon
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"appvsweb/internal/capture"
+	"appvsweb/internal/pii"
+)
+
+// synthFlows generates a deterministic labeled corpus resembling tracker
+// traffic: each PII class has characteristic key contexts, mixed with
+// clean telemetry flows.
+func synthFlows(n int, seed int64) []LabeledFlow {
+	rng := rand.New(rand.NewSource(seed))
+	var out []LabeledFlow
+	hosts := []string{"ads.tracker-a.example", "pixel.tracker-b.example", "api.svc.example"}
+	for i := 0; i < n; i++ {
+		host := hosts[rng.Intn(len(hosts))]
+		var u string
+		var body string
+		var types pii.TypeSet
+		switch rng.Intn(5) {
+		case 0: // email leak
+			u = fmt.Sprintf("https://%s/collect?email=user%d%%40x.example&sid=%d", host, i, rng.Int())
+			types = pii.NewTypeSet(pii.Email)
+		case 1: // location leak
+			u = fmt.Sprintf("https://%s/geo?lat=42.%d&lon=-71.%d", host, rng.Intn(999), rng.Intn(999))
+			types = pii.NewTypeSet(pii.Location)
+		case 2: // device ID leak in JSON body
+			u = fmt.Sprintf("https://%s/sdk/event", host)
+			body = fmt.Sprintf(`{"idfa":"ID-%d","os":"ios"}`, rng.Int())
+			types = pii.NewTypeSet(pii.UniqueID)
+		case 3: // combined email+name form post
+			u = fmt.Sprintf("https://%s/profile", host)
+			body = fmt.Sprintf("email=u%d@x.example&fullname=User+%d", i, i)
+			types = pii.NewTypeSet(pii.Email, pii.Name)
+		default: // clean telemetry
+			u = fmt.Sprintf("https://%s/beat?sid=%d&ts=%d", host, rng.Int(), rng.Int())
+		}
+		f := &capture.Flow{
+			Method:   "POST",
+			Host:     host,
+			URL:      u,
+			Protocol: capture.HTTPS,
+			RequestHeaders: map[string]string{
+				"Content-Type": "application/x-www-form-urlencoded",
+				"User-Agent":   "SimApp/1.0",
+			},
+			RequestBody: body,
+		}
+		if strings.HasPrefix(body, "{") {
+			f.RequestHeaders["Content-Type"] = "application/json"
+		}
+		out = append(out, LabeledFlow{Flow: f, Types: types})
+	}
+	return out
+}
+
+func TestExtractFeatures(t *testing.T) {
+	f := &capture.Flow{
+		Method: "GET",
+		Host:   "pixel.tracker-a.example",
+		URL:    "https://pixel.tracker-a.example/v1/collect?email=x%40y.example&empty=",
+		RequestHeaders: map[string]string{
+			"Cookie":     "sid=abc",
+			"User-Agent": "SimApp",
+		},
+	}
+	fs := Extract(f)
+	for _, want := range []string{
+		"method:get", "host:tracker-a", "path:v1", "path:collect",
+		"key:email", "kv:email", "key:empty", "key:cookie.sid",
+		"hdr:cookie", "hdr:user-agent",
+	} {
+		if !fs.Has(want) {
+			t.Errorf("feature %q missing from %v", want, fs)
+		}
+	}
+	if fs.Has("kv:empty") {
+		t.Error("empty value produced kv feature")
+	}
+}
+
+func TestTreeLearnsSyntheticCorpus(t *testing.T) {
+	train := synthFlows(600, 1)
+	test := synthFlows(300, 2)
+	c := Train(train, Options{})
+	ms := Evaluate(c, test)
+	if len(ms) == 0 {
+		t.Fatal("no models trained")
+	}
+	for _, m := range ms {
+		if m.F1 < 0.9 {
+			t.Errorf("type %v F1 = %.3f (want ≥ 0.9)\n%s", m.Type, m.F1, Report(ms))
+		}
+	}
+	// Classes absent from the corpus must have no models.
+	for _, typ := range c.ModeledTypes() {
+		switch typ {
+		case pii.Email, pii.Location, pii.UniqueID, pii.Name:
+		default:
+			t.Errorf("unexpected model for %v", typ)
+		}
+	}
+}
+
+func TestBayesLearnsSyntheticCorpus(t *testing.T) {
+	train := synthFlows(600, 3)
+	test := synthFlows(300, 4)
+	c := Train(train, Options{Algorithm: NaiveBayes})
+	for _, m := range Evaluate(c, test) {
+		if m.F1 < 0.8 {
+			t.Errorf("NB type %v F1 = %.3f (want ≥ 0.8)", m.Type, m.F1)
+		}
+	}
+}
+
+func TestTrainingDeterministic(t *testing.T) {
+	flows := synthFlows(300, 5)
+	a := Train(flows, Options{})
+	b := Train(flows, Options{})
+	probe := synthFlows(100, 6)
+	for _, lf := range probe {
+		if a.Predict(lf.Flow) != b.Predict(lf.Flow) {
+			t.Fatalf("nondeterministic predictions for %s", lf.Flow.URL)
+		}
+	}
+}
+
+func TestTreeRespectsMaxDepth(t *testing.T) {
+	flows := synthFlows(500, 7)
+	var samples []*Sample
+	for _, lf := range flows {
+		samples = append(samples, &Sample{Features: Extract(lf.Flow), Label: lf.Types.Contains(pii.Email)})
+	}
+	tree := TrainTree(samples, TreeOptions{MaxDepth: 3})
+	if d := tree.Depth(); d > 4 { // depth counts nodes; max splits = 3
+		t.Errorf("depth = %d with MaxDepth 3", d)
+	}
+}
+
+func TestTreePureLeaf(t *testing.T) {
+	samples := []*Sample{
+		{Features: FeatureSet{"a": true}, Label: true},
+		{Features: FeatureSet{"b": true}, Label: true},
+	}
+	tree := TrainTree(samples, TreeOptions{})
+	if !tree.Leaf || !tree.Value {
+		t.Errorf("pure-positive set should give positive leaf: %s", tree)
+	}
+	if tree.NumNodes() != 1 {
+		t.Errorf("NumNodes = %d", tree.NumNodes())
+	}
+}
+
+func TestTreeEmptyTrainingSet(t *testing.T) {
+	tree := TrainTree(nil, TreeOptions{})
+	if !tree.Leaf || tree.Value {
+		t.Error("empty training set must yield negative leaf")
+	}
+}
+
+func TestTreeStringRendering(t *testing.T) {
+	samples := []*Sample{
+		{Features: FeatureSet{"key:email": true}, Label: true},
+		{Features: FeatureSet{"key:ts": true}, Label: false},
+	}
+	tree := TrainTree(samples, TreeOptions{MinSamples: 1})
+	s := tree.String()
+	if !strings.Contains(s, "key:email?") && !strings.Contains(s, "key:ts?") {
+		t.Errorf("tree rendering: %s", s)
+	}
+}
+
+func TestMinPositivesSkipsRareTypes(t *testing.T) {
+	flows := synthFlows(50, 8)
+	// Add a single password-bearing flow: below MinPositives.
+	flows = append(flows, LabeledFlow{
+		Flow:  &capture.Flow{Method: "POST", Host: "x.example", URL: "https://x.example/login", RequestBody: "password=zzz"},
+		Types: pii.NewTypeSet(pii.Password),
+	})
+	c := Train(flows, Options{})
+	for _, typ := range c.ModeledTypes() {
+		if typ == pii.Password {
+			t.Error("password model trained from a single positive")
+		}
+	}
+}
+
+func TestBayesLogOddsMonotone(t *testing.T) {
+	samples := []*Sample{}
+	for i := 0; i < 20; i++ {
+		samples = append(samples,
+			&Sample{Features: FeatureSet{"key:email": true, "method:post": true}, Label: true},
+			&Sample{Features: FeatureSet{"key:ts": true, "method:post": true}, Label: false})
+	}
+	b := TrainBayes(samples)
+	withEmail := b.LogOdds(FeatureSet{"key:email": true, "method:post": true})
+	without := b.LogOdds(FeatureSet{"key:ts": true, "method:post": true})
+	if withEmail <= without {
+		t.Errorf("log-odds not separating: %v vs %v", withEmail, without)
+	}
+	if b.VocabSize() != 3 {
+		t.Errorf("vocab = %d", b.VocabSize())
+	}
+}
+
+func TestEvaluateCountsConfusion(t *testing.T) {
+	flows := synthFlows(200, 9)
+	c := Train(flows, Options{})
+	ms := Evaluate(c, flows) // evaluate on training set: near-perfect
+	for _, m := range ms {
+		if m.TP+m.FP+m.FN+m.TN != 200 {
+			t.Errorf("confusion cells for %v do not sum: %+v", m.Type, m)
+		}
+	}
+	rep := Report(ms)
+	if !strings.Contains(rep, "precision") {
+		t.Errorf("report header missing: %s", rep)
+	}
+}
+
+func BenchmarkExtract(b *testing.B) {
+	f := synthFlows(1, 1)[0].Flow
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Extract(f)
+	}
+}
+
+func BenchmarkTreeTrain(b *testing.B) {
+	flows := synthFlows(300, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Train(flows, Options{})
+	}
+}
+
+func BenchmarkTreePredict(b *testing.B) {
+	c := Train(synthFlows(300, 1), Options{})
+	f := synthFlows(1, 2)[0].Flow
+	fs := Extract(f)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.PredictFeatures(fs)
+	}
+}
+
+func TestSplitEvaluateGeneralizes(t *testing.T) {
+	flows := synthFlows(800, 11)
+	ms := SplitEvaluate(flows, 0.5, Options{})
+	if len(ms) == 0 {
+		t.Fatal("no held-out metrics")
+	}
+	for _, m := range ms {
+		if m.F1 < 0.85 {
+			t.Errorf("held-out F1 for %v = %.3f", m.Type, m.F1)
+		}
+		if m.TP+m.FP+m.FN+m.TN == len(flows) {
+			t.Error("evaluation ran on the full corpus, not the held-out half")
+		}
+	}
+}
+
+func TestSplitEvaluateBadFractionDefaults(t *testing.T) {
+	flows := synthFlows(200, 12)
+	if ms := SplitEvaluate(flows, 1.5, Options{}); len(ms) == 0 {
+		t.Error("bad fraction should fall back to 0.5")
+	}
+}
+
+func TestPerDomainClassifiers(t *testing.T) {
+	flows := synthFlows(900, 13)
+	c := Train(flows, Options{PerDomain: true, MinDomainFlows: 50})
+	if c.NumDomainModels() == 0 {
+		t.Fatal("no per-domain models trained")
+	}
+	// Per-domain prediction quality must at least match the general model.
+	test := synthFlows(300, 14)
+	for _, m := range Evaluate(c, test) {
+		if m.F1 < 0.9 {
+			t.Errorf("per-domain %v F1 = %.3f", m.Type, m.F1)
+		}
+	}
+	// Long-tail destination falls back to the general classifier.
+	tail := &capture.Flow{
+		Method: "GET", Host: "brand-new.example",
+		URL: "https://brand-new.example/collect?email=zz%40y.example",
+	}
+	if !c.Predict(tail).Contains(pii.Email) {
+		t.Error("fallback to general model failed")
+	}
+}
+
+func TestFeatureImportance(t *testing.T) {
+	flows := synthFlows(600, 15)
+	var samples []*Sample
+	for _, lf := range flows {
+		samples = append(samples, &Sample{Features: Extract(lf.Flow), Label: lf.Types.Contains(pii.Location)})
+	}
+	tree := TrainTree(samples, TreeOptions{})
+	top := tree.TopFeatures(3)
+	if len(top) == 0 {
+		t.Fatal("no features")
+	}
+	// The location corpus uses lat/lon keys; one of them must dominate.
+	if !strings.Contains(top[0], "lat") && !strings.Contains(top[0], "lon") && !strings.Contains(top[0], "geo") {
+		t.Errorf("top feature = %q, want a location context", top[0])
+	}
+	if n := tree.FeatureImportance()[top[0]]; n < 100 {
+		t.Errorf("top importance = %d samples", n)
+	}
+	// A leaf has no importance.
+	leaf := &Tree{Leaf: true}
+	if len(leaf.FeatureImportance()) != 0 {
+		t.Error("leaf importance not empty")
+	}
+}

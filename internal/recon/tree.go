@@ -1,0 +1,237 @@
+package recon
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Sample is one labeled training instance.
+type Sample struct {
+	Features FeatureSet
+	Label    bool
+}
+
+// TreeOptions bound decision-tree induction.
+type TreeOptions struct {
+	MaxDepth   int     // default 12
+	MinSamples int     // stop splitting below this many samples; default 2
+	MinGain    float64 // minimum information gain to split; default 1e-9
+}
+
+func (o TreeOptions) withDefaults() TreeOptions {
+	if o.MaxDepth <= 0 {
+		o.MaxDepth = 12
+	}
+	if o.MinSamples <= 0 {
+		o.MinSamples = 2
+	}
+	if o.MinGain <= 0 {
+		o.MinGain = 1e-9
+	}
+	return o
+}
+
+// Tree is a binary decision tree over boolean features, in the spirit of
+// ReCon's C4.5 classifiers.
+type Tree struct {
+	// Internal node.
+	Feature string
+	With    *Tree // subtree when the feature is present
+	Without *Tree // subtree when absent
+
+	// Leaf node.
+	Leaf  bool
+	Value bool
+	Pos   int // training positives at this node
+	Neg   int // training negatives at this node
+}
+
+// TrainTree induces a tree with ID3-style information-gain splitting.
+func TrainTree(samples []*Sample, opts TreeOptions) *Tree {
+	return grow(samples, opts.withDefaults(), 0)
+}
+
+func grow(samples []*Sample, opts TreeOptions, depth int) *Tree {
+	pos, neg := count(samples)
+	node := &Tree{Pos: pos, Neg: neg}
+	if pos == 0 || neg == 0 || depth >= opts.MaxDepth || len(samples) < opts.MinSamples {
+		node.Leaf = true
+		node.Value = pos >= neg && pos > 0
+		return node
+	}
+	feature, gain := bestSplit(samples, pos, neg)
+	if feature == "" || gain < opts.MinGain {
+		node.Leaf = true
+		node.Value = pos >= neg
+		return node
+	}
+	var with, without []*Sample
+	for _, s := range samples {
+		if s.Features.Has(feature) {
+			with = append(with, s)
+		} else {
+			without = append(without, s)
+		}
+	}
+	node.Feature = feature
+	node.With = grow(with, opts, depth+1)
+	node.Without = grow(without, opts, depth+1)
+	return node
+}
+
+func count(samples []*Sample) (pos, neg int) {
+	for _, s := range samples {
+		if s.Label {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	return pos, neg
+}
+
+// bestSplit finds the feature maximizing information gain. Ties break on
+// lexically smallest feature for determinism.
+func bestSplit(samples []*Sample, pos, neg int) (string, float64) {
+	// Count per-feature (present & positive, present & negative).
+	type fc struct{ pp, pn int }
+	counts := make(map[string]*fc)
+	for _, s := range samples {
+		for f := range s.Features {
+			c := counts[f]
+			if c == nil {
+				c = &fc{}
+				counts[f] = c
+			}
+			if s.Label {
+				c.pp++
+			} else {
+				c.pn++
+			}
+		}
+	}
+	total := float64(pos + neg)
+	base := entropy(pos, neg)
+	features := make([]string, 0, len(counts))
+	for f := range counts {
+		features = append(features, f)
+	}
+	sort.Strings(features)
+
+	bestF, bestGain := "", 0.0
+	for _, f := range features {
+		c := counts[f]
+		withN := c.pp + c.pn
+		withoutP, withoutN := pos-c.pp, neg-c.pn
+		withoutTotal := withoutP + withoutN
+		if withN == 0 || withoutTotal == 0 {
+			continue
+		}
+		cond := (float64(withN)/total)*entropy(c.pp, c.pn) +
+			(float64(withoutTotal)/total)*entropy(withoutP, withoutN)
+		if gain := base - cond; gain > bestGain+1e-12 {
+			bestF, bestGain = f, gain
+		}
+	}
+	return bestF, bestGain
+}
+
+func entropy(pos, neg int) float64 {
+	total := float64(pos + neg)
+	if total == 0 || pos == 0 || neg == 0 {
+		return 0
+	}
+	pp, pn := float64(pos)/total, float64(neg)/total
+	return -pp*math.Log2(pp) - pn*math.Log2(pn)
+}
+
+// Predict classifies a feature set.
+func (t *Tree) Predict(fs FeatureSet) bool {
+	for !t.Leaf {
+		if fs.Has(t.Feature) {
+			t = t.With
+		} else {
+			t = t.Without
+		}
+	}
+	return t.Value
+}
+
+// Depth returns the tree height (leaves have depth 1).
+func (t *Tree) Depth() int {
+	if t.Leaf {
+		return 1
+	}
+	d1, d2 := t.With.Depth(), t.Without.Depth()
+	if d1 < d2 {
+		d1 = d2
+	}
+	return d1 + 1
+}
+
+// NumNodes counts all nodes.
+func (t *Tree) NumNodes() int {
+	if t.Leaf {
+		return 1
+	}
+	return 1 + t.With.NumNodes() + t.Without.NumNodes()
+}
+
+// String renders the tree for debugging.
+func (t *Tree) String() string {
+	var b strings.Builder
+	t.dump(&b, 0)
+	return b.String()
+}
+
+func (t *Tree) dump(b *strings.Builder, indent int) {
+	pad := strings.Repeat("  ", indent)
+	if t.Leaf {
+		fmt.Fprintf(b, "%sleaf=%v (+%d/-%d)\n", pad, t.Value, t.Pos, t.Neg)
+		return
+	}
+	fmt.Fprintf(b, "%s%s?\n", pad, t.Feature)
+	t.With.dump(b, indent+1)
+	t.Without.dump(b, indent+1)
+}
+
+// FeatureImportance walks the tree and scores each split feature by the
+// number of training samples it partitions — the interpretability view
+// ReCon's operators use to see *which* key contexts betray each PII class
+// (e.g. "key:ll" for location).
+func (t *Tree) FeatureImportance() map[string]int {
+	out := make(map[string]int)
+	t.accumulateImportance(out)
+	return out
+}
+
+func (t *Tree) accumulateImportance(out map[string]int) {
+	if t.Leaf {
+		return
+	}
+	out[t.Feature] += t.Pos + t.Neg
+	t.With.accumulateImportance(out)
+	t.Without.accumulateImportance(out)
+}
+
+// TopFeatures returns the n most important features, most influential
+// first (ties break lexically).
+func (t *Tree) TopFeatures(n int) []string {
+	imp := t.FeatureImportance()
+	feats := make([]string, 0, len(imp))
+	for f := range imp {
+		feats = append(feats, f)
+	}
+	sort.Slice(feats, func(i, j int) bool {
+		if imp[feats[i]] != imp[feats[j]] {
+			return imp[feats[i]] > imp[feats[j]]
+		}
+		return feats[i] < feats[j]
+	})
+	if n > 0 && len(feats) > n {
+		feats = feats[:n]
+	}
+	return feats
+}

@@ -1,0 +1,461 @@
+package services
+
+// Catalog returns the 50-service corpus (§3.1). Every service is synthetic
+// but plays the role of a named service from the paper where the paper
+// reports service-specific behaviour:
+//
+//   - weathernow / wxcdn-sim      — The Weather Channel (weather.com + imwx.com)
+//   - stormcast                   — Accuweather (and the Amobee case of Table 2)
+//   - grubexpress                 — Grubhub (app password → taplytics, the §4.2 bug)
+//   - blueskyair                  — JetBlue (password → usablenet for auth)
+//   - foodtv / collegesports      — The Food Network / NCAA Sports (Gigya logins)
+//   - farefinder                  — Priceline (web-only birthday + gender)
+//   - coffeeclub                  — Starbucks (few app trackers, tens on web)
+//   - worldnews / newswire        — BBC News / CNN (thousands of web A&A flows)
+//   - recipebox                   — All Recipes Dinner Spinner
+//   - chatwave / streambox        — certificate-pinned Android apps (excluded on
+//     Android, as Facebook/Twitter were; Table 1 n=48)
+//
+// Cell strings use the mini-language of ParseLeakSpec. Aggregate counts are
+// calibrated against Table 1/2/3 and Figure 1; see catalog_test.go for the
+// enforced invariants and EXPERIMENTS.md for paper-vs-measured numbers.
+func Catalog() []*Spec {
+	return []*Spec{
+		// ---------------------------------------------------------- Business
+		{
+			Key: "docuscan", Name: "DocuScan Pro", Category: Business, Rank: 3,
+			AppTrackers:     []string{"google-analytics", "newrelic"},
+			IOSAppExtra:     []string{"mixpanel", "amplitude", "flurry", "comscore", "optimizely", "branchmetrics"},
+			WebTrackerCount: 6,
+			AppAAFlows:      14, WebAAFlows: 70, WebAdKB: 2, RTBChains: 0,
+			AndroidApp: "UID>newrelic x8", IOSApp: "UID>newrelic x8",
+			AndroidWeb: "", IOSWeb: "",
+		},
+		{
+			Key: "meetsync", Name: "MeetSync", Category: Business, Rank: 3,
+			AppTrackers:     []string{"google-analytics", "mixpanel"},
+			IOSAppExtra:     []string{"amplitude", "flurry", "newrelic", "optimizely", "comscore", "adjustly", "tapad"},
+			WebTrackerCount: 7,
+			AppAAFlows:      16, WebAAFlows: 80, WebAdKB: 2, RTBChains: 0,
+			AndroidApp: "UID>mixpanel x10", IOSApp: "UID>mixpanel x10",
+			AndroidWeb: "", IOSWeb: "L>mixpanel;google-analytics;quantserve x6",
+		},
+		// --------------------------------------------------------- Education
+		{
+			Key: "quizlight", Name: "QuizLight", Category: Education, Rank: 16,
+			AppTrackers: []string{
+				"facebook", "google-analytics", "googlesyndication", "doubleclick",
+				"adcolony", "inmobi", "millennialmedia", "mopub", "yieldmo", "tapad",
+				"adnxs", "rubiconproject", "pubmatic", "openx", "criteo", "moatads",
+				"2mdn", "krxd", "bluekai", "mathtag", "bidswitch", "casalemedia",
+				"taboola", "outbrain", "chartbeat", "quantserve",
+			},
+			WebTrackerCount: 20,
+			AppAAFlows:      170, WebAAFlows: 140, WebAdKB: 3, RTBChains: 1,
+			AndroidApp: "L*x4,UID*x4,E>facebook x2", IOSApp: "UID*x4,E>facebook x2",
+			AndroidWeb: "", IOSWeb: "L>doubleclick;googlesyndication x4",
+		},
+		{
+			Key: "lingolearn", Name: "LingoLearn", Category: Education, Rank: 10,
+			AppTrackers:     []string{"facebook", "google-analytics", "flurry", "adcolony", "inmobi", "mopub"},
+			WebTrackerCount: 9,
+			AppAAFlows:      60, WebAAFlows: 90, WebAdKB: 3, RTBChains: 0,
+			AndroidApp: "L*x4,UID*x4,G>facebook x2", IOSApp: "UID*x4,G>facebook x2",
+			AndroidWeb: "", IOSWeb: "L>google-analytics;quantserve x4",
+		},
+		{
+			Key: "mathwhiz", Name: "MathWhiz Kids", Category: Education, Rank: 22,
+			AppTrackers: []string{"google-analytics"}, WebTrackerCount: 4,
+			AppAAFlows: 8, WebAAFlows: 40, WebAdKB: 2, RTBChains: 0,
+			AndroidApp: "", IOSApp: "", AndroidWeb: "", IOSWeb: "",
+		},
+		{
+			Key: "campusnav", Name: "CampusNav", Category: Education, Rank: 17,
+			AppTrackers: []string{"google-analytics", "flurry", "quantserve"}, WebTrackerCount: 8,
+			AppAAFlows: 24, WebAAFlows: 110, WebAdKB: 3, RTBChains: 0,
+			AndroidApp: "L*x6", IOSApp: "",
+			AndroidWeb: "L>google-analytics x4", IOSWeb: "L>google-analytics x4",
+		},
+		// ----------------------------------------------------- Entertainment
+		{
+			Key: "streambox", Name: "StreamBox", Category: Entertainment, Rank: 5,
+			PinsAndroid:     true,
+			AppTrackers:     []string{"facebook", "google-analytics", "moatads", "doubleverify", "serving-sys", "2mdn", "krxd", "comscore"},
+			WebTrackerCount: 5,
+			AppAAFlows:      120, WebAAFlows: 60, WebAdKB: 4, RTBChains: 0,
+			AndroidApp: "L>moatads x30,UID>serving-sys x15,D>serving-sys x8",
+			IOSApp:     "L>moatads x30,UID>serving-sys x15,D>serving-sys x8",
+			AndroidWeb: "", IOSWeb: "",
+		},
+		{
+			Key: "vidclips", Name: "VidClips", Category: Entertainment, Rank: 12,
+			AppTrackers:     []string{"facebook", "adcolony", "inmobi", "millennialmedia", "mopub", "yieldmo", "vrvm", "adnxs", "openx", "tapad", "bidswitch", "moatads"},
+			WebTrackerCount: 6,
+			AppAAFlows:      700, WebAAFlows: 90, WebAdKB: 4, RTBChains: 0,
+			AndroidApp: "L>vrvm x130,UID>vrvm;moatads x60,D>vrvm x20,N>facebook x2",
+			IOSApp:     "L>vrvm x130,UID>vrvm;moatads x60,D>vrvm x20,N>facebook x2",
+			AndroidWeb: "", IOSWeb: "",
+		},
+		{
+			Key: "foodtv", Name: "FoodTV Network", Category: Entertainment, Rank: 20,
+			AppTrackers: []string{"google-analytics", "facebook", "krxd", "2mdn"}, WebTrackerCount: 16,
+			AppAAFlows: 50, WebAAFlows: 260, WebAdKB: 6, RTBChains: 2,
+			AndroidApp: "UID>krxd x12,PW>gigya x2,E>gigya x2", IOSApp: "UID>krxd x12,PW>gigya x2,E>gigya x2",
+			AndroidWeb: "PW>gigya x2,L>krxd x4", IOSWeb: "PW>gigya x2,L>krxd x4",
+		},
+		{
+			Key: "collegesports", Name: "CollegeSports Live", Category: Entertainment, Rank: 25,
+			AppTrackers: []string{"google-analytics", "facebook", "serving-sys", "moatads"}, WebTrackerCount: 14,
+			AppAAFlows: 45, WebAAFlows: 240, WebAdKB: 6, RTBChains: 2,
+			AndroidApp: "UID>serving-sys x14,PW>gigya x2", IOSApp: "UID>serving-sys x14,PW>gigya x2",
+			AndroidWeb: "PW>gigya x2,L>moatads x1", IOSWeb: "PW>gigya x2,L>moatads x1",
+		},
+		{
+			Key: "moviefinder", Name: "MovieFinder", Category: Entertainment, Rank: 18,
+			AppTrackers: []string{"google-analytics", "facebook"}, WebTrackerCount: 10,
+			AppAAFlows: 18, WebAAFlows: 130, WebAdKB: 5, RTBChains: 1,
+			AndroidApp: "", IOSApp: "", AndroidWeb: "", IOSWeb: "L>doubleclick x4",
+		},
+		{
+			Key: "toonplay", Name: "ToonPlay", Category: Entertainment, Rank: 18,
+			AppTrackers:     []string{"adcolony", "inmobi", "millennialmedia", "mopub", "yieldmo", "tapad", "adnxs", "openx", "casalemedia"},
+			WebTrackerCount: 3,
+			AppAAFlows:      150, WebAAFlows: 30, WebAdKB: 2, RTBChains: 0,
+			AndroidApp: "", IOSApp: "", AndroidWeb: "", IOSWeb: "",
+		},
+		// --------------------------------------------------------- Lifestyle
+		{
+			Key: "yelpish", Name: "LocalEats", Category: Lifestyle, Rank: 2,
+			AppTrackers: []string{"google-analytics", "facebook", "bluekai"}, WebTrackerCount: 12,
+			AppAAFlows: 40, WebAAFlows: 180, WebAdKB: 4, RTBChains: 1,
+			AndroidApp: "L>bluekai x20,UID>bluekai x20,N>facebook x2",
+			IOSApp:     "L>bluekai x20,UID>bluekai x20,N>facebook x2",
+			AndroidWeb: "L>google-analytics;bluekai x8,N>facebook x2",
+			IOSWeb:     "L>google-analytics;bluekai x8,N>facebook x2",
+		},
+		{
+			Key: "recipebox", Name: "RecipeSpinner", Category: Lifestyle, Rank: 7,
+			AppTrackers: []string{"google-analytics", "facebook", "groceryserver"}, WebTrackerCount: 34,
+			AppAAFlows: 180, WebAAFlows: 1150, WebAdKB: 5, RTBChains: 6,
+			AndroidApp: "L>groceryserver x150,UID>groceryserver x20",
+			IOSApp:     "L>groceryserver x150,UID>groceryserver x20",
+			AndroidWeb: "L>criteo x6,N%md5>criteo x2", IOSWeb: "L>criteo x6,N%md5>criteo x2",
+		},
+		{
+			Key: "horoscopia", Name: "Horoscopia", Category: Lifestyle, Rank: 30,
+			AppTrackers: []string{"facebook", "taboola"}, WebTrackerCount: 11,
+			AppAAFlows: 20, WebAAFlows: 150, WebAdKB: 4, RTBChains: 1,
+			AndroidApp: "", IOSApp: "D>taboola x6",
+			AndroidWeb: "", IOSWeb: "L>taboola x6,G>taboola x2,E>outbrain x2,N>taboola x2",
+		},
+		{
+			Key: "datemate", Name: "DateMate", Category: Lifestyle, Rank: 15,
+			AppTrackers: []string{"facebook", "google-analytics", "mixpanel", "branchmetrics"}, WebTrackerCount: 10,
+			AppAAFlows: 55, WebAAFlows: 140, WebAdKB: 3, RTBChains: 0,
+			AndroidApp: "L>mixpanel x18,UID>mixpanel;branchmetrics x20,G>facebook x2,E>mixpanel x2,N>facebook x2,B>first x1",
+			IOSApp:     "L>mixpanel x18,UID>mixpanel;branchmetrics x20,G>facebook x2,E>mixpanel x2,N>facebook x2",
+			AndroidWeb: "L>mixpanel x6,G>facebook x2,E>mixpanel x2,N>facebook x2,U>mixpanel x2,!PW>first x1",
+			IOSWeb:     "L>mixpanel x6,G>facebook x2,E>mixpanel x2,N>facebook x2,U>mixpanel x2,!PW>first x1",
+		},
+		{
+			Key: "fitpal", Name: "FitPal", Category: Lifestyle, Rank: 9,
+			AppTrackers: []string{"google-analytics", "facebook", "amplitude"}, WebTrackerCount: 8,
+			AppAAFlows: 48, WebAAFlows: 90, WebAdKB: 2, RTBChains: 0,
+			AndroidApp: "L>amplitude x22,UID>amplitude x22,G>amplitude x2,E>amplitude x2",
+			IOSApp:     "L>amplitude x22,UID>amplitude x22,G>amplitude x2,E>amplitude x2",
+			AndroidWeb: "", IOSWeb: "",
+		},
+		{
+			Key: "homestyle", Name: "HomeStyle Deco", Category: Lifestyle, Rank: 40,
+			AppTrackers:     []string{"facebook", "googlesyndication", "criteo", "taboola", "outbrain", "pubmatic"},
+			WebTrackerCount: 4,
+			AppAAFlows:      90, WebAAFlows: 45, WebAdKB: 3, RTBChains: 0,
+			AndroidApp: "UID>googlesyndication x16", IOSApp: "UID>googlesyndication x16",
+			AndroidWeb: "", IOSWeb: "",
+		},
+		// ------------------------------------------------------------- Music
+		{
+			Key: "musicstream", Name: "TuneStream", Category: Music, Rank: 80,
+			AppTrackers:     []string{"facebook", "google-analytics", "moatads", "serving-sys", "2mdn", "doubleverify", "comscore", "krxd", "adnxs", "tapad"},
+			WebTrackerCount: 7,
+			AppAAFlows:      240, WebAAFlows: 110, WebAdKB: 3, RTBChains: 0,
+			AndroidApp: "L>moatads x60,UID>serving-sys;2mdn x25,D>serving-sys x8,E%sha256>facebook x2,U>krxd x2",
+			IOSApp:     "L>moatads x60,UID>serving-sys;2mdn x25,D>serving-sys x8,E%sha256>facebook x2,U>krxd x2",
+			AndroidWeb: "", IOSWeb: "G>comscore x2",
+		},
+		{
+			Key: "radiowave", Name: "RadioWave", Category: Music, Rank: 95,
+			AppTrackers:     []string{"adcolony", "millennialmedia", "mopub", "casalemedia", "adnxs", "openx", "inmobi", "tapad"},
+			WebTrackerCount: 5,
+			AppAAFlows:      130, WebAAFlows: 55, WebAdKB: 3, RTBChains: 0,
+			AndroidApp: "D>mopub x8", IOSApp: "",
+			AndroidWeb: "", IOSWeb: "",
+		},
+		{
+			Key: "lyricsnow", Name: "LyricsNow", Category: Music, Rank: 99,
+			AppTrackers:     []string{"googlesyndication", "doubleclick", "taboola", "outbrain", "criteo", "moatads", "2mdn"},
+			WebTrackerCount: 5,
+			AppAAFlows:      110, WebAAFlows: 60, WebAdKB: 3, RTBChains: 0,
+			AndroidApp: "", IOSApp: "D>moatads x6",
+			AndroidWeb: "", IOSWeb: "U>google-analytics x2",
+		},
+		{
+			Key: "concertgo", Name: "ConcertGo", Category: Music, Rank: 95,
+			AppTrackers: []string{"facebook", "google-analytics"}, WebTrackerCount: 8,
+			AppAAFlows: 22, WebAAFlows: 95, WebAdKB: 3, RTBChains: 0,
+			AndroidApp: "", IOSApp: "G>facebook x2",
+			AndroidWeb: "", IOSWeb: "U>facebook x2",
+		},
+		// -------------------------------------------------------------- News
+		{
+			Key: "worldnews", Name: "World News Network", Category: News, Rank: 3,
+			AppTrackers: []string{"google-analytics", "facebook", "247realmedia", "moatads"}, WebTrackerCount: 42,
+			AppAAFlows: 120, WebAAFlows: 1300, WebAdKB: 4, RTBChains: 8,
+			AndroidApp: "L>247realmedia x48,UID>moatads x30",
+			IOSApp:     "L>247realmedia x48,UID>moatads x30",
+			AndroidWeb: "L>google-analytics x4,N>247realmedia x12",
+			IOSWeb:     "L>google-analytics x4,N>247realmedia x12",
+		},
+		{
+			Key: "newswire", Name: "NewsWire 24", Category: News, Rank: 5,
+			AppTrackers: []string{"google-analytics", "facebook", "webtrends", "chartbeat"}, WebTrackerCount: 38,
+			AppAAFlows: 130, WebAAFlows: 1100, WebAdKB: 4, RTBChains: 7,
+			AndroidApp: "L>webtrends x56,UID>chartbeat x20",
+			IOSApp:     "L>webtrends x56,UID>chartbeat x20",
+			AndroidWeb: "L>chartbeat x6,E%md5>krxd x2", IOSWeb: "L>chartbeat x6,E%md5>krxd x2",
+		},
+		// ---------------------------------------------------------- Shopping
+		{
+			Key: "shopmart", Name: "ShopMart", Category: Shopping, Rank: 8,
+			AppTrackers: []string{"google-analytics", "facebook", "monetate", "thebrighttag", "criteo"}, WebTrackerCount: 22,
+			AppAAFlows: 160, WebAAFlows: 420, WebAdKB: 5, RTBChains: 3,
+			AndroidApp: "L>monetate x74,UID>thebrighttag x28,N>facebook x2",
+			IOSApp:     "L>monetate x74,UID>thebrighttag x28,N>facebook x2",
+			AndroidWeb: "L>criteo x6,G>criteo x2,N>facebook x2", IOSWeb: "L>criteo x6,G>criteo x2,N>facebook x2",
+		},
+		{
+			Key: "grubexpress", Name: "GrubExpress", Category: Shopping, Rank: 12,
+			AppTrackers: []string{"google-analytics", "facebook", "taplytics", "branchmetrics"}, WebTrackerCount: 15,
+			AppAAFlows: 70, WebAAFlows: 260, WebAdKB: 4, RTBChains: 2,
+			AndroidApp: "PW>taplytics x2,L>taplytics x20,UID>taplytics;branchmetrics x22,D>taplytics x6,E>taplytics x2,P#>first x1",
+			IOSApp:     "L>taplytics x20,UID>taplytics;branchmetrics x22,D>taplytics x6,E>taplytics x2",
+			AndroidWeb: "L>criteo x6", IOSWeb: "L>criteo x6",
+		},
+		{
+			Key: "dealdash", Name: "DealDash", Category: Shopping, Rank: 14,
+			AppTrackers: []string{"facebook", "google-analytics", "thebrighttag", "criteo"}, WebTrackerCount: 17,
+			AppAAFlows: 60, WebAAFlows: 280, WebAdKB: 5, RTBChains: 2,
+			AndroidApp: "UID>thebrighttag x24", IOSApp: "UID>thebrighttag x24",
+			AndroidWeb: "", IOSWeb: "L>criteo x4,G>criteo x2,E%md5>criteo x2,N>criteo x2",
+		},
+		{
+			Key: "couponera", Name: "Couponera", Category: Shopping, Rank: 11,
+			AppTrackers: []string{"google-analytics", "facebook", "thebrighttag"}, WebTrackerCount: 13,
+			AppAAFlows: 45, WebAAFlows: 200, WebAdKB: 4, RTBChains: 1,
+			AndroidApp: "E>thebrighttag x30,UID>thebrighttag x30", IOSApp: "E>thebrighttag x30,UID>thebrighttag x30",
+			AndroidWeb: "", IOSWeb: "E>marinsm x1",
+		},
+		{
+			Key: "groceryhelper", Name: "GroceryHelper", Category: Shopping, Rank: 25,
+			AppTrackers: []string{"google-analytics", "groceryserver"}, WebTrackerCount: 9,
+			AppAAFlows: 190, WebAAFlows: 120, WebAdKB: 3, RTBChains: 0,
+			AndroidApp: "L>groceryserver x154,UID>groceryserver x20",
+			IOSApp:     "L>groceryserver x154,UID>groceryserver x20",
+			AndroidWeb: "L>google-analytics x4", IOSWeb: "L>google-analytics x4",
+		},
+		{
+			Key: "fashionista", Name: "Fashionista", Category: Shopping, Rank: 16,
+			AppTrackers: []string{"facebook", "google-analytics", "thebrighttag"}, WebTrackerCount: 19,
+			AppAAFlows: 50, WebAAFlows: 310, WebAdKB: 6, RTBChains: 2,
+			AndroidApp: "UID>thebrighttag x26", IOSApp: "UID>thebrighttag x26",
+			AndroidWeb: "", IOSWeb: "L>cloudinary x58,N>cloudinary x12,G>criteo x2,E%md5>criteo x2",
+		},
+		{
+			Key: "auctionhouse", Name: "AuctionHouse", Category: Shopping, Rank: 9,
+			AppTrackers: []string{"google-analytics", "facebook", "criteo"}, WebTrackerCount: 16,
+			AppAAFlows: 55, WebAAFlows: 290, WebAdKB: 5, RTBChains: 2,
+			AndroidApp: "UID>criteo x18", IOSApp: "UID>criteo x18",
+			AndroidWeb: "", IOSWeb: "L>criteo x4,N>criteo x2,U>google-analytics x2",
+		},
+		{
+			Key: "electromart", Name: "ElectroMart", Category: Shopping, Rank: 13,
+			AppTrackers: []string{"google-analytics", "facebook", "marinsm", "criteo"}, WebTrackerCount: 18,
+			AppAAFlows: 120, WebAAFlows: 300, WebAdKB: 5, RTBChains: 2,
+			AndroidApp: "L>marinsm x96,UID>marinsm x20,E%md5>criteo x2",
+			IOSApp:     "L>marinsm x96,UID>marinsm x20,E%md5>criteo x2",
+			AndroidWeb: "", IOSWeb: "",
+		},
+		{
+			Key: "coffeeclub", Name: "CoffeeClub Rewards", Category: Shopping, Rank: 6,
+			AppTrackers: []string{"google-analytics", "tiqcdn"}, WebTrackerCount: 24,
+			AppAAFlows: 40, WebAAFlows: 380, WebAdKB: 5, RTBChains: 3,
+			AndroidApp: "UID>tiqcdn x16",
+			IOSApp:     "L>tiqcdn x16,UID>tiqcdn x16,N>tiqcdn x2",
+			AndroidWeb: "L>tiqcdn x3,N>tiqcdn x2", IOSWeb: "L>tiqcdn x3,N>tiqcdn x2",
+		},
+		// ------------------------------------------------------------ Social
+		{
+			Key: "chatwave", Name: "ChatWave", Category: Social, Rank: 28,
+			PinsAndroid: true,
+			AppTrackers: []string{"facebook", "google-analytics", "mixpanel"}, WebTrackerCount: 6,
+			AppAAFlows: 70, WebAAFlows: 70, WebAdKB: 2, RTBChains: 0,
+			AndroidApp: "UID>mixpanel x24,D>mixpanel x8,U>mixpanel x2",
+			IOSApp:     "UID>mixpanel x24,D>mixpanel x8,U>mixpanel x2",
+			AndroidWeb: "", IOSWeb: "",
+		},
+		{
+			Key: "photogram", Name: "PhotoShare", Category: Social, Rank: 20,
+			AppTrackers: []string{"facebook", "google-analytics", "krxd", "amplitude"}, WebTrackerCount: 9,
+			AppAAFlows: 85, WebAAFlows: 120, WebAdKB: 3, RTBChains: 0,
+			AndroidApp: "L>krxd x24,UID>krxd;amplitude x26,D>amplitude x8,U>amplitude x2,E>amplitude x2",
+			IOSApp:     "L>krxd x24,UID>krxd;amplitude x26,D>amplitude x8,U>amplitude x2,E>amplitude x2",
+			AndroidWeb: "N>facebook x2,U>amplitude x2,E>amplitude x2,G>facebook x2",
+			IOSWeb:     "N>facebook x2,U>amplitude x2,E>amplitude x2,G>facebook x2",
+		},
+		// ------------------------------------------------------------ Travel
+		{
+			Key: "blueskyair", Name: "BlueSky Air", Category: Travel, Rank: 35,
+			AppTrackers: []string{"google-analytics", "tiqcdn"}, WebTrackerCount: 13,
+			AppAAFlows: 45, WebAAFlows: 190, WebAdKB: 4, RTBChains: 1,
+			AndroidApp: "PW>usablenet x2,L>tiqcdn x14,UID>tiqcdn x14,D>tiqcdn x6,N>tiqcdn x2",
+			IOSApp:     "PW>usablenet x2,L>tiqcdn x14,UID>tiqcdn x14,D>tiqcdn x6,N>tiqcdn x2",
+			AndroidWeb: "L>tiqcdn x4,N>tiqcdn x2", IOSWeb: "L>tiqcdn x4,N>tiqcdn x2,P#>tiqcdn x2",
+		},
+		{
+			Key: "farefinder", Name: "FareFinder", Category: Travel, Rank: 40,
+			AppTrackers: []string{"google-analytics", "facebook", "criteo"}, WebTrackerCount: 18,
+			AppAAFlows: 40, WebAAFlows: 320, WebAdKB: 5, RTBChains: 2,
+			AndroidApp: "UID>criteo x16", IOSApp: "UID>criteo x16",
+			AndroidWeb: "B>krxd x3,G>krxd x2", IOSWeb: "B>krxd x3,G>krxd x2",
+		},
+		{
+			Key: "hotelhub", Name: "HotelHub", Category: Travel, Rank: 45,
+			AppTrackers: []string{"google-analytics", "facebook", "criteo", "bluekai"}, WebTrackerCount: 17,
+			AppAAFlows: 65, WebAAFlows: 280, WebAdKB: 5, RTBChains: 2,
+			AndroidApp: "UID>bluekai x20",
+			IOSApp:     "L>bluekai x20,UID>bluekai x20,N>facebook x2",
+			AndroidWeb: "L>criteo x4,N>criteo x2", IOSWeb: "L>criteo x4,N>criteo x2",
+		},
+		{
+			Key: "roadtrip", Name: "RoadTrip GPS", Category: Travel, Rank: 50,
+			AppTrackers: []string{"google-analytics", "vrvm"}, WebTrackerCount: 8,
+			AppAAFlows: 160, WebAAFlows: 90, WebAdKB: 3, RTBChains: 0,
+			AndroidApp: "L>vrvm x130,UID>vrvm x30,D>vrvm x10",
+			IOSApp:     "UID>vrvm x30,D>vrvm x10",
+			AndroidWeb: "", IOSWeb: "L>google-analytics x4",
+		},
+		{
+			Key: "citymetro", Name: "CityMetro Transit", Category: Travel, Rank: 38,
+			AppTrackers: []string{"google-analytics", "facebook"}, WebTrackerCount: 9,
+			AppAAFlows: 30, WebAAFlows: 110, WebAdKB: 3, RTBChains: 0,
+			AndroidApp: "UID>facebook x10", IOSApp: "UID>facebook x10",
+			AndroidWeb: "L>google-analytics x4", IOSWeb: "L>google-analytics x4",
+		},
+		{
+			Key: "flighttrack", Name: "FlightTrack", Category: Travel, Rank: 42,
+			AppTrackers: []string{"google-analytics", "facebook", "flurry"}, WebTrackerCount: 11,
+			AppAAFlows: 50, WebAAFlows: 150, WebAdKB: 4, RTBChains: 1,
+			AndroidApp: "UID>flurry x18,E>flurry x2",
+			IOSApp:     "L>flurry x18,UID>flurry x18,E>flurry x2",
+			AndroidWeb: "L>google-analytics x4", IOSWeb: "L>google-analytics x4",
+		},
+		{
+			Key: "cruisedeal", Name: "CruiseDeals", Category: Travel, Rank: 60,
+			AppTrackers: []string{"google-analytics", "facebook"}, WebTrackerCount: 12,
+			AppAAFlows: 20, WebAAFlows: 160, WebAdKB: 4, RTBChains: 1,
+			AndroidApp: "", IOSApp: "", AndroidWeb: "", IOSWeb: "L>criteo x4,N>criteo x2",
+		},
+		{
+			Key: "campsite", Name: "CampSite Finder", Category: Travel, Rank: 55,
+			AppTrackers: []string{"google-analytics", "flurry"}, WebTrackerCount: 7,
+			AppAAFlows: 25, WebAAFlows: 80, WebAdKB: 2, RTBChains: 0,
+			AndroidApp: "L>flurry x14", IOSApp: "",
+			AndroidWeb: "L>google-analytics x4,E>google-analytics x2", IOSWeb: "",
+		},
+		{
+			Key: "rentacar", Name: "RentACar Now", Category: Travel, Rank: 48,
+			AppTrackers: []string{"google-analytics", "facebook", "criteo"}, WebTrackerCount: 14,
+			AppAAFlows: 45, WebAAFlows: 210, WebAdKB: 4, RTBChains: 1,
+			AndroidApp: "UID>criteo x12,P#>first x1",
+			IOSApp:     "L>criteo x12,UID>criteo x12,N>facebook x2,P#>first x1",
+			AndroidWeb: "L>criteo x4,N>criteo x2", IOSWeb: "L>criteo x4,N>criteo x2",
+		},
+		{
+			Key: "travelpedia", Name: "TravelPedia", Category: Travel, Rank: 52,
+			AppTrackers: []string{"google-analytics", "facebook", "krxd"}, WebTrackerCount: 15,
+			AppAAFlows: 55, WebAAFlows: 230, WebAdKB: 4, RTBChains: 1,
+			AndroidApp: "UID>krxd x14", IOSApp: "L>krxd x14,UID>krxd x14",
+			AndroidWeb: "L>krxd x4,N>krxd x2,E%md5>krxd x2", IOSWeb: "L>krxd x4,N>krxd x2,E%md5>krxd x2",
+		},
+		{
+			Key: "taxigo", Name: "TaxiGo", Category: Travel, Rank: 33,
+			AppTrackers: []string{"google-analytics", "facebook", "mixpanel", "branchmetrics"}, WebTrackerCount: 8,
+			AppAAFlows: 90, WebAAFlows: 100, WebAdKB: 3, RTBChains: 0,
+			AndroidApp: "L>mixpanel x40,UID>mixpanel;branchmetrics x30,D>mixpanel x8,N>mixpanel x2,P#>mixpanel x2",
+			IOSApp:     "L>mixpanel x40,UID>mixpanel;branchmetrics x30,D>mixpanel x8,N>mixpanel x2,P#>mixpanel x2",
+			AndroidWeb: "L>mixpanel x6,N>mixpanel x2,P#>mixpanel x2",
+			IOSWeb:     "L>mixpanel x6,N>mixpanel x2,P#>mixpanel x2",
+		},
+		{
+			Key: "vacationrent", Name: "VacationRentals", Category: Travel, Rank: 68,
+			AppTrackers: []string{"google-analytics", "facebook", "liftoff"}, WebTrackerCount: 12,
+			AppAAFlows: 85, WebAAFlows: 150, WebAdKB: 4, RTBChains: 1,
+			AndroidApp: "L>liftoff x54,E>liftoff x54,UID>liftoff x20",
+			IOSApp:     "L>liftoff x54,E>liftoff x54,UID>liftoff x20",
+			AndroidWeb: "", IOSWeb: "",
+		},
+		// ----------------------------------------------------------- Weather
+		{
+			Key: "weathernow", Name: "WeatherNow", Category: Weather, Rank: 1,
+			ExtraDomain:     "wxcdn-sim.example",
+			AppTrackers:     []string{"moatads", "krxd", "2mdn", "serving-sys", "doubleverify", "tiqcdn", "googlesyndication", "criteo", "mathtag", "bluekai"},
+			WebTrackerCount: 28,
+			AppAAFlows:      260, WebAAFlows: 520, WebAdKB: 6, RTBChains: 4,
+			AndroidApp: "L*x14,UID>moatads;krxd x30,D>serving-sys x8",
+			IOSApp:     "L*x14,UID>moatads;krxd x30,D>serving-sys x8",
+			AndroidWeb: "L>moatads;krxd;2mdn;criteo;googlesyndication x10",
+			IOSWeb:     "L>moatads;krxd;2mdn;criteo;googlesyndication x10",
+		},
+		{
+			Key: "stormcast", Name: "StormCast", Category: Weather, Rank: 4,
+			AppTrackers: []string{"amobee", "moatads", "google-analytics"}, WebTrackerCount: 26,
+			AppAAFlows: 560, WebAAFlows: 420, WebAdKB: 6, RTBChains: 3,
+			AndroidApp: "L>amobee x500,UID>amobee x260,D>amobee x20",
+			IOSApp:     "L>amobee x500,UID>amobee x260,D>amobee x20",
+			AndroidWeb: "L>amobee x300,N>amobee x14", IOSWeb: "L>amobee x300,N>amobee x14",
+		},
+		{
+			Key: "localweather", Name: "LocalWeather Radar", Category: Weather, Rank: 5,
+			AppTrackers:     []string{"moatads", "2mdn", "krxd", "mathtag", "bluekai", "serving-sys", "doubleverify"},
+			WebTrackerCount: 18,
+			AppAAFlows:      220, WebAAFlows: 300, WebAdKB: 5, RTBChains: 2,
+			AndroidApp: "L*x12,UID>moatads;krxd x40,D>serving-sys x12",
+			IOSApp:     "L*x12,UID>moatads;krxd x40,D>serving-sys x12",
+			AndroidWeb: "L>moatads;krxd;2mdn x8", IOSWeb: "L>moatads;krxd;2mdn x8",
+		},
+	}
+}
+
+// CatalogNextQuarter models the ecosystem one quarter after the study —
+// the drift the longitudinal workflow (§2: the approach "can be repeated
+// to observe how the privacy landscape evolves") is built to detect:
+//
+//   - GrubExpress shipped the fix for its password bug (§4.2: Grubhub
+//     "released a new version of the app addressing this bug within a
+//     week") and also stopped sending the email to its analytics SDK.
+//   - Horoscopia's relaunched site now leaks location from Android too.
+//   - RadioWave switched its mediation stack, adding two ad networks.
+func CatalogNextQuarter() []*Spec {
+	next := Catalog()
+	for _, s := range next {
+		switch s.Key {
+		case "grubexpress":
+			s.AndroidApp = "L>taplytics x20,UID>taplytics;branchmetrics x22,D>taplytics x6,P#>first x1"
+		case "horoscopia":
+			s.AndroidWeb = s.IOSWeb
+		case "radiowave":
+			s.AppTrackers = append(s.AppTrackers, "yieldmo", "bidswitch")
+		}
+	}
+	return next
+}

@@ -1,0 +1,365 @@
+package services
+
+import (
+	"testing"
+
+	"appvsweb/internal/pii"
+)
+
+// profileOf builds a cell profile or fails the test.
+func profileOf(t *testing.T, s *Spec, c Cell) *Profile {
+	t.Helper()
+	p, err := s.Profile(c)
+	if err != nil {
+		t.Fatalf("%s/%s/%s: %v", s.Key, c.OS, c.Medium, err)
+	}
+	return p
+}
+
+func TestCatalogShape(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 50 {
+		t.Fatalf("catalog has %d services, want 50", len(cat))
+	}
+	wantCounts := map[Category]int{
+		Business: 2, Education: 4, Entertainment: 6, Lifestyle: 6, Music: 4,
+		News: 2, Shopping: 9, Social: 2, Travel: 12, Weather: 3,
+	}
+	got := make(map[Category]int)
+	keys := make(map[string]bool)
+	pinned := 0
+	for _, s := range cat {
+		if err := s.Validate(); err != nil {
+			t.Errorf("validate: %v", err)
+		}
+		if keys[s.Key] {
+			t.Errorf("duplicate key %s", s.Key)
+		}
+		keys[s.Key] = true
+		got[s.Category]++
+		if s.PinsAndroid {
+			pinned++
+		}
+	}
+	for c, want := range wantCounts {
+		if got[c] != want {
+			t.Errorf("category %s has %d services, want %d", c, got[c], want)
+		}
+	}
+	if pinned != 2 {
+		t.Errorf("pinned services = %d, want 2 (Table 1: Android n=48)", pinned)
+	}
+}
+
+// leakSets computes per-service leak type sets per cell from profiles.
+func leakSets(t *testing.T, cat []*Spec) map[string]map[Cell]pii.TypeSet {
+	t.Helper()
+	out := make(map[string]map[Cell]pii.TypeSet)
+	for _, s := range cat {
+		cells := make(map[Cell]pii.TypeSet)
+		for _, c := range AllCells() {
+			cells[c] = profileOf(t, s, c).LeakTypes()
+		}
+		out[s.Key] = cells
+	}
+	return out
+}
+
+func TestCatalogLeakRates(t *testing.T) {
+	cat := Catalog()
+	sets := leakSets(t, cat)
+
+	var aApp, aWeb, iApp, iWeb, uApp, uWeb, nAndroid int
+	for _, s := range cat {
+		cs := sets[s.Key]
+		appLeak := !cs[Cell{Android, App}].Empty() || !cs[Cell{IOS, App}].Empty()
+		webLeak := !cs[Cell{Android, Web}].Empty() || !cs[Cell{IOS, Web}].Empty()
+		if appLeak {
+			uApp++
+		}
+		if webLeak {
+			uWeb++
+		}
+		if !cs[Cell{IOS, App}].Empty() {
+			iApp++
+		}
+		if !cs[Cell{IOS, Web}].Empty() {
+			iWeb++
+		}
+		if s.PinsAndroid {
+			continue // excluded from the Android comparison
+		}
+		nAndroid++
+		if !cs[Cell{Android, App}].Empty() {
+			aApp++
+		}
+		if !cs[Cell{Android, Web}].Empty() {
+			aWeb++
+		}
+	}
+	t.Logf("leak rates: androidApp=%d/%d iosApp=%d/50 androidWeb=%d/%d iosWeb=%d/50 unionApp=%d unionWeb=%d",
+		aApp, nAndroid, iApp, aWeb, nAndroid, iWeb, uApp, uWeb)
+
+	// Paper targets: Android app 85.4% (41/48), iOS app 86% (43/50),
+	// Android web 52.1% (25/48), iOS web 76% (38/50), union 92%/78%.
+	if nAndroid != 48 {
+		t.Errorf("android services = %d, want 48", nAndroid)
+	}
+	if aApp != 41 {
+		t.Errorf("android app leakers = %d, want 41", aApp)
+	}
+	if iApp != 43 {
+		t.Errorf("ios app leakers = %d, want 43", iApp)
+	}
+	if aWeb != 25 {
+		t.Errorf("android web leakers = %d, want 25", aWeb)
+	}
+	if iWeb != 38 {
+		t.Errorf("ios web leakers = %d, want 38", iWeb)
+	}
+	if uApp != 46 || uWeb != 39 {
+		t.Errorf("union leakers = %d/%d, want 46/39", uApp, uWeb)
+	}
+}
+
+func TestCatalogPerTypeCounts(t *testing.T) {
+	cat := Catalog()
+	sets := leakSets(t, cat)
+
+	type row struct{ app, both, web int }
+	counts := make(map[pii.Type]*row)
+	for _, typ := range pii.AllTypes() {
+		counts[typ] = &row{}
+	}
+	for _, s := range cat {
+		cs := sets[s.Key]
+		appTypes := cs[Cell{Android, App}].Union(cs[Cell{IOS, App}])
+		webTypes := cs[Cell{Android, Web}].Union(cs[Cell{IOS, Web}])
+		for _, typ := range pii.AllTypes() {
+			a, w := appTypes.Contains(typ), webTypes.Contains(typ)
+			if a {
+				counts[typ].app++
+			}
+			if w {
+				counts[typ].web++
+			}
+			if a && w {
+				counts[typ].both++
+			}
+		}
+	}
+	for _, typ := range pii.AllTypes() {
+		r := counts[typ]
+		t.Logf("%-12s app=%2d both=%2d web=%2d", typ, r.app, r.both, r.web)
+	}
+
+	// Hard invariants from the paper.
+	if r := counts[pii.UniqueID]; r.app != 40 || r.web != 0 {
+		t.Errorf("UniqueID = %+v, want app 40, web 0 (device IDs only leak from apps)", *r)
+	}
+	if r := counts[pii.DeviceName]; r.app != 15 || r.web != 0 {
+		t.Errorf("DeviceName = %+v, want app 15, web 0", *r)
+	}
+	if r := counts[pii.Password]; r.app != 4 || r.both != 2 || r.web != 3 {
+		t.Errorf("Password = %+v, want 4/2/3 (§4.2 password cases)", *r)
+	}
+	if r := counts[pii.Birthday]; r.app != 1 || r.both != 0 || r.web != 1 {
+		t.Errorf("Birthday = %+v, want 1/0/1 (Priceline case)", *r)
+	}
+	if r := counts[pii.Gender]; r.app != 4 || r.both != 1 || r.web != 8 {
+		t.Errorf("Gender = %+v, want 4/1/8", *r)
+	}
+	if r := counts[pii.Username]; r.app != 3 || r.both != 1 || r.web != 5 {
+		t.Errorf("Username = %+v, want 3/1/5", *r)
+	}
+	if r := counts[pii.PhoneNumber]; r.app != 3 || r.both != 1 || r.web != 2 {
+		t.Errorf("PhoneNumber = %+v, want 3/1/2", *r)
+	}
+	// Soft targets (paper: 30/21/26, 9/8/16, 11/3/8): shape must hold.
+	if r := counts[pii.Location]; r.app < 28 || r.web < 26 {
+		t.Errorf("Location = %+v, want ≥28 app, ≥26 web", *r)
+	}
+	if r := counts[pii.Name]; !(r.web > r.app) {
+		t.Errorf("Name = %+v: names must leak from more web services", *r)
+	}
+	if r := counts[pii.Email]; !(r.app > r.web) {
+		t.Errorf("Email = %+v: email must leak from more apps", *r)
+	}
+}
+
+func TestCatalogAADirectionality(t *testing.T) {
+	cat := Catalog()
+	for _, os := range AllOS() {
+		webMore, total := 0, 0
+		for _, s := range cat {
+			if os == Android && s.PinsAndroid {
+				continue
+			}
+			app := profileOf(t, s, Cell{os, App})
+			web := profileOf(t, s, Cell{os, Web})
+			total++
+			if len(web.AADomains()) > len(app.AADomains()) {
+				webMore++
+			}
+		}
+		frac := float64(webMore) / float64(total)
+		t.Logf("%s: web contacts more A&A domains for %d/%d services (%.0f%%)", os, webMore, total, frac*100)
+		// Paper: 83% on Android, 78% on iOS.
+		if frac < 0.70 || frac > 0.92 {
+			t.Errorf("%s: web-more fraction %.2f outside [0.70, 0.92]", os, frac)
+		}
+	}
+}
+
+func TestCatalogJaccardShape(t *testing.T) {
+	cat := Catalog()
+	sets := leakSets(t, cat)
+	zero, le50, n := 0, 0, 0
+	diffCount := make(map[int]int)
+	for _, s := range cat {
+		for _, os := range AllOS() {
+			if os == Android && s.PinsAndroid {
+				continue
+			}
+			app := sets[s.Key][Cell{os, App}]
+			web := sets[s.Key][Cell{os, Web}]
+			j := app.Jaccard(web)
+			n++
+			if j == 0 {
+				zero++
+			}
+			if j <= 0.5 {
+				le50++
+			}
+			diffCount[app.Len()-web.Len()]++
+		}
+	}
+	t.Logf("jaccard: zero=%d/%d (%.0f%%), ≤0.5=%d/%d (%.0f%%)", zero, n, 100*float64(zero)/float64(n), le50, n, 100*float64(le50)/float64(n))
+	t.Logf("identifier diff histogram (app-web): %v", diffCount)
+	if float64(zero)/float64(n) < 0.40 {
+		t.Errorf("too few disjoint leak sets: %d/%d (paper: >50%%)", zero, n)
+	}
+	if float64(le50)/float64(n) < 0.75 {
+		t.Errorf("too few Jaccard ≤ 0.5: %d/%d (paper: 80-90%%)", le50, n)
+	}
+	// Figure 1e: the most common nonzero difference is +1 (apps leak one
+	// more type).
+	best, bestN := 0, -1
+	for d, c := range diffCount {
+		if d != 0 && c > bestN {
+			best, bestN = d, c
+		}
+	}
+	if best < 1 {
+		t.Errorf("most common nonzero identifier diff = %+d, want positive (apps leak more types)", best)
+	}
+}
+
+func TestCatalogNamedCases(t *testing.T) {
+	cat := Catalog()
+	byKey := make(map[string]*Spec)
+	for _, s := range cat {
+		byKey[s.Key] = s
+	}
+	// Grubhub: Android app leaks the password to taplytics; iOS does not.
+	grub := byKey["grubexpress"]
+	aApp, _ := ParseCell(grub.AndroidApp)
+	foundPW := false
+	for _, l := range aApp {
+		if l.Type == pii.Password && len(l.Dests) == 1 && l.Dests[0] == "taplytics" {
+			foundPW = true
+		}
+	}
+	if !foundPW {
+		t.Error("grubexpress Android app must leak password to taplytics")
+	}
+	if i, _ := ParseCell(grub.IOSApp); pii.TypesOf(nil) == 0 {
+		_ = i
+	}
+	// JetBlue: password to usablenet from the app.
+	blue := byKey["blueskyair"]
+	if cellLacksDest(t, blue.AndroidApp, pii.Password, "usablenet") {
+		t.Error("blueskyair app must send password to usablenet")
+	}
+	// Food Network and NCAA: passwords to Gigya from app and web.
+	for _, key := range []string{"foodtv", "collegesports"} {
+		s := byKey[key]
+		for _, cell := range []string{s.AndroidApp, s.AndroidWeb, s.IOSApp, s.IOSWeb} {
+			if cellLacksDest(t, cell, pii.Password, "gigya") {
+				t.Errorf("%s: every cell must send password to gigya", key)
+			}
+		}
+	}
+	// Priceline: birthday and gender from the web only.
+	fare := byKey["farefinder"]
+	webTypes, _ := ParseCell(fare.AndroidWeb)
+	var ws pii.TypeSet
+	for _, l := range webTypes {
+		ws = ws.Add(l.Type)
+	}
+	if !ws.Contains(pii.Birthday) || !ws.Contains(pii.Gender) {
+		t.Error("farefinder web must leak birthday and gender")
+	}
+	appTypes, _ := ParseCell(fare.AndroidApp)
+	for _, l := range appTypes {
+		if l.Type == pii.Birthday || l.Type == pii.Gender {
+			t.Error("farefinder apps must not leak birthday/gender")
+		}
+	}
+	// The Weather Channel pattern: two first-party domains.
+	if len(byKey["weathernow"].Domains()) != 2 {
+		t.Error("weathernow must have a CDN domain (weather.com/imwx.com pattern)")
+	}
+}
+
+func cellLacksDest(t *testing.T, cell string, typ pii.Type, dest string) bool {
+	t.Helper()
+	leaks, err := ParseCell(cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range leaks {
+		if l.Type != typ {
+			continue
+		}
+		for _, d := range l.Dests {
+			if d == dest {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestCatalogNextQuarterDrift(t *testing.T) {
+	now := map[string]*Spec{}
+	for _, s := range Catalog() {
+		now[s.Key] = s
+	}
+	for _, s := range CatalogNextQuarter() {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("next-quarter catalog invalid: %v", err)
+		}
+		switch s.Key {
+		case "grubexpress":
+			leaks, _ := ParseCell(s.AndroidApp)
+			for _, l := range leaks {
+				if l.Type == pii.Password {
+					t.Error("grubexpress password bug should be fixed next quarter")
+				}
+			}
+		case "horoscopia":
+			if s.AndroidWeb == "" {
+				t.Error("horoscopia android web should now leak")
+			}
+		case "radiowave":
+			if len(s.AppTrackers) != len(now[s.Key].AppTrackers)+2 {
+				t.Error("radiowave should gain two ad networks")
+			}
+		default:
+			if s.AndroidApp != now[s.Key].AndroidApp || s.IOSWeb != now[s.Key].IOSWeb {
+				t.Errorf("%s drifted unexpectedly", s.Key)
+			}
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package services
+
+import (
+	"crypto/tls"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+
+	"appvsweb/internal/domains"
+	"appvsweb/internal/proxy"
+)
+
+// Internet is the simulated public network: one plaintext listener and one
+// TLS listener on loopback, routing requests to per-domain handlers by
+// Host header, with server certificates minted on demand from the origin
+// CA for whatever SNI the client presents. All registered domains resolve
+// (via the shared resolver) to these two listeners, so names, SNI, and
+// Host headers flow exactly as on the real network.
+type Internet struct {
+	CA       *proxy.CA
+	Resolver *proxy.MapResolver
+
+	mu       sync.RWMutex
+	handlers map[string]http.Handler // keyed by eTLD+1
+
+	plainLn, tlsLn net.Listener
+	plainSrv       *http.Server
+	tlsSrv         *http.Server
+}
+
+// StartInternet brings up the simulated network.
+func StartInternet() (*Internet, error) {
+	ca, err := proxy.NewCA("Simulated Web PKI Root")
+	if err != nil {
+		return nil, err
+	}
+	in := &Internet{
+		CA:       ca,
+		Resolver: proxy.NewMapResolver(),
+		handlers: make(map[string]http.Handler),
+	}
+
+	in.plainLn, err = net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("services: plain listener: %w", err)
+	}
+	tcpLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		in.plainLn.Close()
+		return nil, fmt.Errorf("services: tls listener: %w", err)
+	}
+	in.tlsLn = tls.NewListener(tcpLn, &tls.Config{GetCertificate: ca.GetCertificate("")})
+
+	mux := http.HandlerFunc(in.route)
+	in.plainSrv = &http.Server{Handler: mux}
+	in.tlsSrv = &http.Server{Handler: mux}
+	go in.plainSrv.Serve(in.plainLn) //nolint:errcheck
+	go in.tlsSrv.Serve(in.tlsLn)     //nolint:errcheck
+	return in, nil
+}
+
+// Handle registers a handler for domain and everything under it, and
+// points the resolver's entries for it at the simulated listeners.
+func (in *Internet) Handle(domain string, h http.Handler) {
+	reg := domains.ETLDPlusOne(domain)
+	in.mu.Lock()
+	in.handlers[reg] = h
+	in.mu.Unlock()
+	in.Resolver.Register(reg, "80", in.plainLn.Addr().String())
+	in.Resolver.Register(reg, "443", in.tlsLn.Addr().String())
+	in.Resolver.Register("*."+reg, "80", in.plainLn.Addr().String())
+	in.Resolver.Register("*."+reg, "443", in.tlsLn.Addr().String())
+}
+
+// route dispatches by the request's Host header.
+func (in *Internet) route(w http.ResponseWriter, r *http.Request) {
+	host := r.Host
+	if h, _, err := net.SplitHostPort(host); err == nil {
+		host = h
+	}
+	reg := domains.ETLDPlusOne(strings.ToLower(host))
+	in.mu.RLock()
+	h := in.handlers[reg]
+	in.mu.RUnlock()
+	if h == nil {
+		http.Error(w, "no such host: "+host, http.StatusBadGateway)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+// Domains lists the registered registrable domains.
+func (in *Internet) Domains() []string {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	out := make([]string, 0, len(in.handlers))
+	for d := range in.handlers {
+		out = append(out, d)
+	}
+	return out
+}
+
+// Close shuts both servers down.
+func (in *Internet) Close() {
+	in.plainSrv.Close() //nolint:errcheck
+	in.tlsSrv.Close()   //nolint:errcheck
+}

@@ -1,0 +1,204 @@
+package services
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"appvsweb/internal/easylist"
+	"appvsweb/internal/pii"
+)
+
+// PlannedRequest is one templated request a session will issue. Templates
+// contain {{placeholder}} tokens that the device expands with its
+// ground-truth PII ({{gps}}, {{email}}, {{md5:email}}, ...) plus
+// {{nonce}} for cache busting. The same plan drives the app client
+// directly and, for the Web, is rendered into the page the browser parses.
+type PlannedRequest struct {
+	Method      string `json:"method"`
+	URL         string `json:"url"` // template
+	Body        string `json:"body,omitempty"`
+	ContentType string `json:"content_type,omitempty"`
+	Repeat      int    `json:"repeat"`
+}
+
+// subdomainFor deterministically picks a tracker subdomain prefix.
+func subdomainFor(org, purpose string) string {
+	h := fnv.New32a()
+	h.Write([]byte(org + purpose))
+	prefixes := []string{"ads", "pixel", "sdk", "cdn", "beacon", "collect"}
+	return prefixes[int(h.Sum32())%len(prefixes)]
+}
+
+// trackerURL builds a tracker endpoint URL.
+func trackerURL(org, path, query string, plaintext bool) string {
+	scheme := "https"
+	if plaintext {
+		scheme = "http"
+	}
+	host := subdomainFor(org, path) + "." + easylist.SimDomain(org)
+	u := scheme + "://" + host + path
+	if query != "" {
+		u += "?" + query
+	}
+	return u
+}
+
+// RequestPlan expands the profile into the concrete session plan: content
+// requests to the first party, clean tracker traffic, PII beacons, and (on
+// the Web) RTB chains. The plan is deterministic for a given profile.
+func (p *Profile) RequestPlan() []PlannedRequest {
+	var plan []PlannedRequest
+	domain := p.Service.Domain()
+
+	// First-party content traffic. A second first-party domain (CDN)
+	// takes part of it, as weather.com/imwx.com did.
+	contentHosts := p.Service.Domains()
+	perHost := p.FirstPartyFlows / len(contentHosts)
+	for i, host := range contentHosts {
+		n := perHost
+		if i == 0 {
+			n = p.FirstPartyFlows - perHost*(len(contentHosts)-1)
+		}
+		if n <= 0 {
+			continue
+		}
+		if p.Cell.Medium == App {
+			plan = append(plan, PlannedRequest{
+				Method: "GET",
+				URL:    fmt.Sprintf("https://%s/api/feed?page={{nonce}}", host),
+				Repeat: n,
+			})
+		} else {
+			plan = append(plan, PlannedRequest{
+				Method: "GET",
+				URL:    fmt.Sprintf("https://%s/static/asset-%d.css?v={{nonce}}", host, i),
+				Repeat: n,
+			})
+		}
+	}
+
+	// Beacon repeats per org, to subtract from the clean-traffic budget.
+	beaconFlows := make(map[string]int)
+	for _, b := range p.Beacons {
+		beaconFlows[b.Org] += b.Repeat
+	}
+
+	// Clean tracker traffic (ads, SDK heartbeats).
+	for _, t := range p.Trackers {
+		n := t.Flows - beaconFlows[t.Org]
+		if n <= 0 {
+			continue
+		}
+		if p.Cell.Medium == App {
+			plan = append(plan, PlannedRequest{
+				Method:      "POST",
+				URL:         trackerURL(t.Org, "/v1/events", fmt.Sprintf("sz=%d", t.RespBytes), false),
+				Body:        `{"sdk":"` + t.Org + `","session":"{{nonce}}","events":[{"type":"heartbeat"}]}`,
+				ContentType: "application/json",
+				Repeat:      n,
+			})
+		} else {
+			plan = append(plan, PlannedRequest{
+				Method: "GET",
+				URL:    trackerURL(t.Org, "/js/tag.js", fmt.Sprintf("sz=%d&cb={{nonce}}", t.RespBytes), false),
+				Repeat: n,
+			})
+		}
+	}
+
+	// PII beacons.
+	for _, b := range p.Beacons {
+		plan = append(plan, p.beaconRequest(b, domain))
+	}
+
+	// RTB chains (Web only by construction).
+	for i, chain := range p.RTBChains {
+		if len(chain.Orgs) == 0 {
+			continue
+		}
+		first := chain.Orgs[0]
+		rest := strings.Join(chain.Orgs[1:], ",")
+		plan = append(plan, PlannedRequest{
+			Method: "GET",
+			URL: trackerURL(first, "/bid",
+				fmt.Sprintf("chain=%s&auction={{nonce}}&slot=%d&sz=4096", rest, i), false),
+			Repeat: 1,
+		})
+	}
+	return plan
+}
+
+// beaconRequest renders one beacon as a planned request. App beacons ride
+// POST JSON SDK calls; Web beacons are GET pixels.
+func (p *Profile) beaconRequest(b Beacon, domain string) PlannedRequest {
+	if b.Org == "" {
+		// First-party collection endpoint.
+		scheme := "https"
+		if b.Plaintext {
+			scheme = "http"
+		}
+		if p.Cell.Medium == App {
+			return PlannedRequest{
+				Method:      "POST",
+				URL:         fmt.Sprintf("%s://api.%s/api/collect", scheme, domain),
+				Body:        beaconJSONBody(b),
+				ContentType: "application/json",
+				Repeat:      b.Repeat,
+			}
+		}
+		return PlannedRequest{
+			Method: "GET",
+			URL:    fmt.Sprintf("%s://%s/collect?%s", scheme, domain, b.BeaconQuery()),
+			Repeat: b.Repeat,
+		}
+	}
+	if p.Cell.Medium == App {
+		return PlannedRequest{
+			Method:      "POST",
+			URL:         trackerURL(b.Org, "/v1/events", "", b.Plaintext),
+			Body:        beaconJSONBody(b),
+			ContentType: "application/json",
+			Repeat:      b.Repeat,
+		}
+	}
+	// A&A beacons are tracking pixels; non-A&A third parties (identity
+	// management, auth platforms) are reached through auth-style
+	// endpoints — which is why content blockers do not stop them.
+	path := "/track/pixel"
+	if !easylist.IsSimAADomain(easylist.SimDomain(b.Org)) {
+		path = "/accounts/login"
+	}
+	return PlannedRequest{
+		Method: "GET",
+		URL:    trackerURL(b.Org, path, b.BeaconQuery(), b.Plaintext),
+		Repeat: b.Repeat,
+	}
+}
+
+// beaconJSONBody renders the SDK-style JSON body carrying the beacon's PII.
+func beaconJSONBody(b Beacon) string {
+	var fields []string
+	for _, t := range b.Types {
+		fields = append(fields, fmt.Sprintf("%q:%q", beaconParam(t), PlaceholderFor(t, b.Encoding)))
+	}
+	sort.Strings(fields)
+	return `{"event":"profile","props":{` + strings.Join(fields, ",") + `},"cb":"{{nonce}}"}`
+}
+
+// PlanLeakTypes returns the PII classes whose placeholders occur in the
+// plan — a cross-check used by tests.
+func PlanLeakTypes(plan []PlannedRequest) pii.TypeSet {
+	var s pii.TypeSet
+	for _, r := range plan {
+		for _, t := range pii.AllTypes() {
+			ph := Placeholder(t)
+			if strings.Contains(r.URL, ":"+ph+"}}") || strings.Contains(r.URL, "{"+"{"+ph+"}}") ||
+				strings.Contains(r.Body, ":"+ph+"}}") || strings.Contains(r.Body, "{"+"{"+ph+"}}") {
+				s = s.Add(t)
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,433 @@
+package services
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"appvsweb/internal/easylist"
+	"appvsweb/internal/pii"
+)
+
+// TrackerUse is one A&A organization a session contacts.
+type TrackerUse struct {
+	Org       string // organizational name (easylist.SimDomain gives the domain)
+	Flows     int    // beacon/ad flows this session sends it
+	RespBytes int    // response payload size per flow
+}
+
+// Beacon is one PII-carrying transmission pattern: a request template that
+// fires Repeat times per session toward Org (or the first party).
+type Beacon struct {
+	Org       string // "" = first party
+	Plaintext bool
+	Repeat    int
+	Types     []pii.Type
+	Encoding  pii.Encoding
+}
+
+// Profile is the derived behaviour of one (service, OS, medium) cell.
+type Profile struct {
+	Service *Spec
+	Cell    Cell
+
+	Trackers        []TrackerUse
+	Beacons         []Beacon
+	FirstPartyFlows int
+	RTBChains       []RTBChain
+	Login           bool
+}
+
+// RTBChain is one real-time-bidding redirect chain: the browser hits the
+// first exchange, which 302s to the next, and so on.
+type RTBChain struct {
+	Orgs []string
+}
+
+// rtbExchanges are the orgs that operate bidding endpoints.
+var rtbExchanges = []string{"adnxs", "rubiconproject", "pubmatic", "openx", "doubleclick", "bidswitch", "casalemedia"}
+
+// webPopularity orders A&A orgs by how commonly Web sites embed them; the
+// head of the list reproduces Table 2's near-universal trackers.
+var webPopularity = []string{
+	"google-analytics", "facebook", "googlesyndication", "doubleclick",
+	"criteo", "moatads", "2mdn", "krxd", "tiqcdn", "serving-sys",
+	"scorecardresearch", "chartbeat", "quantserve", "taboola", "outbrain",
+	"adnxs", "rubiconproject", "pubmatic", "openx", "thebrighttag",
+	"doubleverify", "247realmedia", "marinsm", "monetate", "bluekai",
+	"mathtag", "bidswitch", "casalemedia", "comscore", "optimizely",
+	"newrelic", "mixpanel", "amplitude", "cloudinary", "webtrends",
+	"tapad", "advertising-sim", "adcolony", "inmobi", "millennialmedia",
+	"mopub", "yieldmo", "taplytics", "flurry", "branchmetrics", "adjustly",
+	"groceryserver", "amobee", "vrvm", "liftoff",
+}
+
+// defaultRepeat gives per-type beacon repeat counts when a leak spec does
+// not set one: locations beacon continuously, identifiers ride most SDK
+// calls, profile fields transmit a couple of times.
+func defaultRepeat(t pii.Type) int {
+	switch t {
+	case pii.Location:
+		return 24
+	case pii.UniqueID:
+		return 30
+	case pii.DeviceName:
+		return 8
+	default:
+		return 2
+	}
+}
+
+// seed derives a stable per-cell RNG seed.
+func (s *Spec) seed(c Cell) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%s", s.Key, c.OS, c.Medium)
+	return int64(h.Sum64())
+}
+
+// Profile derives the cell's behaviour profile. Derivation is
+// deterministic: the same spec and cell always produce the same profile.
+func (s *Spec) Profile(c Cell) (*Profile, error) {
+	leaks, err := ParseCell(s.CellSpec(c))
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(s.seed(c)))
+	p := &Profile{Service: s, Cell: c, Login: true}
+
+	orgs := s.trackerOrgs(c, rng)
+	var budget int
+	if c.Medium == App {
+		budget = s.AppAAFlows
+	} else {
+		budget = s.WebAAFlows
+	}
+	p.Trackers = splitBudget(orgs, budget, s.adBytes(c), rng)
+
+	// Resolve leak destinations into beacons.
+	p.Beacons = buildBeacons(leaks, orgs, rng)
+	p.ensureBeaconBudget()
+
+	if c.Medium == App {
+		p.FirstPartyFlows = 12 + rng.Intn(18)
+	} else {
+		p.FirstPartyFlows = 20 + rng.Intn(30)
+		for i := 0; i < s.RTBChains; i++ {
+			hops := 3 + rng.Intn(4)
+			chain := RTBChain{}
+			start := rng.Intn(len(rtbExchanges))
+			for j := 0; j < hops; j++ {
+				chain.Orgs = append(chain.Orgs, rtbExchanges[(start+j)%len(rtbExchanges)])
+			}
+			p.RTBChains = append(p.RTBChains, chain)
+		}
+	}
+	return p, nil
+}
+
+// trackerOrgs selects the A&A organizations this cell contacts.
+func (s *Spec) trackerOrgs(c Cell, rng *rand.Rand) []string {
+	if c.Medium == App {
+		orgs := append([]string(nil), s.AppTrackers...)
+		if c.OS == IOS {
+			orgs = append(orgs, s.IOSAppExtra...)
+		}
+		return orgs
+	}
+	// Web: the app's trackers (services reuse vendors across platforms)
+	// plus the popular-web roster up to WebTrackerCount, with a couple of
+	// deterministic tail swaps for diversity.
+	seen := make(map[string]bool)
+	var orgs []string
+	add := func(o string) {
+		if o != "" && !seen[o] {
+			seen[o] = true
+			orgs = append(orgs, o)
+		}
+	}
+	for _, o := range s.AppTrackers {
+		add(o)
+	}
+	for _, o := range webPopularity {
+		if len(orgs) >= s.WebTrackerCount {
+			break
+		}
+		add(o)
+	}
+	if len(orgs) > 2 && s.WebTrackerCount > 4 {
+		// Swap the last org for one from a diversity pool so web rosters
+		// differ a bit across services. The pool deliberately excludes
+		// the single-service trackers (amobee, vrvm, groceryserver,
+		// liftoff, ...) whose Table 2 contact counts must stay exact.
+		tail := webDiversityPool[rng.Intn(len(webDiversityPool))]
+		if !seen[tail] {
+			orgs[len(orgs)-1] = tail
+		}
+	}
+	return orgs
+}
+
+// webDiversityPool are interchangeable commodity ad networks used to vary
+// web tracker rosters.
+var webDiversityPool = []string{
+	"tapad", "advertising-sim", "adcolony", "inmobi",
+	"millennialmedia", "mopub", "yieldmo", "comscore",
+}
+
+func (s *Spec) adBytes(c Cell) int {
+	if c.Medium == App {
+		return 1200
+	}
+	kb := s.WebAdKB
+	if kb <= 0 {
+		kb = 6
+	}
+	return kb * 1024
+}
+
+// splitBudget distributes the A&A flow budget across orgs with a head-heavy
+// weighting (the primary ad network dominates, as in real pages).
+func splitBudget(orgs []string, budget, respBytes int, rng *rand.Rand) []TrackerUse {
+	if len(orgs) == 0 {
+		return nil
+	}
+	weights := make([]float64, len(orgs))
+	var total float64
+	for i := range orgs {
+		weights[i] = 1 / float64(i+1)
+		total += weights[i]
+	}
+	out := make([]TrackerUse, len(orgs))
+	for i, org := range orgs {
+		n := int(float64(budget) * weights[i] / total)
+		if n < 1 {
+			n = 1
+		}
+		jitter := 1 + rng.Intn(3)
+		out[i] = TrackerUse{Org: org, Flows: n + jitter - 1, RespBytes: respBytes/2 + rng.Intn(respBytes/2+1)}
+	}
+	return out
+}
+
+// buildBeacons merges leak specs into concrete beacons. Leaks sharing a
+// destination and transport merge into one beacon carrying several types,
+// as SDK beacons do.
+func buildBeacons(leaks []LeakSpec, orgs []string, rng *rand.Rand) []Beacon {
+	type bkey struct {
+		org       string
+		plaintext bool
+		enc       pii.Encoding
+	}
+	merged := make(map[bkey]*Beacon)
+	var order []bkey
+	add := func(org string, l LeakSpec) {
+		k := bkey{org, l.Plaintext, l.Encoding}
+		b := merged[k]
+		if b == nil {
+			b = &Beacon{Org: org, Plaintext: l.Plaintext, Encoding: l.Encoding}
+			merged[k] = b
+			order = append(order, k)
+		}
+		rep := l.Repeat
+		if rep == 0 {
+			rep = defaultRepeat(l.Type)
+		}
+		if rep > b.Repeat {
+			b.Repeat = rep
+		}
+		for _, t := range b.Types {
+			if t == l.Type {
+				return
+			}
+		}
+		b.Types = append(b.Types, l.Type)
+	}
+
+	for _, l := range leaks {
+		switch {
+		case l.Broadcast:
+			for _, org := range orgs {
+				add(org, l)
+			}
+		case len(l.Dests) > 0:
+			for _, d := range l.Dests {
+				if d == "first" {
+					add("", l)
+				} else {
+					add(d, l)
+				}
+			}
+		default:
+			// Default destination: the cell's primary tracker (plus the
+			// secondary for repeat-heavy types, spreading location
+			// beacons as real SDK stacks do).
+			if len(orgs) == 0 {
+				add("", l)
+				continue
+			}
+			add(orgs[0], l)
+			if len(orgs) > 1 && defaultRepeat(l.Type) > 8 && rng.Intn(2) == 0 {
+				add(orgs[1], l)
+			}
+		}
+	}
+
+	out := make([]Beacon, 0, len(order))
+	for _, k := range order {
+		b := merged[k]
+		sort.Slice(b.Types, func(i, j int) bool { return b.Types[i] < b.Types[j] })
+		out = append(out, *b)
+	}
+	return out
+}
+
+// ensureBeaconBudget guarantees every beacon destination appears in the
+// tracker list with enough flow budget to carry its repeats.
+func (p *Profile) ensureBeaconBudget() {
+	idx := make(map[string]int, len(p.Trackers))
+	for i, t := range p.Trackers {
+		idx[t.Org] = i
+	}
+	for _, b := range p.Beacons {
+		if b.Org == "" {
+			continue
+		}
+		i, ok := idx[b.Org]
+		if !ok {
+			p.Trackers = append(p.Trackers, TrackerUse{Org: b.Org, Flows: b.Repeat, RespBytes: 600})
+			idx[b.Org] = len(p.Trackers) - 1
+			continue
+		}
+		if p.Trackers[i].Flows < b.Repeat {
+			p.Trackers[i].Flows = b.Repeat
+		}
+	}
+}
+
+// AADomains lists the distinct A&A registrable domains this profile
+// contacts (trackers plus RTB exchanges). Non-A&A third parties a beacon
+// may target (usablenet, gigya) are excluded: they are contacted but are
+// not part of the advertising & analytics ecosystem.
+func (p *Profile) AADomains() []string {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(org string) {
+		d := easylist.SimDomain(org)
+		if !easylist.IsSimAADomain(d) {
+			return
+		}
+		if !seen[d] {
+			seen[d] = true
+			out = append(out, d)
+		}
+	}
+	for _, t := range p.Trackers {
+		add(t.Org)
+	}
+	for _, c := range p.RTBChains {
+		for _, org := range c.Orgs {
+			add(org)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LeakTypes returns the PII classes this profile transmits in leak
+// position (to third parties, or plaintext, or non-credential to first
+// party). Login credentials to the first party are not included: they are
+// exempt by the leak definition.
+func (p *Profile) LeakTypes() pii.TypeSet {
+	var s pii.TypeSet
+	for _, b := range p.Beacons {
+		for _, t := range b.Types {
+			if b.Org == "" && !b.Plaintext && isCredential(t) {
+				continue
+			}
+			s = s.Add(t)
+		}
+	}
+	return s
+}
+
+func isCredential(t pii.Type) bool {
+	return t == pii.Username || t == pii.Password || t == pii.Email
+}
+
+// Placeholder names the template variable for a PII type; device sessions
+// expand these with their ground-truth values.
+func Placeholder(t pii.Type) string {
+	switch t {
+	case pii.Birthday:
+		return "birthday"
+	case pii.DeviceName:
+		return "devicename"
+	case pii.Email:
+		return "email"
+	case pii.Gender:
+		return "gender"
+	case pii.Location:
+		return "gps"
+	case pii.Name:
+		return "name"
+	case pii.PhoneNumber:
+		return "phone"
+	case pii.Username:
+		return "username"
+	case pii.Password:
+		return "password"
+	case pii.UniqueID:
+		return "uid"
+	}
+	return ""
+}
+
+// PlaceholderFor renders the template token for a type under an encoding,
+// e.g. "{{md5:email}}".
+func PlaceholderFor(t pii.Type, enc pii.Encoding) string {
+	name := Placeholder(t)
+	if enc != "" && enc != pii.EncIdentity {
+		return "{{" + string(enc) + ":" + name + "}}"
+	}
+	return "{{" + name + "}}"
+}
+
+// BeaconQuery renders the query-string template carrying the beacon's PII,
+// plus a per-beacon cache-buster field.
+func (b *Beacon) BeaconQuery() string {
+	var parts []string
+	for _, t := range b.Types {
+		parts = append(parts, beaconParam(t)+"="+PlaceholderFor(t, b.Encoding))
+	}
+	parts = append(parts, "cb={{nonce}}")
+	return strings.Join(parts, "&")
+}
+
+// beaconParam names the wire parameter trackers use for each class.
+func beaconParam(t pii.Type) string {
+	switch t {
+	case pii.Birthday:
+		return "dob"
+	case pii.DeviceName:
+		return "device"
+	case pii.Email:
+		return "email"
+	case pii.Gender:
+		return "gender"
+	case pii.Location:
+		return "ll"
+	case pii.Name:
+		return "fullname"
+	case pii.PhoneNumber:
+		return "msisdn"
+	case pii.Username:
+		return "login"
+	case pii.Password:
+		return "pwd"
+	case pii.UniqueID:
+		return "device_id"
+	}
+	return "v"
+}

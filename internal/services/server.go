@@ -1,0 +1,118 @@
+package services
+
+import (
+	"fmt"
+	"hash/fnv"
+	"html"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// ServiceHandler serves a first-party service: the mobile Web site (whose
+// page embeds the cell's tracker resources, per the service's Web profile
+// for the requesting OS) and the app-facing API endpoints. One handler
+// covers all of the service's first-party domains.
+func ServiceHandler(spec *Spec) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			servePage(w, spec.Name, "<p>"+html.EscapeString(spec.Name)+" content page.</p>")
+			return
+		}
+		serveHome(w, r, spec)
+	})
+
+	mux.HandleFunc("/login", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost {
+			_, _ = io.Copy(io.Discard, r.Body)
+			http.SetCookie(w, &http.Cookie{Name: "session", Value: "web-session", Path: "/"})
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprint(w, `{"ok":true}`)
+			return
+		}
+		servePage(w, spec.Name+" — sign in",
+			`<form method="post" action="/login"><input name="username"><input name="password" type="password"></form>`)
+	})
+
+	mux.HandleFunc("/api/login", func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.Copy(io.Discard, r.Body)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"token":"app-token-%s"}`, spec.Key)
+	})
+
+	mux.HandleFunc("/api/feed", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		writeFiller(w, spec.Key+"-feed", 1500+deterministicSize(r.URL.Path, 1500))
+	})
+
+	mux.HandleFunc("/api/collect", func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.Copy(io.Discard, r.Body)
+		w.WriteHeader(http.StatusNoContent)
+	})
+
+	mux.HandleFunc("/collect", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	})
+
+	mux.HandleFunc("/static/", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/css")
+		w.WriteHeader(http.StatusOK)
+		writeFiller(w, spec.Key+"-static", 2048+deterministicSize(r.URL.Path, 6144))
+	})
+
+	return mux
+}
+
+// serveHome renders the mobile Web page for the visitor's OS: the list of
+// resources (first-party assets, tracker tags, PII beacons, RTB entry
+// points) the browser will load, with data-repeat counts standing in for
+// the periodic beacons a real page's JavaScript would fire.
+func serveHome(w http.ResponseWriter, r *http.Request, spec *Spec) {
+	os := OSFromUserAgent(r.UserAgent())
+	profile, err := spec.Profile(Cell{OS: os, Medium: Web})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "<!doctype html><html><head><title>%s</title>\n", html.EscapeString(spec.Name))
+	for _, req := range profile.RequestPlan() {
+		if req.Method != http.MethodGet {
+			continue
+		}
+		tag := "script"
+		if strings.Contains(req.URL, "pixel") || strings.Contains(req.URL, "/collect") {
+			tag = "img"
+		}
+		fmt.Fprintf(&b, `<%s src="%s" data-repeat="%d"></%s>`+"\n",
+			tag, html.EscapeString(req.URL), req.Repeat, tag)
+	}
+	fmt.Fprintf(&b, "</head><body><h1>%s</h1><p>mobile site</p></body></html>\n", html.EscapeString(spec.Name))
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = io.WriteString(w, b.String())
+}
+
+func servePage(w http.ResponseWriter, title, body string) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintf(w, "<!doctype html><html><head><title>%s</title></head><body>%s</body></html>",
+		html.EscapeString(title), body)
+}
+
+// OSFromUserAgent recovers the platform from the browser/app user agent.
+func OSFromUserAgent(ua string) OS {
+	if strings.Contains(ua, "iPhone") || strings.Contains(ua, "iOS") {
+		return IOS
+	}
+	return Android
+}
+
+func deterministicSize(s string, mod int) int {
+	h := fnv.New32a()
+	h.Write([]byte(s))
+	return int(h.Sum32()) % mod
+}

@@ -1,0 +1,289 @@
+// Package services implements the simulated online-service ecosystem: the
+// 50-service catalog with per-OS, per-medium behaviour profiles, the
+// first-party servers, the advertising & analytics (A&A) tracker servers
+// with real-time-bidding redirect chains, and the shared "internet" they
+// run on (a loopback TLS/plaintext server pair with SNI-based routing).
+//
+// The catalog is the reproduction's stand-in for the paper's 50 commercial
+// services (§3.1); each service's behaviour is encoded from the published
+// per-category and per-platform observations so that the measurement
+// pipeline — which is entirely real — reproduces the paper's aggregate
+// shapes.
+package services
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"appvsweb/internal/easylist"
+	"appvsweb/internal/pii"
+)
+
+// Category is a Google-Play-style app category (Table 1 rows).
+type Category string
+
+// The ten categories of Table 1.
+const (
+	Business      Category = "Business"
+	Education     Category = "Education"
+	Entertainment Category = "Entertainment"
+	Lifestyle     Category = "Lifestyle"
+	Music         Category = "Music"
+	News          Category = "News"
+	Shopping      Category = "Shopping"
+	Social        Category = "Social"
+	Travel        Category = "Travel"
+	Weather       Category = "Weather"
+)
+
+// Categories returns all categories in Table 1 order.
+func Categories() []Category {
+	return []Category{Business, Education, Entertainment, Lifestyle, Music,
+		News, Shopping, Social, Travel, Weather}
+}
+
+// OS identifies the test platform.
+type OS string
+
+const (
+	Android OS = "android"
+	IOS     OS = "ios"
+)
+
+// AllOS returns the platforms in paper order.
+func AllOS() []OS { return []OS{Android, IOS} }
+
+// Medium identifies how the service is accessed.
+type Medium string
+
+const (
+	App Medium = "app"
+	Web Medium = "web"
+)
+
+// AllMedia returns the media in paper order.
+func AllMedia() []Medium { return []Medium{App, Web} }
+
+// Cell identifies one experiment configuration.
+type Cell struct {
+	OS     OS
+	Medium Medium
+}
+
+// AllCells returns the four experiment configurations.
+func AllCells() []Cell {
+	return []Cell{{Android, App}, {Android, Web}, {IOS, App}, {IOS, Web}}
+}
+
+// LeakSpec is one PII transmission behaviour within a session, parsed from
+// the catalog's cell mini-language.
+type LeakSpec struct {
+	Type      pii.Type
+	Plaintext bool         // transmit over HTTP
+	Encoding  pii.Encoding // value encoding on the wire (default identity)
+	Broadcast bool         // send to every tracker the cell contacts
+	Dests     []string     // explicit destinations: tracker org names, or "first"
+	Repeat    int          // flows carrying this leak per session (0 = type default)
+}
+
+// ParseLeakSpec parses one element of the cell mini-language:
+//
+//	[!]TYPE[%enc][*|>dest1;dest2][xN]
+//
+// "!" marks plaintext transport, "%enc" a wire encoding (md5, sha1, ...),
+// "*" broadcast to all the cell's trackers, ">" explicit destinations
+// ("first" = the first party), and "xN" a per-session repeat count.
+func ParseLeakSpec(s string) (LeakSpec, error) {
+	var spec LeakSpec
+	orig := s
+	if strings.HasPrefix(s, "!") {
+		spec.Plaintext = true
+		s = s[1:]
+	}
+	if i := strings.LastIndexByte(s, 'x'); i > 0 {
+		if n, err := strconv.Atoi(s[i+1:]); err == nil && n > 0 {
+			spec.Repeat = n
+			s = s[:i]
+		}
+	}
+	if i := strings.IndexByte(s, '>'); i >= 0 {
+		for _, d := range strings.Split(s[i+1:], ";") {
+			d = strings.TrimSpace(d)
+			if d != "" {
+				spec.Dests = append(spec.Dests, d)
+			}
+		}
+		if len(spec.Dests) == 0 {
+			return spec, fmt.Errorf("services: empty destination list in %q", orig)
+		}
+		s = s[:i]
+	}
+	if strings.HasSuffix(s, "*") {
+		spec.Broadcast = true
+		s = s[:len(s)-1]
+	}
+	if spec.Broadcast && len(spec.Dests) > 0 {
+		return spec, fmt.Errorf("services: %q has both broadcast and explicit dests", orig)
+	}
+	if i := strings.IndexByte(s, '%'); i >= 0 {
+		spec.Encoding = pii.Encoding(s[i+1:])
+		if _, ok := validEncodings[spec.Encoding]; !ok {
+			return spec, fmt.Errorf("services: unknown encoding in %q", orig)
+		}
+		s = s[:i]
+	} else {
+		spec.Encoding = pii.EncIdentity
+	}
+	t, err := pii.ParseType(strings.TrimSpace(s))
+	if err != nil {
+		return spec, fmt.Errorf("services: %q: %w", orig, err)
+	}
+	spec.Type = t
+	return spec, nil
+}
+
+var validEncodings = map[pii.Encoding]bool{
+	pii.EncIdentity: true, pii.EncLower: true, pii.EncUpper: true,
+	pii.EncURL: true, pii.EncBase64: true, pii.EncBase64URL: true,
+	pii.EncHex: true, pii.EncMD5: true, pii.EncSHA1: true, pii.EncSHA256: true,
+}
+
+// ParseCell parses a comma-separated list of leak specs ("" = no leaks).
+func ParseCell(s string) ([]LeakSpec, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var out []LeakSpec
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		spec, err := ParseLeakSpec(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, spec)
+	}
+	return out, nil
+}
+
+// Spec is one catalog row: everything needed to derive a service's four
+// behaviour profiles.
+type Spec struct {
+	Key      string
+	Name     string
+	Category Category
+	Rank     int // App Annie category rank (Table 1 "Avg. Rank" input)
+
+	// Domain is derived from Key; ExtraDomain optionally names a second
+	// first-party domain (the weather.com/imwx.com pattern).
+	ExtraDomain string
+
+	// PinsAndroid marks the Android app as certificate-pinning; such
+	// services are excluded from the Android comparison (Table 1 n=48).
+	PinsAndroid bool
+
+	// AppTrackers are the A&A orgs the app's ad/analytics SDKs contact
+	// (typically 1–4: "most apps include a single advertisement library").
+	AppTrackers []string
+	// IOSAppExtra are additional orgs only the iOS app contacts (iOS-only
+	// SDKs); they produce the per-OS differences in Figure 1a.
+	IOSAppExtra []string
+	// WebTrackerCount is how many A&A orgs the Web site pulls in; the
+	// concrete set is chosen deterministically and includes AppTrackers
+	// (services reuse trackers across platforms, Table 2).
+	WebTrackerCount int
+
+	// AppAAFlows / WebAAFlows are per-session flow budgets to A&A.
+	AppAAFlows int
+	WebAAFlows int
+	// WebAdKB scales ad response payloads on the Web (bytes follow).
+	WebAdKB int
+	// RTBChains is the number of real-time-bidding redirect chains a Web
+	// session triggers.
+	RTBChains int
+
+	// Leak behaviour per cell, in the cell mini-language.
+	AndroidApp string
+	IOSApp     string
+	AndroidWeb string
+	IOSWeb     string
+}
+
+// Domain returns the service's primary first-party domain.
+func (s *Spec) Domain() string { return s.Key + "-sim.example" }
+
+// Domains returns every first-party domain of the service.
+func (s *Spec) Domains() []string {
+	out := []string{s.Domain()}
+	if s.ExtraDomain != "" {
+		out = append(out, s.ExtraDomain)
+	}
+	return out
+}
+
+// CellSpec returns the raw cell string for a configuration.
+func (s *Spec) CellSpec(c Cell) string {
+	switch c {
+	case Cell{Android, App}:
+		return s.AndroidApp
+	case Cell{Android, Web}:
+		return s.AndroidWeb
+	case Cell{IOS, App}:
+		return s.IOSApp
+	case Cell{IOS, Web}:
+		return s.IOSWeb
+	}
+	return ""
+}
+
+// Validate checks the spec's cell strings and tracker references.
+func (s *Spec) Validate() error {
+	if s.Key == "" || s.Name == "" || s.Category == "" {
+		return fmt.Errorf("services: %q: incomplete spec", s.Key)
+	}
+	known := knownOrgs()
+	for _, org := range s.AppTrackers {
+		if !known[org] {
+			return fmt.Errorf("services: %s references unknown tracker %q", s.Key, org)
+		}
+	}
+	for _, org := range s.IOSAppExtra {
+		if !known[org] {
+			return fmt.Errorf("services: %s references unknown iOS tracker %q", s.Key, org)
+		}
+	}
+	for _, c := range AllCells() {
+		specs, err := ParseCell(s.CellSpec(c))
+		if err != nil {
+			return fmt.Errorf("%s/%s/%s: %w", s.Key, c.OS, c.Medium, err)
+		}
+		for _, l := range specs {
+			if c.Medium == Web && (l.Type == pii.UniqueID || l.Type == pii.DeviceName) {
+				return fmt.Errorf("services: %s web cell leaks device identifier %v (impossible from a browser)", s.Key, l.Type)
+			}
+			for _, d := range l.Dests {
+				if d != "first" && !known[d] {
+					return fmt.Errorf("services: %s leak destination %q unknown", s.Key, d)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// knownOrgs returns every third-party organization with a running endpoint
+// in the simulated world.
+func knownOrgs() map[string]bool {
+	m := make(map[string]bool)
+	for _, o := range easylist.AllAANames() {
+		m[o] = true
+	}
+	for _, o := range easylist.NonAAThirdParties {
+		m[o] = true
+	}
+	return m
+}

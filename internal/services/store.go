@@ -1,0 +1,202 @@
+package services
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file reproduces the service-selection procedure of §3.1. The paper
+// crawled the top-100 free Android apps (plus the Play Store's "featured
+// and recommended" list) on March 23, 2016, and kept apps that
+//
+//  1. are popular and/or featured,
+//  2. have a free app in both stores,
+//  3. offer equivalent functionality on the mobile Web, and
+//  4. do not pin certificates on every platform.
+//
+// Only 75 apps met the requirements; 50 were then chosen to cover the
+// popular categories broadly, filling remaining slots with categories
+// likely to collect PII (shopping, travel, entertainment).
+
+// Candidate is one app observed in the simulated store crawl.
+type Candidate struct {
+	Key      string
+	Name     string
+	Category Category
+	Rank     int  // category rank (App Annie)
+	Featured bool // from the "featured and recommended" list
+
+	FreeAndroid bool
+	FreeIOS     bool
+	// WebEquivalent: the mobile site offers the same functionality
+	// (criterion 3 — Instagram and Pandora failed this).
+	WebEquivalent bool
+	// PinsEverywhere: certificate pinning on both platforms defeats the
+	// measurement entirely (criterion 4 — Facebook, Twitter).
+	PinsEverywhere bool
+
+	Note string // why a criterion fails, for the audit trail
+}
+
+// Eligible applies criteria 2–4 (criterion 1 is satisfied by presence in
+// the crawl).
+func (c Candidate) Eligible() bool {
+	return c.FreeAndroid && c.FreeIOS && c.WebEquivalent && !c.PinsEverywhere
+}
+
+// RejectionReason classifies why a candidate was not measured.
+type RejectionReason string
+
+// The rejection classes of §3.1.
+const (
+	RejectNotFree     RejectionReason = "no free app in both stores"
+	RejectNoWebParity RejectionReason = "mobile web lacks equivalent functionality"
+	RejectPinning     RejectionReason = "certificate pinning on all platforms"
+	RejectNotSelected RejectionReason = "eligible but not selected (coverage quota filled)"
+)
+
+// Reject explains an ineligible or unselected candidate.
+func (c Candidate) Reject() RejectionReason {
+	switch {
+	case !c.FreeAndroid || !c.FreeIOS:
+		return RejectNotFree
+	case !c.WebEquivalent:
+		return RejectNoWebParity
+	case c.PinsEverywhere:
+		return RejectPinning
+	default:
+		return RejectNotSelected
+	}
+}
+
+// DefaultQuotas is the per-category selection recorded from the paper's
+// Table 1: broad coverage of every popular category, topped up with the
+// PII-heavy ones (shopping, travel, entertainment, lifestyle).
+func DefaultQuotas() map[Category]int {
+	return map[Category]int{
+		Business: 2, Education: 4, Entertainment: 6, Lifestyle: 6, Music: 4,
+		News: 2, Shopping: 9, Social: 2, Travel: 12, Weather: 3,
+	}
+}
+
+// SelectServices applies the §3.1 procedure: filter to eligible
+// candidates, then fill each category's quota in (featured first, then
+// rank) order. It returns the selected keys (sorted) and the rejection
+// audit for everything else.
+func SelectServices(crawl []Candidate, quotas map[Category]int) (selected []string, rejected map[string]RejectionReason) {
+	rejected = make(map[string]RejectionReason)
+	byCategory := make(map[Category][]Candidate)
+	for _, c := range crawl {
+		if !c.Eligible() {
+			rejected[c.Key] = c.Reject()
+			continue
+		}
+		byCategory[c.Category] = append(byCategory[c.Category], c)
+	}
+	for cat, cands := range byCategory {
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].Featured != cands[j].Featured {
+				return cands[i].Featured
+			}
+			if cands[i].Rank != cands[j].Rank {
+				return cands[i].Rank < cands[j].Rank
+			}
+			return cands[i].Key < cands[j].Key
+		})
+		quota := quotas[cat]
+		for i, c := range cands {
+			if i < quota {
+				selected = append(selected, c.Key)
+			} else {
+				rejected[c.Key] = RejectNotSelected
+			}
+		}
+	}
+	sort.Strings(selected)
+	return selected, rejected
+}
+
+// StoreCrawl returns the simulated March 2016 crawl: the 50 services of
+// the catalog (all eligible and within quota), 25 eligible apps that lost
+// the coverage cut, and 35 apps failing criteria 2–4 — 110 candidates, 75
+// eligible, matching §3.1's "only 75 apps met the requirements".
+func StoreCrawl() []Candidate {
+	var crawl []Candidate
+	// The measured 50: eligible, featured-or-top-ranked.
+	for _, s := range Catalog() {
+		crawl = append(crawl, Candidate{
+			Key: s.Key, Name: s.Name, Category: s.Category, Rank: s.Rank,
+			Featured:    s.Rank <= 5,
+			FreeAndroid: true, FreeIOS: true, WebEquivalent: true,
+		})
+	}
+	// Eligible apps that lost the per-category coverage cut (ranked below
+	// the measured ones in their categories).
+	losers := []struct {
+		cat Category
+		n   int
+	}{
+		{Business, 3}, {Education, 2}, {Entertainment, 4}, {Lifestyle, 3},
+		{Music, 3}, {News, 4}, {Shopping, 2}, {Social, 2}, {Travel, 1}, {Weather, 1},
+	}
+	i := 0
+	for _, l := range losers {
+		for k := 0; k < l.n; k++ {
+			i++
+			crawl = append(crawl, Candidate{
+				Key:  fmt.Sprintf("alt%02d", i),
+				Name: fmt.Sprintf("Alternative %d", i), Category: l.cat,
+				Rank:        200 + i,
+				FreeAndroid: true, FreeIOS: true, WebEquivalent: true,
+			})
+		}
+	}
+	// Criterion failures (35).
+	fail := func(key, name string, cat Category, rank int, mutate func(*Candidate)) {
+		c := Candidate{Key: key, Name: name, Category: cat, Rank: rank,
+			FreeAndroid: true, FreeIOS: true, WebEquivalent: true}
+		mutate(&c)
+		crawl = append(crawl, c)
+	}
+	// Facebook/Twitter-likes: pinned everywhere.
+	fail("facegram", "FaceGram", Social, 1, func(c *Candidate) {
+		c.PinsEverywhere = true
+		c.Note = "certificate pinning on Android and iOS"
+	})
+	fail("chirper", "Chirper", Social, 2, func(c *Candidate) {
+		c.PinsEverywhere = true
+		c.Note = "certificate pinning on Android and iOS"
+	})
+	// Instagram-like: mobile site lacks the app's functionality.
+	fail("instapix", "InstaPix", Social, 3, func(c *Candidate) {
+		c.WebEquivalent = false
+		c.Note = "mobile site cannot upload photos"
+	})
+	// Pandora-like: will not stream via the mobile browser.
+	fail("pandoria", "Pandoria Radio", Music, 1, func(c *Candidate) {
+		c.WebEquivalent = false
+		c.Note = "refuses to stream in Chrome on Android"
+	})
+	for i := 0; i < 14; i++ {
+		fail(fmt.Sprintf("webless%02d", i), fmt.Sprintf("AppOnly %d", i),
+			Categories()[i%len(Categories())], 120+i, func(c *Candidate) {
+				c.WebEquivalent = false
+				c.Note = "no equivalent mobile web site"
+			})
+	}
+	for i := 0; i < 12; i++ {
+		fail(fmt.Sprintf("paid%02d", i), fmt.Sprintf("PaidApp %d", i),
+			Categories()[(i+3)%len(Categories())], 140+i, func(c *Candidate) {
+				c.FreeIOS = false
+				c.Note = "iOS version is paid"
+			})
+	}
+	for i := 0; i < 5; i++ {
+		fail(fmt.Sprintf("pinned%02d", i), fmt.Sprintf("PinnedApp %d", i),
+			Categories()[(i+5)%len(Categories())], 160+i, func(c *Candidate) {
+				c.PinsEverywhere = true
+				c.Note = "certificate pinning on all platforms"
+			})
+	}
+	return crawl
+}

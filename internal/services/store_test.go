@@ -1,0 +1,100 @@
+package services
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestStoreCrawlShape(t *testing.T) {
+	crawl := StoreCrawl()
+	if len(crawl) != 110 {
+		t.Fatalf("crawl = %d candidates, want 110 (top-100 + featured)", len(crawl))
+	}
+	eligible := 0
+	keys := make(map[string]bool)
+	for _, c := range crawl {
+		if keys[c.Key] {
+			t.Errorf("duplicate candidate %s", c.Key)
+		}
+		keys[c.Key] = true
+		if c.Eligible() {
+			eligible++
+		}
+	}
+	if eligible != 75 {
+		t.Errorf("eligible = %d, want 75 (§3.1: 'Only 75 apps met the requirements')", eligible)
+	}
+}
+
+func TestSelectServicesReproducesCatalog(t *testing.T) {
+	selected, rejected := SelectServices(StoreCrawl(), DefaultQuotas())
+	if len(selected) != 50 {
+		t.Fatalf("selected = %d, want 50", len(selected))
+	}
+	var want []string
+	for _, s := range Catalog() {
+		want = append(want, s.Key)
+	}
+	sort.Strings(want)
+	for i := range want {
+		if selected[i] != want[i] {
+			t.Fatalf("selection diverges from catalog at %d: %s vs %s", i, selected[i], want[i])
+		}
+	}
+	// Rejection audit covers everyone else.
+	if len(rejected) != 110-50 {
+		t.Errorf("rejected = %d, want 60", len(rejected))
+	}
+	counts := map[RejectionReason]int{}
+	for _, r := range rejected {
+		counts[r]++
+	}
+	if counts[RejectNotSelected] != 25 {
+		t.Errorf("eligible-but-unselected = %d, want 25", counts[RejectNotSelected])
+	}
+	if counts[RejectPinning] != 7 {
+		t.Errorf("pinning rejections = %d, want 7", counts[RejectPinning])
+	}
+	if counts[RejectNoWebParity] != 16 {
+		t.Errorf("web-parity rejections = %d, want 16", counts[RejectNoWebParity])
+	}
+	if counts[RejectNotFree] != 12 {
+		t.Errorf("paid rejections = %d, want 12", counts[RejectNotFree])
+	}
+}
+
+func TestSelectNamedRejections(t *testing.T) {
+	_, rejected := SelectServices(StoreCrawl(), DefaultQuotas())
+	cases := map[string]RejectionReason{
+		"facegram": RejectPinning,     // Facebook analogue
+		"instapix": RejectNoWebParity, // Instagram analogue
+		"pandoria": RejectNoWebParity, // Pandora analogue
+	}
+	for key, want := range cases {
+		if got := rejected[key]; got != want {
+			t.Errorf("%s rejected for %q, want %q", key, got, want)
+		}
+	}
+}
+
+func TestCandidateRejectClassification(t *testing.T) {
+	c := Candidate{FreeAndroid: true, FreeIOS: false, WebEquivalent: true}
+	if c.Reject() != RejectNotFree {
+		t.Errorf("paid app → %v", c.Reject())
+	}
+	c = Candidate{FreeAndroid: true, FreeIOS: true, WebEquivalent: true, PinsEverywhere: true}
+	if c.Reject() != RejectPinning {
+		t.Errorf("pinned app → %v", c.Reject())
+	}
+}
+
+func TestSelectServicesFeaturedFirst(t *testing.T) {
+	crawl := []Candidate{
+		{Key: "b", Category: Weather, Rank: 1, FreeAndroid: true, FreeIOS: true, WebEquivalent: true},
+		{Key: "a", Category: Weather, Rank: 9, Featured: true, FreeAndroid: true, FreeIOS: true, WebEquivalent: true},
+	}
+	selected, _ := SelectServices(crawl, map[Category]int{Weather: 1})
+	if len(selected) != 1 || selected[0] != "a" {
+		t.Errorf("featured candidate must win: %v", selected)
+	}
+}

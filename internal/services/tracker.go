@@ -1,0 +1,157 @@
+package services
+
+import (
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"appvsweb/internal/easylist"
+)
+
+// TrackerHandler serves one A&A organization. It accepts any beacon or ad
+// request, returns a payload sized by the "sz" query parameter (ad
+// creatives on the Web run to tens of KB; SDK beacons are small), sets a
+// tracker cookie, and operates a real-time-bidding endpoint at /bid that
+// 302-redirects through the remaining exchanges named in the "chain"
+// parameter — the paper's "redirect through several more via real-time
+// bidding" behaviour.
+func TrackerHandler(org string) http.Handler {
+	var cookieSeq atomic.Int64
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			// Drain so keep-alive connections stay reusable.
+			_ = r.Body.Close()
+		}
+		q := r.URL.Query()
+		if r.URL.Path == "/bid" {
+			serveBid(w, r, org, q)
+			return
+		}
+		n := cookieSeq.Add(1)
+		// No zero padding in the cookie value: a padded counter could
+		// collide with short all-digit ground-truth values (e.g. a ZIP
+		// code with a leading zero) and fabricate PII matches.
+		http.SetCookie(w, &http.Cookie{
+			Name:  "tid",
+			Value: fmt.Sprintf("%s-%d", org, n),
+			Path:  "/",
+		})
+		size := payloadSize(q, 400)
+		w.Header().Set("Content-Type", contentTypeFor(r.URL.Path))
+		w.Header().Set("Cache-Control", "no-store")
+		w.WriteHeader(http.StatusOK)
+		writeFiller(w, org, size)
+	})
+}
+
+// serveBid handles one RTB hop: pop the next exchange from the chain and
+// redirect to it, passing an auction id for cookie matching.
+func serveBid(w http.ResponseWriter, r *http.Request, org string, q url.Values) {
+	chain := strings.Split(q.Get("chain"), ",")
+	var next string
+	var rest []string
+	for i, hop := range chain {
+		if hop != "" {
+			next = hop
+			rest = chain[i+1:]
+			break
+		}
+	}
+	if next == "" {
+		// Auction settled: return the winning creative.
+		w.Header().Set("Content-Type", "application/javascript")
+		w.WriteHeader(http.StatusOK)
+		writeFiller(w, org, payloadSize(q, 2048))
+		return
+	}
+	target := url.URL{
+		Scheme: "https",
+		Host:   easylist.SimDomain(next),
+		Path:   "/bid",
+	}
+	nq := url.Values{}
+	nq.Set("chain", strings.Join(rest, ","))
+	nq.Set("auction", q.Get("auction"))
+	if sz := q.Get("sz"); sz != "" {
+		nq.Set("sz", sz)
+	}
+	target.RawQuery = nq.Encode()
+	http.Redirect(w, r, target.String(), http.StatusFound)
+}
+
+// ThirdPartyHandler serves a non-A&A third party (usablenet, gigya,
+// CDNs...): plain 200 responses with small JSON bodies, as an auth or
+// platform API would return.
+func ThirdPartyHandler(org string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			_ = r.Body.Close()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintf(w, `{"ok":true,"provider":%q}`, org)
+	})
+}
+
+// BackgroundHandler serves the OS platform domains (Play services,
+// iCloud). Their traffic exists only to exercise the filtering step.
+func BackgroundHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			_ = r.Body.Close()
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+}
+
+// SSOHandler serves the single sign-on provider; credentials posted here
+// over HTTPS are exempt from the leak definition (§3.2 footnote 1).
+func SSOHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			_ = r.Body.Close()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprint(w, `{"token":"sso-session-token"}`)
+	})
+}
+
+func payloadSize(q url.Values, def int) int {
+	if v := q.Get("sz"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 && n <= 1<<20 {
+			return n
+		}
+	}
+	return def
+}
+
+func contentTypeFor(path string) string {
+	switch {
+	case strings.HasSuffix(path, ".js"), strings.Contains(path, "/js"):
+		return "application/javascript"
+	case strings.HasSuffix(path, ".gif"), strings.Contains(path, "pixel"):
+		return "image/gif"
+	default:
+		return "application/octet-stream"
+	}
+}
+
+// writeFiller emits deterministic payload bytes.
+func writeFiller(w http.ResponseWriter, tag string, n int) {
+	const chunkSize = 1024
+	pattern := []byte(strings.Repeat(tag+"-ad-payload ", chunkSize/(len(tag)+12)+1))[:chunkSize]
+	for n > 0 {
+		c := n
+		if c > chunkSize {
+			c = chunkSize
+		}
+		if _, err := w.Write(pattern[:c]); err != nil {
+			return
+		}
+		n -= c
+	}
+}

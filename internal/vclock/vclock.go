@@ -1,0 +1,42 @@
+// Package vclock provides the virtual session clock: four-minute
+// experiment sessions (§3.2) complete in milliseconds of wall time while
+// flow timestamps remain faithful to the simulated timeline.
+package vclock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is a monotonically advancing virtual clock, safe for concurrent
+// readers (the proxy stamps flows from it while the session advances it).
+type Clock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// New returns a clock starting at the given instant.
+func New(start time.Time) *Clock { return &Clock{t: start} }
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// Advance moves the clock forward and returns the new time. Negative
+// durations are ignored: the clock never goes backwards.
+func (c *Clock) Advance(d time.Duration) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d > 0 {
+		c.t = c.t.Add(d)
+	}
+	return c.t
+}
+
+// Since reports the virtual time elapsed since t0.
+func (c *Clock) Since(t0 time.Time) time.Duration {
+	return c.Now().Sub(t0)
+}

@@ -1,0 +1,42 @@
+package vclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestClockAdvance(t *testing.T) {
+	start := time.Date(2016, 4, 1, 9, 0, 0, 0, time.UTC)
+	c := New(start)
+	if !c.Now().Equal(start) {
+		t.Error("clock does not start at the given instant")
+	}
+	c.Advance(90 * time.Second)
+	if got := c.Since(start); got != 90*time.Second {
+		t.Errorf("Since = %v", got)
+	}
+	c.Advance(-time.Hour)
+	if c.Now().Before(start) {
+		t.Error("clock went backwards")
+	}
+}
+
+func TestClockConcurrent(t *testing.T) {
+	c := New(time.Unix(0, 0))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Advance(time.Millisecond)
+				_ = c.Now()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Since(time.Unix(0, 0)); got != 8*time.Second {
+		t.Errorf("Since = %v, want 8s", got)
+	}
+}
