@@ -1,0 +1,35 @@
+# Developer entry points. `make check` is the pre-PR gate.
+
+GO ?= go
+
+.PHONY: build test short race vet fmt check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+short:
+	$(GO) test -short ./...
+
+## race: race-detect the concurrency-heavy packages (obs registry, campaign runner)
+race:
+	$(GO) test -race ./internal/obs/... ./internal/core/...
+
+vet:
+	$(GO) vet ./...
+
+## fmt: fail if any file needs gofmt
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+## check: the pre-PR gate — vet, formatting, race tests
+check: vet fmt race
+	@echo "check: OK"
+
+bench:
+	$(GO) test -bench=. -benchmem

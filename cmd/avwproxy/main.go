@@ -4,27 +4,37 @@
 // as PEM so a client can trust it), and streams every captured flow as
 // JSONL.
 //
+// With -metrics-addr set it also serves the internal/obs observability
+// surface on a separate listener: live proxy counters (flows, bytes,
+// tunnel failures) as JSON at /debug/metrics and the runtime profiler at
+// /debug/pprof/.
+//
 // Usage:
 //
-//	avwproxy -ca ca.pem -flows flows.jsonl
+//	avwproxy -ca ca.pem -flows flows.jsonl [-metrics-addr 127.0.0.1:8789]
 //	curl -x http://127.0.0.1:<port> --cacert ca.pem https://example.com/
+//	curl http://127.0.0.1:8789/debug/metrics
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"appvsweb/internal/capture"
+	"appvsweb/internal/obs"
 	"appvsweb/internal/proxy"
 )
 
 func main() {
 	var (
-		caOut   = flag.String("ca", "avwproxy-ca.pem", "path to write the interception CA certificate")
-		flowOut = flag.String("flows", "flows.jsonl", "path for the captured flow log (JSONL)")
+		caOut       = flag.String("ca", "avwproxy-ca.pem", "path to write the interception CA certificate")
+		flowOut     = flag.String("flows", "flows.jsonl", "path for the captured flow log (JSONL)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /debug/metrics and /debug/pprof/ on this address")
 	)
 	flag.Parse()
 
@@ -59,6 +69,19 @@ func main() {
 	fmt.Printf("  CA certificate: %s\n", *caOut)
 	fmt.Printf("  flow log:       %s\n", *flowOut)
 	fmt.Printf("  example:        curl -x http://%s --cacert %s https://example.com/\n", p.Addr(), *caOut)
+	if *metricsAddr != "" {
+		msrv := &http.Server{
+			Addr:              *metricsAddr,
+			Handler:           obs.DebugMux(obs.Default),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			if err := msrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "avwproxy: metrics server: %v\n", err)
+			}
+		}()
+		fmt.Printf("  metrics:        http://%s/debug/metrics\n", *metricsAddr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

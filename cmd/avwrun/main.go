@@ -8,11 +8,16 @@
 //
 //	avwrun -out dataset.json [-scale 1] [-duration 4m] [-recon]
 //	       [-parallelism 8] [-services weathernow,grubexpress]
+//	avwrun -progress ...                      # live per-experiment progress
+//	                                          # + final stage timing table
+//	avwrun -metrics-addr 127.0.0.1:8790 ...   # /debug/metrics + /debug/pprof
+//	                                          # while the campaign runs
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
@@ -21,6 +26,7 @@ import (
 	"appvsweb/internal/analysis"
 	"appvsweb/internal/core"
 	"appvsweb/internal/easylist"
+	"appvsweb/internal/obs"
 	"appvsweb/internal/pii"
 	"appvsweb/internal/services"
 )
@@ -39,8 +45,24 @@ func main() {
 		traceDir    = flag.String("traces", "", "directory for per-experiment flow traces (JSONL)")
 		selection   = flag.Bool("selection", false, "print the §3.1 store-crawl selection audit and exit")
 		deny        = flag.String("deny", "", "deny app permissions for these PII classes (e.g. L,UID)")
+		progress    = flag.Bool("progress", false, "print live per-experiment progress and a final stage timing table")
+		metricsAddr = flag.String("metrics-addr", "", "serve /debug/metrics and /debug/pprof/ on this address during the run")
 	)
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		srv := &http.Server{
+			Addr:              *metricsAddr,
+			Handler:           obs.DebugMux(obs.Default),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "avwrun: metrics server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/debug/metrics\n", *metricsAddr)
+	}
 
 	if *selection {
 		printSelectionAudit()
@@ -91,7 +113,7 @@ func main() {
 		}
 		denied = denied.Add(t)
 	}
-	runner, err := core.NewRunner(eco, core.Options{
+	opts := core.Options{
 		Scale:           *scale,
 		Duration:        *duration,
 		Parallelism:     *parallelism,
@@ -100,7 +122,11 @@ func main() {
 		BrowserAdblock:  *adblock,
 		TraceDir:        *traceDir,
 		DenyPermissions: denied,
-	})
+	}
+	if *progress {
+		opts.OnProgress = printProgress
+	}
+	runner, err := core.NewRunner(eco, opts)
 	if err != nil {
 		fatalf("runner: %v", err)
 	}
@@ -112,6 +138,9 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "campaign complete: %d experiments in %v\n",
 		len(ds.Results), time.Since(start).Round(time.Millisecond))
+	if *progress {
+		printTimingTable()
+	}
 
 	if err := ds.Save(*out); err != nil {
 		fatalf("save: %v", err)
@@ -120,6 +149,37 @@ func main() {
 
 	if *report {
 		fmt.Println(analysis.Report(ds))
+	}
+}
+
+// printProgress renders one live progress line per completed experiment.
+// core serializes the calls, so plain writes to stderr are safe.
+func printProgress(ev core.ProgressEvent) {
+	pct := 100 * float64(ev.Index) / float64(ev.Total)
+	status := fmt.Sprintf("flows=%d leaks=%d", ev.Flows, ev.Leaks)
+	if ev.Excluded {
+		status = "excluded (certificate pinning)"
+	}
+	if ev.Err != nil {
+		status = "error: " + ev.Err.Error()
+	}
+	fmt.Fprintf(os.Stderr, "[%3d/%3d] %5.1f%% %-18s %-7s/%-3s %7s  %s\n",
+		ev.Index, ev.Total, pct, ev.Service, ev.OS, ev.Medium,
+		ev.Elapsed.Round(time.Millisecond), status)
+}
+
+// printTimingTable prints where the campaign's wall-clock time went,
+// per pipeline stage, from the process-wide registry.
+func printTimingTable() {
+	snap := obs.Default.Snapshot()
+	fmt.Fprintln(os.Stderr, "\ncampaign stage timings (wall clock):")
+	fmt.Fprint(os.Stderr, snap.StageTable("stage."))
+	if exp, ok := snap.Histograms["campaign.experiment_ns"]; ok {
+		fmt.Fprintf(os.Stderr, "whole experiments: %d, p50 %v, p95 %v, max %v\n",
+			exp.Count,
+			time.Duration(exp.P50).Round(time.Microsecond),
+			time.Duration(exp.P95).Round(time.Microsecond),
+			time.Duration(exp.Max).Round(time.Microsecond))
 	}
 }
 

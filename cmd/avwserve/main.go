@@ -3,27 +3,48 @@
 // app that scores every measured service under user-supplied privacy
 // weights and recommends the app or the Web site.
 //
+// Alongside the app it exposes the observability surface of internal/obs:
+// a JSON metrics snapshot at /debug/metrics (request counts, latency
+// quantiles, and anything a campaign recorded in-process) and the runtime
+// profiler at /debug/pprof/. The server uses a ReadHeaderTimeout so idle
+// clients cannot pin connections open, and shuts down gracefully on
+// SIGINT/SIGTERM, draining in-flight requests for up to the -grace period.
+//
 // Usage:
 //
-//	avwserve -dataset dataset.json -addr 127.0.0.1:8787
+//	avwserve -dataset dataset.json -addr 127.0.0.1:8787 [-grace 5s]
 //	open http://127.0.0.1:8787/?os=android&weights=L=3,UID=5
 //	curl  http://127.0.0.1:8787/api/recommend?os=ios
+//	curl  http://127.0.0.1:8787/debug/metrics
+//	go tool pprof http://127.0.0.1:8787/debug/pprof/profile?seconds=10
+//
+// Flags:
+//
+//	-dataset path   dataset produced by avwrun (default dataset.json)
+//	-addr host:port listen address (default 127.0.0.1:8787)
+//	-grace duration shutdown drain period after SIGINT/SIGTERM (default 5s)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"appvsweb/internal/core"
+	"appvsweb/internal/obs"
 	"appvsweb/internal/recommend"
 )
 
 func main() {
 	var (
-		path = flag.String("dataset", "dataset.json", "dataset produced by avwrun")
-		addr = flag.String("addr", "127.0.0.1:8787", "listen address")
+		path  = flag.String("dataset", "dataset.json", "dataset produced by avwrun")
+		addr  = flag.String("addr", "127.0.0.1:8787", "listen address")
+		grace = flag.Duration("grace", 5*time.Second, "graceful-shutdown drain period")
 	)
 	flag.Parse()
 
@@ -32,9 +53,48 @@ func main() {
 		fmt.Fprintf(os.Stderr, "avwserve: load dataset: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("avwserve on http://%s/ (%d results)\n", *addr, len(ds.Results))
-	if err := http.ListenAndServe(*addr, recommend.NewHandler(ds)); err != nil {
+
+	mux := http.NewServeMux()
+	mux.Handle("/", instrument(recommend.NewHandler(ds)))
+	mux.Handle("/debug/", obs.DebugMux(obs.Default))
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("avwserve on http://%s/ (%d results; metrics at /debug/metrics)\n",
+		*addr, len(ds.Results))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
 		fmt.Fprintf(os.Stderr, "avwserve: %v\n", err)
 		os.Exit(1)
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "avwserve: %v, draining for up to %v\n", s, *grace)
+		ctx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "avwserve: shutdown: %v\n", err)
+			os.Exit(1)
+		}
 	}
+}
+
+// instrument wraps the app handler with request counting and latency
+// recording (serve.requests_total, serve.request_ns in docs/metrics.md).
+func instrument(next http.Handler) http.Handler {
+	requests := obs.Default.Counter("serve.requests_total")
+	latency := obs.Default.Histogram("serve.request_ns", "ns")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		requests.Inc()
+		sp := latency.Span()
+		next.ServeHTTP(w, r)
+		sp.End()
+	})
 }

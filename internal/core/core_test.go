@@ -3,12 +3,14 @@ package core
 import (
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"appvsweb/internal/capture"
 	"appvsweb/internal/device"
 	"appvsweb/internal/domains"
+	"appvsweb/internal/obs"
 	"appvsweb/internal/pii"
 	"appvsweb/internal/services"
 )
@@ -370,5 +372,67 @@ func TestDatasetStats(t *testing.T) {
 	}
 	if s.TotalFlows != 10 || s.AAFlows != 4 || s.LeakFlows != 2 || s.Background != 2 {
 		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestCampaignInstrumentation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a reduced campaign")
+	}
+	reg := obs.New()
+	var (
+		mu     sync.Mutex
+		events []ProgressEvent
+	)
+	r := testRunner(t, Options{
+		Scale:   0.2,
+		Metrics: reg,
+		OnProgress: func(ev ProgressEvent) {
+			mu.Lock()
+			events = append(events, ev)
+			mu.Unlock()
+		},
+	}, "grubexpress")
+	ds, err := r.RunCampaign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(ds.Results)
+
+	if len(events) != want {
+		t.Fatalf("progress events = %d, want %d", len(events), want)
+	}
+	seen := make(map[int]bool)
+	for _, ev := range events {
+		if ev.Total != want {
+			t.Errorf("event Total = %d, want %d", ev.Total, want)
+		}
+		if ev.Index < 1 || ev.Index > want || seen[ev.Index] {
+			t.Errorf("bad or duplicate event Index %d", ev.Index)
+		}
+		seen[ev.Index] = true
+		if ev.Err == nil && !ev.Excluded && ev.Flows == 0 {
+			t.Errorf("event %s %s/%s reports zero flows", ev.Service, ev.OS, ev.Medium)
+		}
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["campaign.experiments_total"]; got != int64(want) {
+		t.Errorf("campaign.experiments_total = %d, want %d", got, want)
+	}
+	if got := snap.Gauges["campaign.jobs"]; got != int64(want) {
+		t.Errorf("campaign.jobs = %d, want %d", got, want)
+	}
+	if got := snap.Gauges["campaign.inflight"]; got != 0 {
+		t.Errorf("campaign.inflight = %d after campaign, want 0", got)
+	}
+	for _, name := range []string{"stage.session_ns", "stage.filter_ns", "stage.detect_ns", "stage.categorize_ns", "campaign.experiment_ns"} {
+		h, ok := snap.Histograms[name]
+		if !ok || h.Count != int64(want) {
+			t.Errorf("%s: count = %d (present=%v), want %d", name, h.Count, ok, want)
+		}
+	}
+	if table := snap.StageTable("stage."); !strings.Contains(table, "session_ns") {
+		t.Errorf("stage table missing session stage:\n%s", table)
 	}
 }

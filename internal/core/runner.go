@@ -14,6 +14,7 @@ import (
 	"appvsweb/internal/device"
 	"appvsweb/internal/domains"
 	"appvsweb/internal/easylist"
+	"appvsweb/internal/obs"
 	"appvsweb/internal/pii"
 	"appvsweb/internal/proxy"
 	"appvsweb/internal/recon"
@@ -57,6 +58,29 @@ type Options struct {
 	// (simulated permission denial) — the app-side counterpart of the
 	// adblock extension.
 	DenyPermissions pii.TypeSet
+	// Metrics receives campaign instrumentation: per-stage wall-clock
+	// spans and running totals (docs/metrics.md). Nil uses obs.Default.
+	Metrics *obs.Registry
+	// OnProgress, when set, is called after every experiment finishes
+	// (including exclusions and failures). Calls are serialized, so the
+	// callback may print without further locking.
+	OnProgress func(ProgressEvent)
+}
+
+// ProgressEvent reports one completed experiment to Options.OnProgress.
+type ProgressEvent struct {
+	Index   int // 1-based completion order
+	Total   int // experiments in the campaign
+	Service string
+	OS      services.OS
+	Medium  services.Medium
+	// Elapsed is real wall time for this experiment (sessions themselves
+	// run on the virtual clock; see internal/vclock).
+	Elapsed  time.Duration
+	Excluded bool // certificate pinning prevented decryption
+	Flows    int
+	Leaks    int
+	Err      error
 }
 
 func (o Options) withDefaults() Options {
@@ -71,6 +95,9 @@ func (o Options) withDefaults() Options {
 		if o.Parallelism > 8 {
 			o.Parallelism = 8
 		}
+	}
+	if o.Metrics == nil {
+		o.Metrics = obs.Default
 	}
 	return o
 }
@@ -114,6 +141,12 @@ func (r *Runner) RunExperiment(spec *services.Spec, cell services.Cell) (*Experi
 }
 
 func (r *Runner) runExperiment(spec *services.Spec, cell services.Cell, base time.Time) (*experimentRun, error) {
+	reg := r.Opts.Metrics
+	defer reg.Histogram("campaign.experiment_ns", "ns").Span().End()
+	defer reg.Counter("campaign.experiments_total").Inc()
+	reg.Gauge("campaign.inflight").Inc()
+	defer reg.Gauge("campaign.inflight").Dec()
+
 	clock := vclock.New(base)
 	sink := capture.NewMemSink()
 	clientID := fmt.Sprintf("%s/%s/%s", spec.Key, cell.OS, cell.Medium)
@@ -167,11 +200,14 @@ func (r *Runner) runExperiment(spec *services.Spec, cell services.Cell, base tim
 		sessCfg.Adblock = easylist.Bundled()
 	}
 	sessCfg.DenyPermissions = r.Opts.DenyPermissions
+	sessSpan := reg.Histogram("stage.session_ns", "ns").Span()
 	sres, err := device.RunSession(sessCfg)
+	sessSpan.End()
 	if err != nil {
 		if errors.Is(err, device.ErrPinned) {
 			result.Excluded = true
 			result.ExcludeReason = "certificate pinning prevents traffic decryption"
+			reg.Counter("campaign.excluded_total").Inc()
 			return &experimentRun{result: result}, nil
 		}
 		return nil, fmt.Errorf("core: %s: %w", clientID, err)
@@ -184,6 +220,8 @@ func (r *Runner) runExperiment(spec *services.Spec, cell services.Cell, base tim
 	det := &Detector{Matcher: pii.NewMatcher(identity)}
 	raw := sink.Flows()
 	flows := r.analyze(spec, result, det, raw)
+	reg.Counter("campaign.flows_total").Add(int64(result.TotalFlows))
+	reg.Counter("campaign.leaks_total").Add(int64(len(result.Leaks)))
 	if r.Opts.TraceDir != "" {
 		// Persist the pre-filter capture so replay can redo the full
 		// pipeline, including the background-filtering step.
@@ -221,32 +259,46 @@ func deviceIndex(key string) int {
 // analyze applies the §3.2 pipeline to the captured flows and fills the
 // result. It returns the analyzed (post-filter) flows for optional reuse.
 func (r *Runner) analyze(spec *services.Spec, result *ExperimentResult, det *Detector, flows []*capture.Flow) []*capture.Flow {
-	return AnalyzeFlows(r.Eco.Categorizer, r.Opts.DisableBackgroundFilter, spec.Key, result, det, flows)
+	return analyzeFlows(r.Opts.Metrics, r.Eco.Categorizer, r.Opts.DisableBackgroundFilter, spec.Key, result, det, flows)
 }
 
 // AnalyzeFlows is the standalone §3.2 pipeline: filtering, detection with
 // verification, domain categorization, and leak labeling. It fills result
-// and returns the post-filter flows. Exposed for trace replay.
+// and returns the post-filter flows. Exposed for trace replay; stage
+// timings are recorded into obs.Default.
 func AnalyzeFlows(cat *domains.Categorizer, disableBGFilter bool, serviceKey string, result *ExperimentResult, det *Detector, flows []*capture.Flow) []*capture.Flow {
+	return analyzeFlows(obs.Default, cat, disableBGFilter, serviceKey, result, det, flows)
+}
+
+func analyzeFlows(metrics *obs.Registry, cat *domains.Categorizer, disableBGFilter bool, serviceKey string, result *ExperimentResult, det *Detector, flows []*capture.Flow) []*capture.Flow {
 	isBackground := func(host string) bool {
 		return cat.Categorize(serviceKey, host) == domains.Background
 	}
+	filterSpan := metrics.Histogram("stage.filter_ns", "ns").Span()
 	var kept, dropped []*capture.Flow
 	if disableBGFilter {
 		kept = flows
 	} else {
 		kept, dropped = capture.FilterBackground(flows, isBackground)
 	}
+	filterSpan.End()
 	result.TotalFlows = len(kept)
 	result.BackgroundFlows = len(dropped)
 
 	var policy LeakPolicy
+	// detectNS and categorizeNS accumulate the per-flow costs of the two
+	// analysis sub-stages and post one observation per experiment, keeping
+	// the histograms per-experiment (comparable to stage.session_ns)
+	// rather than per-flow.
+	var detectNS, categorizeNS time.Duration
 	aaDomains := make(map[string]bool)
 	piiDomains := make(map[string]bool)
 	for _, f := range kept {
 		result.TotalBytes += f.Bytes()
+		catStart := time.Now()
 		fcat := cat.Categorize(serviceKey, f.Host)
 		reg := domains.ETLDPlusOne(f.Host)
+		categorizeNS += time.Since(catStart)
 		if fcat == domains.AdvertisingAnalytics {
 			aaDomains[reg] = true
 			result.AAFlows++
@@ -255,7 +307,9 @@ func AnalyzeFlows(cat *domains.Categorizer, disableBGFilter bool, serviceKey str
 		if !f.Intercepted && f.Protocol == capture.HTTPS {
 			continue // pinned tunnel metadata: no content to analyze
 		}
+		detStart := time.Now()
 		detection := det.Detect(f)
+		detectNS += time.Since(detStart)
 		leakTypes := policy.LeakTypes(f, detection.Types, fcat)
 		if leakTypes.Empty() {
 			continue
@@ -277,6 +331,8 @@ func AnalyzeFlows(cat *domains.Categorizer, disableBGFilter bool, serviceKey str
 		result.LeakTypes = result.LeakTypes.Union(leakTypes)
 		piiDomains[reg] = true
 	}
+	metrics.Histogram("stage.detect_ns", "ns").ObserveDuration(detectNS)
+	metrics.Histogram("stage.categorize_ns", "ns").ObserveDuration(categorizeNS)
 	result.AADomains = sortedKeys(aaDomains)
 	result.PIIDomains = sortedKeys(piiDomains)
 	return kept
@@ -308,10 +364,13 @@ func (r *Runner) RunCampaign() (*Dataset, error) {
 		}
 	}
 
+	r.Opts.Metrics.Gauge("campaign.jobs").Set(int64(len(jobs)))
 	runs := make([]*experimentRun, len(jobs))
 	errs := make([]error, len(jobs))
 	sem := make(chan struct{}, r.Opts.Parallelism)
 	var wg sync.WaitGroup
+	var progressMu sync.Mutex
+	completed := 0
 	for _, j := range jobs {
 		wg.Add(1)
 		go func(j job) {
@@ -319,7 +378,29 @@ func (r *Runner) RunCampaign() (*Dataset, error) {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			base := time.Date(2016, 4, 1, 9, 0, 0, 0, time.UTC).Add(time.Duration(j.idx) * 10 * time.Minute)
+			start := time.Now()
 			runs[j.idx], errs[j.idx] = r.runExperiment(j.spec, j.cell, base)
+			if r.Opts.OnProgress == nil {
+				return
+			}
+			ev := ProgressEvent{
+				Total:   len(jobs),
+				Service: j.spec.Key,
+				OS:      j.cell.OS,
+				Medium:  j.cell.Medium,
+				Elapsed: time.Since(start),
+				Err:     errs[j.idx],
+			}
+			if run := runs[j.idx]; run != nil {
+				ev.Excluded = run.result.Excluded
+				ev.Flows = run.result.TotalFlows
+				ev.Leaks = len(run.result.Leaks)
+			}
+			progressMu.Lock()
+			completed++
+			ev.Index = completed
+			r.Opts.OnProgress(ev)
+			progressMu.Unlock()
 		}(j)
 	}
 	wg.Wait()
@@ -341,7 +422,9 @@ func (r *Runner) RunCampaign() (*Dataset, error) {
 		ds.Results = append(ds.Results, run.result)
 	}
 	if r.Opts.TrainRecon {
+		reconSpan := r.Opts.Metrics.Histogram("stage.recon_ns", "ns").Span()
 		report, holdout := r.annotateWithRecon(runs)
+		reconSpan.End()
 		ds.Meta.ReconReport = report
 		ds.Meta.ReconHoldout = holdout
 	}

@@ -1,0 +1,25 @@
+// Package obs is the campaign observability layer: lock-free counters and
+// gauges, fixed log-bucket streaming histograms with quantile estimation,
+// span timers for stage timing, and a process-wide Registry that snapshots
+// everything as JSON (served at /debug/metrics by the cmd binaries).
+//
+// The instrumented hot paths — internal/proxy (flows, bytes, TLS-intercept
+// failures), internal/pii (match attempts and per-encoding hits),
+// internal/recon (training/evaluation durations), and internal/core
+// (per-experiment and per-stage spans) — all record into the Default
+// registry unless a caller injects its own, so one snapshot describes a
+// whole campaign regardless of how many proxies and sessions it spawned.
+//
+// All write paths are wait-free after the first lookup: a Counter or Gauge
+// is a single atomic integer, and a Histogram is a fixed array of atomic
+// bucket counts (log-linear buckets, 32 sub-buckets per octave, worst-case
+// relative error under 2%). Callers on hot paths should resolve the metric
+// pointer once and reuse it; Registry lookups take a read lock only.
+//
+// Two clocks coexist in this codebase: sessions run on the virtual clock
+// (internal/vclock), which makes four-minute sessions complete in
+// milliseconds, while obs spans always measure real wall time — they
+// answer "where does the hardware spend its time", not "what does the
+// simulated timeline say". Metric names, units, and the export format are
+// documented in docs/metrics.md.
+package obs

@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket layout: values below 2^subBits*2 are counted exactly;
+// above that, each power-of-two octave is split into 2^subBits log-linear
+// sub-buckets, bounding the relative quantile error at 2^-(subBits+1)
+// (< 1.6% for subBits = 5). The layout is fixed at compile time so
+// recording is a single atomic add into a flat array — no resizing, no
+// locks, no allocation.
+const (
+	subBits    = 5
+	subBuckets = 1 << subBits   // 32 sub-buckets per octave
+	exactMax   = subBuckets * 2 // values < 64 get exact buckets
+	numBuckets = exactMax + (64-subBits-1)*subBuckets
+)
+
+// Histogram is a streaming log-bucket histogram of non-negative int64
+// observations (durations in nanoseconds, sizes in bytes). The zero value
+// is NOT ready to use — obtain histograms from a Registry, which stamps
+// the unit. All methods are safe for concurrent callers; Observe is
+// wait-free.
+type Histogram struct {
+	unit    string
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64 // math.MaxInt64 until the first observation
+	max     atomic.Int64
+	buckets [numBuckets]atomic.Int64
+}
+
+func newHistogram(unit string) *Histogram {
+	h := &Histogram{unit: unit}
+	h.min.Store(math.MaxInt64)
+	return h
+}
+
+// Unit reports the unit label the histogram was registered with.
+func (h *Histogram) Unit() string { return h.unit }
+
+// Observe records one value. Negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// ObserveDuration records a duration in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// Span starts a wall-clock span timer that records into h when ended.
+func (h *Histogram) Span() Span { return Span{h: h, start: time.Now()} }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Quantile estimates the q-th quantile (0 < q <= 1) of the observations.
+// It returns 0 when the histogram is empty. The estimate is the midpoint
+// of the log-linear bucket containing the target rank, so the relative
+// error is bounded by the bucket width (< 2%).
+func (h *Histogram) Quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		if cum >= target {
+			return h.clamp(bucketMid(i))
+		}
+	}
+	return h.max.Load()
+}
+
+// clamp bounds a bucket-midpoint estimate by the true observed extremes,
+// so a quantile never reads above the max (or below the min).
+func (h *Histogram) clamp(v int64) int64 {
+	if max := h.max.Load(); v > max {
+		return max
+	}
+	if min := h.min.Load(); v < min && min != math.MaxInt64 {
+		return min
+	}
+	return v
+}
+
+// HistogramSnapshot is a point-in-time summary of a Histogram. Concurrent
+// observations during the snapshot may be partially reflected; each field
+// is individually consistent.
+type HistogramSnapshot struct {
+	Unit  string `json:"unit"`
+	Count int64  `json:"count"`
+	Sum   int64  `json:"sum"`
+	Min   int64  `json:"min"`
+	Max   int64  `json:"max"`
+	P50   int64  `json:"p50"`
+	P95   int64  `json:"p95"`
+	P99   int64  `json:"p99"`
+}
+
+// Snapshot summarizes the histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Unit:  h.unit,
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
+	if min := h.min.Load(); min != math.MaxInt64 {
+		s.Min = min
+	}
+	return s
+}
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	u := uint64(v)
+	if u < exactMax {
+		return int(u)
+	}
+	k := bits.Len64(u) // k >= subBits+2
+	sub := (u >> (k - subBits - 1)) & (subBuckets - 1)
+	return exactMax + (k-subBits-2)*subBuckets + int(sub)
+}
+
+// bucketMid returns the midpoint of a bucket's value range.
+func bucketMid(idx int) int64 {
+	if idx < exactMax {
+		return int64(idx)
+	}
+	octave := (idx - exactMax) / subBuckets
+	sub := (idx - exactMax) % subBuckets
+	low := int64(1)<<(octave+subBits+1) + int64(sub)<<(octave+1)
+	width := int64(1) << (octave + 1)
+	return low + width/2
+}
+
+// Span measures one wall-clock interval into a histogram.
+type Span struct {
+	h     *Histogram
+	start time.Time
+}
+
+// End stops the span, records the elapsed wall time, and returns it.
+func (s Span) End() time.Duration {
+	d := time.Since(s.start)
+	s.h.ObserveDuration(d)
+	return d
+}

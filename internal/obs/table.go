@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// formatStageTable lays out histogram summaries as fixed-width text.
+func formatStageTable(prefix string, names []string, hs map[string]HistogramSnapshot) string {
+	if len(names) == 0 {
+		return ""
+	}
+	rows := make([][]string, 0, len(names)+1)
+	rows = append(rows, []string{"stage", "count", "p50", "p95", "p99", "max", "total"})
+	for _, name := range names {
+		h := hs[name]
+		label := strings.TrimPrefix(name, prefix)
+		rows = append(rows, []string{
+			label,
+			fmt.Sprintf("%d", h.Count),
+			formatValue(h.P50, h.Unit),
+			formatValue(h.P95, h.Unit),
+			formatValue(h.P99, h.Unit),
+			formatValue(h.Max, h.Unit),
+			formatValue(h.Sum, h.Unit),
+		})
+	}
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	for _, row := range rows {
+		for i, cell := range row {
+			if i == 0 {
+				fmt.Fprintf(&b, "%-*s", widths[i], cell)
+			} else {
+				fmt.Fprintf(&b, "  %*s", widths[i], cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// formatValue renders a histogram value in its unit: nanoseconds become
+// rounded durations, bytes get binary-prefix sizes, anything else is a
+// plain number.
+func formatValue(v int64, unit string) string {
+	switch unit {
+	case "ns":
+		return formatDuration(time.Duration(v))
+	case "bytes":
+		return formatBytes(v)
+	default:
+		return fmt.Sprintf("%d", v)
+	}
+}
+
+func formatDuration(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	case d >= time.Microsecond:
+		return fmt.Sprintf("%.0fµs", float64(d)/float64(time.Microsecond))
+	default:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	}
+}
+
+func formatBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/float64(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/float64(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

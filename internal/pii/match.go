@@ -3,7 +3,29 @@ package pii
 import (
 	"sort"
 	"strings"
+
+	"appvsweb/internal/obs"
 )
+
+// Matcher instrumentation (docs/metrics.md): scan volume plus hit counts
+// broken down by wire encoding, so a snapshot shows which obfuscations
+// actually carry PII in a campaign. Counters are resolved once at init —
+// the Scan hot path only touches atomics (and one map read per hit).
+var matchMetrics = struct {
+	scans   *obs.Counter
+	needles *obs.Counter
+	hits    map[Encoding]*obs.Counter
+}{
+	scans:   obs.Default.Counter("pii.scan.calls_total"),
+	needles: obs.Default.Counter("pii.scan.needles_total"),
+	hits:    make(map[Encoding]*obs.Counter),
+}
+
+func init() {
+	for _, e := range Encoders() {
+		matchMetrics.hits[e.Name] = obs.Default.Counter("pii.match.hits." + string(e.Name))
+	}
+}
 
 // Match is one occurrence of ground-truth PII found in flow content.
 type Match struct {
@@ -79,6 +101,8 @@ func (m *Matcher) Scan(where, content string) []Match {
 	if content == "" {
 		return nil
 	}
+	matchMetrics.scans.Inc()
+	matchMetrics.needles.Add(int64(len(m.needles)))
 	lower := ""
 	var out []Match
 	type dedup struct {
@@ -102,6 +126,9 @@ func (m *Matcher) Scan(where, content string) []Match {
 		}
 		if !hit {
 			continue
+		}
+		if c := matchMetrics.hits[n.enc]; c != nil {
+			c.Inc()
 		}
 		k := dedup{n.typ, n.plaintext, n.enc}
 		if found[k] {

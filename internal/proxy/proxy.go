@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"appvsweb/internal/capture"
+	"appvsweb/internal/obs"
 )
 
 // Config parameterizes a measurement proxy.
@@ -49,6 +50,10 @@ type Config struct {
 	// conclusion proposes. Recorded flows reflect what actually reached
 	// the network.
 	Rewriter Rewriter
+	// Metrics receives process-wide proxy instrumentation (see
+	// docs/metrics.md). Nil uses obs.Default. Per-proxy counts remain
+	// available from Stats regardless.
+	Metrics *obs.Registry
 }
 
 // Rewriter rewrites intercepted requests in flight.
@@ -76,6 +81,36 @@ type Proxy struct {
 		upstreamErrors atomic.Int64 // 502s returned
 		bytesUp        atomic.Int64
 		bytesDown      atomic.Int64
+	}
+	metrics proxyMetrics
+}
+
+// proxyMetrics holds the registry-wide counters, resolved once at
+// construction so the per-exchange path never takes the registry lock. A
+// campaign runs one proxy per experiment; these aggregate across all of
+// them into one process-wide view.
+type proxyMetrics struct {
+	requests       *obs.Counter
+	tunnels        *obs.Counter
+	tunnelFailures *obs.Counter
+	upstreamErrors *obs.Counter
+	bytesUp        *obs.Counter
+	bytesDown      *obs.Counter
+	flowBytes      *obs.Histogram
+}
+
+func newProxyMetrics(reg *obs.Registry) proxyMetrics {
+	if reg == nil {
+		reg = obs.Default
+	}
+	return proxyMetrics{
+		requests:       reg.Counter("proxy.requests_total"),
+		tunnels:        reg.Counter("proxy.tunnels_total"),
+		tunnelFailures: reg.Counter("proxy.tunnel_failures_total"),
+		upstreamErrors: reg.Counter("proxy.upstream_errors_total"),
+		bytesUp:        reg.Counter("proxy.bytes_up_total"),
+		bytesDown:      reg.Counter("proxy.bytes_down_total"),
+		flowBytes:      reg.Histogram("proxy.flow_bytes", "bytes"),
 	}
 }
 
@@ -126,7 +161,8 @@ func New(cfg Config) (*Proxy, error) {
 		tlsCfg.ClientSessionCache = tls.NewLRUClientSessionCache(256)
 	}
 	p := &Proxy{
-		cfg: cfg,
+		cfg:     cfg,
+		metrics: newProxyMetrics(cfg.Metrics),
 		upstream: &http.Transport{
 			DialContext:         DialContext(cfg.Resolver),
 			TLSClientConfig:     tlsCfg,
@@ -244,6 +280,7 @@ func (p *Proxy) handleConnect(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	p.stats.tunnels.Add(1)
+	p.metrics.tunnels.Inc()
 	defer raw.Close()
 	if _, err := io.WriteString(raw, "HTTP/1.1 200 Connection Established\r\n\r\n"); err != nil {
 		return
@@ -309,6 +346,7 @@ func (p *Proxy) serveTunneledRequest(conn net.Conn, r *http.Request, tunnelHost 
 		f.BytesUp = requestWireSize(r, body)
 		f.BytesDown = n
 		p.stats.upstreamErrors.Add(1)
+		p.metrics.upstreamErrors.Inc()
 		p.recordStats(f)
 		p.cfg.Sink.Record(f)
 		return false
@@ -422,19 +460,26 @@ func (p *Proxy) writeError(w http.ResponseWriter, f *capture.Flow, err error) {
 	f.ResponseHeaders = map[string]string{"X-Proxy-Error": err.Error()}
 	http.Error(w, "proxy: upstream: "+err.Error(), http.StatusBadGateway)
 	p.stats.upstreamErrors.Add(1)
+	p.metrics.upstreamErrors.Inc()
 	p.recordStats(f)
 	p.cfg.Sink.Record(f)
 }
 
-// recordStats folds one completed exchange into the counters.
+// recordStats folds one completed exchange into the per-proxy counters and
+// the process-wide registry.
 func (p *Proxy) recordStats(f *capture.Flow) {
 	p.stats.requests.Add(1)
 	p.stats.bytesUp.Add(f.BytesUp)
 	p.stats.bytesDown.Add(f.BytesDown)
+	p.metrics.requests.Inc()
+	p.metrics.bytesUp.Add(f.BytesUp)
+	p.metrics.bytesDown.Add(f.BytesDown)
+	p.metrics.flowBytes.Observe(f.BytesUp + f.BytesDown)
 }
 
 func (p *Proxy) recordTunnelFailure(start time.Time, host, reason string) {
 	p.stats.tunnelFailures.Add(1)
+	p.metrics.tunnelFailures.Inc()
 	p.cfg.Sink.Record(&capture.Flow{
 		Start:           start,
 		Client:          p.cfg.ClientID,

@@ -7,6 +7,7 @@ import (
 
 	"appvsweb/internal/capture"
 	"appvsweb/internal/domains"
+	"appvsweb/internal/obs"
 	"appvsweb/internal/pii"
 )
 
@@ -62,6 +63,8 @@ type Classifier struct {
 
 // Train fits per-type models from labeled flows.
 func Train(flows []LabeledFlow, opts Options) *Classifier {
+	defer obs.Default.Histogram("recon.train_ns", "ns").Span().End()
+	obs.Default.Counter("recon.train.flows_total").Add(int64(len(flows)))
 	c := trainGeneral(flows, opts)
 	if !opts.PerDomain {
 		return c
@@ -185,6 +188,7 @@ type Metrics struct {
 
 // Evaluate scores the classifier against labeled flows.
 func Evaluate(c *Classifier, flows []LabeledFlow) []Metrics {
+	defer obs.Default.Histogram("recon.eval_ns", "ns").Span().End()
 	byType := make(map[pii.Type]*Metrics)
 	for _, t := range c.ModeledTypes() {
 		byType[t] = &Metrics{Type: t}
