@@ -2,7 +2,11 @@
 
 GO ?= go
 
-.PHONY: build test short race vet fmt check bench
+# Packages carrying the micro-benchmarks (pii matching, easylist
+# matching, proxy flow handling, trace emission).
+BENCH_MICRO_PKGS = ./internal/pii ./internal/easylist ./internal/proxy ./internal/obs/trace
+
+.PHONY: build test short race vet fmt check bench bench-micro bench-macro
 
 build:
 	$(GO) build ./...
@@ -31,5 +35,15 @@ fmt:
 check: vet fmt race
 	@echo "check: OK"
 
-bench:
-	$(GO) test -bench=. -benchmem
+## bench: all benchmarks with -benchmem; test2json event streams land in
+## BENCH_micro.json / BENCH_macro.json for machine comparison (benchstat
+## reads the plain-text mirror inside each stream's Output fields)
+bench: bench-micro bench-macro
+
+bench-micro:
+	$(GO) test -run='^$$' -bench=. -benchmem -json $(BENCH_MICRO_PKGS) > BENCH_micro.json
+	@echo "wrote BENCH_micro.json"
+
+bench-macro:
+	$(GO) test -run='^$$' -bench=. -benchmem -json . > BENCH_macro.json
+	@echo "wrote BENCH_macro.json"

@@ -13,12 +13,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 
 	"appvsweb/internal/analysis"
 	"appvsweb/internal/capture"
 	"appvsweb/internal/core"
+	"appvsweb/internal/obs"
 	"appvsweb/internal/services"
 )
 
@@ -147,7 +149,10 @@ func main() {
 	}
 }
 
+// fatalf logs a fatal error as structured JSON on stderr (reports go to
+// stdout, so logs never corrupt piped output) and exits non-zero.
 func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "avwanalyze: "+format+"\n", args...)
+	obs.NewLogger(os.Stderr, "avwanalyze", "", slog.LevelInfo).
+		Error(fmt.Sprintf(format, args...))
 	os.Exit(1)
 }

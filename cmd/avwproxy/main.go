@@ -19,6 +19,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -27,28 +28,47 @@ import (
 
 	"appvsweb/internal/capture"
 	"appvsweb/internal/obs"
+	"appvsweb/internal/obs/trace"
 	"appvsweb/internal/proxy"
 )
+
+// logger emits structured JSON logs; the trace ID correlates every line of
+// one avwproxy run (and its trace events, with -trace).
+var logger = obs.NopLogger()
 
 func main() {
 	var (
 		caOut       = flag.String("ca", "avwproxy-ca.pem", "path to write the interception CA certificate")
 		flowOut     = flag.String("flows", "flows.jsonl", "path for the captured flow log (JSONL)")
 		metricsAddr = flag.String("metrics-addr", "", "serve /debug/metrics and /debug/pprof/ on this address")
+		tracePath   = flag.String("trace", "", "stream trace events (tunnel failures) to this JSONL file")
 	)
 	flag.Parse()
 
+	var tracer *trace.Tracer
+	var traceFile *os.File
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			logger = obs.NewLogger(os.Stderr, "avwproxy", "", slog.LevelInfo)
+			fatal("open trace file", err)
+		}
+		traceFile = f
+		tracer = trace.New(trace.Options{W: f})
+	}
+	logger = obs.NewLogger(os.Stderr, "avwproxy", tracer.TraceID(), slog.LevelInfo)
+
 	ca, err := proxy.NewCA("avwproxy interception CA")
 	if err != nil {
-		fatalf("generate CA: %v", err)
+		fatal("generate CA", err)
 	}
 	if err := os.WriteFile(*caOut, ca.CertPEM(), 0o644); err != nil {
-		fatalf("write CA: %v", err)
+		fatal("write CA", err)
 	}
 
 	f, err := os.Create(*flowOut)
 	if err != nil {
-		fatalf("open flow log: %v", err)
+		fatal("open flow log", err)
 	}
 	defer f.Close()
 	sink := capture.NewJSONLSink(f)
@@ -58,17 +78,16 @@ func main() {
 		Resolver: proxy.SystemResolver{},
 		Sink:     sink,
 		ClientID: "avwproxy",
+		Tracer:   tracer,
 	})
 	if err != nil {
-		fatalf("proxy: %v", err)
+		fatal("configure proxy", err)
 	}
 	if err := p.Start(); err != nil {
-		fatalf("start: %v", err)
+		fatal("start proxy", err)
 	}
-	fmt.Printf("avwproxy listening on %s\n", p.Addr())
-	fmt.Printf("  CA certificate: %s\n", *caOut)
-	fmt.Printf("  flow log:       %s\n", *flowOut)
-	fmt.Printf("  example:        curl -x http://%s --cacert %s https://example.com/\n", p.Addr(), *caOut)
+	logger.Info("listening", "addr", p.Addr(), "ca", *caOut, "flows", *flowOut,
+		"example", fmt.Sprintf("curl -x http://%s --cacert %s https://example.com/", p.Addr(), *caOut))
 	if *metricsAddr != "" {
 		msrv := &http.Server{
 			Addr:              *metricsAddr,
@@ -77,23 +96,33 @@ func main() {
 		}
 		go func() {
 			if err := msrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-				fmt.Fprintf(os.Stderr, "avwproxy: metrics server: %v\n", err)
+				logger.Error("metrics server", "err", err)
 			}
 		}()
-		fmt.Printf("  metrics:        http://%s/debug/metrics\n", *metricsAddr)
+		logger.Info("metrics", "url", fmt.Sprintf("http://%s/debug/metrics", *metricsAddr))
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	fmt.Fprintln(os.Stderr, "shutting down")
+	s := <-sig
+	logger.Info("shutting down", "signal", s.String())
 	_ = p.Close()
 	if err := sink.Err(); err != nil {
-		fatalf("flow log: %v", err)
+		fatal("flow log", err)
+	}
+	if tracer != nil {
+		if err := tracer.Flush(); err != nil {
+			fatal("trace write", err)
+		}
+		if err := traceFile.Close(); err != nil {
+			fatal("trace file", err)
+		}
 	}
 }
 
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "avwproxy: "+format+"\n", args...)
+// fatal logs a startup/shutdown failure as structured JSON and exits
+// non-zero so supervisors notice.
+func fatal(msg string, err error) {
+	logger.Error(msg, "err", err)
 	os.Exit(1)
 }

@@ -12,11 +12,15 @@
 //	                                          # + final stage timing table
 //	avwrun -metrics-addr 127.0.0.1:8790 ...   # /debug/metrics + /debug/pprof
 //	                                          # while the campaign runs
+//	avwrun -trace events.jsonl ...            # stream per-flow trace events;
+//	                                          # inspect with avwtrace
+//	avwrun -log-json ...                      # structured JSON logs on stderr
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"sort"
@@ -27,6 +31,7 @@ import (
 	"appvsweb/internal/core"
 	"appvsweb/internal/easylist"
 	"appvsweb/internal/obs"
+	"appvsweb/internal/obs/trace"
 	"appvsweb/internal/pii"
 	"appvsweb/internal/services"
 )
@@ -47,8 +52,25 @@ func main() {
 		deny        = flag.String("deny", "", "deny app permissions for these PII classes (e.g. L,UID)")
 		progress    = flag.Bool("progress", false, "print live per-experiment progress and a final stage timing table")
 		metricsAddr = flag.String("metrics-addr", "", "serve /debug/metrics and /debug/pprof/ on this address during the run")
+		tracePath   = flag.String("trace", "", "stream campaign trace events to this JSONL file (inspect with avwtrace)")
+		logJSON     = flag.Bool("log-json", false, "emit structured JSON logs (slog) on stderr, trace-ID-correlated")
 	)
 	flag.Parse()
+
+	var tracer *trace.Tracer
+	var traceFile *os.File
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatalf("trace file: %v", err)
+		}
+		traceFile = f
+		tracer = trace.New(trace.Options{W: f})
+	}
+	logger := obs.NopLogger()
+	if *logJSON {
+		logger = obs.NewLogger(os.Stderr, "avwrun", tracer.TraceID(), slog.LevelDebug)
+	}
 
 	if *metricsAddr != "" {
 		srv := &http.Server{
@@ -122,6 +144,8 @@ func main() {
 		BrowserAdblock:  *adblock,
 		TraceDir:        *traceDir,
 		DenyPermissions: denied,
+		Tracer:          tracer,
+		Logger:          logger,
 	}
 	if *progress {
 		opts.OnProgress = printProgress
@@ -140,6 +164,16 @@ func main() {
 		len(ds.Results), time.Since(start).Round(time.Millisecond))
 	if *progress {
 		printTimingTable()
+	}
+	if tracer != nil {
+		if err := tracer.Flush(); err != nil {
+			fatalf("trace write: %v", err)
+		}
+		if err := traceFile.Close(); err != nil {
+			fatalf("trace file: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "trace %s: %d events written to %s\n",
+			tracer.TraceID(), tracer.Total(), *tracePath)
 	}
 
 	if err := ds.Save(*out); err != nil {

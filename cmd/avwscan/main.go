@@ -16,6 +16,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 
@@ -23,6 +24,7 @@ import (
 	"appvsweb/internal/core"
 	"appvsweb/internal/domains"
 	"appvsweb/internal/easylist"
+	"appvsweb/internal/obs"
 	"appvsweb/internal/pii"
 )
 
@@ -80,10 +82,9 @@ func main() {
 			continue
 		}
 		fcat := cat.Categorize("you", f.Host)
-		leakTypes := policy.LeakTypes(f, detection.Types, fcat)
+		leakTypes, clause := policy.Explain(f, detection.Types, fcat)
 		if leakTypes.Empty() {
-			fmt.Printf("  ok    %-40s %v (permitted: %s credentials over HTTPS)\n",
-				f.Host, detection.Types, fcat)
+			fmt.Printf("  ok    %-40s %v (%s)\n", f.Host, detection.Types, clause)
 			continue
 		}
 		leaks++
@@ -93,6 +94,7 @@ func main() {
 		}
 		fmt.Printf("  LEAK  %-40s %-14v %-18s %s\n", f.Host, leakTypes, fcat, transport)
 		fmt.Printf("        %s %s\n", f.Method, truncate(f.URL, 100))
+		fmt.Printf("        why: %s; evidence: %s\n", clause, pii.DescribeMatches(detection.Matches))
 	}
 	fmt.Printf("\n%d flows scanned, %d leak flows\n", len(flows), leaks)
 	if leaks > 0 {
@@ -119,7 +121,10 @@ func truncate(s string, n int) string {
 	return s[:n] + "…"
 }
 
+// fatalf logs a fatal error as structured JSON on stderr (the report goes
+// to stdout, so logs never corrupt piped output) and exits non-zero.
 func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "avwscan: "+format+"\n", args...)
+	obs.NewLogger(os.Stderr, "avwscan", "", slog.LevelInfo).
+		Error(fmt.Sprintf(format, args...))
 	os.Exit(1)
 }

@@ -28,7 +28,7 @@ package main
 import (
 	"context"
 	"flag"
-	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -47,10 +47,11 @@ func main() {
 		grace = flag.Duration("grace", 5*time.Second, "graceful-shutdown drain period")
 	)
 	flag.Parse()
+	logger := obs.NewLogger(os.Stderr, "avwserve", "", slog.LevelInfo)
 
 	ds, err := core.Load(*path)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "avwserve: load dataset: %v\n", err)
+		logger.Error("load dataset", "path", *path, "err", err)
 		os.Exit(1)
 	}
 
@@ -66,21 +67,21 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Printf("avwserve on http://%s/ (%d results; metrics at /debug/metrics)\n",
-		*addr, len(ds.Results))
+	logger.Info("listening", "url", "http://"+*addr+"/", "results", len(ds.Results),
+		"metrics", "/debug/metrics")
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errc:
-		fmt.Fprintf(os.Stderr, "avwserve: %v\n", err)
+		logger.Error("serve", "err", err)
 		os.Exit(1)
 	case s := <-sig:
-		fmt.Fprintf(os.Stderr, "avwserve: %v, draining for up to %v\n", s, *grace)
+		logger.Info("draining", "signal", s.String(), "grace", *grace)
 		ctx, cancel := context.WithTimeout(context.Background(), *grace)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
-			fmt.Fprintf(os.Stderr, "avwserve: shutdown: %v\n", err)
+			logger.Error("shutdown", "err", err)
 			os.Exit(1)
 		}
 	}

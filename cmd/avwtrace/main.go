@@ -1,0 +1,153 @@
+// Command avwtrace inspects the JSONL trace streams written by
+// avwrun -trace: the causal per-flow event chains behind every leak
+// verdict (docs/tracing.md).
+//
+// Usage:
+//
+//	avwtrace summary  -in events.jsonl            # campaign at a glance
+//	avwtrace flows    -in events.jsonl            # flow IDs + verdicts
+//	avwtrace explain  -in events.jsonl <flow-id>  # one flow's full chain
+//	avwtrace slow     -in events.jsonl [-top 10]  # stage costs + slowest experiments
+//	avwtrace timeline -in events.jsonl -html -out timeline.html
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"appvsweb/internal/obs/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "avwtrace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usageError() error {
+	return fmt.Errorf("usage: avwtrace <summary|flows|explain|slow|timeline> -in events.jsonl [args]")
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return usageError()
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "summary":
+		fs := flag.NewFlagSet("summary", flag.ContinueOnError)
+		in := fs.String("in", "events.jsonl", "trace event stream (JSONL)")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		events, err := loadEvents(*in)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, trace.Summary(events))
+		return nil
+
+	case "flows":
+		fs := flag.NewFlagSet("flows", flag.ContinueOnError)
+		in := fs.String("in", "events.jsonl", "trace event stream (JSONL)")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		events, err := loadEvents(*in)
+		if err != nil {
+			return err
+		}
+		verdicts := trace.Verdicts(events)
+		for _, id := range trace.FlowIDs(events) {
+			v := verdicts[id]
+			if v == "" {
+				v = "(dropped)"
+			}
+			fmt.Fprintf(out, "%8d  %s\n", id, v)
+		}
+		return nil
+
+	case "explain":
+		fs := flag.NewFlagSet("explain", flag.ContinueOnError)
+		in := fs.String("in", "events.jsonl", "trace event stream (JSONL)")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		if fs.NArg() != 1 {
+			return fmt.Errorf("usage: avwtrace explain -in events.jsonl <flow-id>")
+		}
+		id, err := strconv.ParseInt(fs.Arg(0), 10, 64)
+		if err != nil {
+			return fmt.Errorf("flow id %q: %w", fs.Arg(0), err)
+		}
+		events, err := loadEvents(*in)
+		if err != nil {
+			return err
+		}
+		text, err := trace.Explain(events, id)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, text)
+		return nil
+
+	case "slow":
+		fs := flag.NewFlagSet("slow", flag.ContinueOnError)
+		in := fs.String("in", "events.jsonl", "trace event stream (JSONL)")
+		top := fs.Int("top", 10, "slowest experiments to list")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		events, err := loadEvents(*in)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, trace.SlowReport(events, *top))
+		return nil
+
+	case "timeline":
+		fs := flag.NewFlagSet("timeline", flag.ContinueOnError)
+		in := fs.String("in", "events.jsonl", "trace event stream (JSONL)")
+		html := fs.Bool("html", true, "render a self-contained HTML timeline")
+		outPath := fs.String("out", "timeline.html", "output path")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		if !*html {
+			return fmt.Errorf("timeline: only -html output is supported")
+		}
+		events, err := loadEvents(*in)
+		if err != nil {
+			return err
+		}
+		doc := trace.TimelineHTML(events)
+		if err := os.WriteFile(*outPath, []byte(doc), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "timeline written to %s\n", *outPath)
+		return nil
+
+	default:
+		return usageError()
+	}
+}
+
+func loadEvents(path string) ([]trace.Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	events, err := trace.ReadEvents(f)
+	if err != nil {
+		return nil, err
+	}
+	if len(events) == 0 {
+		return nil, fmt.Errorf("%s: no trace events", path)
+	}
+	return events, nil
+}

@@ -187,9 +187,13 @@ func ServiceDetail(ds *core.Dataset, key string) (string, bool) {
 		fmt.Fprintf(&b, "  leaked identifiers: %v\n", r.LeakTypes)
 		byDest := map[string]pii.TypeSet{}
 		flowsTo := map[string]int{}
+		why := map[string]*core.Provenance{}
 		for _, l := range r.Leaks {
 			byDest[l.Domain] = byDest[l.Domain].Union(l.Types)
 			flowsTo[l.Domain]++
+			if why[l.Domain] == nil {
+				why[l.Domain] = l.Provenance
+			}
 		}
 		dests := make([]string, 0, len(byDest))
 		for d := range byDest {
@@ -198,6 +202,12 @@ func ServiceDetail(ds *core.Dataset, key string) (string, bool) {
 		sort.Strings(dests)
 		for _, d := range dests {
 			fmt.Fprintf(&b, "    %-36s %-14s ×%d\n", d, byDest[d].String(), flowsTo[d])
+			if p := why[d]; p != nil {
+				fmt.Fprintf(&b, "      why: %s\n", p.Policy)
+				if p.Rule != "" {
+					fmt.Fprintf(&b, "      rule: %s\n", p.Rule)
+				}
+			}
 		}
 		b.WriteString("\n")
 	}

@@ -17,22 +17,37 @@ type Sink interface {
 	Record(f *Flow)
 }
 
+// IDSource hands out monotonically increasing flow IDs. Sharing one source
+// across the sinks of a campaign makes every flow ID campaign-unique, so a
+// bare ID is enough to name a flow in traces and leak provenance
+// (avwtrace explain <flow-id>).
+type IDSource struct {
+	n atomic.Int64
+}
+
+// Next returns the next ID (1, 2, ...).
+func (s *IDSource) Next() int64 { return s.n.Add(1) }
+
 // MemSink collects flows in memory, assigning monotonically increasing IDs.
 type MemSink struct {
 	mu    sync.Mutex
-	next  int64
+	ids   *IDSource
 	flows []*Flow
 }
 
-// NewMemSink returns an empty in-memory sink.
-func NewMemSink() *MemSink { return &MemSink{} }
+// NewMemSink returns an empty in-memory sink with a private ID source
+// (IDs start at 1).
+func NewMemSink() *MemSink { return NewMemSinkIDs(&IDSource{}) }
+
+// NewMemSinkIDs returns an in-memory sink drawing IDs from a shared
+// source; the campaign runner uses one source per campaign.
+func NewMemSinkIDs(ids *IDSource) *MemSink { return &MemSink{ids: ids} }
 
 // Record stores a copy of the flow.
 func (s *MemSink) Record(f *Flow) {
 	c := f.Clone()
+	c.ID = s.ids.Next()
 	s.mu.Lock()
-	s.next++
-	c.ID = s.next
 	s.flows = append(s.flows, c)
 	s.mu.Unlock()
 }

@@ -32,6 +32,31 @@ type LeakRecord struct {
 	Plaintext bool              `json:"plaintext"`
 	Types     pii.TypeSet       `json:"types"`
 	FoundBy   map[string]string `json:"found_by,omitempty"` // type abbrev → "string" | "recon" | "both"
+	// Provenance is the causal chain of evidence behind the verdict.
+	Provenance *Provenance `json:"provenance,omitempty"`
+}
+
+// MatchEvidence is one piece of PII-match evidence in a provenance record:
+// which class matched, under which wire encoding, in which flow section.
+type MatchEvidence struct {
+	Type     string `json:"type"`     // class abbreviation (Table 1 column)
+	Encoding string `json:"encoding"` // wire encoding the value appeared under
+	Where    string `json:"where"`    // flow section: "url", "headers", "body"
+}
+
+// Provenance records why a flow was judged a leak — the causal chain
+// through the §3.2 pipeline: which capture session produced the flow, what
+// the background filter decided, the PII-match evidence, the EasyList rule
+// behind an A&A categorization, and the policy clause that decided. It
+// makes every verdict in a saved dataset auditable without re-running the
+// pipeline; avwtrace explain reconstructs the same chain from a live
+// trace (docs/tracing.md).
+type Provenance struct {
+	Client  string          `json:"client,omitempty"`  // capture: session that produced the flow
+	Filter  string          `json:"filter,omitempty"`  // background-filter decision
+	Matches []MatchEvidence `json:"matches,omitempty"` // PII-match evidence
+	Rule    string          `json:"rule,omitempty"`    // EasyList rule (A&A destinations only)
+	Policy  string          `json:"policy,omitempty"`  // the deciding policy clause
 }
 
 // ExperimentResult is the outcome of one four-minute session plus its

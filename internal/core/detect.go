@@ -31,6 +31,10 @@ const (
 type Detection struct {
 	Types   pii.TypeSet       // verified PII classes present
 	FoundBy map[string]string // type abbrev → provenance
+	// Matches holds the raw string-match evidence — which ground-truth
+	// value appeared, under which wire encoding, in which flow section —
+	// the substance of a verdict's provenance record.
+	Matches []pii.Match
 	// ReconRaw is the unverified classifier output (kept for evaluating
 	// the classifier itself).
 	ReconRaw pii.TypeSet
@@ -39,15 +43,17 @@ type Detection struct {
 // Detect runs the full identification step on one flow.
 func (d *Detector) Detect(f *capture.Flow) Detection {
 	var matched pii.TypeSet
+	var matches []pii.Match
 	if !d.SkipStringMatch && d.Matcher != nil {
-		matched = pii.MatchTypes(d.Matcher.ScanAll(f.Sections()))
+		matches = d.Matcher.ScanAll(f.Sections())
+		matched = pii.MatchTypes(matches)
 	}
 	var predicted pii.TypeSet
 	if d.Recon != nil {
 		predicted = d.Recon.Predict(f)
 	}
 
-	det := Detection{FoundBy: make(map[string]string), ReconRaw: predicted}
+	det := Detection{FoundBy: make(map[string]string), Matches: matches, ReconRaw: predicted}
 	if d.SkipStringMatch {
 		// Ablation: trust the classifier without verification.
 		det.Types = predicted

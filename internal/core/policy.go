@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"appvsweb/internal/capture"
 	"appvsweb/internal/domains"
 	"appvsweb/internal/pii"
@@ -22,17 +24,29 @@ var credentialTypes = pii.NewTypeSet(pii.Username, pii.Password, pii.Email)
 
 // LeakTypes reduces the detected PII classes of one flow to the classes
 // that count as leaks given the destination category and transport.
-func (LeakPolicy) LeakTypes(f *capture.Flow, detected pii.TypeSet, cat domains.Category) pii.TypeSet {
-	if detected.Empty() {
-		return 0
+func (p LeakPolicy) LeakTypes(f *capture.Flow, detected pii.TypeSet, cat domains.Category) pii.TypeSet {
+	types, _ := p.Explain(f, detected, cat)
+	return types
+}
+
+// Explain applies the policy and names the clause that decided — the last
+// link of a verdict's provenance chain (docs/tracing.md).
+func (LeakPolicy) Explain(f *capture.Flow, detected pii.TypeSet, cat domains.Category) (pii.TypeSet, string) {
+	switch {
+	case detected.Empty():
+		return 0, "no PII detected in flow content"
+	case f.Plaintext():
+		// eavesdroppers see everything
+		return detected, "plaintext HTTP: every detected PII class is exposed to on-path eavesdroppers (§3.2 leak condition 1)"
+	case cat == domains.FirstParty || cat == domains.SSO:
+		leaked := detected.Diff(credentialTypes)
+		if leaked.Empty() {
+			return 0, fmt.Sprintf("HTTPS to %s: only login credentials, which are exempt (§3.2 footnote 1)", cat)
+		}
+		return leaked, fmt.Sprintf("HTTPS to %s: non-credential PII is a leak even to the first party (§3.2)", cat)
+	default:
+		return detected, fmt.Sprintf("HTTPS to %s destination: PII is not required for login there (§3.2 leak condition 2)", cat)
 	}
-	if f.Plaintext() {
-		return detected // eavesdroppers see everything
-	}
-	if cat == domains.FirstParty || cat == domains.SSO {
-		return detected.Diff(credentialTypes)
-	}
-	return detected
 }
 
 // IsLeak reports whether any detected class survives the policy.

@@ -4,9 +4,11 @@ import (
 	"crypto/x509"
 	"errors"
 	"fmt"
+	"log/slog"
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -15,6 +17,7 @@ import (
 	"appvsweb/internal/domains"
 	"appvsweb/internal/easylist"
 	"appvsweb/internal/obs"
+	"appvsweb/internal/obs/trace"
 	"appvsweb/internal/pii"
 	"appvsweb/internal/proxy"
 	"appvsweb/internal/recon"
@@ -61,6 +64,13 @@ type Options struct {
 	// Metrics receives campaign instrumentation: per-stage wall-clock
 	// spans and running totals (docs/metrics.md). Nil uses obs.Default.
 	Metrics *obs.Registry
+	// Tracer receives the causal per-flow trace events (docs/tracing.md):
+	// spans campaign → experiment → session and the flow.* chain behind
+	// every verdict. Nil disables tracing.
+	Tracer *trace.Tracer
+	// Logger receives structured campaign lifecycle logs, trace-ID
+	// correlated. Nil discards them.
+	Logger *slog.Logger
 	// OnProgress, when set, is called after every experiment finishes
 	// (including exclusions and failures). Calls are serialized, so the
 	// callback may print without further locking.
@@ -99,6 +109,9 @@ func (o Options) withDefaults() Options {
 	if o.Metrics == nil {
 		o.Metrics = obs.Default
 	}
+	if o.Logger == nil {
+		o.Logger = obs.NopLogger()
+	}
 	return o
 }
 
@@ -109,6 +122,9 @@ type Runner struct {
 
 	ca    *proxy.CA // shared interception CA (the installed profile)
 	trust *x509.CertPool
+	// ids hands out campaign-unique flow IDs across every experiment's
+	// sink, so a bare flow ID names exactly one flow in traces.
+	ids *capture.IDSource
 }
 
 // NewRunner prepares a runner: it generates the interception CA and the
@@ -120,7 +136,7 @@ func NewRunner(eco *services.Ecosystem, opts Options) (*Runner, error) {
 	}
 	trust := ca.Pool()
 	trust.AppendCertsFromPEM(eco.Internet.CA.CertPEM())
-	return &Runner{Eco: eco, Opts: opts.withDefaults(), ca: ca, trust: trust}, nil
+	return &Runner{Eco: eco, Opts: opts.withDefaults(), ca: ca, trust: trust, ids: &capture.IDSource{}}, nil
 }
 
 // experimentRun couples a result with the retained flows and detection
@@ -147,8 +163,42 @@ func (r *Runner) runExperiment(spec *services.Spec, cell services.Cell, base tim
 	reg.Gauge("campaign.inflight").Inc()
 	defer reg.Gauge("campaign.inflight").Dec()
 
+	tr := r.Opts.Tracer
+	span := tr.NewSpanID()
+	start := time.Now()
+	tr.Emit(trace.Event{Type: trace.EvExperimentStart, Span: span, Attrs: map[string]string{
+		"service": spec.Key, "os": string(cell.OS), "medium": string(cell.Medium),
+	}})
+	r.Opts.Logger.Debug("experiment start",
+		"span", span, "service", spec.Key, "os", string(cell.OS), "medium", string(cell.Medium))
+
+	run, err := r.runExperimentSpanned(spec, cell, base, span)
+
+	attrs := map[string]string{
+		"service": spec.Key, "os": string(cell.OS), "medium": string(cell.Medium),
+	}
+	if run != nil {
+		attrs["flows"] = strconv.Itoa(run.result.TotalFlows)
+		attrs["leaks"] = strconv.Itoa(len(run.result.Leaks))
+		if run.result.Excluded {
+			attrs["excluded"] = "true"
+		}
+	}
+	if err != nil {
+		attrs["error"] = err.Error()
+		r.Opts.Logger.Error("experiment failed", "span", span, "service", spec.Key,
+			"os", string(cell.OS), "medium", string(cell.Medium), "err", err)
+	}
+	tr.Emit(trace.Event{Type: trace.EvExperimentEnd, Span: span,
+		DurNS: time.Since(start).Nanoseconds(), Attrs: attrs})
+	return run, err
+}
+
+func (r *Runner) runExperimentSpanned(spec *services.Spec, cell services.Cell, base time.Time, span string) (*experimentRun, error) {
+	reg := r.Opts.Metrics
+	tr := r.Opts.Tracer
 	clock := vclock.New(base)
-	sink := capture.NewMemSink()
+	sink := capture.NewMemSinkIDs(r.ids)
 	clientID := fmt.Sprintf("%s/%s/%s", spec.Key, cell.OS, cell.Medium)
 	dev := device.NewDevice(cell.OS, deviceIndex(spec.Key))
 	identity := dev.Identity(device.NewAccount(spec.Key))
@@ -159,6 +209,8 @@ func (r *Runner) runExperiment(spec *services.Spec, cell services.Cell, base tim
 		Sink:       sink,
 		Now:        clock.Now,
 		ClientID:   clientID,
+		Tracer:     tr,
+		SpanID:     span,
 	}
 	if r.Opts.Protect {
 		pxCfg.Rewriter = NewProtector(spec.Key, identity, r.Eco.Categorizer)
@@ -201,7 +253,11 @@ func (r *Runner) runExperiment(spec *services.Spec, cell services.Cell, base tim
 	}
 	sessCfg.DenyPermissions = r.Opts.DenyPermissions
 	sessSpan := reg.Histogram("stage.session_ns", "ns").Span()
+	tr.Emit(trace.Event{Type: trace.EvSessionStart, Span: span, Attrs: map[string]string{"client": clientID}})
+	sessStage := tr.Stage(span, "session")
 	sres, err := device.RunSession(sessCfg)
+	sessStage()
+	tr.Emit(trace.Event{Type: trace.EvSessionEnd, Span: span, Attrs: map[string]string{"client": clientID}})
 	sessSpan.End()
 	if err != nil {
 		if errors.Is(err, device.ErrPinned) {
@@ -219,7 +275,9 @@ func (r *Runner) runExperiment(spec *services.Spec, cell services.Cell, base tim
 
 	det := &Detector{Matcher: pii.NewMatcher(identity)}
 	raw := sink.Flows()
-	flows := r.analyze(spec, result, det, raw)
+	analysisStage := tr.Stage(span, "analysis")
+	flows := r.analyze(spec, result, det, raw, span)
+	analysisStage()
 	reg.Counter("campaign.flows_total").Add(int64(result.TotalFlows))
 	reg.Counter("campaign.leaks_total").Add(int64(len(result.Leaks)))
 	if r.Opts.TraceDir != "" {
@@ -258,8 +316,8 @@ func deviceIndex(key string) int {
 
 // analyze applies the §3.2 pipeline to the captured flows and fills the
 // result. It returns the analyzed (post-filter) flows for optional reuse.
-func (r *Runner) analyze(spec *services.Spec, result *ExperimentResult, det *Detector, flows []*capture.Flow) []*capture.Flow {
-	return analyzeFlows(r.Opts.Metrics, r.Eco.Categorizer, r.Opts.DisableBackgroundFilter, spec.Key, result, det, flows)
+func (r *Runner) analyze(spec *services.Spec, result *ExperimentResult, det *Detector, flows []*capture.Flow, span string) []*capture.Flow {
+	return analyzeFlows(r.Opts.Metrics, r.Opts.Tracer, span, r.Eco.Categorizer, r.Opts.DisableBackgroundFilter, spec.Key, result, det, flows)
 }
 
 // AnalyzeFlows is the standalone §3.2 pipeline: filtering, detection with
@@ -267,10 +325,25 @@ func (r *Runner) analyze(spec *services.Spec, result *ExperimentResult, det *Det
 // and returns the post-filter flows. Exposed for trace replay; stage
 // timings are recorded into obs.Default.
 func AnalyzeFlows(cat *domains.Categorizer, disableBGFilter bool, serviceKey string, result *ExperimentResult, det *Detector, flows []*capture.Flow) []*capture.Flow {
-	return analyzeFlows(obs.Default, cat, disableBGFilter, serviceKey, result, det, flows)
+	return analyzeFlows(obs.Default, nil, "", cat, disableBGFilter, serviceKey, result, det, flows)
 }
 
-func analyzeFlows(metrics *obs.Registry, cat *domains.Categorizer, disableBGFilter bool, serviceKey string, result *ExperimentResult, det *Detector, flows []*capture.Flow) []*capture.Flow {
+// captureEvent reconstructs the capture step of a flow's provenance chain
+// as a trace event. Events are emitted post-hoc, after the sink has
+// assigned the campaign-unique flow ID.
+func captureEvent(span string, f *capture.Flow) trace.Event {
+	return trace.Event{Type: trace.EvFlowCaptured, Span: span, Flow: f.ID, Attrs: map[string]string{
+		"host":        f.Host,
+		"method":      f.Method,
+		"url":         f.URL,
+		"protocol":    string(f.Protocol),
+		"client":      f.Client,
+		"intercepted": strconv.FormatBool(f.Intercepted),
+		"start":       f.Start.UTC().Format(time.RFC3339),
+	}}
+}
+
+func analyzeFlows(metrics *obs.Registry, tr *trace.Tracer, span string, cat *domains.Categorizer, disableBGFilter bool, serviceKey string, result *ExperimentResult, det *Detector, flows []*capture.Flow) []*capture.Flow {
 	isBackground := func(host string) bool {
 		return cat.Categorize(serviceKey, host) == domains.Background
 	}
@@ -284,6 +357,21 @@ func analyzeFlows(metrics *obs.Registry, cat *domains.Categorizer, disableBGFilt
 	filterSpan.End()
 	result.TotalFlows = len(kept)
 	result.BackgroundFlows = len(dropped)
+
+	filterReason := "not OS/library background traffic"
+	if disableBGFilter {
+		filterReason = "background filtering disabled for this run"
+	}
+	filterDesc := "kept (" + filterReason + ")"
+	if tr.Enabled() {
+		for _, f := range dropped {
+			tr.Emit(captureEvent(span, f))
+			tr.Emit(trace.Event{Type: trace.EvFlowFilter, Span: span, Flow: f.ID, Attrs: map[string]string{
+				"decision": "dropped",
+				"reason":   "host categorized as OS/library background traffic (§3.2 filtering)",
+			}})
+		}
+	}
 
 	var policy LeakPolicy
 	// detectNS and categorizeNS accumulate the per-flow costs of the two
@@ -304,19 +392,62 @@ func analyzeFlows(metrics *obs.Registry, cat *domains.Categorizer, disableBGFilt
 			result.AAFlows++
 			result.AABytes += f.Bytes()
 		}
+		aaRule := ""
+		if tr.Enabled() {
+			tr.Emit(captureEvent(span, f))
+			tr.Emit(trace.Event{Type: trace.EvFlowFilter, Span: span, Flow: f.ID, Attrs: map[string]string{
+				"decision": "kept", "reason": filterReason,
+			}})
+			catAttrs := map[string]string{"category": fcat.String(), "domain": reg}
+			if fcat == domains.AdvertisingAnalytics {
+				if rule, ok := cat.AARule(f.Host); ok {
+					catAttrs["rule"] = rule
+					aaRule = rule
+				}
+			}
+			tr.Emit(trace.Event{Type: trace.EvFlowCategorize, Span: span, Flow: f.ID, Attrs: catAttrs})
+		} else if fcat == domains.AdvertisingAnalytics {
+			if rule, ok := cat.AARule(f.Host); ok {
+				aaRule = rule
+			}
+		}
 		if !f.Intercepted && f.Protocol == capture.HTTPS {
-			continue // pinned tunnel metadata: no content to analyze
+			// pinned tunnel metadata: no content to analyze
+			tr.Emit(trace.Event{Type: trace.EvFlowPolicy, Span: span, Flow: f.ID, Attrs: map[string]string{
+				"verdict": "clean",
+				"clause":  "certificate pinning prevented interception: tunnel metadata only, no content to analyze",
+			}})
+			continue
 		}
 		detStart := time.Now()
 		detection := det.Detect(f)
 		detectNS += time.Since(detStart)
-		leakTypes := policy.LeakTypes(f, detection.Types, fcat)
+		leakTypes, clause := policy.Explain(f, detection.Types, fcat)
+		if tr.Enabled() {
+			tr.Emit(trace.Event{Type: trace.EvFlowPII, Span: span, Flow: f.ID, Attrs: map[string]string{
+				"types":   detection.Types.String(),
+				"matches": pii.DescribeMatches(detection.Matches),
+			}})
+			verdict, leakedStr := "clean", ""
+			if !leakTypes.Empty() {
+				verdict, leakedStr = "leak", leakTypes.String()
+			}
+			tr.Emit(trace.Event{Type: trace.EvFlowPolicy, Span: span, Flow: f.ID, Attrs: map[string]string{
+				"verdict": verdict, "types": leakedStr, "clause": clause,
+			}})
+		}
 		if leakTypes.Empty() {
 			continue
 		}
 		foundBy := make(map[string]string, leakTypes.Len())
 		for _, t := range leakTypes.Types() {
 			foundBy[t.Abbrev()] = detection.FoundBy[t.Abbrev()]
+		}
+		evidence := make([]MatchEvidence, 0, len(detection.Matches))
+		for _, m := range detection.Matches {
+			evidence = append(evidence, MatchEvidence{
+				Type: m.Type.Abbrev(), Encoding: string(m.Encoding), Where: m.Where,
+			})
 		}
 		result.Leaks = append(result.Leaks, LeakRecord{
 			FlowID:    f.ID,
@@ -327,6 +458,13 @@ func analyzeFlows(metrics *obs.Registry, cat *domains.Categorizer, disableBGFilt
 			Plaintext: f.Plaintext(),
 			Types:     leakTypes,
 			FoundBy:   foundBy,
+			Provenance: &Provenance{
+				Client:  f.Client,
+				Filter:  filterDesc,
+				Matches: evidence,
+				Rule:    aaRule,
+				Policy:  clause,
+			},
 		})
 		result.LeakTypes = result.LeakTypes.Union(leakTypes)
 		piiDomains[reg] = true
@@ -363,6 +501,16 @@ func (r *Runner) RunCampaign() (*Dataset, error) {
 			idx++
 		}
 	}
+
+	tr := r.Opts.Tracer
+	campaignStart := time.Now()
+	tr.Emit(trace.Event{Type: trace.EvCampaignStart, Attrs: map[string]string{
+		"services":    strconv.Itoa(len(r.Eco.Catalog)),
+		"experiments": strconv.Itoa(len(jobs)),
+		"parallelism": strconv.Itoa(r.Opts.Parallelism),
+	}})
+	r.Opts.Logger.Info("campaign start", "services", len(r.Eco.Catalog),
+		"experiments", len(jobs), "parallelism", r.Opts.Parallelism)
 
 	r.Opts.Metrics.Gauge("campaign.jobs").Set(int64(len(jobs)))
 	runs := make([]*experimentRun, len(jobs))
@@ -406,6 +554,10 @@ func (r *Runner) RunCampaign() (*Dataset, error) {
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
+			tr.Emit(trace.Event{Type: trace.EvCampaignEnd,
+				DurNS: time.Since(campaignStart).Nanoseconds(),
+				Attrs: map[string]string{"error": err.Error()}})
+			r.Opts.Logger.Error("campaign failed", "err", err)
 			return nil, err
 		}
 	}
@@ -429,6 +581,18 @@ func (r *Runner) RunCampaign() (*Dataset, error) {
 		ds.Meta.ReconHoldout = holdout
 	}
 	ds.Sort()
+	stats := ds.Stats()
+	tr.Emit(trace.Event{Type: trace.EvCampaignEnd,
+		DurNS: time.Since(campaignStart).Nanoseconds(),
+		Attrs: map[string]string{
+			"experiments": strconv.Itoa(stats.Experiments),
+			"excluded":    strconv.Itoa(stats.Excluded),
+			"flows":       strconv.Itoa(stats.TotalFlows),
+			"leaks":       strconv.Itoa(stats.LeakFlows),
+		}})
+	r.Opts.Logger.Info("campaign end", "experiments", stats.Experiments,
+		"excluded", stats.Excluded, "flows", stats.TotalFlows,
+		"leaks", stats.LeakFlows, "elapsed", time.Since(campaignStart))
 	return ds, nil
 }
 

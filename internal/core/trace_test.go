@@ -1,0 +1,137 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"appvsweb/internal/obs/trace"
+	"appvsweb/internal/pii"
+	"appvsweb/internal/services"
+)
+
+// TestCampaignTracePropagation runs a small real campaign with tracing on
+// and checks the trace-ID chain end to end: every event carries the
+// campaign trace ID, every leak verdict has matching flow.* events, and
+// each leak record carries a complete provenance chain.
+func TestCampaignTracePropagation(t *testing.T) {
+	tr := trace.New(trace.Options{})
+	r := testRunner(t, Options{Scale: 0.2, Tracer: tr}, "grubexpress")
+	ds, err := r.RunCampaign()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	events := tr.Events()
+	if len(events) == 0 {
+		t.Fatal("no trace events emitted")
+	}
+	for _, e := range events {
+		if e.Trace != tr.TraceID() {
+			t.Fatalf("event %q carries trace %q, want %q", e.Type, e.Trace, tr.TraceID())
+		}
+		if e.Time.IsZero() {
+			t.Fatalf("event %q missing timestamp", e.Type)
+		}
+	}
+
+	byType := make(map[string]int)
+	for _, e := range events {
+		byType[e.Type]++
+	}
+	if byType[trace.EvCampaignStart] != 1 || byType[trace.EvCampaignEnd] != 1 {
+		t.Errorf("campaign events: %d start, %d end", byType[trace.EvCampaignStart], byType[trace.EvCampaignEnd])
+	}
+	if byType[trace.EvExperimentStart] != 4 || byType[trace.EvExperimentEnd] != 4 {
+		t.Errorf("experiment events: %d start, %d end (want 4 cells)", byType[trace.EvExperimentStart], byType[trace.EvExperimentEnd])
+	}
+	if byType[trace.EvFlowCaptured] == 0 || byType[trace.EvFlowPolicy] == 0 {
+		t.Fatalf("flow chain missing: %v", byType)
+	}
+
+	// Flow IDs must be campaign-unique: one capture event per ID.
+	capturedBy := make(map[int64]int)
+	for _, e := range events {
+		if e.Type == trace.EvFlowCaptured {
+			capturedBy[e.Flow]++
+		}
+	}
+	for id, n := range capturedBy {
+		if n != 1 {
+			t.Errorf("flow %d captured %d times (IDs not campaign-unique)", id, n)
+		}
+	}
+
+	// Every leak verdict in the dataset must be reconstructable from the
+	// trace, and its record must carry the full provenance chain.
+	verdicts := trace.Verdicts(events)
+	leaks := 0
+	for _, res := range ds.Results {
+		for _, l := range res.Leaks {
+			leaks++
+			if verdicts[l.FlowID] != "leak" {
+				t.Errorf("flow %d: dataset says leak, trace says %q", l.FlowID, verdicts[l.FlowID])
+			}
+			p := l.Provenance
+			if p == nil {
+				t.Fatalf("flow %d: leak record without provenance", l.FlowID)
+			}
+			if p.Client == "" || p.Filter == "" || p.Policy == "" || len(p.Matches) == 0 {
+				t.Errorf("flow %d: incomplete provenance %+v", l.FlowID, p)
+			}
+			if l.Category == "a&a" && p.Rule == "" {
+				t.Errorf("flow %d: A&A leak without an EasyList rule", l.FlowID)
+			}
+			text, err := trace.Explain(events, l.FlowID)
+			if err != nil {
+				t.Fatalf("explain flow %d: %v", l.FlowID, err)
+			}
+			if !strings.Contains(text, "LEAK") || !strings.Contains(text, p.Policy) {
+				t.Errorf("explain flow %d missing verdict or clause:\n%s", l.FlowID, text)
+			}
+		}
+	}
+	if leaks == 0 {
+		t.Fatal("campaign produced no leaks; propagation untested")
+	}
+
+	// And a clean flow must explain as clean.
+	cleanID := int64(0)
+	for id, v := range verdicts {
+		if v == "clean" {
+			cleanID = id
+			break
+		}
+	}
+	if cleanID == 0 {
+		t.Fatal("no clean verdict in trace")
+	}
+	text, err := trace.Explain(events, cleanID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "CLEAN") {
+		t.Errorf("clean flow %d explained as:\n%s", cleanID, text)
+	}
+}
+
+// TestExperimentTraceDisabled checks the nil-tracer path still fills
+// provenance on leak records (provenance is part of the dataset, not an
+// opt-in of tracing).
+func TestExperimentTraceDisabled(t *testing.T) {
+	r := testRunner(t, Options{Scale: 0.2}, "grubexpress")
+	res, err := r.RunExperiment(spec(t, r, "grubexpress"), services.Cell{OS: services.Android, Medium: services.App})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Leaks) == 0 {
+		t.Fatal("no leaks measured")
+	}
+	for _, l := range res.Leaks {
+		if l.Provenance == nil || l.Provenance.Policy == "" {
+			t.Fatalf("flow %d: missing provenance without tracer", l.FlowID)
+		}
+		if l.Types.Contains(pii.Password) && l.Category == "a&a" && l.Provenance.Rule == "" {
+			t.Errorf("flow %d: A&A password leak without rule attribution", l.FlowID)
+		}
+	}
+}

@@ -75,6 +75,7 @@ type Categorizer struct {
 	sso        map[string]bool   // eTLD+1 → true
 	background map[string]bool   // eTLD+1 → true
 	aa         func(host string) bool
+	aaExplain  func(host string) (string, bool)
 
 	cacheMu sync.Mutex
 	cache   map[string]Category
@@ -94,6 +95,27 @@ func NewCategorizer(aaMatcher func(host string) bool) *Categorizer {
 		c.background[ETLDPlusOne(d)] = true
 	}
 	return c
+}
+
+// SetAAExplain installs the attribution hook behind the A&A matcher: given
+// a host the matcher labeled A&A, it names the concrete EasyList rule that
+// fired. Used for leak provenance; categorization itself never calls it.
+func (c *Categorizer) SetAAExplain(fn func(host string) (string, bool)) {
+	c.mu.Lock()
+	c.aaExplain = fn
+	c.mu.Unlock()
+}
+
+// AARule attributes an A&A host to its EasyList rule, when an explain hook
+// is installed ("" otherwise).
+func (c *Categorizer) AARule(host string) (string, bool) {
+	c.mu.RLock()
+	fn := c.aaExplain
+	c.mu.RUnlock()
+	if fn == nil {
+		return "", false
+	}
+	return fn(host)
 }
 
 // RegisterFirstParty associates one or more domains (any subdomain of their

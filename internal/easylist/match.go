@@ -26,12 +26,18 @@ func (l *List) Match(req Request) (*Rule, bool) {
 // independent of a concrete resource path by probing a canonical URL as a
 // third-party request.
 func (l *List) MatchHost(host string) bool {
-	_, ok := l.Match(Request{
+	_, ok := l.MatchHostRule(host)
+	return ok
+}
+
+// MatchHostRule is MatchHost with attribution: it returns the block rule
+// that classified the host as A&A, for leak provenance and trace events.
+func (l *List) MatchHostRule(host string) (*Rule, bool) {
+	return l.Match(Request{
 		URL:        "http://" + strings.ToLower(host) + "/",
 		Host:       host,
 		ThirdParty: true,
 	})
-	return ok
 }
 
 func (l *List) matchRules(url, host string, req Request, exception bool) *Rule {

@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// NewLogger builds the structured logger the cmd binaries share: JSON
+// records on w, every record carrying the emitting component and, when a
+// trace is active, the campaign trace ID — so log lines and trace events
+// join on the same key (docs/tracing.md).
+func NewLogger(w io.Writer, component, traceID string, level slog.Level) *slog.Logger {
+	h := slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level})
+	logger := slog.New(h).With("component", component)
+	if traceID != "" {
+		logger = logger.With("trace", traceID)
+	}
+	return logger
+}
+
+// NopLogger returns a logger that discards everything; the default when no
+// logger is injected, so library code can log unconditionally.
+func NopLogger() *slog.Logger { return slog.New(nopHandler{}) }
+
+// nopHandler discards all records. (slog.DiscardHandler requires a newer
+// Go than this module targets.)
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
+func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }

@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"io"
+	"testing"
+	"time"
+)
+
+func benchEvent(i int64) Event {
+	return Event{
+		Type: EvFlowPolicy, Span: "s1", Flow: i,
+		Attrs: map[string]string{"verdict": "leak", "types": "E,L", "clause": "plaintext HTTP"},
+	}
+}
+
+// BenchmarkEmitRing measures ring-only emission — the cost every
+// instrumented site pays when tracing is on without a stream writer.
+func BenchmarkEmitRing(b *testing.B) {
+	tr := New(Options{Capacity: 1024})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(benchEvent(int64(i)))
+	}
+}
+
+// BenchmarkEmitStream adds the JSONL encoder on top of the ring.
+func BenchmarkEmitStream(b *testing.B) {
+	tr := New(Options{Capacity: 1024, W: io.Discard})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(benchEvent(int64(i)))
+	}
+}
+
+// BenchmarkEmitNil measures the disabled path: a nil tracer at every emit
+// site, which must stay near-free for untraced runs.
+func BenchmarkEmitNil(b *testing.B) {
+	var tr *Tracer
+	ev := benchEvent(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(ev)
+	}
+}
+
+// BenchmarkStage measures the timed-stage helper pair (open + close).
+func BenchmarkStage(b *testing.B) {
+	now := time.Unix(0, 0)
+	tr := New(Options{Capacity: 1024, Now: func() time.Time {
+		now = now.Add(time.Millisecond)
+		return now
+	}})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Stage("s1", "session")()
+	}
+}

@@ -1,0 +1,21 @@
+// Package trace is the causal, per-flow observability layer beneath the
+// aggregate metrics of internal/obs: a lightweight span/event tracer whose
+// trace IDs propagate campaign → experiment → session → flow → verdict.
+//
+// Every significant pipeline step emits one Event — the capture of a flow,
+// the background-filtering decision, the PII match (value class, wire
+// encoding, flow section), the domain categorization (including the
+// EasyList rule that fired), and the leak-policy verdict with the clause
+// that decided it. Events are held in a fixed-capacity in-memory ring and,
+// when a writer is attached (avwrun -trace out.jsonl), streamed append-only
+// as JSONL.
+//
+// The reader half of the package turns a recorded event stream back into
+// answers: Explain reconstructs the full causal chain behind one flow's
+// verdict, SlowReport breaks a campaign's wall-clock down by pipeline
+// stage, TimelineHTML renders a self-contained timeline view, and Summary
+// gives the at-a-glance totals. Command avwtrace is the CLI over these.
+//
+// A nil *Tracer is valid and silently discards everything, so
+// instrumentation sites never need to guard their emit calls.
+package trace

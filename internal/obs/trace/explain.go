@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Explain reconstructs the causal chain behind one flow's verdict from a
+// recorded event stream: which capture produced the flow, what the
+// background filter decided, which PII matched under which encoding, how
+// the destination was categorized (and which EasyList rule fired), and the
+// policy clause that decided leak or not-leak.
+func Explain(events []Event, flowID int64) (string, error) {
+	byType := make(map[string]Event)
+	var span string
+	for _, e := range events {
+		if e.Flow != flowID {
+			continue
+		}
+		if _, seen := byType[e.Type]; !seen {
+			byType[e.Type] = e
+		}
+		if e.Span != "" {
+			span = e.Span
+		}
+	}
+	if len(byType) == 0 {
+		return "", fmt.Errorf("trace: no events for flow %d", flowID)
+	}
+
+	var b strings.Builder
+	cap, hasCap := byType[EvFlowCaptured]
+	trace := cap.Trace
+	if trace == "" {
+		for _, e := range byType {
+			trace = e.Trace
+			break
+		}
+	}
+	fmt.Fprintf(&b, "flow %d · trace %s", flowID, trace)
+	if exp, ok := experimentFor(events, span); ok {
+		fmt.Fprintf(&b, " · experiment %s %s/%s (span %s)",
+			exp.Attrs["service"], exp.Attrs["os"], exp.Attrs["medium"], span)
+	}
+	b.WriteString("\n\n")
+
+	if hasCap {
+		transport := cap.Attrs["protocol"]
+		if cap.Attrs["intercepted"] == "true" {
+			transport += ", TLS-intercepted"
+		} else if cap.Attrs["protocol"] == "https" {
+			transport += ", not intercepted"
+		} else {
+			transport += ", plaintext"
+		}
+		fmt.Fprintf(&b, "  1. capture     %s %s\n", cap.Attrs["method"], cap.Attrs["url"])
+		fmt.Fprintf(&b, "                 host %s [%s] at %s, session %q\n",
+			cap.Attrs["host"], transport, cap.Attrs["start"], cap.Attrs["client"])
+	} else {
+		b.WriteString("  1. capture     (no capture event recorded)\n")
+	}
+
+	if f, ok := byType[EvFlowFilter]; ok {
+		line := f.Attrs["decision"]
+		if r := f.Attrs["reason"]; r != "" {
+			line += " — " + r
+		}
+		fmt.Fprintf(&b, "  2. filter      %s\n", line)
+		if f.Attrs["decision"] == "dropped" {
+			b.WriteString("                 (flow removed before analysis; no verdict)\n")
+			return b.String(), nil
+		}
+	}
+
+	if c, ok := byType[EvFlowCategorize]; ok {
+		fmt.Fprintf(&b, "  3. categorize  %s (eTLD+1 %s)", c.Attrs["category"], c.Attrs["domain"])
+		if rule := c.Attrs["rule"]; rule != "" {
+			fmt.Fprintf(&b, " — EasyList rule %q", rule)
+		}
+		b.WriteString("\n")
+	}
+
+	if p, ok := byType[EvFlowPII]; ok {
+		if m := p.Attrs["matches"]; m != "" {
+			fmt.Fprintf(&b, "  4. pii         %s\n", m)
+		} else {
+			b.WriteString("  4. pii         no ground-truth PII matched under any encoding\n")
+		}
+	}
+
+	if v, ok := byType[EvFlowPolicy]; ok {
+		verdict := strings.ToUpper(v.Attrs["verdict"])
+		if types := v.Attrs["types"]; types != "" {
+			verdict += " [" + types + "]"
+		}
+		fmt.Fprintf(&b, "  5. policy      %s — %s\n", verdict, v.Attrs["clause"])
+	} else {
+		b.WriteString("  5. policy      (no verdict recorded)\n")
+	}
+	return b.String(), nil
+}
+
+// experimentFor finds the experiment.start event owning a span.
+func experimentFor(events []Event, span string) (Event, bool) {
+	if span == "" {
+		return Event{}, false
+	}
+	for _, e := range events {
+		if e.Type == EvExperimentStart && e.Span == span {
+			return e, true
+		}
+	}
+	return Event{}, false
+}
+
+// FlowIDs lists every flow ID present in the stream, ascending.
+func FlowIDs(events []Event) []int64 {
+	seen := make(map[int64]bool)
+	var out []int64
+	for _, e := range events {
+		if e.Flow != 0 && !seen[e.Flow] {
+			seen[e.Flow] = true
+			out = append(out, e.Flow)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Verdicts maps each flow ID to its recorded policy verdict ("leak" or
+// "clean"); flows without a policy event are absent.
+func Verdicts(events []Event) map[int64]string {
+	out := make(map[int64]string)
+	for _, e := range events {
+		if e.Type == EvFlowPolicy && e.Flow != 0 {
+			out[e.Flow] = e.Attrs["verdict"]
+		}
+	}
+	return out
+}

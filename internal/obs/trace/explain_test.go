@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// fixtureTrace is a hand-written miniature of an avwrun -trace stream: one
+// experiment with a leaking plaintext A&A flow (42), a clean first-party
+// credential flow (43), and a background flow dropped by the filter (44).
+const fixtureTrace = `{"t":"2026-08-06T12:00:00Z","type":"experiment.start","trace":"deadbeef","span":"s1","attrs":{"service":"weathernow","os":"android","medium":"app"}}
+{"t":"2026-08-06T12:00:01Z","type":"flow.captured","trace":"deadbeef","span":"s1","flow":42,"attrs":{"host":"ads.tracker-sim.example","method":"GET","url":"http://ads.tracker-sim.example/pixel?adid=123","protocol":"http","client":"weathernow/android/app","intercepted":"false","start":"2016-04-01T09:00:12Z"}}
+{"t":"2026-08-06T12:00:01Z","type":"flow.filter","trace":"deadbeef","span":"s1","flow":42,"attrs":{"decision":"kept","reason":"host not in the background set"}}
+{"t":"2026-08-06T12:00:01Z","type":"flow.categorize","trace":"deadbeef","span":"s1","flow":42,"attrs":{"category":"a&a","domain":"tracker-sim.example","rule":"||tracker-sim.example^$third-party"}}
+{"t":"2026-08-06T12:00:01Z","type":"flow.pii","trace":"deadbeef","span":"s1","flow":42,"attrs":{"types":"AD","matches":"AD (ad id) as identity in url"}}
+{"t":"2026-08-06T12:00:01Z","type":"flow.policy","trace":"deadbeef","span":"s1","flow":42,"attrs":{"verdict":"leak","types":"AD","clause":"plaintext HTTP: every detected PII class is exposed to on-path eavesdroppers (§3.2 leak condition 1)"}}
+{"t":"2026-08-06T12:00:02Z","type":"flow.captured","trace":"deadbeef","span":"s1","flow":43,"attrs":{"host":"api.weather-sim.example","method":"POST","url":"https://api.weather-sim.example/login","protocol":"https","client":"weathernow/android/app","intercepted":"true","start":"2016-04-01T09:00:15Z"}}
+{"t":"2026-08-06T12:00:02Z","type":"flow.filter","trace":"deadbeef","span":"s1","flow":43,"attrs":{"decision":"kept","reason":"host not in the background set"}}
+{"t":"2026-08-06T12:00:02Z","type":"flow.categorize","trace":"deadbeef","span":"s1","flow":43,"attrs":{"category":"first-party","domain":"weather-sim.example"}}
+{"t":"2026-08-06T12:00:02Z","type":"flow.pii","trace":"deadbeef","span":"s1","flow":43,"attrs":{"types":"E,P","matches":"E (email) as identity in body; P (password) as identity in body"}}
+{"t":"2026-08-06T12:00:02Z","type":"flow.policy","trace":"deadbeef","span":"s1","flow":43,"attrs":{"verdict":"clean","clause":"HTTPS to first-party: only login credentials, which are exempt (§3.2 footnote 1)"}}
+{"t":"2026-08-06T12:00:03Z","type":"flow.captured","trace":"deadbeef","span":"s1","flow":44,"attrs":{"host":"sync.icloud-sim.example","method":"GET","url":"https://sync.icloud-sim.example/keepalive","protocol":"https","client":"weathernow/android/app","intercepted":"true","start":"2016-04-01T09:00:20Z"}}
+{"t":"2026-08-06T12:00:03Z","type":"flow.filter","trace":"deadbeef","span":"s1","flow":44,"attrs":{"decision":"dropped","reason":"OS background traffic (§3.2 filtering)"}}
+{"t":"2026-08-06T12:00:04Z","type":"experiment.end","trace":"deadbeef","span":"s1","dur_ns":4000000000,"attrs":{"flows":"2","leaks":"1"}}
+`
+
+const goldenLeak = `flow 42 · trace deadbeef · experiment weathernow android/app (span s1)
+
+  1. capture     GET http://ads.tracker-sim.example/pixel?adid=123
+                 host ads.tracker-sim.example [http, plaintext] at 2016-04-01T09:00:12Z, session "weathernow/android/app"
+  2. filter      kept — host not in the background set
+  3. categorize  a&a (eTLD+1 tracker-sim.example) — EasyList rule "||tracker-sim.example^$third-party"
+  4. pii         AD (ad id) as identity in url
+  5. policy      LEAK [AD] — plaintext HTTP: every detected PII class is exposed to on-path eavesdroppers (§3.2 leak condition 1)
+`
+
+const goldenClean = `flow 43 · trace deadbeef · experiment weathernow android/app (span s1)
+
+  1. capture     POST https://api.weather-sim.example/login
+                 host api.weather-sim.example [https, TLS-intercepted] at 2016-04-01T09:00:15Z, session "weathernow/android/app"
+  2. filter      kept — host not in the background set
+  3. categorize  first-party (eTLD+1 weather-sim.example)
+  4. pii         E (email) as identity in body; P (password) as identity in body
+  5. policy      CLEAN — HTTPS to first-party: only login credentials, which are exempt (§3.2 footnote 1)
+`
+
+const goldenDropped = `flow 44 · trace deadbeef · experiment weathernow android/app (span s1)
+
+  1. capture     GET https://sync.icloud-sim.example/keepalive
+                 host sync.icloud-sim.example [https, TLS-intercepted] at 2016-04-01T09:00:20Z, session "weathernow/android/app"
+  2. filter      dropped — OS background traffic (§3.2 filtering)
+                 (flow removed before analysis; no verdict)
+`
+
+func fixtureEvents(t *testing.T) []Event {
+	t.Helper()
+	events, err := ReadEvents(strings.NewReader(fixtureTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return events
+}
+
+func TestExplainGolden(t *testing.T) {
+	events := fixtureEvents(t)
+	for _, tc := range []struct {
+		name string
+		flow int64
+		want string
+	}{
+		{"leaking flow", 42, goldenLeak},
+		{"clean flow", 43, goldenClean},
+		{"filtered flow", 44, goldenDropped},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := Explain(events, tc.flow)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Errorf("explain mismatch\n--- got ---\n%s\n--- want ---\n%s", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestExplainUnknownFlow(t *testing.T) {
+	if _, err := Explain(fixtureEvents(t), 999); err == nil {
+		t.Error("want error for unknown flow")
+	}
+}
+
+func TestFixtureToolViews(t *testing.T) {
+	events := fixtureEvents(t)
+	if ids := FlowIDs(events); len(ids) != 3 {
+		t.Errorf("flow ids: %v", ids)
+	}
+	sum := Summary(events)
+	if !strings.Contains(sum, "flows captured: 3, verdicts: 1 leak / 1 clean") {
+		t.Errorf("summary:\n%s", sum)
+	}
+	if html := TimelineHTML(events); !strings.Contains(html, "weathernow android/app") {
+		t.Error("timeline missing experiment row")
+	}
+}

@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// expRecord aggregates one experiment span for the slow/summary reports.
+type expRecord struct {
+	span     string
+	label    string
+	dur      time.Duration
+	stages   map[string]time.Duration
+	flows    string
+	leaks    string
+	excluded bool
+}
+
+func collectExperiments(events []Event) []*expRecord {
+	bySpan := make(map[string]*expRecord)
+	var order []*expRecord
+	get := func(span string) *expRecord {
+		r := bySpan[span]
+		if r == nil {
+			r = &expRecord{span: span, stages: make(map[string]time.Duration)}
+			bySpan[span] = r
+			order = append(order, r)
+		}
+		return r
+	}
+	for _, e := range events {
+		switch e.Type {
+		case EvExperimentStart:
+			r := get(e.Span)
+			r.label = fmt.Sprintf("%s %s/%s", e.Attrs["service"], e.Attrs["os"], e.Attrs["medium"])
+		case EvExperimentEnd:
+			r := get(e.Span)
+			r.dur = time.Duration(e.DurNS)
+			r.flows = e.Attrs["flows"]
+			r.leaks = e.Attrs["leaks"]
+			r.excluded = e.Attrs["excluded"] == "true"
+		case EvStage:
+			r := get(e.Span)
+			r.stages[e.Attrs["stage"]] += time.Duration(e.DurNS)
+		}
+	}
+	return order
+}
+
+// SlowReport breaks the campaign's wall-clock down by pipeline stage and
+// lists the top slowest experiments with their per-stage critical path.
+func SlowReport(events []Event, top int) string {
+	if top <= 0 {
+		top = 10
+	}
+	exps := collectExperiments(events)
+	if len(exps) == 0 {
+		return "no experiment spans in trace\n"
+	}
+
+	stageTotals := make(map[string]time.Duration)
+	stageCounts := make(map[string]int)
+	var grand time.Duration
+	for _, r := range exps {
+		grand += r.dur
+		for s, d := range r.stages {
+			stageTotals[s] += d
+			stageCounts[s]++
+		}
+	}
+	stages := make([]string, 0, len(stageTotals))
+	for s := range stageTotals {
+		stages = append(stages, s)
+	}
+	sort.Slice(stages, func(i, j int) bool { return stageTotals[stages[i]] > stageTotals[stages[j]] })
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d experiments, %v total experiment wall-clock\n\n", len(exps), grand.Round(time.Millisecond))
+	b.WriteString("stage totals (critical-path share):\n")
+	for _, s := range stages {
+		share := 0.0
+		if grand > 0 {
+			share = 100 * float64(stageTotals[s]) / float64(grand)
+		}
+		fmt.Fprintf(&b, "  %-12s %10v  across %3d experiments  (%5.1f%%)\n",
+			s, stageTotals[s].Round(time.Microsecond), stageCounts[s], share)
+	}
+
+	sorted := append([]*expRecord(nil), exps...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].dur > sorted[j].dur })
+	if top > len(sorted) {
+		top = len(sorted)
+	}
+	fmt.Fprintf(&b, "\nslowest %d experiments:\n", top)
+	for _, r := range sorted[:top] {
+		fmt.Fprintf(&b, "  %-28s %10v", r.label, r.dur.Round(time.Microsecond))
+		if r.excluded {
+			b.WriteString("  excluded")
+		} else if r.flows != "" {
+			fmt.Fprintf(&b, "  flows=%s leaks=%s", r.flows, r.leaks)
+		}
+		var parts []string
+		for _, s := range stages {
+			if d, ok := r.stages[s]; ok {
+				parts = append(parts, fmt.Sprintf("%s=%v", s, d.Round(time.Microsecond)))
+			}
+		}
+		if len(parts) > 0 {
+			b.WriteString("  [" + strings.Join(parts, " ") + "]")
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Summary gives the at-a-glance totals of a trace: spans, flows, verdicts,
+// and the event-type histogram.
+func Summary(events []Event) string {
+	var b strings.Builder
+	byType := make(map[string]int)
+	trace := ""
+	for _, e := range events {
+		byType[e.Type]++
+		if trace == "" && e.Trace != "" {
+			trace = e.Trace
+		}
+	}
+	leaks, clean := 0, 0
+	for _, v := range Verdicts(events) {
+		if v == "leak" {
+			leaks++
+		} else {
+			clean++
+		}
+	}
+	fmt.Fprintf(&b, "trace %s: %d events\n", trace, len(events))
+	fmt.Fprintf(&b, "  experiments: %d (%d excluded)\n", byType[EvExperimentStart], countExcluded(events))
+	fmt.Fprintf(&b, "  flows captured: %d, verdicts: %d leak / %d clean\n", byType[EvFlowCaptured], leaks, clean)
+	types := make([]string, 0, len(byType))
+	for t := range byType {
+		types = append(types, t)
+	}
+	sort.Strings(types)
+	b.WriteString("  events by type:\n")
+	for _, t := range types {
+		fmt.Fprintf(&b, "    %-22s %d\n", t, byType[t])
+	}
+	return b.String()
+}
+
+func countExcluded(events []Event) int {
+	n := 0
+	for _, e := range events {
+		if e.Type == EvExperimentEnd && e.Attrs["excluded"] == "true" {
+			n++
+		}
+	}
+	return n
+}

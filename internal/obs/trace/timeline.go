@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"fmt"
+	"html"
+	"sort"
+	"strings"
+	"time"
+)
+
+// TimelineHTML renders the campaign as a self-contained HTML timeline: one
+// row per experiment, bars positioned on the shared wall-clock axis,
+// colored by outcome (leaking, clean, excluded), with the per-stage
+// breakdown in each bar's tooltip. The output embeds all styling and needs
+// no external assets.
+func TimelineHTML(events []Event) string {
+	type row struct {
+		*expRecord
+		start time.Time
+		end   time.Time
+	}
+	starts := make(map[string]time.Time)
+	for _, e := range events {
+		if e.Type == EvExperimentStart {
+			starts[e.Span] = e.Time
+		}
+	}
+	var rows []row
+	var min, max time.Time
+	trace := ""
+	for _, e := range events {
+		if trace == "" && e.Trace != "" {
+			trace = e.Trace
+		}
+	}
+	for _, r := range collectExperiments(events) {
+		st, ok := starts[r.span]
+		if !ok {
+			continue
+		}
+		en := st.Add(r.dur)
+		rows = append(rows, row{expRecord: r, start: st, end: en})
+		if min.IsZero() || st.Before(min) {
+			min = st
+		}
+		if en.After(max) {
+			max = en
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].start.Before(rows[j].start) })
+
+	total := max.Sub(min)
+	if total <= 0 {
+		total = time.Millisecond
+	}
+	pct := func(t time.Time) float64 { return 100 * float64(t.Sub(min)) / float64(total) }
+
+	var b strings.Builder
+	b.WriteString(`<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>appvsweb campaign timeline</title>
+<style>
+ body { font: 13px/1.5 system-ui, sans-serif; margin: 24px; color: #1a2733; }
+ h1 { font-size: 18px; } .meta { color: #5b6b7a; margin-bottom: 16px; }
+ .lane { display: flex; align-items: center; height: 20px; }
+ .label { width: 240px; flex: none; white-space: nowrap; overflow: hidden;
+          text-overflow: ellipsis; padding-right: 8px; color: #33414e; }
+ .track { position: relative; flex: 1; height: 14px; background: #f0f3f6;
+          border-radius: 3px; }
+ .bar { position: absolute; top: 0; height: 14px; min-width: 2px;
+        border-radius: 3px; opacity: .9; }
+ .bar:hover { opacity: 1; outline: 1px solid #1a2733; }
+ .leak { background: #c0392b; } .clean { background: #3e8e5a; }
+ .excluded { background: #9aa7b3; }
+ .axis { display: flex; justify-content: space-between; margin-left: 240px;
+         color: #5b6b7a; font-size: 11px; padding-top: 6px; }
+ .legend span { display: inline-block; margin-right: 16px; }
+ .swatch { display: inline-block; width: 10px; height: 10px; border-radius: 2px;
+           margin-right: 4px; vertical-align: baseline; }
+</style></head><body>
+`)
+	fmt.Fprintf(&b, "<h1>Campaign timeline</h1>\n<div class=\"meta\">trace %s · %d experiments · %v wall-clock span</div>\n",
+		html.EscapeString(trace), len(rows), total.Round(time.Millisecond))
+	b.WriteString(`<div class="legend"><span><span class="swatch leak"></span>leaking</span>` +
+		`<span><span class="swatch clean"></span>clean</span>` +
+		`<span><span class="swatch excluded"></span>excluded (pinning)</span></div><br>` + "\n")
+
+	for _, r := range rows {
+		class := "clean"
+		switch {
+		case r.excluded:
+			class = "excluded"
+		case r.leaks != "" && r.leaks != "0":
+			class = "leak"
+		}
+		tip := fmt.Sprintf("%s — %v", r.label, r.dur.Round(time.Microsecond))
+		if !r.excluded {
+			tip += fmt.Sprintf(" (flows %s, leaks %s)", r.flows, r.leaks)
+		}
+		var stageNames []string
+		for s := range r.stages {
+			stageNames = append(stageNames, s)
+		}
+		sort.Strings(stageNames)
+		for _, s := range stageNames {
+			tip += fmt.Sprintf("\n%s: %v", s, r.stages[s].Round(time.Microsecond))
+		}
+		left := pct(r.start)
+		width := pct(r.end) - left
+		fmt.Fprintf(&b, `<div class="lane"><div class="label">%s</div><div class="track">`+
+			`<div class="bar %s" style="left:%.2f%%;width:%.2f%%" title="%s"></div></div></div>`+"\n",
+			html.EscapeString(r.label), class, left, width, html.EscapeString(tip))
+	}
+	fmt.Fprintf(&b, `<div class="axis"><span>%s</span><span>+%v</span></div>`+"\n",
+		min.Format("15:04:05.000"), total.Round(time.Millisecond))
+	b.WriteString("</body></html>\n")
+	return b.String()
+}

@@ -1,0 +1,223 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(Event{Type: EvFlowCaptured})
+	tr.Stage("s1", "detect")()
+	if tr.Enabled() || tr.TraceID() != "" || tr.NewSpanID() != "" {
+		t.Error("nil tracer should be inert")
+	}
+	if tr.Events() != nil || tr.Total() != 0 || tr.Flush() != nil {
+		t.Error("nil tracer should report nothing")
+	}
+}
+
+func TestEmitStampsTimeAndTrace(t *testing.T) {
+	now := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	tr := New(Options{Now: func() time.Time { return now }})
+	tr.Emit(Event{Type: EvCampaignStart})
+	ev := tr.Events()
+	if len(ev) != 1 {
+		t.Fatalf("got %d events", len(ev))
+	}
+	if !ev[0].Time.Equal(now) {
+		t.Errorf("time not stamped: %v", ev[0].Time)
+	}
+	if ev[0].Trace != tr.TraceID() || ev[0].Trace == "" {
+		t.Errorf("trace not stamped: %q vs %q", ev[0].Trace, tr.TraceID())
+	}
+}
+
+func TestRingEvictsOldest(t *testing.T) {
+	tr := New(Options{Capacity: 4})
+	for i := 0; i < 10; i++ {
+		tr.Emit(Event{Type: EvStage, DurNS: int64(i)})
+	}
+	ev := tr.Events()
+	if len(ev) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(ev))
+	}
+	for i, e := range ev {
+		if e.DurNS != int64(6+i) {
+			t.Errorf("event %d: DurNS %d, want %d (oldest-first order)", i, e.DurNS, 6+i)
+		}
+	}
+	if tr.Total() != 10 {
+		t.Errorf("total %d, want 10", tr.Total())
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(Options{W: &buf, Capacity: 2})
+	for i := int64(1); i <= 5; i++ {
+		tr.Emit(Event{Type: EvFlowCaptured, Flow: i, Attrs: map[string]string{"host": "a.example"}})
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// The stream is append-only: ring eviction must not lose written events.
+	got, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("stream has %d events, want 5", len(got))
+	}
+	if got[4].Flow != 5 || got[4].Attrs["host"] != "a.example" {
+		t.Errorf("round-trip mismatch: %+v", got[4])
+	}
+}
+
+func TestReadEventsBadInput(t *testing.T) {
+	if _, err := ReadEvents(strings.NewReader("{\"t\":\"2020")); err == nil {
+		t.Error("want decode error")
+	}
+}
+
+// TestConcurrentEmit hammers one tracer from many goroutines; run under
+// -race this verifies the buffer and stream locking.
+func TestConcurrentEmit(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(Options{Capacity: 128, W: &buf})
+	const workers, per = 16, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			span := tr.NewSpanID()
+			for i := 0; i < per; i++ {
+				end := tr.Stage(span, "detect")
+				tr.Emit(Event{Type: EvFlowCaptured, Span: span, Flow: int64(w*per + i + 1)})
+				end()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Total() != workers*per*2 {
+		t.Errorf("total %d, want %d", tr.Total(), workers*per*2)
+	}
+	got, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != workers*per*2 {
+		t.Errorf("stream has %d events, want %d", len(got), workers*per*2)
+	}
+}
+
+func TestSpanIDsUnique(t *testing.T) {
+	tr := New(Options{})
+	seen := make(map[string]bool)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				id := tr.NewSpanID()
+				mu.Lock()
+				if seen[id] {
+					t.Errorf("duplicate span id %q", id)
+				}
+				seen[id] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestStageEmitsDuration(t *testing.T) {
+	now := time.Unix(0, 0)
+	tr := New(Options{Now: func() time.Time { return now }})
+	end := tr.Stage("s1", "filter")
+	now = now.Add(42 * time.Millisecond)
+	end()
+	ev := tr.Events()
+	if len(ev) != 1 || ev[0].Type != EvStage {
+		t.Fatalf("events: %+v", ev)
+	}
+	if ev[0].Attrs["stage"] != "filter" || ev[0].DurNS != (42*time.Millisecond).Nanoseconds() {
+		t.Errorf("stage event: %+v", ev[0])
+	}
+}
+
+func TestSummaryAndSlowReport(t *testing.T) {
+	tr := New(Options{})
+	span := tr.NewSpanID()
+	tr.Emit(Event{Type: EvExperimentStart, Span: span, Attrs: map[string]string{
+		"service": "weathernow", "os": "android", "medium": "app"}})
+	tr.Emit(Event{Type: EvStage, Span: span, DurNS: 1e6, Attrs: map[string]string{"stage": "session"}})
+	tr.Emit(Event{Type: EvFlowCaptured, Span: span, Flow: 1})
+	tr.Emit(Event{Type: EvFlowPolicy, Span: span, Flow: 1, Attrs: map[string]string{"verdict": "leak"}})
+	tr.Emit(Event{Type: EvExperimentEnd, Span: span, DurNS: 2e6, Attrs: map[string]string{
+		"flows": "1", "leaks": "1"}})
+
+	sum := Summary(tr.Events())
+	for _, want := range []string{"experiments: 1", "1 leak / 0 clean", EvFlowPolicy} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary missing %q:\n%s", want, sum)
+		}
+	}
+	slow := SlowReport(tr.Events(), 5)
+	for _, want := range []string{"weathernow android/app", "session", "flows=1 leaks=1"} {
+		if !strings.Contains(slow, want) {
+			t.Errorf("slow report missing %q:\n%s", want, slow)
+		}
+	}
+	if got := SlowReport(nil, 0); !strings.Contains(got, "no experiment spans") {
+		t.Errorf("empty slow report: %q", got)
+	}
+}
+
+func TestTimelineHTML(t *testing.T) {
+	now := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	tr := New(Options{Now: func() time.Time { return now }})
+	for i, svc := range []string{"weathernow", "grubexpress"} {
+		span := tr.NewSpanID()
+		tr.Emit(Event{Type: EvExperimentStart, Span: span, Time: now.Add(time.Duration(i) * time.Second),
+			Attrs: map[string]string{"service": svc, "os": "ios", "medium": "web"}})
+		tr.Emit(Event{Type: EvStage, Span: span, DurNS: 5e6, Attrs: map[string]string{"stage": "detect"}})
+		leaks := fmt.Sprint(i)
+		tr.Emit(Event{Type: EvExperimentEnd, Span: span, DurNS: 1e9, Attrs: map[string]string{
+			"flows": "3", "leaks": leaks}})
+	}
+	html := TimelineHTML(tr.Events())
+	for _, want := range []string{"<!DOCTYPE html>", "weathernow ios/web", `class="bar clean"`, `class="bar leak"`, "detect: 5ms"} {
+		if !strings.Contains(html, want) {
+			t.Errorf("timeline missing %q", want)
+		}
+	}
+}
+
+func TestFlowIDsAndVerdicts(t *testing.T) {
+	events := []Event{
+		{Type: EvFlowCaptured, Flow: 3},
+		{Type: EvFlowPolicy, Flow: 3, Attrs: map[string]string{"verdict": "clean"}},
+		{Type: EvFlowCaptured, Flow: 1},
+		{Type: EvFlowPolicy, Flow: 1, Attrs: map[string]string{"verdict": "leak"}},
+	}
+	ids := FlowIDs(events)
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 3 {
+		t.Errorf("flow ids: %v", ids)
+	}
+	v := Verdicts(events)
+	if v[1] != "leak" || v[3] != "clean" {
+		t.Errorf("verdicts: %v", v)
+	}
+}

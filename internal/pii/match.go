@@ -1,6 +1,7 @@
 package pii
 
 import (
+	"fmt"
 	"sort"
 	"strings"
 
@@ -33,6 +34,21 @@ type Match struct {
 	Value    string   // the plaintext ground-truth value
 	Encoding Encoding // how the value appeared on the wire
 	Where    string   // which part of the flow matched ("url", "headers", "body")
+}
+
+// Describe renders the match as one line of evidence for trace events and
+// leak provenance, e.g. "E (Email) as base64 in body".
+func (m Match) Describe() string {
+	return fmt.Sprintf("%s (%s) as %s in %s", m.Type.Abbrev(), m.Type, m.Encoding, m.Where)
+}
+
+// DescribeMatches joins match evidence with "; " in the matches' order.
+func DescribeMatches(ms []Match) string {
+	parts := make([]string, len(ms))
+	for i, m := range ms {
+		parts[i] = m.Describe()
+	}
+	return strings.Join(parts, "; ")
 }
 
 // Matcher searches flow content for the ground-truth values of a Record

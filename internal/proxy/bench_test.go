@@ -1,0 +1,94 @@
+package proxy
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"appvsweb/internal/obs/trace"
+)
+
+// BenchmarkFlowHTTPS measures one intercepted HTTPS exchange end to end:
+// CONNECT, minted-leaf handshake, request forwarding, and flow recording.
+func BenchmarkFlowHTTPS(b *testing.B) {
+	w := newWorld(b)
+	w.serveTLS("svc.example", echoHandler())
+	client := w.client()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Get("https://svc.example/hello")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+}
+
+// BenchmarkFlowHTTP measures one plaintext exchange through the proxy.
+func BenchmarkFlowHTTP(b *testing.B) {
+	w := newWorld(b)
+	w.servePlain("plain.example", echoHandler())
+	client := w.client()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Get("http://plain.example/hello")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+}
+
+// BenchmarkFlowHTTPSBody measures an intercepted POST with a captured body
+// — the shape of the leak-carrying flows the pipeline analyzes.
+func BenchmarkFlowHTTPSBody(b *testing.B) {
+	w := newWorld(b)
+	w.serveTLS("api.example", echoHandler())
+	client := w.client()
+	body := `{"user":"jane","password":"hunter2","lat":42.34,"lon":-71.09}`
+	b.ReportAllocs()
+	b.SetBytes(int64(len(body)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Post("https://api.example/login", "application/json",
+			strings.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+}
+
+// BenchmarkFlowHTTPSTraced is BenchmarkFlowHTTPS with a tracer attached:
+// the marginal cost of trace instrumentation on the proxy path.
+func BenchmarkFlowHTTPSTraced(b *testing.B) {
+	w := newWorld(b)
+	w.proxy.cfg.Tracer = trace.New(trace.Options{})
+	w.proxy.cfg.SpanID = "s1"
+	w.serveTLS("svc.example", echoHandler())
+	client := w.client()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Get(fmt.Sprintf("https://svc.example/hello?i=%d", i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+}

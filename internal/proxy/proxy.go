@@ -20,6 +20,7 @@ import (
 
 	"appvsweb/internal/capture"
 	"appvsweb/internal/obs"
+	"appvsweb/internal/obs/trace"
 )
 
 // Config parameterizes a measurement proxy.
@@ -50,6 +51,12 @@ type Config struct {
 	// conclusion proposes. Recorded flows reflect what actually reached
 	// the network.
 	Rewriter Rewriter
+	// Tracer, when set, receives proxy-level trace events (certificate-
+	// pinning tunnel failures) under SpanID — the experiment span the
+	// campaign runner allocated. Nil disables them.
+	Tracer *trace.Tracer
+	// SpanID scopes this proxy's trace events to its experiment.
+	SpanID string
 	// Metrics receives process-wide proxy instrumentation (see
 	// docs/metrics.md). Nil uses obs.Default. Per-proxy counts remain
 	// available from Stats regardless.
@@ -480,6 +487,9 @@ func (p *Proxy) recordStats(f *capture.Flow) {
 func (p *Proxy) recordTunnelFailure(start time.Time, host, reason string) {
 	p.stats.tunnelFailures.Add(1)
 	p.metrics.tunnelFailures.Inc()
+	p.cfg.Tracer.Emit(trace.Event{Type: trace.EvTunnelFailure, Span: p.cfg.SpanID, Attrs: map[string]string{
+		"host": host, "reason": reason, "client": p.cfg.ClientID,
+	}})
 	p.cfg.Sink.Record(&capture.Flow{
 		Start:           start,
 		Client:          p.cfg.ClientID,

@@ -20,7 +20,7 @@ import (
 // testWorld wires an origin CA, a resolver, a proxy, and a client trust
 // store into a miniature internet.
 type testWorld struct {
-	t        *testing.T
+	t        testing.TB
 	originCA *CA
 	proxyCA  *CA
 	resolver *MapResolver
@@ -28,7 +28,7 @@ type testWorld struct {
 	proxy    *Proxy
 }
 
-func newWorld(t *testing.T) *testWorld {
+func newWorld(t testing.TB) *testWorld {
 	t.Helper()
 	originCA, err := NewCA("Origin Root")
 	if err != nil {

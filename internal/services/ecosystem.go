@@ -83,7 +83,15 @@ func Start(catalog []*Spec) (*Ecosystem, error) {
 // registrations, the SSO provider, and the simulated OS domains. Used by
 // Start and by trace replay (re-analysis of persisted flows).
 func BuildCategorizer(catalog []*Spec) *domains.Categorizer {
-	c := domains.NewCategorizer(easylist.Bundled().MatchHost)
+	list := easylist.Bundled()
+	c := domains.NewCategorizer(list.MatchHost)
+	c.SetAAExplain(func(host string) (string, bool) {
+		r, ok := list.MatchHostRule(host)
+		if !ok {
+			return "", false
+		}
+		return r.Raw, true
+	})
 	c.RegisterSSO(SSODomain)
 	c.RegisterBackground(SimBackgroundDomains...)
 	for _, s := range catalog {
