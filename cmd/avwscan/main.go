@@ -66,7 +66,7 @@ func main() {
 		fatalf("%v", err)
 	}
 
-	cat := domains.NewCategorizer(easylist.Bundled().MatchHost)
+	cat := domains.NewCategorizer(easylist.NewHostCache(easylist.Bundled(), 0).MatchHost)
 	if *firstParty != "" {
 		for _, d := range strings.Split(*firstParty, ",") {
 			cat.RegisterFirstParty("you", strings.TrimSpace(d))

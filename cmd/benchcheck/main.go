@@ -1,0 +1,245 @@
+// Command benchcheck guards against performance regressions: it reads the
+// test2json streams `make bench` writes (BENCH_*.json), extracts every
+// benchmark's ns/op and allocs/op, and compares them against a committed
+// baseline (bench_baseline.json). A benchmark whose ns/op or allocs/op
+// exceeds the baseline by more than the tolerance fails the check.
+//
+//	benchcheck -baseline bench_baseline.json BENCH_pii.json BENCH_easylist.json
+//	benchcheck -write bench_baseline.json BENCH_*.json   # regenerate baseline
+//
+// Baselines are machine-specific for ns/op; see docs/performance.md for
+// how CI applies a looser tolerance than local runs.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Baseline is the committed bench_baseline.json shape.
+type Baseline struct {
+	Note       string            `json:"note,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// event is the subset of a test2json record benchcheck needs.
+type event struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
+}
+
+// benchLine matches a `go test -bench` result line inside an Output
+// field, e.g. "BenchmarkScan/engine-8   278018   5093 ns/op   312 B/op   5 allocs/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+[0-9.]+ MB/s)?(?:\s+([0-9.]+) B/op)?(?:\s+([0-9]+) allocs/op)?`)
+
+func parseStreams(paths []string) (map[string]Result, error) {
+	out := make(map[string]Result)
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		// test2json splits one printed benchmark line ("BenchmarkX-8 \t"
+		// then "  278018\t 5093 ns/op...\n") across Output events, so
+		// reassemble complete lines per package before matching.
+		lines := make(map[string]string)
+		flush := func(pkg, chunk string) {
+			buf := lines[pkg] + chunk
+			for {
+				i := indexByte(buf, '\n')
+				if i < 0 {
+					break
+				}
+				if m := benchLine.FindStringSubmatch(buf[:i]); m != nil {
+					ns, err := strconv.ParseFloat(m[2], 64)
+					if err == nil {
+						var allocs int64
+						if m[4] != "" {
+							allocs, _ = strconv.ParseInt(m[4], 10, 64)
+						}
+						key := pkg + "/" + m[1]
+						r := Result{NsPerOp: ns, AllocsPerOp: allocs}
+						// bench-micro runs each suite with -count>1; keep
+						// the best iteration — min-of-N damps scheduler
+						// noise that a single sample would turn into a
+						// flaky regression verdict.
+						if prev, ok := out[key]; ok {
+							if prev.NsPerOp < r.NsPerOp {
+								r.NsPerOp = prev.NsPerOp
+							}
+							if prev.AllocsPerOp < r.AllocsPerOp {
+								r.AllocsPerOp = prev.AllocsPerOp
+							}
+						}
+						out[key] = r
+					}
+				}
+				buf = buf[i+1:]
+			}
+			lines[pkg] = buf
+		}
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+		for sc.Scan() {
+			var ev event
+			if json.Unmarshal(sc.Bytes(), &ev) != nil || ev.Action != "output" {
+				continue
+			}
+			flush(ev.Package, ev.Output)
+		}
+		err = sc.Err()
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	return out, nil
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}
+
+// medianRatio is the median got/want ns ratio over benchmarks present in
+// both sets — the whole-machine speed drift since the baseline was
+// written. Falls back to 1 when nothing overlaps.
+func medianRatio(base, fresh map[string]Result) float64 {
+	var ratios []float64
+	for name, want := range base {
+		if got, ok := fresh[name]; ok && want.NsPerOp > 0 && got.NsPerOp > 0 {
+			ratios = append(ratios, got.NsPerOp/want.NsPerOp)
+		}
+	}
+	if len(ratios) == 0 {
+		return 1
+	}
+	sort.Float64s(ratios)
+	mid := len(ratios) / 2
+	if len(ratios)%2 == 1 {
+		return ratios[mid]
+	}
+	return (ratios[mid-1] + ratios[mid]) / 2
+}
+
+func sortedKeys(m map[string]Result) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "bench_baseline.json", "baseline file to compare against")
+	writePath := flag.String("write", "", "write a fresh baseline to this path instead of comparing")
+	tol := flag.Float64("tol", 0.20, "allowed regression fraction for ns/op and allocs/op")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchcheck [-baseline file | -write file] [-tol 0.20] BENCH_*.json...")
+		os.Exit(2)
+	}
+
+	fresh, err := parseStreams(flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
+	}
+	if len(fresh) == 0 {
+		fmt.Fprintln(os.Stderr, "benchcheck: no benchmark results found in inputs")
+		os.Exit(2)
+	}
+
+	if *writePath != "" {
+		b := Baseline{
+			Note:       "regenerate with `make bench-baseline`; ns/op is machine-specific",
+			Benchmarks: fresh,
+		}
+		data, err := json.MarshalIndent(&b, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*writePath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchcheck: wrote %d benchmarks to %s\n", len(fresh), *writePath)
+		return
+	}
+
+	data, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", *baselinePath, err)
+		os.Exit(2)
+	}
+
+	// A committed ns/op baseline encodes one machine at one moment; the
+	// whole fleet of benchmarks drifts together when the hardware, CPU
+	// frequency, or co-tenant load changes. The median fresh/baseline
+	// ratio estimates that drift, and each benchmark is gated relative to
+	// it: a genuine code regression is localized (its benchmark moves
+	// while the rest don't), so it still trips the tolerance.
+	drift := medianRatio(base.Benchmarks, fresh)
+	fmt.Printf("benchcheck: machine drift x%.2f (median fresh/baseline ns ratio)\n", drift)
+
+	failed := 0
+	compared := 0
+	for _, name := range sortedKeys(base.Benchmarks) {
+		want := base.Benchmarks[name]
+		got, ok := fresh[name]
+		if !ok {
+			fmt.Printf("MISSING %s (in baseline, not in fresh run)\n", name)
+			failed++
+			continue
+		}
+		compared++
+		if want.NsPerOp > 0 && got.NsPerOp > want.NsPerOp*drift*(1+*tol) {
+			fmt.Printf("FAIL    %s: ns/op %.1f > baseline %.1f (x%.2f drift-adjusted, +%.0f%% over, tol %.0f%%)\n",
+				name, got.NsPerOp, want.NsPerOp, drift, 100*(got.NsPerOp/(want.NsPerOp*drift)-1), 100**tol)
+			failed++
+			continue
+		}
+		allowedAllocs := int64(float64(want.AllocsPerOp) * (1 + *tol))
+		if got.AllocsPerOp > allowedAllocs {
+			fmt.Printf("FAIL    %s: allocs/op %d > baseline %d (tol %.0f%%)\n",
+				name, got.AllocsPerOp, want.AllocsPerOp, 100**tol)
+			failed++
+			continue
+		}
+		fmt.Printf("ok      %s: %.1f ns/op (baseline %.1f), %d allocs/op (baseline %d)\n",
+			name, got.NsPerOp, want.NsPerOp, got.AllocsPerOp, want.AllocsPerOp)
+	}
+	for _, name := range sortedKeys(fresh) {
+		if _, ok := base.Benchmarks[name]; !ok {
+			fmt.Printf("new     %s (not in baseline; run `make bench-baseline` to adopt)\n", name)
+		}
+	}
+	fmt.Printf("benchcheck: %d compared, %d failed (tolerance %.0f%%)\n", compared, failed, 100**tol)
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,153 @@
+package appvsweb
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"appvsweb/internal/analysis"
+	"appvsweb/internal/core"
+	"appvsweb/internal/services"
+)
+
+// The golden corpus locks the analysis outputs of a small fixture
+// campaign byte-for-byte: the paper-table and figure aggregates computed
+// from flows that passed through the full pipeline — single-pass PII
+// engine, memoized classification, batch detect — must never drift. Any
+// engine change that alters a verdict shows up as a golden diff here
+// before it can silently skew Tables 1–3 or Figure 1.
+//
+// Regenerate after an intentional output change with:
+//
+//	go test -run TestGolden -update .
+var updateGolden = flag.Bool("update", false, "rewrite golden files under testdata/golden")
+
+// goldenServices is the fixture subset: the first six catalog services,
+// which cover pinned exclusion, A&A-heavy, and password-leak cases.
+const goldenServices = 6
+
+var (
+	goldenOnce sync.Once
+	goldenDS   *core.Dataset
+	goldenErr  error
+)
+
+func goldenDataset(tb testing.TB) *core.Dataset {
+	tb.Helper()
+	goldenOnce.Do(func() {
+		eco, err := services.Start(services.Catalog()[:goldenServices])
+		if err != nil {
+			goldenErr = err
+			return
+		}
+		defer eco.Close()
+		runner, err := core.NewRunner(eco, core.Options{Scale: 0.15, Parallelism: 4})
+		if err != nil {
+			goldenErr = err
+			return
+		}
+		goldenDS, goldenErr = runner.RunCampaign()
+	})
+	if goldenErr != nil {
+		tb.Fatalf("golden campaign: %v", goldenErr)
+	}
+	return goldenDS
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test -run TestGolden -update .`): %v", err)
+	}
+	if got == string(want) {
+		return
+	}
+	// Point at the first divergent line for a readable failure.
+	gl, wl := splitLines(got), splitLines(string(want))
+	for i := 0; i < len(gl) || i < len(wl); i++ {
+		g, w := "", ""
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if g != w {
+			t.Fatalf("%s: first diff at line %d:\n  got:  %q\n  want: %q", name, i+1, g, w)
+		}
+	}
+	t.Fatalf("%s: content differs only in trailing bytes (len %d vs %d)", name, len(got), len(want))
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+// TestGoldenReport pins the full markdown evaluation — headline shapes,
+// Tables 1–3, the §4.2 password audit, and the calibration checks — for
+// the fixture campaign.
+func TestGoldenReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden campaign skipped in -short mode")
+	}
+	checkGolden(t, "report.md", analysis.ReportMarkdown(goldenDataset(t)))
+}
+
+// TestGoldenFigures pins the Figure 1 panel series (text rendering) for
+// the fixture campaign.
+func TestGoldenFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden campaign skipped in -short mode")
+	}
+	checkGolden(t, "figures.txt", analysis.Figures(goldenDataset(t)))
+}
+
+// TestGoldenLeakEvidence pins every leak verdict of the fixture campaign
+// — flow destination, leaked classes, and the match evidence (type,
+// encoding, section) the engine produced — the per-flow ground truth
+// beneath the aggregate tables.
+func TestGoldenLeakEvidence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden campaign skipped in -short mode")
+	}
+	ds := goldenDataset(t)
+	var b []byte
+	for _, r := range ds.Results {
+		for _, l := range r.Leaks {
+			b = append(b, r.Service+"/"+string(r.OS)+"/"+string(r.Medium)+
+				" host="+l.Host+" types="+l.Types.String()+" cat="+l.Category...)
+			if l.Provenance != nil {
+				for _, m := range l.Provenance.Matches {
+					b = append(b, " "+m.Type+":"+m.Encoding+"@"+m.Where...)
+				}
+			}
+			b = append(b, '\n')
+		}
+	}
+	checkGolden(t, "leaks.txt", string(b))
+}

@@ -42,10 +42,41 @@ type Detection struct {
 
 // Detect runs the full identification step on one flow.
 func (d *Detector) Detect(f *capture.Flow) Detection {
+	return d.detect(f, nil)
+}
+
+// Batch streams many flows through one Detector while reusing the
+// matcher's scanner scratch, so the per-experiment detect stage enters
+// the compiled engine once per flow section instead of re-allocating
+// per-flow state. Not safe for concurrent use; create one per goroutine.
+type Batch struct {
+	d  *Detector
+	sc *pii.Scanner
+}
+
+// NewBatch prepares a streaming detection pass over this detector.
+func (d *Detector) NewBatch() *Batch {
+	b := &Batch{d: d}
+	if !d.SkipStringMatch && d.Matcher != nil {
+		b.sc = d.Matcher.NewScanner()
+	}
+	return b
+}
+
+// Detect is Detector.Detect on the batch's reused scratch.
+func (b *Batch) Detect(f *capture.Flow) Detection {
+	return b.d.detect(f, b.sc)
+}
+
+func (d *Detector) detect(f *capture.Flow, sc *pii.Scanner) Detection {
 	var matched pii.TypeSet
 	var matches []pii.Match
 	if !d.SkipStringMatch && d.Matcher != nil {
-		matches = d.Matcher.ScanAll(f.Sections())
+		if sc != nil {
+			matches = sc.ScanAll(f.Sections())
+		} else {
+			matches = d.Matcher.ScanAll(f.Sections())
+		}
 		matched = pii.MatchTypes(matches)
 	}
 	var predicted pii.TypeSet

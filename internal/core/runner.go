@@ -374,17 +374,32 @@ func analyzeFlows(metrics *obs.Registry, tr *trace.Tracer, span string, cat *dom
 	}
 
 	var policy LeakPolicy
-	// detectNS and categorizeNS accumulate the per-flow costs of the two
-	// analysis sub-stages and post one observation per experiment, keeping
-	// the histograms per-experiment (comparable to stage.session_ns)
-	// rather than per-flow.
-	var detectNS, categorizeNS time.Duration
+	// The detect stage streams every analyzable flow through the compiled
+	// matcher in one batch pass (reusing scanner scratch across flows)
+	// before the per-flow verdict loop; stage.detect_ns observes the whole
+	// pass, keeping the histogram per-experiment (comparable to
+	// stage.session_ns) as before. Pinned tunnels carry no content and are
+	// skipped, exactly as the per-flow path did.
+	detections := make([]Detection, len(kept))
+	detStart := time.Now()
+	batch := det.NewBatch()
+	for i, f := range kept {
+		if !f.Intercepted && f.Protocol == capture.HTTPS {
+			continue
+		}
+		detections[i] = batch.Detect(f)
+	}
+	detectNS := time.Since(detStart)
+
+	// categorizeNS accumulates the per-flow categorization cost and posts
+	// one observation per experiment.
+	var categorizeNS time.Duration
 	aaDomains := make(map[string]bool)
 	piiDomains := make(map[string]bool)
-	for _, f := range kept {
+	for i, f := range kept {
 		result.TotalBytes += f.Bytes()
 		catStart := time.Now()
-		fcat := cat.Categorize(serviceKey, f.Host)
+		fcat, fromCache := cat.CategorizeInfo(serviceKey, f.Host)
 		reg := domains.ETLDPlusOne(f.Host)
 		categorizeNS += time.Since(catStart)
 		if fcat == domains.AdvertisingAnalytics {
@@ -399,6 +414,11 @@ func analyzeFlows(metrics *obs.Registry, tr *trace.Tracer, span string, cat *dom
 				"decision": "kept", "reason": filterReason,
 			}})
 			catAttrs := map[string]string{"category": fcat.String(), "domain": reg}
+			if fromCache {
+				catAttrs["cache"] = "hit"
+			} else {
+				catAttrs["cache"] = "miss"
+			}
 			if fcat == domains.AdvertisingAnalytics {
 				if rule, ok := cat.AARule(f.Host); ok {
 					catAttrs["rule"] = rule
@@ -419,9 +439,7 @@ func analyzeFlows(metrics *obs.Registry, tr *trace.Tracer, span string, cat *dom
 			}})
 			continue
 		}
-		detStart := time.Now()
-		detection := det.Detect(f)
-		detectNS += time.Since(detStart)
+		detection := detections[i]
 		leakTypes, clause := policy.Explain(f, detection.Types, fcat)
 		if tr.Enabled() {
 			tr.Emit(trace.Event{Type: trace.EvFlowPII, Span: span, Flow: f.ID, Attrs: map[string]string{
@@ -606,10 +624,11 @@ func (r *Runner) annotateWithRecon(runs []*experimentRun) (report, holdout strin
 		if run == nil || run.result.Excluded {
 			continue
 		}
+		batch := run.det.NewBatch()
 		for _, f := range run.flows {
 			labeled = append(labeled, recon.LabeledFlow{
 				Flow:  f,
-				Types: run.det.Detect(f).Types,
+				Types: batch.Detect(f).Types,
 			})
 		}
 	}
@@ -627,13 +646,14 @@ func (r *Runner) annotateWithRecon(runs []*experimentRun) (report, holdout strin
 		for _, f := range run.flows {
 			byID[f.ID] = f
 		}
+		batch := run.det.NewBatch()
 		for i := range run.result.Leaks {
 			l := &run.result.Leaks[i]
 			f := byID[l.FlowID]
 			if f == nil {
 				continue
 			}
-			detection := run.det.Detect(f)
+			detection := batch.Detect(f)
 			for _, t := range l.Types.Types() {
 				if v, ok := detection.FoundBy[t.Abbrev()]; ok {
 					l.FoundBy[t.Abbrev()] = v

@@ -4,6 +4,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"appvsweb/internal/obs"
 )
 
 // Category labels a flow destination the way the paper's methodology does.
@@ -67,8 +69,10 @@ var BackgroundDomains = []string{
 
 // Categorizer labels hosts. It combines a first-party registry (service →
 // owned registrable domains), an SSO list, an A&A matcher (EasyList), and
-// the background list. Lookup results are memoized; the categorizer is safe
-// for concurrent use.
+// the background list. Lookup results are memoized in a sharded, bounded
+// (service, host) → category cache (docs/performance.md); the categorizer
+// is safe for concurrent use. Cache hit/miss/eviction counts are
+// registered in internal/obs (domains.catcache.*, docs/metrics.md).
 type Categorizer struct {
 	mu         sync.RWMutex
 	firstParty map[string]string // eTLD+1 → service key
@@ -77,19 +81,41 @@ type Categorizer struct {
 	aa         func(host string) bool
 	aaExplain  func(host string) (string, bool)
 
-	cacheMu sync.Mutex
-	cache   map[string]Category
+	maxPerShard int
+	shards      [catShards]catShard
+
+	hits      *obs.Counter
+	misses    *obs.Counter
+	evictions *obs.Counter
+}
+
+const catShards = 16
+
+// DefaultCacheSize bounds the categorizer cache when no size is set: a
+// campaign sees (services × distinct hosts) keys, comfortably below this;
+// an adversarial host stream pays evictions instead of growing memory.
+const DefaultCacheSize = 8192
+
+type catShard struct {
+	mu sync.Mutex
+	m  map[string]Category
 }
 
 // NewCategorizer builds a categorizer. aaMatcher may be nil, in which case
 // no host is labeled A&A (useful for ablation runs).
 func NewCategorizer(aaMatcher func(host string) bool) *Categorizer {
 	c := &Categorizer{
-		firstParty: make(map[string]string),
-		sso:        make(map[string]bool),
-		background: make(map[string]bool),
-		aa:         aaMatcher,
-		cache:      make(map[string]Category),
+		firstParty:  make(map[string]string),
+		sso:         make(map[string]bool),
+		background:  make(map[string]bool),
+		aa:          aaMatcher,
+		maxPerShard: (DefaultCacheSize + catShards - 1) / catShards,
+		hits:        obs.Default.Counter("domains.catcache.hits_total"),
+		misses:      obs.Default.Counter("domains.catcache.misses_total"),
+		evictions:   obs.Default.Counter("domains.catcache.evictions_total"),
+	}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]Category)
 	}
 	for _, d := range BackgroundDomains {
 		c.background[ETLDPlusOne(d)] = true
@@ -150,9 +176,12 @@ func (c *Categorizer) RegisterBackground(hosts ...string) {
 }
 
 func (c *Categorizer) invalidate() {
-	c.cacheMu.Lock()
-	c.cache = make(map[string]Category)
-	c.cacheMu.Unlock()
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.m = make(map[string]Category)
+		sh.mu.Unlock()
+	}
 }
 
 // FirstPartyOf returns the service key owning host, if any.
@@ -168,20 +197,64 @@ func (c *Categorizer) FirstPartyOf(host string) (string, bool) {
 // first-party association, then SSO, then EasyList A&A, else other third
 // party.
 func (c *Categorizer) Categorize(service, host string) Category {
-	key := service + "\x00" + host
-	c.cacheMu.Lock()
-	if cat, ok := c.cache[key]; ok {
-		c.cacheMu.Unlock()
-		return cat
-	}
-	c.cacheMu.Unlock()
-
-	cat := c.categorize(service, host)
-
-	c.cacheMu.Lock()
-	c.cache[key] = cat
-	c.cacheMu.Unlock()
+	cat, _ := c.CategorizeInfo(service, host)
 	return cat
+}
+
+// CategorizeInfo is Categorize plus cache provenance: cached reports
+// whether the verdict came from the memo (the runner surfaces this as the
+// "cache" attr of flow.categorize trace events, docs/tracing.md).
+func (c *Categorizer) CategorizeInfo(service, host string) (cat Category, cached bool) {
+	key := service + "\x00" + host
+	sh := &c.shards[fnv32(key)%catShards]
+	sh.mu.Lock()
+	if cat, ok := sh.m[key]; ok {
+		sh.mu.Unlock()
+		c.hits.Inc()
+		return cat, true
+	}
+	sh.mu.Unlock()
+	c.misses.Inc()
+
+	cat = c.categorize(service, host)
+
+	sh.mu.Lock()
+	if _, exists := sh.m[key]; !exists {
+		if len(sh.m) >= c.maxPerShard {
+			// Full shard: evict one arbitrary resident so the cache stays
+			// bounded under adversarial host streams.
+			for k := range sh.m {
+				delete(sh.m, k)
+				c.evictions.Inc()
+				break
+			}
+		}
+		sh.m[key] = cat
+	}
+	sh.mu.Unlock()
+	return cat, false
+}
+
+// CacheLen reports resident cache entries across all shards.
+func (c *Categorizer) CacheLen() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// fnv32 is FNV-1a, used only to pick a shard.
+func fnv32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
 }
 
 func (c *Categorizer) categorize(service, host string) Category {

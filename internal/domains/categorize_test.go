@@ -1,6 +1,7 @@
 package domains
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -130,6 +131,57 @@ func TestCategorizeConcurrent(t *testing.T) {
 				c.Categorize("weather", "api.weather-sim.example")
 			}
 		}()
+	}
+	wg.Wait()
+}
+
+func TestCategorizeInfoCacheProvenance(t *testing.T) {
+	c := testCategorizer()
+	if _, cached := c.CategorizeInfo("weather", "fresh.example"); cached {
+		t.Error("first lookup reported as cached")
+	}
+	cat, cached := c.CategorizeInfo("weather", "fresh.example")
+	if !cached {
+		t.Error("second lookup not cached")
+	}
+	if want := c.Categorize("weather", "fresh.example"); cat != want {
+		t.Errorf("cached category %v != %v", cat, want)
+	}
+}
+
+// TestCategorizeCacheBounded: unique (service, host) keys beyond the cache
+// bound must evict, never grow the memo without limit.
+func TestCategorizeCacheBounded(t *testing.T) {
+	c := testCategorizer()
+	for i := 0; i < DefaultCacheSize*2; i++ {
+		c.Categorize("weather", fmt.Sprintf("h%d.attacker.example", i))
+	}
+	if n := c.CacheLen(); n > DefaultCacheSize {
+		t.Fatalf("cache grew to %d entries, bound is %d", n, DefaultCacheSize)
+	}
+	// Classification stays correct through eviction churn.
+	if got := c.Categorize("weather", "api.weather-sim.example"); got != FirstParty {
+		t.Errorf("post-churn categorize = %v, want FirstParty", got)
+	}
+}
+
+// TestCategorizeConcurrentMixed interleaves lookups, registrations (cache
+// invalidation), and unique-host churn across goroutines; run under -race.
+func TestCategorizeConcurrentMixed(t *testing.T) {
+	c := testCategorizer()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				c.Categorize("weather", "ads.adnet.example")
+				c.CategorizeInfo("weather", fmt.Sprintf("g%d-j%d.example", g, j))
+				if j%50 == 0 {
+					c.RegisterBackground(fmt.Sprintf("bg%d-%d.example", g, j))
+				}
+			}
+		}(i)
 	}
 	wg.Wait()
 }

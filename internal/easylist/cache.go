@@ -1,0 +1,127 @@
+package easylist
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"appvsweb/internal/obs"
+)
+
+// HostCache memoizes host → A&A rule verdicts (docs/performance.md). A
+// campaign probes the same handful of destination hosts thousands of times
+// — every flow re-asks "is this host advertising & analytics?" — while the
+// underlying List match walks host suffixes and rule patterns each time.
+// The cache makes repeat classifications one lock-free map read.
+//
+// Hosts are normalized (lowercased) exactly once, on the way into the
+// cache; the inner match path never re-folds. Verdicts live in a sync.Map
+// — the workload is read-mostly with stable keys, its fast path — and the
+// resident count is bounded: past the bound, each insert evicts an
+// arbitrary resident entry, so an adversarial stream of unique hosts
+// costs evictions, never unbounded memory.
+//
+// Hit/miss/eviction counts are registered in internal/obs
+// (easylist.hostcache.*, docs/metrics.md); per-flow cache outcomes surface
+// in flow.categorize trace events via the domains.Categorizer layer above.
+type HostCache struct {
+	list       *List
+	maxEntries int
+	verdicts   sync.Map // lowercased host → hostVerdict
+	count      atomic.Int64
+
+	hits      *obs.Counter
+	misses    *obs.Counter
+	evictions *obs.Counter
+}
+
+// DefaultHostCacheSize bounds a HostCache when no size is given: generous
+// for a 50-service campaign (a few hundred distinct hosts) yet small
+// enough that even a fully adversarial host stream stays in the megabytes.
+const DefaultHostCacheSize = 4096
+
+type hostVerdict struct {
+	rule *Rule
+	ok   bool
+}
+
+// NewHostCache wraps a compiled list in a verdict cache holding at most
+// maxEntries hosts (DefaultHostCacheSize if <= 0).
+func NewHostCache(l *List, maxEntries int) *HostCache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultHostCacheSize
+	}
+	return &HostCache{
+		list:       l,
+		maxEntries: maxEntries,
+		hits:       obs.Default.Counter("easylist.hostcache.hits_total"),
+		misses:     obs.Default.Counter("easylist.hostcache.misses_total"),
+		evictions:  obs.Default.Counter("easylist.hostcache.evictions_total"),
+	}
+}
+
+// MatchHost is List.MatchHost through the cache.
+func (hc *HostCache) MatchHost(host string) bool {
+	_, ok := hc.MatchHostRule(host)
+	return ok
+}
+
+// MatchHostRule is List.MatchHostRule through the cache: the verdict and
+// attributed rule for a host, computed at most once per resident entry.
+// Mixed-case hosts share the entry of their lowercase form.
+func (hc *HostCache) MatchHostRule(host string) (*Rule, bool) {
+	h := strings.ToLower(host)
+	if v, ok := hc.verdicts.Load(h); ok {
+		hc.hits.Inc()
+		ve := v.(hostVerdict)
+		return ve.rule, ve.ok
+	}
+	hc.misses.Inc()
+
+	// Compute outside any lock: list matching is read-only and may be
+	// slow; concurrent misses on the same host do duplicate work but
+	// reach the same verdict.
+	rule, ok := hc.list.matchHostFolded(h)
+
+	if _, loaded := hc.verdicts.LoadOrStore(h, hostVerdict{rule, ok}); !loaded {
+		if hc.count.Add(1) > int64(hc.maxEntries) {
+			hc.evictOne(h)
+		}
+	}
+	return rule, ok
+}
+
+// evictOne removes one arbitrary resident entry other than keep. Bounding
+// by "evict on over-full insert" keeps the count within one concurrent
+// burst of the limit without a global lock.
+func (hc *HostCache) evictOne(keep string) {
+	hc.verdicts.Range(func(k, _ any) bool {
+		if k.(string) == keep {
+			return true // pick any other victim
+		}
+		hc.verdicts.Delete(k)
+		hc.count.Add(-1)
+		hc.evictions.Inc()
+		return false
+	})
+}
+
+// Len reports resident entries.
+func (hc *HostCache) Len() int { return int(hc.count.Load()) }
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Hits, Misses, Evictions int64
+	Entries                 int
+}
+
+// Stats snapshots the process-wide hostcache counters plus this cache's
+// resident size.
+func (hc *HostCache) Stats() CacheStats {
+	return CacheStats{
+		Hits:      hc.hits.Value(),
+		Misses:    hc.misses.Value(),
+		Evictions: hc.evictions.Value(),
+		Entries:   hc.Len(),
+	}
+}

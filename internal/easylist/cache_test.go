@@ -1,0 +1,142 @@
+package easylist
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// cacheProbeHosts returns a mix of hosts the bundled list blocks and
+// hosts it does not.
+func cacheProbeHosts(t testing.TB) []string {
+	list := Bundled()
+	var hosts []string
+	for _, name := range AllAANames() {
+		hosts = append(hosts, "cdn."+name+"-sim.example")
+	}
+	hosts = append(hosts,
+		"www.weathernow-sim.example",
+		"api.examplebank.example",
+		"static.news-sim.example.",
+	)
+	blocked := 0
+	for _, h := range hosts {
+		if list.MatchHost(h) {
+			blocked++
+		}
+	}
+	if blocked == 0 {
+		t.Fatal("no probe host is blocked by the bundled list")
+	}
+	return hosts
+}
+
+// TestHostCacheEquivalence: the cached classifier must agree with the
+// uncached List on verdict and attributed rule, on first and repeat calls.
+func TestHostCacheEquivalence(t *testing.T) {
+	list := Bundled()
+	hc := NewHostCache(list, 0)
+	for round := 0; round < 3; round++ {
+		for _, h := range cacheProbeHosts(t) {
+			wantRule, wantOK := list.MatchHostRule(h)
+			gotRule, gotOK := hc.MatchHostRule(h)
+			if gotOK != wantOK || gotRule != wantRule {
+				t.Fatalf("round %d, host %q: cache (%v,%v) != list (%v,%v)",
+					round, h, gotRule, gotOK, wantRule, wantOK)
+			}
+		}
+	}
+}
+
+// TestHostCacheMixedCase: normalization is hoisted into the cached path —
+// a mixed-case host must classify identically to its lowercase form and
+// share its cache entry (the second lookup is a hit, not a recompute).
+func TestHostCacheMixedCase(t *testing.T) {
+	list := Bundled()
+	name := AllAANames()[0]
+	lower := "cdn." + name + "-sim.example"
+	mixed := "CDN." + strings.ToUpper(name) + "-Sim.Example"
+	if !list.MatchHost(lower) {
+		t.Fatalf("%q unexpectedly not blocked", lower)
+	}
+
+	hc := NewHostCache(list, 0)
+	before := hc.Stats()
+	rLower, okLower := hc.MatchHostRule(lower)
+	rMixed, okMixed := hc.MatchHostRule(mixed)
+	after := hc.Stats()
+
+	if !okLower || !okMixed || rLower != rMixed {
+		t.Fatalf("mixed-case divergence: lower=(%v,%v) mixed=(%v,%v)", rLower, okLower, rMixed, okMixed)
+	}
+	if hits := after.Hits - before.Hits; hits != 1 {
+		t.Errorf("mixed-case lookup missed the cache: hits delta = %d, want 1", hits)
+	}
+	if misses := after.Misses - before.Misses; misses != 1 {
+		t.Errorf("misses delta = %d, want 1 (only the first lookup computes)", misses)
+	}
+	if n := hc.Len(); n != 1 {
+		t.Errorf("entries = %d, want 1 (both casings share one entry)", n)
+	}
+}
+
+// TestHostCacheBounded: an adversarial stream of unique hosts must never
+// grow the cache past its configured bound — it pays evictions instead.
+func TestHostCacheBounded(t *testing.T) {
+	const maxEntries = 64
+	hc := NewHostCache(Bundled(), maxEntries)
+	before := hc.Stats()
+	for i := 0; i < maxEntries*10; i++ {
+		hc.MatchHost(fmt.Sprintf("h%d.attacker.example", i))
+	}
+	after := hc.Stats()
+	if n := hc.Len(); n > maxEntries {
+		t.Fatalf("cache grew to %d entries, bound is %d", n, maxEntries)
+	}
+	if after.Evictions == before.Evictions {
+		t.Error("expected evictions under an over-capacity host stream")
+	}
+	// Verdicts must stay correct even while evicting.
+	name := AllAANames()[0]
+	if !hc.MatchHost("cdn." + name + "-sim.example") {
+		t.Error("blocked host misclassified after eviction churn")
+	}
+}
+
+// TestHostCacheConcurrent hammers the cache from many goroutines (run
+// under -race); every verdict must match the uncached list.
+func TestHostCacheConcurrent(t *testing.T) {
+	list := Bundled()
+	hosts := cacheProbeHosts(t)
+	want := make(map[string]bool, len(hosts))
+	for _, h := range hosts {
+		want[h] = list.MatchHost(h)
+	}
+	// Small bound forces concurrent evictions too.
+	hc := NewHostCache(list, 8)
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				h := hosts[(g+i)%len(hosts)]
+				if got := hc.MatchHost(h); got != want[h] {
+					select {
+					case errs <- fmt.Sprintf("%q: got %v, want %v", h, got, want[h]):
+					default:
+					}
+				}
+				// Interleave unique hosts to churn evictions.
+				hc.MatchHost(fmt.Sprintf("g%d-i%d.example", g, i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}

@@ -32,12 +32,29 @@ func (l *List) MatchHost(host string) bool {
 
 // MatchHostRule is MatchHost with attribution: it returns the block rule
 // that classified the host as A&A, for leak provenance and trace events.
+// The host is normalized exactly once; repeat classifications should go
+// through a HostCache, whose cached path skips even that.
 func (l *List) MatchHostRule(host string) (*Rule, bool) {
-	return l.Match(Request{
-		URL:        "http://" + strings.ToLower(host) + "/",
+	return l.matchHostFolded(strings.ToLower(host))
+}
+
+// matchHostFolded is the canonical-URL probe behind MatchHostRule and
+// HostCache. The host must already be lowercase: normalization is hoisted
+// to the caller so the cached path never re-folds a repeat host.
+func (l *List) matchHostFolded(host string) (*Rule, bool) {
+	req := Request{
+		URL:        "http://" + host + "/",
 		Host:       host,
 		ThirdParty: true,
-	})
+	}
+	blocked := l.matchRules(req.URL, host, req, false)
+	if blocked == nil {
+		return nil, false
+	}
+	if l.matchRules(req.URL, host, req, true) != nil {
+		return nil, false // exception overrides
+	}
+	return blocked, true
 }
 
 func (l *List) matchRules(url, host string, req Request, exception bool) *Rule {

@@ -1,0 +1,130 @@
+package pii
+
+// Single-pass multi-pattern matching (docs/performance.md): the Matcher
+// compiles every (value, encoding) needle into one Aho–Corasick automaton
+// at construction, so scanning a flow section costs one pass over its
+// bytes regardless of needle count, instead of one strings.Contains pass
+// per needle. ReCon-style augmentation multiplies ground-truth values by
+// ten wire encodings, so a realistic record carries hundreds of needles —
+// the per-needle scan was the campaign's hottest loop.
+//
+// Design notes:
+//
+//   - Needles are inserted case-folded (asciiLower, byte-wise ASCII). The
+//     scan folds content bytes on the fly, so no lowercased copy of the
+//     content is ever allocated. Case-sensitive needles (base64 and
+//     friends) verify the raw bytes at the hit position before counting.
+//   - The transition table is dense over *byte classes*, not raw bytes:
+//     every byte that appears in no needle shares one class, which keeps
+//     the table at states × (distinct needle bytes + 1) int32s.
+//   - Fail links are resolved at build time into a full DFA, so the scan
+//     loop is exactly one table read per content byte.
+//   - Output lists are pre-merged along fail chains: outputs[s] holds every
+//     needle ending at state s, including suffix needles.
+type automaton struct {
+	classOf    [256]uint16 // byte → class; 0 = "appears in no needle"
+	numClasses int
+	next       []int32   // state*numClasses + class → next state
+	outputs    [][]int32 // state → needle indices ending here (nil for most)
+}
+
+// foldNeedle returns the byte sequence inserted into the trie: the
+// ASCII-folded needle text. Folding every needle (case-sensitive ones
+// included) lets one automaton serve both match modes; case-sensitive hits
+// are verified against the raw content afterwards.
+func foldNeedle(n *needle) string { return asciiLower(n.text) }
+
+// foldByte is the scan-time counterpart of asciiLower.
+func foldByte(c byte) byte {
+	if c >= 'A' && c <= 'Z' {
+		return c + ('a' - 'A')
+	}
+	return c
+}
+
+func buildAutomaton(needles []needle) *automaton {
+	a := &automaton{}
+
+	// Assign byte classes. Class 0 is reserved for bytes no needle
+	// contains; from any state such a byte can only lead back to the root.
+	nc := 1
+	for i := range needles {
+		t := foldNeedle(&needles[i])
+		for j := 0; j < len(t); j++ {
+			if b := t[j]; a.classOf[b] == 0 && nc < 257 {
+				a.classOf[b] = uint16(nc)
+				nc++
+			}
+		}
+	}
+	a.numClasses = nc
+
+	// Build the goto trie.
+	type trieNode struct {
+		children map[uint16]int32
+		fail     int32
+		outs     []int32
+	}
+	nodes := []trieNode{{children: map[uint16]int32{}}}
+	for i := range needles {
+		t := foldNeedle(&needles[i])
+		s := int32(0)
+		for j := 0; j < len(t); j++ {
+			c := a.classOf[t[j]]
+			nx, ok := nodes[s].children[c]
+			if !ok {
+				nx = int32(len(nodes))
+				nodes = append(nodes, trieNode{children: map[uint16]int32{}})
+				nodes[s].children[c] = nx
+			}
+			s = nx
+		}
+		nodes[s].outs = append(nodes[s].outs, int32(i))
+	}
+
+	// BFS: compute fail links, pre-merge outputs, and resolve the dense
+	// DFA row of each state. A state's fail has strictly smaller depth, so
+	// its row and merged outputs are always complete when needed.
+	a.next = make([]int32, len(nodes)*nc)
+	a.outputs = make([][]int32, len(nodes))
+	a.outputs[0] = nodes[0].outs
+	queue := make([]int32, 0, len(nodes))
+	for c := 0; c < nc; c++ {
+		if nx, ok := nodes[0].children[uint16(c)]; ok {
+			a.next[c] = nx
+			queue = append(queue, nx)
+		}
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		s := queue[qi]
+		n := &nodes[s]
+		f := n.fail
+		if fo := a.outputs[f]; len(fo) > 0 {
+			merged := make([]int32, 0, len(n.outs)+len(fo))
+			merged = append(merged, n.outs...)
+			a.outputs[s] = append(merged, fo...)
+		} else if len(n.outs) > 0 {
+			a.outputs[s] = n.outs
+		}
+		row := int(s) * nc
+		frow := int(f) * nc
+		for c := 0; c < nc; c++ {
+			if nx, ok := n.children[uint16(c)]; ok {
+				a.next[row+c] = nx
+				nodes[nx].fail = a.next[frow+c]
+				queue = append(queue, nx)
+			} else {
+				a.next[row+c] = a.next[frow+c]
+			}
+		}
+	}
+	return a
+}
+
+// NumStates reports the automaton's state count (sizing/diagnostics).
+func (m *Matcher) NumStates() int {
+	if m.ac == nil {
+		return 0
+	}
+	return len(m.ac.outputs)
+}

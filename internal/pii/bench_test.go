@@ -81,6 +81,41 @@ func BenchmarkScanAll(b *testing.B) {
 	}
 }
 
+// BenchmarkScanManyNeedles is the acceptance benchmark for the
+// Aho–Corasick engine: the full needle set of a realistic record (well
+// over 50 needles) scanning one analytics-beacon body, engine vs the
+// retained per-needle reference. The engine sub-benchmark is what
+// bench_baseline.json guards.
+func BenchmarkScanManyNeedles(b *testing.B) {
+	rec := benchRecord()
+	m := NewMatcher(rec)
+	if n := m.NumNeedles(); n < 50 {
+		b.Fatalf("needle count %d < 50; benchmark no longer meaningful", n)
+	}
+	bodies := map[string]string{
+		"hit":   benchBody(EncBase64, rec),
+		"clean": benchBody(EncIdentity, &Record{Email: "nobody@else.invalid"}),
+	}
+	for _, kind := range []string{"hit", "clean"} {
+		body := bodies[kind]
+		b.Run("engine/"+kind, func(b *testing.B) {
+			sc := m.NewScanner()
+			b.ReportAllocs()
+			b.SetBytes(int64(len(body)))
+			for i := 0; i < b.N; i++ {
+				sc.Scan("body", body)
+			}
+		})
+		b.Run("naive/"+kind, func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(body)))
+			for i := 0; i < b.N; i++ {
+				m.scanNaive("body", body)
+			}
+		})
+	}
+}
+
 // BenchmarkNewMatcher measures needle precompilation — paid once per
 // experiment, not per flow.
 func BenchmarkNewMatcher(b *testing.B) {

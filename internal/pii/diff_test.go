@@ -1,0 +1,100 @@
+package pii
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// diffContent builds adversarial seed corpora for the engine-vs-reference
+// comparison: overlapping needles (one value a substring or prefix of
+// another's encoding), adjacent needles with no separator, case mixtures
+// that exercise the fold-then-verify path, and binary garbage.
+func diffSeeds(rec *Record) []string {
+	up := strings.ToUpper(rec.Email)
+	return []string{
+		"",
+		"email=" + rec.Email,
+		// Adjacent needles, no separator: every hit position overlaps the
+		// next needle's start state.
+		rec.Username + rec.Email + rec.Phone,
+		// Overlapping: the folded MAC (with and without colons) plus its
+		// hex encoding share long prefixes.
+		rec.MAC + strings.ReplaceAll(rec.MAC, ":", "") + Encode(EncHex, rec.MAC),
+		// Case mixtures: folded automaton hit, case-sensitive verify miss.
+		strings.ToUpper(Encode(EncBase64, rec.Email)),
+		Encode(EncBase64, rec.Email) + up + Encode(EncBase64URL, rec.IMEI),
+		// Same value under every encoding back to back.
+		allEncodings(rec.AdID),
+		// Near misses: needle with one byte flipped.
+		rec.Email[:len(rec.Email)-1] + "X",
+		"\x00\xff\xfe binary " + rec.ZIP + "\x00" + rec.Birthday,
+		"lat=42.340382&lon=-71.089001&lat=42.34",
+	}
+}
+
+func allEncodings(v string) string {
+	var b strings.Builder
+	for _, e := range Encoders() {
+		b.WriteString(e.Apply(v))
+	}
+	return b.String()
+}
+
+// diffCheck asserts the automaton and the naive reference return identical
+// match sets — type, value, encoding, and where — for one content.
+func diffCheck(t *testing.T, m *Matcher, content string) {
+	t.Helper()
+	got := m.Scan("body", content)
+	want := m.scanNaive("body", content)
+	if len(got) == 0 && len(want) == 0 {
+		return
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("match sets diverge on %q:\n  engine: %v\n  naive:  %v", content, got, want)
+	}
+}
+
+// TestScanMatchesNaiveOnSeeds pins the differential property on the seed
+// corpus even when the fuzzer is not running.
+func TestScanMatchesNaiveOnSeeds(t *testing.T) {
+	rec := testRecord()
+	m := NewMatcher(rec)
+	for _, s := range diffSeeds(rec) {
+		diffCheck(t, m, s)
+	}
+}
+
+// FuzzScanDifferential is the lockdown for the Aho–Corasick engine: for
+// arbitrary flow content, the single-pass automaton must return exactly
+// the match set of the retained per-needle reference matcher, including
+// overlapping and adjacent needle occurrences and case-sensitivity
+// verification. Any divergence is a correctness bug in the engine.
+func FuzzScanDifferential(f *testing.F) {
+	rec := testRecord()
+	m := NewMatcher(rec)
+	for _, s := range diffSeeds(rec) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, content string) {
+		diffCheck(t, m, content)
+	})
+}
+
+// TestScannerReuseIsStateless: a reused Scanner must give the same answer
+// as a fresh one, scan after scan (the epoch-stamp reset property the
+// batch detect stage relies on).
+func TestScannerReuseIsStateless(t *testing.T) {
+	rec := testRecord()
+	m := NewMatcher(rec)
+	sc := m.NewScanner()
+	for i := 0; i < 3; i++ {
+		for _, s := range diffSeeds(rec) {
+			got := sc.Scan("body", s)
+			want := m.scanNaive("body", s)
+			if !reflect.DeepEqual(got, want) && (len(got) != 0 || len(want) != 0) {
+				t.Fatalf("round %d: reused scanner diverges on %q:\n  got:  %v\n  want: %v", i, s, got, want)
+			}
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"appvsweb/internal/obs"
 )
@@ -53,9 +54,14 @@ func DescribeMatches(ms []Match) string {
 
 // Matcher searches flow content for the ground-truth values of a Record
 // under every supported encoding. Build one per device record and reuse it:
-// construction precomputes every (value, encoding) needle.
+// construction precompiles every (value, encoding) needle into a single
+// Aho–Corasick automaton (see ac.go), so a Scan is one pass over the
+// content regardless of needle count. The Matcher is immutable after
+// construction and safe for concurrent use.
 type Matcher struct {
-	needles []needle
+	needles  []needle
+	ac       *automaton
+	scanners sync.Pool // *Scanner scratch for the convenience methods
 }
 
 type needle struct {
@@ -104,6 +110,8 @@ func NewMatcher(rec *Record) *Matcher {
 			})
 		}
 	}
+	m.ac = buildAutomaton(m.needles)
+	m.scanners.New = func() any { return m.NewScanner() }
 	return m
 }
 
@@ -112,13 +120,108 @@ func (m *Matcher) NumNeedles() int { return len(m.needles) }
 
 // Scan searches one labeled section of flow content (e.g. the URL, the
 // header block, or the body) and returns all matches found, deduplicated by
-// (type, value, encoding).
+// (type, value, encoding). It borrows a pooled Scanner; batch callers
+// should hold their own (NewScanner) to skip the pool round-trip.
 func (m *Matcher) Scan(where, content string) []Match {
-	if content == "" {
+	sc := m.scanners.Get().(*Scanner)
+	out := sc.Scan(where, content)
+	m.scanners.Put(sc)
+	return out
+}
+
+// ScanAll scans several sections at once; the map key is the section name.
+func (m *Matcher) ScanAll(sections map[string]string) []Match {
+	sc := m.scanners.Get().(*Scanner)
+	out := sc.ScanAll(sections)
+	m.scanners.Put(sc)
+	return out
+}
+
+// Scanner is reusable per-goroutine scratch state for streaming many flows
+// through one Matcher without per-flow allocations. Not safe for concurrent
+// use; the Matcher it came from is.
+type Scanner struct {
+	m     *Matcher
+	epoch uint32
+	seen  []uint32 // per-needle epoch stamp: seen[i] == epoch ⇔ already hit
+}
+
+// NewScanner returns scratch state bound to the matcher.
+func (m *Matcher) NewScanner() *Scanner {
+	return &Scanner{m: m, seen: make([]uint32, len(m.needles))}
+}
+
+// Scan is Matcher.Scan on this scanner's scratch state: one automaton pass
+// over the content, case-folding bytes on the fly.
+func (s *Scanner) Scan(where, content string) []Match {
+	if content == "" || len(s.m.needles) == 0 {
 		return nil
 	}
 	matchMetrics.scans.Inc()
-	matchMetrics.needles.Add(int64(len(m.needles)))
+	matchMetrics.needles.Add(int64(len(s.m.needles)))
+	s.epoch++
+	if s.epoch == 0 { // wrapped: stamps from 4B scans ago are stale
+		clear(s.seen)
+		s.epoch = 1
+	}
+	ac := s.m.ac
+	nc := ac.numClasses
+	st := int32(0)
+	var out []Match
+	for i := 0; i < len(content); i++ {
+		st = ac.next[int(st)*nc+int(ac.classOf[foldByte(content[i])])]
+		outs := ac.outputs[st]
+		if len(outs) == 0 {
+			continue
+		}
+		for _, ni := range outs {
+			if s.seen[ni] == s.epoch {
+				continue
+			}
+			n := &s.m.needles[ni]
+			if !n.fold {
+				// The automaton matched case-folded bytes; a
+				// case-sensitive needle must also match the raw content
+				// at this position. A failed check leaves the needle
+				// eligible: a later occurrence may match exactly.
+				if content[i+1-len(n.text):i+1] != n.text {
+					continue
+				}
+			}
+			s.seen[ni] = s.epoch
+			if c := matchMetrics.hits[n.enc]; c != nil {
+				c.Inc()
+			}
+			out = append(out, Match{Type: n.typ, Value: n.plaintext, Encoding: n.enc, Where: where})
+		}
+	}
+	sortMatches(out)
+	return out
+}
+
+// ScanAll is Matcher.ScanAll on this scanner's scratch state.
+func (s *Scanner) ScanAll(sections map[string]string) []Match {
+	names := make([]string, 0, len(sections))
+	for k := range sections {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var out []Match
+	for _, name := range names {
+		out = append(out, s.Scan(name, sections[name])...)
+	}
+	return out
+}
+
+// scanNaive is the pre-automaton reference implementation: one
+// strings.Contains pass per needle. It is retained verbatim (metrics
+// aside) as the oracle for the differential fuzz test and the baseline
+// side of the scan benchmarks; the automaton must return exactly its
+// match sets.
+func (m *Matcher) scanNaive(where, content string) []Match {
+	if content == "" {
+		return nil
+	}
 	lower := ""
 	var out []Match
 	type dedup struct {
@@ -143,9 +246,6 @@ func (m *Matcher) Scan(where, content string) []Match {
 		if !hit {
 			continue
 		}
-		if c := matchMetrics.hits[n.enc]; c != nil {
-			c.Inc()
-		}
 		k := dedup{n.typ, n.plaintext, n.enc}
 		if found[k] {
 			continue
@@ -154,20 +254,6 @@ func (m *Matcher) Scan(where, content string) []Match {
 		out = append(out, Match{Type: n.typ, Value: n.plaintext, Encoding: n.enc, Where: where})
 	}
 	sortMatches(out)
-	return out
-}
-
-// ScanAll scans several sections at once; the map key is the section name.
-func (m *Matcher) ScanAll(sections map[string]string) []Match {
-	names := make([]string, 0, len(sections))
-	for k := range sections {
-		names = append(names, k)
-	}
-	sort.Strings(names)
-	var out []Match
-	for _, name := range names {
-		out = append(out, m.Scan(name, sections[name])...)
-	}
 	return out
 }
 
