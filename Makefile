@@ -26,8 +26,9 @@ GATED_BENCH_FILES = $(foreach s,$(GATED_BENCH_SUITES),BENCH_$(s).json)
 # setting. Tighten with `make bench-check BENCH_TOLERANCE=0.20`.
 BENCH_TOLERANCE ?= 0.40
 
-.PHONY: build test short race vet fmt check bench bench-micro bench-macro \
-	bench-check bench-baseline fuzz
+.PHONY: build test short race race-fault vet fmt check bench bench-micro \
+	bench-macro bench-macro-gate bench-check bench-baseline \
+	bench-baseline-macro fuzz
 
 build:
 	$(GO) build ./...
@@ -39,10 +40,20 @@ short:
 	$(GO) test -short ./...
 
 ## race: race-detect the concurrency-heavy packages (obs registry, campaign
-## runner, and the scan engine + classification caches)
+## runner incl. the fault-injection suite, and the scan engine +
+## classification caches)
 race:
 	$(GO) test -race ./internal/obs/... ./internal/core/... \
 		./internal/pii ./internal/easylist ./internal/domains
+
+## race-fault: the fault-tolerance suite under the race detector — every
+## failure policy via scripted fault injection, cancellation, journal
+## resume, plus the context-threaded session and proxy handshake deadline
+## (docs/robustness.md)
+race-fault:
+	$(GO) test -race ./internal/device ./internal/proxy
+	$(GO) test -race -run 'TestFailurePolicy|TestExperimentTimeoutStall|TestCampaignCancel|TestProgressSlowSink|TestCampaignJournalResume' \
+		./internal/core
 
 vet:
 	$(GO) vet ./...
@@ -54,8 +65,9 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-## check: the pre-PR gate — vet, formatting, race tests
-check: vet fmt race
+## check: the pre-PR gate — vet, formatting, race tests (including the
+## fault-injection suite)
+check: vet fmt race race-fault
 	@echo "check: OK"
 
 ## bench: all benchmarks with -benchmem; test2json event streams land in
@@ -80,22 +92,50 @@ bench-macro:
 	$(GO) test -run='^$$' -bench=. -benchmem -json . > BENCH_macro.json
 	@echo "wrote BENCH_macro.json"
 
+# The macro gate samples only BenchmarkCampaign (a 0.05-scale full
+# campaign, ~12s/iteration): one timed iteration, best of
+# MACRO_BENCH_COUNT. It guards the zero-failure path against
+# fault-tolerance overhead — a uniform campaign slowdown that the micro
+# suites never see.
+MACRO_BENCH_COUNT ?= 3
+
+bench-macro-gate:
+	$(GO) test -run='^$$' -bench='^BenchmarkCampaign$$' -benchtime=1x \
+		-count=$(MACRO_BENCH_COUNT) -benchmem -json . > BENCH_macro_gate.json
+	@echo "wrote BENCH_macro_gate.json"
+
 ## bench-check: the regression guard — fresh micro benches vs the committed
 ## baseline; fails on >BENCH_TOLERANCE regression in ns/op or allocs/op
 # On failure the suites are resampled once: interference phases on shared
 # hosts can outlast one benchmark's consecutive samples, and a genuine
 # regression fails both passes anyway.
-bench-check: bench-micro
+# The macro comparison holds a single benchmark, so drift normalization
+# would gate nothing (the benchmark's own ratio would define the drift);
+# -nodrift compares raw wall time under a looser tolerance. The campaign
+# benchmark is dominated by real session work, so its wall time is far
+# steadier than microsecond-scale micro benches.
+MACRO_BENCH_TOLERANCE ?= 0.60
+
+bench-check: bench-micro bench-macro-gate
 	@$(GO) run ./cmd/benchcheck -baseline bench_baseline.json \
 		-tol $(BENCH_TOLERANCE) $(GATED_BENCH_FILES) || { \
 		echo "bench-check: failure reported; resampling once to rule out interference"; \
 		$(MAKE) bench-micro; \
 		$(GO) run ./cmd/benchcheck -baseline bench_baseline.json \
 			-tol $(BENCH_TOLERANCE) $(GATED_BENCH_FILES); }
+	@$(GO) run ./cmd/benchcheck -baseline bench_baseline_macro.json \
+		-nodrift -tol $(MACRO_BENCH_TOLERANCE) BENCH_macro_gate.json || { \
+		echo "bench-check: macro failure reported; resampling once to rule out interference"; \
+		$(MAKE) bench-macro-gate; \
+		$(GO) run ./cmd/benchcheck -baseline bench_baseline_macro.json \
+			-nodrift -tol $(MACRO_BENCH_TOLERANCE) BENCH_macro_gate.json; }
 
-## bench-baseline: regenerate the committed baseline from a fresh run
+## bench-baseline: regenerate the committed baselines from a fresh run
 bench-baseline: bench-micro
 	$(GO) run ./cmd/benchcheck -write bench_baseline.json $(GATED_BENCH_FILES)
+
+bench-baseline-macro: bench-macro-gate
+	$(GO) run ./cmd/benchcheck -write bench_baseline_macro.json BENCH_macro_gate.json
 
 ## fuzz: short smoke of every fuzz target (CI runs this)
 fuzz:

@@ -15,6 +15,14 @@
 //	avwrun -trace events.jsonl ...            # stream per-flow trace events;
 //	                                          # inspect with avwtrace
 //	avwrun -log-json ...                      # structured JSON logs on stderr
+//	avwrun -journal run.journal ...           # crash-safe checkpoint, one
+//	                                          # fsync'd record per experiment
+//	avwrun -resume run.journal ...            # continue a killed campaign
+//	avwrun -experiment-timeout 2m -fail-policy retry-then-skip -retries 3 ...
+//	                                          # per-experiment deadline, retry
+//	                                          # with backoff, then degrade to
+//	                                          # an excluded cell (see
+//	                                          # docs/robustness.md)
 package main
 
 import (
@@ -54,6 +62,11 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "serve /debug/metrics and /debug/pprof/ on this address during the run")
 		tracePath   = flag.String("trace", "", "stream campaign trace events to this JSONL file (inspect with avwtrace)")
 		logJSON     = flag.Bool("log-json", false, "emit structured JSON logs (slog) on stderr, trace-ID-correlated")
+		journalPath = flag.String("journal", "", "write a crash-safe campaign journal (JSONL, fsync'd per experiment)")
+		resumePath  = flag.String("resume", "", "resume a killed campaign from its journal (continues appending to it)")
+		expTimeout  = flag.Duration("experiment-timeout", 0, "wall-clock deadline per experiment attempt (0 = none)")
+		failPolicy  = flag.String("fail-policy", "abort", "failed-experiment policy: abort, skip, or retry-then-skip")
+		retries     = flag.Int("retries", 0, "max retries per experiment on transient failures (retry-then-skip defaults to 2)")
 	)
 	flag.Parse()
 
@@ -135,20 +148,48 @@ func main() {
 		}
 		denied = denied.Add(t)
 	}
+	policy, err := core.ParseFailurePolicy(*failPolicy)
+	if err != nil {
+		fatalf("-fail-policy: %v", err)
+	}
 	opts := core.Options{
-		Scale:           *scale,
-		Duration:        *duration,
-		Parallelism:     *parallelism,
-		TrainRecon:      *recon,
-		Protect:         *protect,
-		BrowserAdblock:  *adblock,
-		TraceDir:        *traceDir,
-		DenyPermissions: denied,
-		Tracer:          tracer,
-		Logger:          logger,
+		Scale:             *scale,
+		Duration:          *duration,
+		Parallelism:       *parallelism,
+		TrainRecon:        *recon,
+		Protect:           *protect,
+		BrowserAdblock:    *adblock,
+		TraceDir:          *traceDir,
+		DenyPermissions:   denied,
+		Tracer:            tracer,
+		Logger:            logger,
+		ExperimentTimeout: *expTimeout,
+		FailurePolicy:     policy,
+		Retry:             core.RetryPolicy{Max: *retries},
 	}
 	if *progress {
 		opts.OnProgress = printProgress
+	}
+	journalFile := *journalPath
+	if *resumePath != "" {
+		if journalFile != "" && journalFile != *resumePath {
+			fatalf("-resume appends to the resumed journal; drop -journal or point it at the same file")
+		}
+		journalFile = *resumePath
+		set, err := core.LoadJournal(*resumePath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		opts.Resume = set
+		fmt.Fprintf(os.Stderr, "resuming: %d experiments already journaled in %s\n", set.Len(), *resumePath)
+	}
+	if journalFile != "" {
+		j, err := core.CreateJournal(journalFile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer j.Close()
+		opts.Journal = j
 	}
 	runner, err := core.NewRunner(eco, opts)
 	if err != nil {
@@ -158,10 +199,27 @@ func main() {
 	start := time.Now()
 	ds, err := runner.RunCampaign()
 	if err != nil {
+		// The partial dataset survives the failure: save it so the
+		// completed experiments (and the journal) are not lost.
+		if ds != nil && len(ds.Results) > 0 {
+			fmt.Fprintf(os.Stderr, "avwrun: campaign: %v\n", err)
+			fmt.Fprintf(os.Stderr, "saving partial dataset (%d completed experiments)\n", len(ds.Results))
+			if serr := ds.Save(*out); serr != nil {
+				fatalf("save partial: %v", serr)
+			}
+			if journalFile != "" {
+				fmt.Fprintf(os.Stderr, "resume with: avwrun -resume %s\n", journalFile)
+			}
+			os.Exit(1)
+		}
 		fatalf("campaign: %v", err)
 	}
 	fmt.Fprintf(os.Stderr, "campaign complete: %d experiments in %v\n",
 		len(ds.Results), time.Since(start).Round(time.Millisecond))
+	for _, f := range ds.Meta.Failures {
+		fmt.Fprintf(os.Stderr, "skipped %s/%s/%s after %d attempt(s) at stage %s: %s\n",
+			f.Service, f.OS, f.Medium, f.Attempts, f.Stage, f.Error)
+	}
 	if *progress {
 		printTimingTable()
 	}
@@ -196,6 +254,18 @@ func printProgress(ev core.ProgressEvent) {
 	}
 	if ev.Err != nil {
 		status = "error: " + ev.Err.Error()
+	}
+	if ev.Skipped {
+		status = "skipped"
+		if ev.Err != nil {
+			status += ": " + ev.Err.Error()
+		}
+	}
+	if ev.Attempts > 1 {
+		status += fmt.Sprintf(" (attempt %d)", ev.Attempts)
+	}
+	if ev.Resumed {
+		status += " [journal]"
 	}
 	fmt.Fprintf(os.Stderr, "[%3d/%3d] %5.1f%% %-18s %-7s/%-3s %7s  %s\n",
 		ev.Index, ev.Total, pct, ev.Service, ev.OS, ev.Medium,

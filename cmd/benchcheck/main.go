@@ -152,6 +152,7 @@ func main() {
 	baselinePath := flag.String("baseline", "bench_baseline.json", "baseline file to compare against")
 	writePath := flag.String("write", "", "write a fresh baseline to this path instead of comparing")
 	tol := flag.Float64("tol", 0.20, "allowed regression fraction for ns/op and allocs/op")
+	noDrift := flag.Bool("nodrift", false, "compare ns/op raw, without median drift normalization (required when the comparison holds a single benchmark, whose own ratio would otherwise define the drift and gate nothing)")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: benchcheck [-baseline file | -write file] [-tol 0.20] BENCH_*.json...")
@@ -170,7 +171,7 @@ func main() {
 
 	if *writePath != "" {
 		b := Baseline{
-			Note:       "regenerate with `make bench-baseline`; ns/op is machine-specific",
+			Note:       "regenerate with `make bench-baseline` (micro) or `make bench-baseline-macro`; ns/op is machine-specific",
 			Benchmarks: fresh,
 		}
 		data, err := json.MarshalIndent(&b, "", "  ")
@@ -204,7 +205,12 @@ func main() {
 	// it: a genuine code regression is localized (its benchmark moves
 	// while the rest don't), so it still trips the tolerance.
 	drift := medianRatio(base.Benchmarks, fresh)
-	fmt.Printf("benchcheck: machine drift x%.2f (median fresh/baseline ns ratio)\n", drift)
+	if *noDrift {
+		drift = 1
+		fmt.Println("benchcheck: drift normalization disabled (-nodrift)")
+	} else {
+		fmt.Printf("benchcheck: machine drift x%.2f (median fresh/baseline ns ratio)\n", drift)
+	}
 
 	failed := 0
 	compared := 0

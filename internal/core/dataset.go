@@ -134,6 +134,21 @@ type Meta struct {
 	ReconReport string        `json:"recon_report,omitempty"`
 	// ReconHoldout is the held-out (50/50 split) generalization report.
 	ReconHoldout string `json:"recon_holdout,omitempty"`
+	// Failures lists the experiments the campaign could not complete and
+	// skipped under FailSkip/FailRetrySkip (docs/robustness.md). Their
+	// cells appear in Results as excluded placeholders.
+	Failures []FailureRecord `json:"failures,omitempty"`
+}
+
+// FailureRecord describes one experiment the campaign gave up on: which
+// cell, which pipeline stage failed, after how many attempts, and why.
+type FailureRecord struct {
+	Service  string          `json:"service"`
+	OS       services.OS     `json:"os"`
+	Medium   services.Medium `json:"medium"`
+	Stage    string          `json:"stage,omitempty"`
+	Attempts int             `json:"attempts"`
+	Error    string          `json:"error"`
 }
 
 // Result finds one experiment's outcome.

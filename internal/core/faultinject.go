@@ -1,0 +1,139 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"appvsweb/internal/services"
+)
+
+// FaultInjector is the deterministic fault-injection seam: when set on
+// Options, the runner consults it at every stage boundary of every
+// experiment attempt. Returning a non-nil error makes that stage fail
+// with it; an injector may also stall by blocking on ctx until the
+// per-experiment deadline or campaign cancellation fires. Production
+// campaigns leave it nil; the fault-tolerance tests drive every
+// FailurePolicy through it.
+type FaultInjector interface {
+	// Fault is called before the named stage of the given experiment
+	// attempt (0-based). Call counts are the injector's own business.
+	Fault(ctx context.Context, service string, cell services.Cell, stage string, attempt int) error
+}
+
+// InjectedFault is the error a scripted fault produces. Transient selects
+// the retryable classification, so tests exercise both retry and fatal
+// paths.
+type InjectedFault struct {
+	Stage     string
+	Transient bool
+}
+
+func (e *InjectedFault) Error() string {
+	kind := "fatal"
+	if e.Transient {
+		kind = "transient"
+	}
+	return fmt.Sprintf("injected %s fault at stage %s", kind, e.Stage)
+}
+
+// Retryable implements the classification hook classifyRetryable checks.
+func (e *InjectedFault) Retryable() bool { return e.Transient }
+
+// FaultRule scripts one fault: which calls of which stage of which
+// experiment fail (or stall). Zero-valued selector fields match anything.
+type FaultRule struct {
+	Service string        // "" matches every service
+	Cell    services.Cell // zero OS/Medium match every cell
+	Stage   string        // "" matches every stage
+
+	// OnCall fires the rule on the Nth matching call (1-based). 0 means
+	// from the first call.
+	OnCall int
+	// Times bounds how many matching calls fire after OnCall: 0 means
+	// once, -1 means every subsequent call (a persistent fault).
+	Times int
+
+	// Transient marks the injected error retryable.
+	Transient bool
+	// Stall blocks until ctx is done instead of failing immediately — the
+	// stalled-handshake/hung-capture shape; the stage then fails with the
+	// context's error.
+	Stall bool
+}
+
+func (r *FaultRule) matches(service string, cell services.Cell, stage string) bool {
+	if r.Service != "" && r.Service != service {
+		return false
+	}
+	if r.Cell.OS != "" && r.Cell.OS != cell.OS {
+		return false
+	}
+	if r.Cell.Medium != "" && r.Cell.Medium != cell.Medium {
+		return false
+	}
+	return r.Stage == "" || r.Stage == stage
+}
+
+// fires reports whether the rule triggers on its nth matching call
+// (1-based).
+func (r *FaultRule) fires(n int) bool {
+	first := r.OnCall
+	if first <= 0 {
+		first = 1
+	}
+	if n < first {
+		return false
+	}
+	if r.Times < 0 {
+		return true
+	}
+	return n < first+r.Times+1
+}
+
+// ScriptedFaults is the table-driven FaultInjector used by the
+// fault-tolerance tests: a fixed rule list evaluated against a per-rule
+// matching-call counter, fully deterministic across runs.
+type ScriptedFaults struct {
+	mu    sync.Mutex
+	rules []FaultRule
+	calls []int // matching-call count per rule
+}
+
+// NewScriptedFaults builds an injector from a fault script.
+func NewScriptedFaults(rules ...FaultRule) *ScriptedFaults {
+	return &ScriptedFaults{rules: rules, calls: make([]int, len(rules))}
+}
+
+// Fault implements FaultInjector.
+func (s *ScriptedFaults) Fault(ctx context.Context, service string, cell services.Cell, stage string, attempt int) error {
+	s.mu.Lock()
+	var fire *FaultRule
+	for i := range s.rules {
+		r := &s.rules[i]
+		if !r.matches(service, cell, stage) {
+			continue
+		}
+		s.calls[i]++
+		if fire == nil && r.fires(s.calls[i]) {
+			fire = r
+		}
+	}
+	s.mu.Unlock()
+	if fire == nil {
+		return nil
+	}
+	if fire.Stall {
+		<-ctx.Done()
+		return fmt.Errorf("injected stall at stage %s: %w", stage, ctx.Err())
+	}
+	return &InjectedFault{Stage: stage, Transient: fire.Transient}
+}
+
+// inject runs the configured injector (if any) at a stage boundary.
+func (r *Runner) inject(ctx context.Context, spec *services.Spec, cell services.Cell, stage string, attempt int) error {
+	if r.Opts.FaultInjector == nil {
+		return nil
+	}
+	return r.Opts.FaultInjector.Fault(ctx, spec.Key, cell, stage, attempt)
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"appvsweb/internal/services"
+)
+
+// JournalRecord is one line of the campaign journal: the terminal outcome
+// of one experiment — a measured result, a pinning exclusion, or a
+// skipped failure. Records carry everything resume needs to reproduce the
+// experiment's contribution to the dataset without re-running it.
+type JournalRecord struct {
+	Service string          `json:"service"`
+	OS      services.OS     `json:"os"`
+	Medium  services.Medium `json:"medium"`
+	// Attempts counts how many attempts the experiment took (1 = no
+	// retries).
+	Attempts int `json:"attempts,omitempty"`
+	// Skipped marks an experiment the failure policy gave up on; Stage
+	// and Error describe the terminal failure.
+	Skipped bool              `json:"skipped,omitempty"`
+	Stage   string            `json:"stage,omitempty"`
+	Error   string            `json:"error,omitempty"`
+	Result  *ExperimentResult `json:"result"`
+}
+
+func (r *JournalRecord) key() string {
+	return r.Service + "/" + string(r.OS) + "/" + string(r.Medium)
+}
+
+// Journal is the crash-safe campaign checkpoint: an append-only JSONL
+// file with one record per completed experiment, fsync'd after every
+// append so a SIGKILL'd campaign loses at most the experiments still in
+// flight. avwrun -resume replays it to continue where the process died.
+type Journal struct {
+	mu  sync.Mutex
+	f   *os.File
+	enc *json.Encoder
+}
+
+// CreateJournal opens (or continues) a journal file for appending.
+func CreateJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("core: open journal: %w", err)
+	}
+	return &Journal{f: f, enc: json.NewEncoder(f)}, nil
+}
+
+// Append writes one record and forces it to stable storage.
+func (j *Journal) Append(rec JournalRecord) error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.enc.Encode(rec); err != nil {
+		return fmt.Errorf("core: journal append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("core: journal sync: %w", err)
+	}
+	return nil
+}
+
+// Close releases the journal file.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// JournalSet is a loaded journal, indexed by experiment.
+type JournalSet struct {
+	recs map[string]JournalRecord
+}
+
+// Lookup finds the journaled outcome of one experiment.
+func (s *JournalSet) Lookup(service string, cell services.Cell) (JournalRecord, bool) {
+	if s == nil {
+		return JournalRecord{}, false
+	}
+	rec, ok := s.recs[service+"/"+string(cell.OS)+"/"+string(cell.Medium)]
+	return rec, ok
+}
+
+// Len reports how many distinct experiments the journal covers.
+func (s *JournalSet) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.recs)
+}
+
+// LoadJournal reads a campaign journal for resumption. A corrupt final
+// line is tolerated (the crash may have interrupted the write before the
+// fsync); corruption anywhere else is an error. Duplicate records for one
+// experiment keep the last — a resumed run may legitimately re-append.
+func LoadJournal(path string) (*JournalSet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: open journal: %w", err)
+	}
+	defer f.Close()
+
+	set := &JournalSet{recs: make(map[string]JournalRecord)}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
+	var pendingErr error
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		if pendingErr != nil {
+			// The undecodable line was not the last one: real corruption.
+			return nil, pendingErr
+		}
+		var rec JournalRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			pendingErr = fmt.Errorf("core: journal %s line %d: %w", path, line, err)
+			continue
+		}
+		if rec.Result == nil && !rec.Skipped {
+			pendingErr = fmt.Errorf("core: journal %s line %d: record without result", path, line)
+			continue
+		}
+		set.recs[rec.key()] = rec
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("core: read journal: %w", err)
+	}
+	return set, nil
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"crypto/x509"
 	"errors"
 	"fmt"
@@ -72,9 +73,30 @@ type Options struct {
 	// correlated. Nil discards them.
 	Logger *slog.Logger
 	// OnProgress, when set, is called after every experiment finishes
-	// (including exclusions and failures). Calls are serialized, so the
-	// callback may print without further locking.
+	// (including exclusions and failures). Calls are serialized and
+	// delivered in completion order, so the callback may print without
+	// further locking; delivery happens off the workers' completion path,
+	// so a slow sink never blocks the campaign (docs/robustness.md).
 	OnProgress func(ProgressEvent)
+	// ExperimentTimeout bounds each experiment attempt's real wall-clock
+	// time; an attempt that overruns fails with a retryable deadline
+	// error (campaign.deadline_exceeded). 0 disables the deadline.
+	ExperimentTimeout time.Duration
+	// Retry bounds the exponential-backoff retries around transient
+	// experiment failures (docs/robustness.md).
+	Retry RetryPolicy
+	// FailurePolicy decides what a terminally failed experiment does to
+	// the campaign: abort (default), skip, or retry-then-skip.
+	FailurePolicy FailurePolicy
+	// Journal, when set, receives one fsync'd record per completed
+	// experiment — the crash-safe checkpoint avwrun -resume replays.
+	Journal *Journal
+	// Resume holds a prior run's journal; journaled experiments are
+	// replayed from their records instead of re-measured.
+	Resume *JournalSet
+	// FaultInjector is the deterministic fault-injection seam for the
+	// fault-tolerance tests. Nil in production campaigns.
+	FaultInjector FaultInjector
 }
 
 // ProgressEvent reports one completed experiment to Options.OnProgress.
@@ -91,6 +113,15 @@ type ProgressEvent struct {
 	Flows    int
 	Leaks    int
 	Err      error
+	// Attempts counts how many attempts the experiment took (0 for
+	// journal-resumed experiments, 1 = no retries).
+	Attempts int
+	// Skipped marks a failed experiment the failure policy dropped
+	// (recorded in Dataset.Meta.Failures) rather than aborting on.
+	Skipped bool
+	// Resumed marks an experiment replayed from a -resume journal
+	// instead of re-measured.
+	Resumed bool
 }
 
 func (o Options) withDefaults() Options {
@@ -149,14 +180,81 @@ type experimentRun struct {
 
 // RunExperiment performs one service × OS × medium experiment.
 func (r *Runner) RunExperiment(spec *services.Spec, cell services.Cell) (*ExperimentResult, error) {
-	run, err := r.runExperiment(spec, cell, time.Date(2016, 4, 1, 9, 0, 0, 0, time.UTC))
+	return r.RunExperimentContext(context.Background(), spec, cell)
+}
+
+// RunExperimentContext performs one experiment under a caller-controlled
+// context: canceling it aborts the session mid-flight, and
+// Options.ExperimentTimeout and Options.Retry apply as in a campaign.
+func (r *Runner) RunExperimentContext(ctx context.Context, spec *services.Spec, cell services.Cell) (*ExperimentResult, error) {
+	run, _, err := r.runExperimentResilient(ctx, spec, cell, time.Date(2016, 4, 1, 9, 0, 0, 0, time.UTC))
 	if err != nil {
 		return nil, err
 	}
 	return run.result, nil
 }
 
-func (r *Runner) runExperiment(spec *services.Spec, cell services.Cell, base time.Time) (*experimentRun, error) {
+// runExperimentResilient wraps one experiment in the per-attempt deadline
+// and the retry policy: transient failures back off exponentially (with
+// deterministic jitter) and retry up to the policy's budget; fatal
+// failures and campaign cancellation return immediately. It reports the
+// number of attempts made alongside the outcome.
+func (r *Runner) runExperimentResilient(ctx context.Context, spec *services.Spec, cell services.Cell, base time.Time) (*experimentRun, int, error) {
+	reg := r.Opts.Metrics
+	max := r.Opts.Retry.maxFor(r.Opts.FailurePolicy)
+	for attempt := 0; ; attempt++ {
+		run, err := r.runExperimentAttempt(ctx, spec, cell, base, attempt)
+		if err == nil {
+			return run, attempt + 1, nil
+		}
+		var xerr *ExperimentError
+		retry := errors.As(err, &xerr) && xerr.Retryable
+		if ctx.Err() != nil || !retry || attempt >= max {
+			return nil, attempt + 1, err
+		}
+		delay := r.Opts.Retry.Delay(attempt, spec.Key+"/"+string(cell.OS)+"/"+string(cell.Medium))
+		reg.Counter("campaign.retries").Inc()
+		r.Opts.Tracer.Emit(trace.Event{Type: trace.EvExperimentRetry, Attrs: map[string]string{
+			"service": spec.Key, "os": string(cell.OS), "medium": string(cell.Medium),
+			"attempt": strconv.Itoa(attempt + 1), "stage": xerr.Stage,
+			"error": xerr.Err.Error(), "backoff": delay.String(),
+		}})
+		r.Opts.Logger.Warn("experiment retry", "service", spec.Key,
+			"os", string(cell.OS), "medium", string(cell.Medium),
+			"attempt", attempt+1, "stage", xerr.Stage, "backoff", delay, "err", xerr.Err)
+		if sleepCtx(ctx, delay) != nil {
+			return nil, attempt + 1, err
+		}
+	}
+}
+
+// runExperimentAttempt runs one attempt under the per-experiment deadline
+// and wraps any failure as a classified ExperimentError.
+func (r *Runner) runExperimentAttempt(ctx context.Context, spec *services.Spec, cell services.Cell, base time.Time, attempt int) (*experimentRun, error) {
+	if r.Opts.ExperimentTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.Opts.ExperimentTimeout)
+		defer cancel()
+	}
+	run, err := r.runExperiment(ctx, spec, cell, base, attempt)
+	if err == nil {
+		return run, nil
+	}
+	var xerr *ExperimentError
+	if !errors.As(err, &xerr) {
+		// Stage attribution happens at the failure site; an unwrapped
+		// error means the experiment scaffolding itself failed.
+		xerr = &ExperimentError{Stage: StageProxy, Err: err}
+	}
+	xerr.Service, xerr.Cell, xerr.Attempt = spec.Key, cell, attempt
+	if errors.Is(xerr.Err, context.DeadlineExceeded) && ctx.Err() == context.DeadlineExceeded {
+		r.Opts.Metrics.Counter("campaign.deadline_exceeded").Inc()
+	}
+	xerr.Retryable = classifyRetryable(xerr.Stage, xerr.Err)
+	return nil, xerr
+}
+
+func (r *Runner) runExperiment(ctx context.Context, spec *services.Spec, cell services.Cell, base time.Time, attempt int) (*experimentRun, error) {
 	reg := r.Opts.Metrics
 	defer reg.Histogram("campaign.experiment_ns", "ns").Span().End()
 	defer reg.Counter("campaign.experiments_total").Inc()
@@ -172,7 +270,7 @@ func (r *Runner) runExperiment(spec *services.Spec, cell services.Cell, base tim
 	r.Opts.Logger.Debug("experiment start",
 		"span", span, "service", spec.Key, "os", string(cell.OS), "medium", string(cell.Medium))
 
-	run, err := r.runExperimentSpanned(spec, cell, base, span)
+	run, err := r.runExperimentSpanned(ctx, spec, cell, base, span, attempt)
 
 	attrs := map[string]string{
 		"service": spec.Key, "os": string(cell.OS), "medium": string(cell.Medium),
@@ -194,12 +292,18 @@ func (r *Runner) runExperiment(spec *services.Spec, cell services.Cell, base tim
 	return run, err
 }
 
-func (r *Runner) runExperimentSpanned(spec *services.Spec, cell services.Cell, base time.Time, span string) (*experimentRun, error) {
+func (r *Runner) runExperimentSpanned(ctx context.Context, spec *services.Spec, cell services.Cell, base time.Time, span string, attempt int) (*experimentRun, error) {
 	reg := r.Opts.Metrics
 	tr := r.Opts.Tracer
 	clock := vclock.New(base)
 	sink := capture.NewMemSinkIDs(r.ids)
 	clientID := fmt.Sprintf("%s/%s/%s", spec.Key, cell.OS, cell.Medium)
+	if err := r.inject(ctx, spec, cell, StageProxy, attempt); err != nil {
+		return nil, &ExperimentError{Stage: StageProxy, Err: err}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, &ExperimentError{Stage: StageProxy, Err: err}
+	}
 	dev := device.NewDevice(cell.OS, deviceIndex(spec.Key))
 	identity := dev.Identity(device.NewAccount(spec.Key))
 	pxCfg := proxy.Config{
@@ -217,10 +321,10 @@ func (r *Runner) runExperimentSpanned(spec *services.Spec, cell services.Cell, b
 	}
 	px, err := proxy.New(pxCfg)
 	if err != nil {
-		return nil, err
+		return nil, &ExperimentError{Stage: StageProxy, Err: err}
 	}
 	if err := px.Start(); err != nil {
-		return nil, err
+		return nil, &ExperimentError{Stage: StageProxy, Err: err}
 	}
 	defer px.Close()
 
@@ -233,8 +337,12 @@ func (r *Runner) runExperimentSpanned(spec *services.Spec, cell services.Cell, b
 	if spec.PinsAndroid && cell.OS == services.Android && cell.Medium == services.App {
 		pin, err = r.Eco.Internet.CA.LeafFingerprint(spec.Domain())
 		if err != nil {
-			return nil, err
+			return nil, &ExperimentError{Stage: StageProxy, Err: err}
 		}
+	}
+
+	if err := r.inject(ctx, spec, cell, StageSession, attempt); err != nil {
+		return nil, &ExperimentError{Stage: StageSession, Err: err}
 	}
 
 	sessCfg := device.SessionConfig{
@@ -255,7 +363,7 @@ func (r *Runner) runExperimentSpanned(spec *services.Spec, cell services.Cell, b
 	sessSpan := reg.Histogram("stage.session_ns", "ns").Span()
 	tr.Emit(trace.Event{Type: trace.EvSessionStart, Span: span, Attrs: map[string]string{"client": clientID}})
 	sessStage := tr.Stage(span, "session")
-	sres, err := device.RunSession(sessCfg)
+	sres, err := device.RunSessionContext(ctx, sessCfg)
 	sessStage()
 	tr.Emit(trace.Event{Type: trace.EvSessionEnd, Span: span, Attrs: map[string]string{"client": clientID}})
 	sessSpan.End()
@@ -266,13 +374,16 @@ func (r *Runner) runExperimentSpanned(spec *services.Spec, cell services.Cell, b
 			reg.Counter("campaign.excluded_total").Inc()
 			return &experimentRun{result: result}, nil
 		}
-		return nil, fmt.Errorf("core: %s: %w", clientID, err)
+		return nil, &ExperimentError{Stage: StageSession, Err: fmt.Errorf("core: %s: %w", clientID, err)}
 	}
 	result.Requests = sres.Requests
 	result.FailedRequests = sres.Failed
 	result.BlockedRequests = sres.Blocked
 	result.Virtual = clock.Since(base)
 
+	if err := r.inject(ctx, spec, cell, StageAnalysis, attempt); err != nil {
+		return nil, &ExperimentError{Stage: StageAnalysis, Err: err}
+	}
 	det := &Detector{Matcher: pii.NewMatcher(identity)}
 	raw := sink.Flows()
 	analysisStage := tr.Stage(span, "analysis")
@@ -285,7 +396,7 @@ func (r *Runner) runExperimentSpanned(spec *services.Spec, cell services.Cell, b
 		// pipeline, including the background-filtering step.
 		path := filepath.Join(r.Opts.TraceDir, TraceFileName(spec.Key, cell))
 		if err := capture.SaveTrace(path, raw); err != nil {
-			return nil, fmt.Errorf("core: save trace: %w", err)
+			return nil, &ExperimentError{Stage: StageTrace, Err: fmt.Errorf("core: save trace: %w", err)}
 		}
 	}
 	return &experimentRun{result: result, flows: flows, det: det}, nil
@@ -506,16 +617,28 @@ func sortedKeys(m map[string]bool) []string {
 // RunCampaign measures every service in the ecosystem's catalog across
 // all four configurations and returns the dataset behind §4.
 func (r *Runner) RunCampaign() (*Dataset, error) {
-	type job struct {
-		spec *services.Spec
-		cell services.Cell
-		idx  int
-	}
-	var jobs []job
+	return r.RunCampaignContext(context.Background())
+}
+
+// campaignJob is one experiment slot in a campaign.
+type campaignJob struct {
+	spec *services.Spec
+	cell services.Cell
+	idx  int
+}
+
+// RunCampaignContext runs the campaign under a caller-controlled context.
+// Canceling it stops launching experiments, aborts the ones in flight,
+// and returns the partial dataset alongside the context's error. Failed
+// experiments are handled per Options.FailurePolicy (docs/robustness.md):
+// even under the default abort policy, the dataset built from every
+// completed experiment is returned with the error rather than discarded.
+func (r *Runner) RunCampaignContext(parent context.Context) (*Dataset, error) {
+	var jobs []campaignJob
 	idx := 0
 	for _, spec := range r.Eco.Catalog {
 		for _, cell := range services.AllCells() {
-			jobs = append(jobs, job{spec, cell, idx})
+			jobs = append(jobs, campaignJob{spec, cell, idx})
 			idx++
 		}
 	}
@@ -526,59 +649,159 @@ func (r *Runner) RunCampaign() (*Dataset, error) {
 		"services":    strconv.Itoa(len(r.Eco.Catalog)),
 		"experiments": strconv.Itoa(len(jobs)),
 		"parallelism": strconv.Itoa(r.Opts.Parallelism),
+		"policy":      string(r.Opts.failurePolicy()),
 	}})
 	r.Opts.Logger.Info("campaign start", "services", len(r.Eco.Catalog),
-		"experiments", len(jobs), "parallelism", r.Opts.Parallelism)
+		"experiments", len(jobs), "parallelism", r.Opts.Parallelism,
+		"policy", string(r.Opts.failurePolicy()))
+
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
 
 	r.Opts.Metrics.Gauge("campaign.jobs").Set(int64(len(jobs)))
 	runs := make([]*experimentRun, len(jobs))
-	errs := make([]error, len(jobs))
-	sem := make(chan struct{}, r.Opts.Parallelism)
-	var wg sync.WaitGroup
+	failures := make([]*FailureRecord, len(jobs))
+
+	// First terminal failure under the abort policy: record it once and
+	// cancel the campaign context so no further experiments launch.
+	var abortMu sync.Mutex
+	var abortErr error
+	abort := func(err error) {
+		abortMu.Lock()
+		if abortErr == nil {
+			abortErr = err
+			cancel()
+		}
+		abortMu.Unlock()
+	}
+
+	// Progress dispatch: Index is assigned under the lock (preserving the
+	// documented in-order delivery), but the callback itself runs on a
+	// dedicated dispatcher goroutine so a slow sink never blocks a
+	// worker's completion bookkeeping. The buffer holds every possible
+	// event, so the in-lock send cannot block either.
+	var progressCh chan ProgressEvent
+	progressDone := make(chan struct{})
+	if r.Opts.OnProgress != nil {
+		progressCh = make(chan ProgressEvent, len(jobs))
+		go func() {
+			defer close(progressDone)
+			for ev := range progressCh {
+				r.Opts.OnProgress(ev)
+			}
+		}()
+	} else {
+		close(progressDone)
+	}
 	var progressMu sync.Mutex
 	completed := 0
+	emitProgress := func(ev ProgressEvent) {
+		if progressCh == nil {
+			return
+		}
+		ev.Total = len(jobs)
+		progressMu.Lock()
+		completed++
+		ev.Index = completed
+		progressCh <- ev
+		progressMu.Unlock()
+	}
+
+	// Resume: experiments the journal already records are replayed from
+	// it instead of re-measured; everything else runs normally.
+	var torun []campaignJob
+	resumedCount := 0
 	for _, j := range jobs {
+		rec, ok := r.Opts.Resume.Lookup(j.spec.Key, j.cell)
+		if !ok || rec.Result == nil {
+			torun = append(torun, j)
+			continue
+		}
+		resumedCount++
+		runs[j.idx] = &experimentRun{result: rec.Result}
+		if rec.Skipped {
+			failures[j.idx] = &FailureRecord{
+				Service: j.spec.Key, OS: j.cell.OS, Medium: j.cell.Medium,
+				Stage: rec.Stage, Attempts: rec.Attempts, Error: rec.Error,
+			}
+		}
+		emitProgress(ProgressEvent{
+			Service: j.spec.Key, OS: j.cell.OS, Medium: j.cell.Medium,
+			Excluded: rec.Result.Excluded && !rec.Skipped,
+			Flows:    rec.Result.TotalFlows, Leaks: len(rec.Result.Leaks),
+			Attempts: rec.Attempts, Skipped: rec.Skipped, Resumed: true,
+		})
+	}
+	if resumedCount > 0 {
+		r.Opts.Metrics.Counter("campaign.resumed").Add(int64(resumedCount))
+		tr.Emit(trace.Event{Type: trace.EvCampaignResume, Attrs: map[string]string{
+			"experiments": strconv.Itoa(resumedCount),
+			"remaining":   strconv.Itoa(len(torun)),
+		}})
+		r.Opts.Logger.Info("campaign resume", "journaled", resumedCount, "remaining", len(torun))
+	}
+
+	sem := make(chan struct{}, r.Opts.Parallelism)
+	var wg sync.WaitGroup
+	for _, j := range torun {
 		wg.Add(1)
-		go func(j job) {
+		go func(j campaignJob) {
 			defer wg.Done()
-			sem <- struct{}{}
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				return // aborted or canceled before this experiment launched
+			}
 			defer func() { <-sem }()
-			base := time.Date(2016, 4, 1, 9, 0, 0, 0, time.UTC).Add(time.Duration(j.idx) * 10 * time.Minute)
-			start := time.Now()
-			runs[j.idx], errs[j.idx] = r.runExperiment(j.spec, j.cell, base)
-			if r.Opts.OnProgress == nil {
+			if ctx.Err() != nil {
 				return
 			}
+			base := time.Date(2016, 4, 1, 9, 0, 0, 0, time.UTC).Add(time.Duration(j.idx) * 10 * time.Minute)
+			start := time.Now()
+			run, attempts, err := r.runExperimentResilient(ctx, j.spec, j.cell, base)
 			ev := ProgressEvent{
-				Total:   len(jobs),
-				Service: j.spec.Key,
-				OS:      j.cell.OS,
-				Medium:  j.cell.Medium,
-				Elapsed: time.Since(start),
-				Err:     errs[j.idx],
+				Service: j.spec.Key, OS: j.cell.OS, Medium: j.cell.Medium,
+				Elapsed: time.Since(start), Attempts: attempts,
 			}
-			if run := runs[j.idx]; run != nil {
-				ev.Excluded = run.result.Excluded
-				ev.Flows = run.result.TotalFlows
-				ev.Leaks = len(run.result.Leaks)
+			if err != nil {
+				if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+					return // campaign shutdown, not an experiment verdict
+				}
+				ev.Err = err
+				if r.Opts.failurePolicy().aborts() {
+					abort(err)
+					emitProgress(ev)
+					return
+				}
+				run = r.skipExperiment(j.spec, j.cell, err, attempts)
+				runs[j.idx] = run
+				failures[j.idx] = failureRecord(j.spec.Key, j.cell, err, attempts)
+				ev.Skipped = true
+				r.appendJournal(JournalRecord{
+					Service: j.spec.Key, OS: j.cell.OS, Medium: j.cell.Medium,
+					Attempts: attempts, Skipped: true,
+					Stage: failures[j.idx].Stage, Error: failures[j.idx].Error,
+					Result: run.result,
+				}, abort)
+				emitProgress(ev)
+				return
 			}
-			progressMu.Lock()
-			completed++
-			ev.Index = completed
-			r.Opts.OnProgress(ev)
-			progressMu.Unlock()
+			runs[j.idx] = run
+			ev.Excluded = run.result.Excluded
+			ev.Flows = run.result.TotalFlows
+			ev.Leaks = len(run.result.Leaks)
+			r.appendJournal(JournalRecord{
+				Service: j.spec.Key, OS: j.cell.OS, Medium: j.cell.Medium,
+				Attempts: attempts, Result: run.result,
+			}, abort)
+			emitProgress(ev)
 		}(j)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			tr.Emit(trace.Event{Type: trace.EvCampaignEnd,
-				DurNS: time.Since(campaignStart).Nanoseconds(),
-				Attrs: map[string]string{"error": err.Error()}})
-			r.Opts.Logger.Error("campaign failed", "err", err)
-			return nil, err
-		}
+	if progressCh != nil {
+		close(progressCh)
 	}
+	<-progressDone
 
 	ds := &Dataset{
 		Meta: Meta{
@@ -589,8 +812,36 @@ func (r *Runner) RunCampaign() (*Dataset, error) {
 		},
 	}
 	for _, run := range runs {
-		ds.Results = append(ds.Results, run.result)
+		if run != nil {
+			ds.Results = append(ds.Results, run.result)
+		}
 	}
+	for _, f := range failures {
+		if f != nil {
+			ds.Meta.Failures = append(ds.Meta.Failures, *f)
+		}
+	}
+
+	abortMu.Lock()
+	err := abortErr
+	abortMu.Unlock()
+	if err == nil && parent.Err() != nil {
+		err = parent.Err()
+	}
+	if err != nil {
+		tr.Emit(trace.Event{Type: trace.EvCampaignEnd,
+			DurNS: time.Since(campaignStart).Nanoseconds(),
+			Attrs: map[string]string{
+				"error":     err.Error(),
+				"completed": strconv.Itoa(len(ds.Results)),
+			}})
+		r.Opts.Logger.Error("campaign failed", "err", err, "completed", len(ds.Results))
+		ds.Sort()
+		// The partial dataset travels with the error: completed
+		// experiments are never discarded (docs/robustness.md).
+		return ds, err
+	}
+
 	if r.Opts.TrainRecon {
 		reconSpan := r.Opts.Metrics.Histogram("stage.recon_ns", "ns").Span()
 		report, holdout := r.annotateWithRecon(runs)
@@ -605,13 +856,70 @@ func (r *Runner) RunCampaign() (*Dataset, error) {
 		Attrs: map[string]string{
 			"experiments": strconv.Itoa(stats.Experiments),
 			"excluded":    strconv.Itoa(stats.Excluded),
+			"skipped":     strconv.Itoa(len(ds.Meta.Failures)),
 			"flows":       strconv.Itoa(stats.TotalFlows),
 			"leaks":       strconv.Itoa(stats.LeakFlows),
 		}})
 	r.Opts.Logger.Info("campaign end", "experiments", stats.Experiments,
-		"excluded", stats.Excluded, "flows", stats.TotalFlows,
-		"leaks", stats.LeakFlows, "elapsed", time.Since(campaignStart))
+		"excluded", stats.Excluded, "skipped", len(ds.Meta.Failures),
+		"flows", stats.TotalFlows, "leaks", stats.LeakFlows,
+		"elapsed", time.Since(campaignStart))
 	return ds, nil
+}
+
+// failurePolicy resolves the configured policy (zero value = abort).
+func (o Options) failurePolicy() FailurePolicy {
+	if o.FailurePolicy == "" {
+		return FailAbort
+	}
+	return o.FailurePolicy
+}
+
+// skipExperiment converts a terminal failure into an excluded placeholder
+// cell, so the report and figures show the hole instead of losing the
+// campaign (graceful degradation under FailSkip / FailRetrySkip).
+func (r *Runner) skipExperiment(spec *services.Spec, cell services.Cell, err error, attempts int) *experimentRun {
+	reg := r.Opts.Metrics
+	reg.Counter("campaign.skipped").Inc()
+	r.Opts.Tracer.Emit(trace.Event{Type: trace.EvExperimentSkip, Attrs: map[string]string{
+		"service": spec.Key, "os": string(cell.OS), "medium": string(cell.Medium),
+		"attempts": strconv.Itoa(attempts), "error": err.Error(),
+	}})
+	r.Opts.Logger.Warn("experiment skipped", "service", spec.Key,
+		"os", string(cell.OS), "medium", string(cell.Medium),
+		"attempts", attempts, "err", err)
+	return &experimentRun{result: &ExperimentResult{
+		Service: spec.Key, Name: spec.Name, Category: spec.Category,
+		Rank: spec.Rank, OS: cell.OS, Medium: cell.Medium,
+		Excluded:      true,
+		ExcludeReason: fmt.Sprintf("experiment failed after %d attempt(s): %v", attempts, err),
+	}}
+}
+
+// failureRecord builds the Dataset.Meta.Failures entry for one skipped
+// experiment.
+func failureRecord(service string, cell services.Cell, err error, attempts int) *FailureRecord {
+	rec := &FailureRecord{
+		Service: service, OS: cell.OS, Medium: cell.Medium,
+		Attempts: attempts, Error: err.Error(),
+	}
+	var xerr *ExperimentError
+	if errors.As(err, &xerr) {
+		rec.Stage = xerr.Stage
+	}
+	return rec
+}
+
+// appendJournal checkpoints one completed experiment. A journal write
+// failure aborts the campaign: continuing would silently void the
+// crash-safety the journal exists to provide.
+func (r *Runner) appendJournal(rec JournalRecord, abort func(error)) {
+	if r.Opts.Journal == nil {
+		return
+	}
+	if err := r.Opts.Journal.Append(rec); err != nil {
+		abort(err)
+	}
 }
 
 // annotateWithRecon trains the classifier on the campaign's labeled flows
@@ -621,7 +929,9 @@ func (r *Runner) RunCampaign() (*Dataset, error) {
 func (r *Runner) annotateWithRecon(runs []*experimentRun) (report, holdout string) {
 	var labeled []recon.LabeledFlow
 	for _, run := range runs {
-		if run == nil || run.result.Excluded {
+		// Journal-resumed runs carry a result but no retained flows or
+		// detector; they cannot contribute to (re)training.
+		if run == nil || run.det == nil || run.result.Excluded {
 			continue
 		}
 		batch := run.det.NewBatch()
@@ -638,7 +948,7 @@ func (r *Runner) annotateWithRecon(runs []*experimentRun) (report, holdout strin
 	clf := recon.Train(labeled, recon.Options{Algorithm: r.Opts.ReconAlgorithm})
 
 	for _, run := range runs {
-		if run == nil || run.result.Excluded {
+		if run == nil || run.det == nil || run.result.Excluded {
 			continue
 		}
 		run.det.Recon = clf

@@ -1,0 +1,32 @@
+package device
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"appvsweb/internal/services"
+)
+
+// TestSessionContextCancellation: a canceled context must abort the
+// session with an error, never return a silently truncated success.
+func TestSessionContextCancellation(t *testing.T) {
+	w := newSessionWorld(t, "grubexpress")
+	spec, _ := w.eco.Service("grubexpress")
+	for _, medium := range []services.Medium{services.App, services.Web} {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, err := RunSessionContext(ctx, SessionConfig{
+			Device:   NewDevice(services.Android, 0),
+			Service:  spec,
+			Medium:   medium,
+			ProxyURL: w.px.URL(),
+			Trust:    w.trust,
+			Clock:    w.clock,
+			Scale:    0.2,
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s session: err = %v, want context.Canceled", medium, err)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package device
 
 import (
+	"context"
 	"crypto/x509"
 	"errors"
 	"fmt"
@@ -76,6 +77,7 @@ var ErrPinned = errors.New("session aborted: certificate pinning defeated interc
 
 // sessionState carries the per-session machinery.
 type sessionState struct {
+	ctx      context.Context
 	cfg      SessionConfig
 	client   *http.Client
 	expander *Expander
@@ -90,6 +92,13 @@ type sessionState struct {
 // caller owns the proxy and its flow sink; this function only generates
 // traffic.
 func RunSession(cfg SessionConfig) (*SessionResult, error) {
+	return RunSessionContext(context.Background(), cfg)
+}
+
+// RunSessionContext is RunSession under a caller-controlled context: every
+// request carries it, and the session aborts between requests once it is
+// done — the cancellation path of a campaign's per-experiment deadline.
+func RunSessionContext(ctx context.Context, cfg SessionConfig) (*SessionResult, error) {
 	if cfg.Device == nil || cfg.Service == nil || cfg.ProxyURL == nil || cfg.Clock == nil {
 		return nil, errors.New("device: incomplete session config")
 	}
@@ -107,7 +116,11 @@ func RunSession(cfg SessionConfig) (*SessionResult, error) {
 	acct := NewAccount(cfg.Service.Key)
 	identity := cfg.Device.Identity(acct)
 
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	s := &sessionState{
+		ctx:      ctx,
 		cfg:      cfg,
 		expander: NewExpander(identity, cfg.Device.OS, cfg.Medium),
 	}
@@ -202,6 +215,9 @@ func (s *sessionState) runApp(p *services.Profile, acct Account) (*SessionResult
 		}
 	}
 	s.executePlan(plan)
+	if err := s.ctx.Err(); err != nil {
+		return &s.result, fmt.Errorf("device: app session aborted: %w", err)
+	}
 	return &s.result, nil
 }
 
@@ -232,6 +248,9 @@ func (s *sessionState) runWeb(p *services.Profile, acct Account) (*SessionResult
 		}
 	}
 	s.executePlan(plan)
+	if err := s.ctx.Err(); err != nil {
+		return &s.result, fmt.Errorf("device: web session aborted: %w", err)
+	}
 	return &s.result, nil
 }
 
@@ -262,6 +281,9 @@ func (s *sessionState) executePlan(plan []services.PlannedRequest) {
 	for {
 		progress := false
 		for i := range plan {
+			if s.ctx.Err() != nil {
+				return
+			}
 			if remaining[i] == 0 {
 				continue
 			}
@@ -287,11 +309,14 @@ func (s *sessionState) executePlan(plan []services.PlannedRequest) {
 // do issues one request through the proxy and advances the virtual clock.
 func (s *sessionState) do(method, rawURL, body, contentType string) error {
 	defer s.cfg.Clock.Advance(s.pace)
+	if err := s.ctx.Err(); err != nil {
+		return err
+	}
 	var rdr io.Reader
 	if body != "" {
 		rdr = strings.NewReader(body)
 	}
-	req, err := http.NewRequest(method, rawURL, rdr)
+	req, err := http.NewRequestWithContext(s.ctx, method, rawURL, rdr)
 	if err != nil {
 		return err
 	}
@@ -314,7 +339,7 @@ func (s *sessionState) do(method, rawURL, body, contentType string) error {
 
 // fetchPage loads the service's mobile page and returns its HTML.
 func (s *sessionState) fetchPage(u string) (string, error) {
-	req, err := http.NewRequest(http.MethodGet, u, nil)
+	req, err := http.NewRequestWithContext(s.ctx, http.MethodGet, u, nil)
 	if err != nil {
 		return "", err
 	}

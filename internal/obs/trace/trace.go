@@ -14,10 +14,18 @@ import (
 // Event types, in pipeline order. The flow.* events carry the per-flow
 // causal chain; the remaining types delimit the enclosing spans.
 const (
-	EvCampaignStart   = "campaign.start"
-	EvCampaignEnd     = "campaign.end"
+	EvCampaignStart = "campaign.start"
+	EvCampaignEnd   = "campaign.end"
+	// EvCampaignResume marks a campaign continuing from a crash-safe
+	// journal: attrs carry how many experiments were replayed from it.
+	EvCampaignResume  = "campaign.resume"
 	EvExperimentStart = "experiment.start"
 	EvExperimentEnd   = "experiment.end"
+	// EvExperimentRetry records one transient failure about to be retried
+	// (attrs: stage, attempt, error, backoff); EvExperimentSkip records an
+	// experiment the failure policy dropped after its retry budget.
+	EvExperimentRetry = "experiment.retry"
+	EvExperimentSkip  = "experiment.skip"
 	EvSessionStart    = "session.start"
 	EvSessionEnd      = "session.end"
 	// EvStage records one timed pipeline stage (attrs["stage"] names it,

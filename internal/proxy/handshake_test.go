@@ -1,0 +1,58 @@
+package proxy
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"appvsweb/internal/capture"
+	"appvsweb/internal/obs"
+)
+
+// TestHandshakeTimeoutCountsTunnelFailure: a client that opens a CONNECT
+// tunnel and then stalls without starting the TLS handshake must not pin
+// the tunnel goroutine — the handshake deadline fires and the stall is
+// counted as a tunnel failure.
+func TestHandshakeTimeoutCountsTunnelFailure(t *testing.T) {
+	reg := obs.New()
+	proxyCA, err := NewCA("Meddle Interception CA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(Config{
+		CA: proxyCA, Resolver: NewMapResolver(), Sink: capture.NewMemSink(),
+		Metrics:          reg,
+		HandshakeTimeout: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	raw, err := net.DialTimeout("tcp", p.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	fmt.Fprintf(raw, "CONNECT stall.example:443 HTTP/1.1\r\nHost: stall.example:443\r\n\r\n")
+	resp, err := http.ReadResponse(bufio.NewReader(raw), nil)
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("CONNECT failed: %v %v", err, resp)
+	}
+	// Stall: never send the ClientHello. The proxy's deadline must cut
+	// the tunnel down on its own.
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if reg.Snapshot().Counters["proxy.tunnel_failures_total"] >= 1 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("stalled handshake never counted: counters = %v", reg.Snapshot().Counters)
+}

@@ -43,6 +43,12 @@ type Config struct {
 	ClientID string
 	// MaxBodyBytes caps recorded request bodies. Defaults to 1 MiB.
 	MaxBodyBytes int64
+	// HandshakeTimeout bounds the CONNECT setup: the 200 response write
+	// plus the client-side TLS handshake. A client that stalls mid-
+	// handshake would otherwise pin the tunnel goroutine forever; on
+	// timeout the tunnel is torn down and counted as an intercept failure
+	// (proxy.tunnel_failures_total). Defaults to 15s.
+	HandshakeTimeout time.Duration
 	// DisableTLSResume turns off the upstream TLS session cache; used by
 	// the ablation bench.
 	DisableTLSResume bool
@@ -162,6 +168,9 @@ func New(cfg Config) (*Proxy, error) {
 	}
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 1 << 20
+	}
+	if cfg.HandshakeTimeout <= 0 {
+		cfg.HandshakeTimeout = 15 * time.Second
 	}
 	tlsCfg := &tls.Config{RootCAs: cfg.OriginPool}
 	if !cfg.DisableTLSResume {
@@ -289,6 +298,13 @@ func (p *Proxy) handleConnect(w http.ResponseWriter, r *http.Request) {
 	p.stats.tunnels.Add(1)
 	p.metrics.tunnels.Inc()
 	defer raw.Close()
+	// The deadline covers both the 200 write and the TLS handshake: a
+	// client that stalls mid-handshake must not pin this goroutine. The
+	// deadline is real wall-clock time (p.cfg.Now may be a virtual clock).
+	deadline := time.Now().Add(p.cfg.HandshakeTimeout)
+	if err := raw.SetDeadline(deadline); err != nil {
+		return
+	}
 	if _, err := io.WriteString(raw, "HTTP/1.1 200 Connection Established\r\n\r\n"); err != nil {
 		return
 	}
@@ -297,7 +313,17 @@ func (p *Proxy) handleConnect(w http.ResponseWriter, r *http.Request) {
 	defer tlsConn.Close()
 	start := p.cfg.Now()
 	if err := tlsConn.HandshakeContext(r.Context()); err != nil {
-		p.recordTunnelFailure(start, host, "handshake: "+err.Error())
+		reason := "handshake: " + err.Error()
+		var nerr net.Error
+		if errors.As(err, &nerr) && nerr.Timeout() {
+			reason = fmt.Sprintf("handshake: client stalled past the %v intercept deadline: %v", p.cfg.HandshakeTimeout, err)
+		}
+		p.recordTunnelFailure(start, host, reason)
+		return
+	}
+	// Handshake done: lift the deadline so long-lived tunnels keep
+	// serving requests at their own pace.
+	if err := tlsConn.SetDeadline(time.Time{}); err != nil {
 		return
 	}
 

@@ -1,0 +1,90 @@
+package appvsweb
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"appvsweb/internal/analysis"
+	"appvsweb/internal/core"
+	"appvsweb/internal/services"
+)
+
+// TestResumeProducesIdenticalReport is the crash-safety acceptance test:
+// a campaign killed partway through leaves a journal, and resuming from it
+// yields a report byte-identical to an uninterrupted run. Experiments are
+// deterministic given (service, cell), so replaying journaled results and
+// measuring only the remainder must be indistinguishable in the analysis.
+func TestResumeProducesIdenticalReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs reduced campaigns")
+	}
+	subset := services.Catalog()[:2]
+	eco, err := services.Start(subset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eco.Close()
+
+	run := func(opts core.Options, ctx context.Context) (*core.Dataset, error) {
+		runner, err := core.NewRunner(eco, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return runner.RunCampaignContext(ctx)
+	}
+
+	// Reference: the campaign no crash interrupted.
+	full, err := run(core.Options{Scale: 0.1, Parallelism: 2}, context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := analysis.Report(full)
+
+	// The doomed run: journal everything, die after three experiments.
+	journalPath := filepath.Join(t.TempDir(), "campaign.journal")
+	j, err := core.CreateJournal(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	partial, err := run(core.Options{
+		Scale: 0.1, Parallelism: 1, Journal: j,
+		OnProgress: func(ev core.ProgressEvent) {
+			if ev.Index == 3 {
+				cancel()
+			}
+		},
+	}, ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run: err = %v, want context.Canceled", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(partial.Results) == 0 || len(partial.Results) >= len(full.Results) {
+		t.Fatalf("interrupted run completed %d/%d experiments, want a strict subset",
+			len(partial.Results), len(full.Results))
+	}
+
+	// Resume: journaled experiments replay, the rest are measured.
+	set, err := core.LoadJournal(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() == 0 {
+		t.Fatal("journal is empty; nothing was checkpointed")
+	}
+	resumed, err := run(core.Options{Scale: 0.1, Parallelism: 2, Resume: set}, context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resumed.Results) != len(full.Results) {
+		t.Fatalf("resumed campaign results = %d, want %d", len(resumed.Results), len(full.Results))
+	}
+	if got := analysis.Report(resumed); got != want {
+		t.Errorf("resumed report differs from uninterrupted run:\n--- uninterrupted ---\n%s\n--- resumed ---\n%s", want, got)
+	}
+}
