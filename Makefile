@@ -40,11 +40,13 @@ short:
 	$(GO) test -short ./...
 
 ## race: race-detect the concurrency-heavy packages (obs registry, campaign
-## runner incl. the fault-injection suite, and the scan engine +
-## classification caches)
+## runner incl. the fault-injection suite and journal repair, the scan
+## engine + classification caches, and the artifact engine's cache /
+## singleflight / live-tailing paths)
 race:
 	$(GO) test -race ./internal/obs/... ./internal/core/... \
-		./internal/pii ./internal/easylist ./internal/domains
+		./internal/pii ./internal/easylist ./internal/domains \
+		./internal/analysis ./cmd/avwserve
 
 ## race-fault: the fault-tolerance suite under the race detector — every
 ## failure policy via scripted fault injection, cancellation, journal
@@ -92,16 +94,20 @@ bench-macro:
 	$(GO) test -run='^$$' -bench=. -benchmem -json . > BENCH_macro.json
 	@echo "wrote BENCH_macro.json"
 
-# The macro gate samples only BenchmarkCampaign (a 0.05-scale full
-# campaign, ~12s/iteration): one timed iteration, best of
+# The macro gate samples BenchmarkCampaign (a 0.05-scale full campaign,
+# ~12s/iteration) plus the artifact-serving pair
+# BenchmarkEngineCold/WarmArtifacts: one timed iteration, best of
 # MACRO_BENCH_COUNT. It guards the zero-failure path against
 # fault-tolerance overhead — a uniform campaign slowdown that the micro
-# suites never see.
+# suites never see — and the engine's warm-path guarantee (a broken
+# artifact cache shows up as Warm collapsing to Cold's wall time, far
+# beyond any tolerance).
 MACRO_BENCH_COUNT ?= 3
 
 bench-macro-gate:
-	$(GO) test -run='^$$' -bench='^BenchmarkCampaign$$' -benchtime=1x \
-		-count=$(MACRO_BENCH_COUNT) -benchmem -json . > BENCH_macro_gate.json
+	$(GO) test -run='^$$' \
+		-bench='^(BenchmarkCampaign|BenchmarkEngineColdArtifacts|BenchmarkEngineWarmArtifacts)$$' \
+		-benchtime=1x -count=$(MACRO_BENCH_COUNT) -benchmem -json . > BENCH_macro_gate.json
 	@echo "wrote BENCH_macro_gate.json"
 
 ## bench-check: the regression guard — fresh micro benches vs the committed

@@ -10,6 +10,7 @@ package appvsweb
 // per-iteration costs then reflect the analysis itself.
 
 import (
+	"context"
 	"crypto/x509"
 	"io"
 	"net/http"
@@ -22,6 +23,7 @@ import (
 	"appvsweb/internal/core"
 	"appvsweb/internal/device"
 	"appvsweb/internal/easylist"
+	"appvsweb/internal/obs"
 	"appvsweb/internal/pii"
 	"appvsweb/internal/proxy"
 	"appvsweb/internal/recon"
@@ -103,6 +105,60 @@ func BenchmarkFigure1e(b *testing.B) { benchFigure(b, "1e", analysis.Figure1e) }
 
 // BenchmarkFigure1f: CDF of the Jaccard index of leaked identifier sets.
 func BenchmarkFigure1f(b *testing.B) { benchFigure(b, "1f", analysis.Figure1f) }
+
+// --- Artifact serving (analysis.Engine) --------------------------------------
+
+// BenchmarkEngineColdArtifacts measures a cold artifact build: a fresh
+// engine per iteration computing every serving artifact (report, tables,
+// figure CSVs and SVGs, surveys) in one parallel fan-out. This is the
+// cost avwserve pays on first request for a new dataset generation.
+func BenchmarkEngineColdArtifacts(b *testing.B) {
+	ds := campaignDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := analysis.NewEngine(analysis.EngineOptions{Metrics: obs.New()})
+		arts, err := eng.Register("bench", ds).ComputeAll(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(arts) != len(analysis.ArtifactIDs()) {
+			b.Fatalf("computed %d artifacts, want %d", len(arts), len(analysis.ArtifactIDs()))
+		}
+	}
+}
+
+// BenchmarkEngineWarmArtifacts measures serving the same artifacts from a
+// warmed cache — the steady state of a report server. The epilogue proves
+// the warm path did zero recomputation: the compute histogram must not
+// grow and the hit counter must (the acceptance criterion of the engine).
+func BenchmarkEngineWarmArtifacts(b *testing.B) {
+	ds := campaignDataset(b)
+	reg := obs.New()
+	eng := analysis.NewEngine(analysis.EngineOptions{Metrics: reg})
+	h := eng.Register("bench", ds)
+	if _, err := h.ComputeAll(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	computes := reg.Histogram("analysis.compute_ns", "ns").Count()
+	hitsBefore := reg.Snapshot().Counters["analysis.cache_hits_total"]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arts, err := h.ComputeAll(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(arts) != len(analysis.ArtifactIDs()) {
+			b.Fatal("short artifact set")
+		}
+	}
+	b.StopTimer()
+	if got := reg.Histogram("analysis.compute_ns", "ns").Count(); got != computes {
+		b.Fatalf("warm serving recomputed artifacts: compute_ns count %d -> %d", computes, got)
+	}
+	if hits := reg.Snapshot().Counters["analysis.cache_hits_total"]; hits <= hitsBefore {
+		b.Fatalf("warm serving counted no cache hits (%d -> %d)", hitsBefore, hits)
+	}
+}
 
 // --- §4.2 / §3.2 prose experiments -------------------------------------------
 

@@ -8,14 +8,18 @@
 //	avwanalyze -dataset dataset.json -table 2        # one table
 //	avwanalyze -dataset dataset.json -figure 1f -csv # one figure as CSV
 //	avwanalyze -dataset dataset.json -passwords      # password audit
+//	avwanalyze -dataset dataset.json -artifact list  # serving artifact IDs
+//	avwanalyze -dataset dataset.json -artifact figure-1a.svg > 1a.svg
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"appvsweb/internal/analysis"
 	"appvsweb/internal/capture"
@@ -27,6 +31,7 @@ import (
 func main() {
 	var (
 		path      = flag.String("dataset", "dataset.json", "dataset produced by avwrun")
+		artifact  = flag.String("artifact", "", "print one serving artifact by ID ('list' to enumerate)")
 		table     = flag.Int("table", 0, "print one table (1, 2, or 3)")
 		figure    = flag.String("figure", "", "print one figure (1a..1f)")
 		csv       = flag.Bool("csv", false, "CSV output for -figure")
@@ -69,17 +74,55 @@ func main() {
 		}
 	}
 
+	if *artifact != "" {
+		if *artifact == "list" {
+			for _, id := range analysis.ArtifactIDs() {
+				ct, _ := analysis.ArtifactContentType(id)
+				fmt.Printf("%-18s %s\n", id, ct)
+			}
+			return
+		}
+		eng := analysis.NewEngine(analysis.EngineOptions{Metrics: obs.Default})
+		art, err := eng.Register("dataset", ds).Artifact(context.Background(), *artifact)
+		if err != nil {
+			fatalf("artifact: %v", err)
+		}
+		os.Stdout.Write(art.Bytes)
+		return
+	}
+
 	if *figDir != "" {
 		if err := os.MkdirAll(*figDir, 0o755); err != nil {
 			fatalf("figures dir: %v", err)
 		}
-		for _, id := range analysis.FigureIDs() {
-			svg, _ := analysis.FigureSVG(ds, id)
-			path := filepath.Join(*figDir, "figure"+id+".svg")
-			if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
-				fatalf("write %s: %v", path, err)
+		// The figure panels are independent jobs: compute them through the
+		// engine's worker pool instead of sequentially.
+		eng := analysis.NewEngine(analysis.EngineOptions{Metrics: obs.Default})
+		h := eng.Register("dataset", ds)
+		var wg sync.WaitGroup
+		errs := make([]error, len(analysis.FigureIDs()))
+		for i, id := range analysis.FigureIDs() {
+			wg.Add(1)
+			go func(i int, id string) {
+				defer wg.Done()
+				art, err := h.Artifact(context.Background(), "figure-"+id+".svg")
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				path := filepath.Join(*figDir, "figure"+id+".svg")
+				if err := os.WriteFile(path, art.Bytes, 0o644); err != nil {
+					errs[i] = err
+					return
+				}
+				fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+			}(i, id)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				fatalf("figures: %v", err)
 			}
-			fmt.Fprintf(os.Stderr, "wrote %s"+"\n", path)
 		}
 		return
 	}

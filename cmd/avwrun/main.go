@@ -220,6 +220,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "skipped %s/%s/%s after %d attempt(s) at stage %s: %s\n",
 			f.Service, f.OS, f.Medium, f.Attempts, f.Stage, f.Error)
 	}
+	if n := len(ds.Meta.StaleResume); n > 0 {
+		fmt.Fprintf(os.Stderr, "warning: %d resume-journal record(s) match no experiment in this campaign (stale journal?); ignored: %s\n",
+			n, strings.Join(ds.Meta.StaleResume, ", "))
+	}
 	if *progress {
 		printTimingTable()
 	}

@@ -1,74 +1,177 @@
-// Command avwserve hosts the local equivalent of the paper's interactive
-// recommendation site (https://recon.meddle.mobi/appvsweb/): a small web
-// app that scores every measured service under user-supplied privacy
-// weights and recommends the app or the Web site.
+// Command avwserve is the multi-campaign report server: it hosts the
+// paper's interactive recommendation site (the local equivalent of
+// https://recon.meddle.mobi/appvsweb/) and serves every evaluation
+// artifact — the full report, Tables 1–3, Figure 1a–f panels as CSV and
+// SVG, the cross-service survey, the paper-calibration diff — over HTTP,
+// for any number of datasets at once.
+//
+// Artifacts are computed by the memoized analysis engine
+// (internal/analysis.Engine, docs/serving.md): each is cached under a
+// fingerprint of the dataset content it reads, so a warm fetch does no
+// recomputation and responses carry strong ETags that stay valid across
+// restarts. A live campaign can be attached with -live: the server tails
+// its crash-safe journal, folds completed experiments into a partial
+// dataset as they land, and serves the in-progress results at /live while
+// invalidating only the artifacts each fold actually changes.
 //
 // Alongside the app it exposes the observability surface of internal/obs:
-// a JSON metrics snapshot at /debug/metrics (request counts, latency
-// quantiles, and anything a campaign recorded in-process) and the runtime
+// a JSON metrics snapshot at /debug/metrics (request counts, artifact
+// cache hits/misses, per-artifact compute latency) and the runtime
 // profiler at /debug/pprof/. The server uses a ReadHeaderTimeout so idle
 // clients cannot pin connections open, and shuts down gracefully on
 // SIGINT/SIGTERM, draining in-flight requests for up to the -grace period.
 //
 // Usage:
 //
-//	avwserve -dataset dataset.json -addr 127.0.0.1:8787 [-grace 5s]
+//	avwserve -dataset dataset.json                       # one campaign
+//	avwserve -dataset baseline=old.json -dataset adblock=new.json
+//	avwserve -dataset done=prev.json -live now=run.journal -scale 0.5
 //	open http://127.0.0.1:8787/?os=android&weights=L=3,UID=5
-//	curl  http://127.0.0.1:8787/api/recommend?os=ios
+//	curl  http://127.0.0.1:8787/api/datasets
+//	curl  http://127.0.0.1:8787/api/default/artifact/table1
+//	curl  http://127.0.0.1:8787/api/default/artifact/figure-1a.svg
+//	curl  http://127.0.0.1:8787/live
 //	curl  http://127.0.0.1:8787/debug/metrics
-//	go tool pprof http://127.0.0.1:8787/debug/pprof/profile?seconds=10
 //
 // Flags:
 //
-//	-dataset path   dataset produced by avwrun (default dataset.json)
-//	-addr host:port listen address (default 127.0.0.1:8787)
-//	-grace duration shutdown drain period after SIGINT/SIGTERM (default 5s)
+//	-dataset [name=]path  dataset produced by avwrun; repeatable. A bare
+//	                      path gets the name "default".
+//	-live [name=]path     campaign journal to tail live; repeatable. A
+//	                      bare path gets the name "live".
+//	-scale fraction       catalog scale recorded for -live partial
+//	                      datasets (match the campaign's -scale)
+//	-interval duration    journal polling cadence for -live (default 500ms)
+//	-warm                 precompute all artifacts for static datasets at
+//	                      startup (cold-start latency moves to boot)
+//	-addr host:port       listen address (default 127.0.0.1:8787)
+//	-grace duration       shutdown drain period (default 5s)
 package main
 
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"appvsweb/internal/analysis"
 	"appvsweb/internal/core"
 	"appvsweb/internal/obs"
-	"appvsweb/internal/recommend"
 )
+
+// namedPath is one [name=]path flag value.
+type namedPath struct{ name, path string }
+
+// parseNamed splits "name=path" (or a bare path, which gets fallback) and
+// rejects duplicate names across both flag families.
+func parseNamed(v, fallback string, seen map[string]bool) (namedPath, error) {
+	np := namedPath{name: fallback, path: v}
+	if i := strings.IndexByte(v, '='); i >= 0 {
+		np.name, np.path = v[:i], v[i+1:]
+	}
+	if np.name == "" || np.path == "" {
+		return np, fmt.Errorf("want [name=]path, got %q", v)
+	}
+	if strings.ContainsAny(np.name, "/ ") {
+		return np, fmt.Errorf("dataset name %q may not contain '/' or spaces", np.name)
+	}
+	if seen[np.name] {
+		return np, fmt.Errorf("duplicate dataset name %q", np.name)
+	}
+	seen[np.name] = true
+	return np, nil
+}
 
 func main() {
 	var (
-		path  = flag.String("dataset", "dataset.json", "dataset produced by avwrun")
-		addr  = flag.String("addr", "127.0.0.1:8787", "listen address")
-		grace = flag.Duration("grace", 5*time.Second, "graceful-shutdown drain period")
+		addr     = flag.String("addr", "127.0.0.1:8787", "listen address")
+		grace    = flag.Duration("grace", 5*time.Second, "graceful-shutdown drain period")
+		scale    = flag.Float64("scale", 1, "catalog scale recorded for -live partial datasets")
+		interval = flag.Duration("interval", 500*time.Millisecond, "journal polling cadence for -live")
+		warm     = flag.Bool("warm", false, "precompute all artifacts for static datasets at startup")
 	)
+	var datasets, lives []namedPath
+	seen := make(map[string]bool)
+	flag.Func("dataset", "[name=]path of a dataset produced by avwrun (repeatable)", func(v string) error {
+		np, err := parseNamed(v, "default", seen)
+		if err == nil {
+			datasets = append(datasets, np)
+		}
+		return err
+	})
+	flag.Func("live", "[name=]path of a campaign journal to tail live (repeatable)", func(v string) error {
+		np, err := parseNamed(v, "live", seen)
+		if err == nil {
+			lives = append(lives, np)
+		}
+		return err
+	})
 	flag.Parse()
 	logger := obs.NewLogger(os.Stderr, "avwserve", "", slog.LevelInfo)
 
-	ds, err := core.Load(*path)
-	if err != nil {
-		logger.Error("load dataset", "path", *path, "err", err)
-		os.Exit(1)
+	if len(datasets) == 0 && len(lives) == 0 {
+		datasets = append(datasets, namedPath{name: "default", path: "dataset.json"})
 	}
 
-	mux := http.NewServeMux()
-	mux.Handle("/", instrument(recommend.NewHandler(ds)))
-	mux.Handle("/debug/", obs.DebugMux(obs.Default))
+	eng := analysis.NewEngine(analysis.EngineOptions{Metrics: obs.Default})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var primary *core.Dataset
+	for _, np := range datasets {
+		ds, err := core.Load(np.path)
+		if err != nil {
+			logger.Error("load dataset", "name", np.name, "path", np.path, "err", err)
+			os.Exit(1)
+		}
+		h := eng.Register(np.name, ds)
+		if primary == nil {
+			primary = ds
+		}
+		logger.Info("dataset registered", "name", np.name, "path", np.path,
+			"experiments", len(ds.Results))
+		if *warm {
+			go func(h *analysis.Handle) {
+				start := time.Now()
+				if _, err := h.ComputeAll(ctx); err != nil {
+					logger.Error("warm", "dataset", h.Name(), "err", err)
+					return
+				}
+				logger.Info("warmed", "dataset", h.Name(),
+					"artifacts", len(analysis.ArtifactIDs()), "elapsed", time.Since(start))
+			}(h)
+		}
+	}
+	for _, np := range lives {
+		tail := eng.TailJournal(np.name, np.path, analysis.LiveOptions{
+			Scale: *scale, Interval: *interval,
+		})
+		// Fold whatever the journal already holds before serving.
+		if _, err := tail.Poll(); err != nil {
+			logger.Warn("initial journal poll", "name", np.name, "path", np.path, "err", err)
+		}
+		go tail.Run(ctx)
+		logger.Info("live journal attached", "name", np.name, "path", np.path,
+			"experiments", len(tail.Handle().Dataset().Results), "interval", *interval)
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           mux,
+		Handler:           newMux(eng, primary, obs.Default, logger),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	logger.Info("listening", "url", "http://"+*addr+"/", "results", len(ds.Results),
-		"metrics", "/debug/metrics")
+	logger.Info("listening", "url", "http://"+*addr+"/",
+		"datasets", len(datasets), "live", len(lives),
+		"artifacts", "/api/datasets", "metrics", "/debug/metrics")
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -78,6 +181,7 @@ func main() {
 		os.Exit(1)
 	case s := <-sig:
 		logger.Info("draining", "signal", s.String(), "grace", *grace)
+		cancel() // stop live tails
 		ctx, cancel := context.WithTimeout(context.Background(), *grace)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
@@ -85,17 +189,4 @@ func main() {
 			os.Exit(1)
 		}
 	}
-}
-
-// instrument wraps the app handler with request counting and latency
-// recording (serve.requests_total, serve.request_ns in docs/metrics.md).
-func instrument(next http.Handler) http.Handler {
-	requests := obs.Default.Counter("serve.requests_total")
-	latency := obs.Default.Histogram("serve.request_ns", "ns")
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		requests.Inc()
-		sp := latency.Span()
-		next.ServeHTTP(w, r)
-		sp.End()
-	})
 }

@@ -1,0 +1,211 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strings"
+
+	"appvsweb/internal/analysis"
+	"appvsweb/internal/core"
+	"appvsweb/internal/obs"
+	"appvsweb/internal/recommend"
+)
+
+// newMux builds the full routing surface of the report server over an
+// artifact engine. primary, when non-nil, is the dataset the interactive
+// recommendation app at "/" scores (the first static -dataset).
+func newMux(eng *analysis.Engine, primary *core.Dataset, reg *obs.Registry, logger *slog.Logger) *http.ServeMux {
+	mux := http.NewServeMux()
+	s := &server{eng: eng, reg: reg, logger: logger}
+
+	mux.Handle("GET /api/datasets", s.instrument(http.HandlerFunc(s.handleDatasets)))
+	mux.Handle("GET /api/{ds}/artifacts", s.instrument(http.HandlerFunc(s.handleArtifactIndex)))
+	mux.Handle("GET /api/{ds}/artifact/{id}", s.instrument(http.HandlerFunc(s.handleArtifact)))
+	mux.Handle("GET /live", s.instrument(http.HandlerFunc(s.handleLiveIndex)))
+	mux.Handle("GET /live/{ds}", s.instrument(http.HandlerFunc(s.handleLive)))
+	mux.Handle("/debug/", obs.DebugMux(reg))
+	if primary != nil {
+		mux.Handle("/", s.instrument(recommend.NewHandler(primary)))
+	} else {
+		mux.Handle("/", s.instrument(http.HandlerFunc(s.handleIndex)))
+	}
+	return mux
+}
+
+type server struct {
+	eng    *analysis.Engine
+	reg    *obs.Registry
+	logger *slog.Logger
+}
+
+// instrument wraps a handler with request counting and latency recording
+// (serve.requests_total, serve.request_ns in docs/metrics.md).
+func (s *server) instrument(next http.Handler) http.Handler {
+	requests := s.reg.Counter("serve.requests_total")
+	latency := s.reg.Histogram("serve.request_ns", "ns")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		requests.Inc()
+		sp := latency.Span()
+		next.ServeHTTP(w, r)
+		sp.End()
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(v)
+}
+
+// datasetInfo is one row of the /api/datasets listing.
+type datasetInfo struct {
+	Name        string  `json:"name"`
+	Live        bool    `json:"live"`
+	Generation  uint64  `json:"generation"`
+	Scale       float64 `json:"scale"`
+	Experiments int     `json:"experiments"`
+	Excluded    int     `json:"excluded"`
+	Artifacts   int     `json:"artifacts"`
+}
+
+func (s *server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
+	var out []datasetInfo
+	for _, h := range s.eng.Handles() {
+		stats := h.Dataset().Stats()
+		out = append(out, datasetInfo{
+			Name: h.Name(), Live: h.Live(), Generation: h.Generation(),
+			Scale: h.Dataset().Meta.Scale, Experiments: stats.Experiments,
+			Excluded: stats.Excluded, Artifacts: len(analysis.ArtifactIDs()),
+		})
+	}
+	writeJSON(w, out)
+}
+
+func (s *server) handleIndex(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]any{
+		"endpoints": []string{
+			"/api/datasets",
+			"/api/{dataset}/artifacts",
+			"/api/{dataset}/artifact/{id}",
+			"/live",
+			"/debug/metrics",
+		},
+	})
+}
+
+func (s *server) lookup(w http.ResponseWriter, r *http.Request) (*analysis.Handle, bool) {
+	name := r.PathValue("ds")
+	h, ok := s.eng.Lookup(name)
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown dataset %q", name), http.StatusNotFound)
+	}
+	return h, ok
+}
+
+// artifactInfo is one row of the per-dataset artifact index.
+type artifactInfo struct {
+	ID          string `json:"id"`
+	ContentType string `json:"content_type"`
+	URL         string `json:"url"`
+}
+
+func (s *server) handleArtifactIndex(w http.ResponseWriter, r *http.Request) {
+	h, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var out []artifactInfo
+	for _, id := range analysis.ArtifactIDs() {
+		ct, _ := analysis.ArtifactContentType(id)
+		out = append(out, artifactInfo{ID: id, ContentType: ct,
+			URL: "/api/" + h.Name() + "/artifact/" + id})
+	}
+	writeJSON(w, out)
+}
+
+func (s *server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	h, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	art, err := h.Artifact(r.Context(), r.PathValue("id"))
+	if err != nil {
+		if strings.Contains(err.Error(), "unknown artifact") {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		s.logger.Error("artifact", "dataset", h.Name(), "id", r.PathValue("id"), "err", err)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	// The ETag is a strong validator derived from the dataset-view
+	// fingerprint: it survives server restarts, so a client cache stays
+	// valid for as long as the content itself does. Live datasets must
+	// revalidate every time (the next fold may change them); static ones
+	// may be reused briefly without a round trip.
+	w.Header().Set("ETag", art.ETag)
+	if h.Live() {
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Cache-Control", "public, max-age=60, must-revalidate")
+	}
+	if match := r.Header.Get("If-None-Match"); match != "" && etagMatches(match, art.ETag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", art.ContentType)
+	w.Write(art.Bytes)
+}
+
+// etagMatches implements If-None-Match for strong validators: "*" or any
+// listed tag.
+func etagMatches(header, etag string) bool {
+	if header == "*" {
+		return true
+	}
+	for _, part := range strings.Split(header, ",") {
+		if strings.TrimSpace(part) == etag {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *server) handleLiveIndex(w http.ResponseWriter, r *http.Request) {
+	for _, h := range s.eng.Handles() {
+		if h.Live() {
+			http.Redirect(w, r, "/live/"+h.Name(), http.StatusFound)
+			return
+		}
+	}
+	http.Error(w, "no live campaign attached (start avwserve with -live name=journal)", http.StatusNotFound)
+}
+
+// handleLive serves the partial results of an in-flight campaign: a status
+// header (generation, experiments folded so far) followed by the report
+// artifact computed from everything the journal tail has seen.
+func (s *server) handleLive(w http.ResponseWriter, r *http.Request) {
+	h, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	if !h.Live() {
+		http.Error(w, fmt.Sprintf("dataset %q is not live", h.Name()), http.StatusNotFound)
+		return
+	}
+	art, err := h.Artifact(r.Context(), "report")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	stats := h.Dataset().Stats()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("ETag", art.ETag)
+	fmt.Fprintf(w, "live campaign %q — generation %d, %d experiment(s) folded (%d excluded), %d skipped\n\n",
+		h.Name(), h.Generation(), stats.Experiments, stats.Excluded, len(h.Dataset().Meta.Failures))
+	w.Write(art.Bytes)
+}

@@ -1,0 +1,248 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"appvsweb/internal/analysis"
+	"appvsweb/internal/core"
+	"appvsweb/internal/obs"
+	"appvsweb/internal/pii"
+	"appvsweb/internal/services"
+)
+
+func testDataset() *core.Dataset {
+	mk := func(m services.Medium, aaFlows int) *core.ExperimentResult {
+		r := &core.ExperimentResult{
+			Service: "svca", Name: "SVCA", Category: services.Weather, Rank: 3,
+			OS: services.Android, Medium: m,
+			TotalFlows: 40, TotalBytes: 1 << 20,
+			AADomains: []string{"ga-sim.example"}, AAFlows: aaFlows, AABytes: 1 << 18,
+		}
+		r.Leaks = []core.LeakRecord{{
+			Host: "ga-sim.example", Domain: "ga-sim.example", Org: "ga",
+			Category: "a&a", Types: pii.NewTypeSet(pii.Location),
+		}}
+		r.LeakTypes = pii.NewTypeSet(pii.Location)
+		r.PIIDomains = []string{"ga-sim.example"}
+		return r
+	}
+	return &core.Dataset{
+		Meta:    core.Meta{Services: 1, Scale: 1},
+		Results: []*core.ExperimentResult{mk(services.App, 12), mk(services.Web, 30)},
+	}
+}
+
+func testServer(t *testing.T) (*httptest.Server, *analysis.Engine, *obs.Registry) {
+	t.Helper()
+	reg := obs.New()
+	eng := analysis.NewEngine(analysis.EngineOptions{Metrics: reg})
+	ds := testDataset()
+	eng.Register("default", ds)
+	srv := httptest.NewServer(newMux(eng, ds, reg, obs.NopLogger()))
+	t.Cleanup(srv.Close)
+	return srv, eng, reg
+}
+
+func get(t *testing.T, url string, hdr map[string]string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func body(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	var sb strings.Builder
+	if _, err := func() (int64, error) {
+		buf := make([]byte, 32<<10)
+		var n int64
+		for {
+			m, err := resp.Body.Read(buf)
+			sb.Write(buf[:m])
+			n += int64(m)
+			if err != nil {
+				if err.Error() == "EOF" {
+					return n, nil
+				}
+				return n, err
+			}
+		}
+	}(); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// TestServeArtifactETagRoundTrip: an artifact fetch returns a strong ETag;
+// revalidating with If-None-Match yields 304 with no body, and the second
+// fetch is a cache hit (no recomputation).
+func TestServeArtifactETagRoundTrip(t *testing.T) {
+	srv, _, reg := testServer(t)
+
+	resp := get(t, srv.URL+"/api/default/artifact/table1", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	etag := resp.Header.Get("ETag")
+	if etag == "" || !strings.HasPrefix(etag, `"`) {
+		t.Fatalf("ETag = %q, want a quoted strong validator", etag)
+	}
+	if cc := resp.Header.Get("Cache-Control"); !strings.Contains(cc, "must-revalidate") {
+		t.Errorf("Cache-Control = %q", cc)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if b := body(t, resp); !strings.Contains(b, "%leaking") {
+		t.Errorf("table1 body missing header:\n%s", b)
+	}
+
+	resp304 := get(t, srv.URL+"/api/default/artifact/table1", map[string]string{"If-None-Match": etag})
+	if resp304.StatusCode != http.StatusNotModified {
+		t.Fatalf("revalidation status = %d, want 304", resp304.StatusCode)
+	}
+	if b := body(t, resp304); b != "" {
+		t.Errorf("304 carried a body: %q", b)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["analysis.cache_misses_total"] != 1 {
+		t.Errorf("misses = %d, want 1", snap.Counters["analysis.cache_misses_total"])
+	}
+	if snap.Counters["analysis.cache_hits_total"] != 1 {
+		t.Errorf("hits = %d, want 1 (the 304 revalidation)", snap.Counters["analysis.cache_hits_total"])
+	}
+}
+
+// TestServeNotFound: unknown datasets and artifacts are 404s, not 500s.
+func TestServeNotFound(t *testing.T) {
+	srv, _, _ := testServer(t)
+	if resp := get(t, srv.URL+"/api/nope/artifact/report", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown dataset status = %d, want 404", resp.StatusCode)
+	}
+	if resp := get(t, srv.URL+"/api/default/artifact/bogus", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown artifact status = %d, want 404", resp.StatusCode)
+	}
+	if resp := get(t, srv.URL+"/live", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/live without a live campaign status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestServeDatasetAndArtifactListings: the discovery endpoints enumerate
+// registered datasets and the full artifact registry.
+func TestServeDatasetAndArtifactListings(t *testing.T) {
+	srv, eng, _ := testServer(t)
+	eng.Register("second", testDataset())
+
+	resp := get(t, srv.URL+"/api/datasets", nil)
+	var infos []datasetInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 || infos[0].Name != "default" || infos[1].Name != "second" {
+		t.Fatalf("datasets = %+v", infos)
+	}
+	if infos[0].Experiments != 2 || infos[0].Live {
+		t.Errorf("default info = %+v", infos[0])
+	}
+
+	resp = get(t, srv.URL+"/api/second/artifacts", nil)
+	var arts []artifactInfo
+	if err := json.NewDecoder(resp.Body).Decode(&arts); err != nil {
+		t.Fatal(err)
+	}
+	if len(arts) != len(analysis.ArtifactIDs()) {
+		t.Fatalf("artifact index has %d entries, want %d", len(arts), len(analysis.ArtifactIDs()))
+	}
+	if arts[0].URL != "/api/second/artifact/"+arts[0].ID {
+		t.Errorf("artifact URL = %q", arts[0].URL)
+	}
+}
+
+// TestServeLiveView: /live serves partial results of an in-flight
+// campaign, and its content advances as journal records fold in.
+func TestServeLiveView(t *testing.T) {
+	reg := obs.New()
+	eng := analysis.NewEngine(analysis.EngineOptions{Metrics: reg})
+	path := filepath.Join(t.TempDir(), "run.journal")
+	tail := eng.TailJournal("now", path, analysis.LiveOptions{Scale: 1})
+	srv := httptest.NewServer(newMux(eng, nil, reg, obs.NopLogger()))
+	t.Cleanup(srv.Close)
+
+	// /live redirects to the (only) live handle.
+	resp := get(t, srv.URL+"/live", nil)
+	if resp.Request.URL.Path != "/live/now" {
+		t.Fatalf("redirected to %q, want /live/now", resp.Request.URL.Path)
+	}
+	before := body(t, resp)
+	if !strings.Contains(before, "generation 1") || !strings.Contains(before, "0 experiment(s)") {
+		t.Fatalf("empty live view:\n%s", before)
+	}
+
+	// A campaign writes its first record; the tail folds it.
+	ds := testDataset()
+	j, err := core.CreateJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(core.JournalRecord{
+		Service: "svca", OS: services.Android, Medium: services.App,
+		Attempts: 1, Result: ds.Results[0],
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if changed, err := tail.Poll(); err != nil || !changed {
+		t.Fatalf("Poll = (%v, %v), want fold", changed, err)
+	}
+
+	after := body(t, get(t, srv.URL+"/live/now", nil))
+	if !strings.Contains(after, "generation 2") || !strings.Contains(after, "1 experiment(s)") {
+		t.Fatalf("live view did not advance:\n%s", after[:min(len(after), 400)])
+	}
+	if resp := get(t, srv.URL+"/api/now/artifact/report", nil); resp.StatusCode != http.StatusOK {
+		t.Errorf("live artifact status = %d", resp.StatusCode)
+	}
+	// Live responses must force revalidation.
+	if cc := get(t, srv.URL+"/api/now/artifact/report", nil).Header.Get("Cache-Control"); cc != "no-cache" {
+		t.Errorf("live Cache-Control = %q, want no-cache", cc)
+	}
+}
+
+// TestParseNamed covers the [name=]path flag grammar.
+func TestParseNamed(t *testing.T) {
+	seen := make(map[string]bool)
+	np, err := parseNamed("baseline=a.json", "default", seen)
+	if err != nil || np.name != "baseline" || np.path != "a.json" {
+		t.Fatalf("parseNamed = %+v, %v", np, err)
+	}
+	np, err = parseNamed("b.json", "default", seen)
+	if err != nil || np.name != "default" || np.path != "b.json" {
+		t.Fatalf("bare path = %+v, %v", np, err)
+	}
+	if _, err := parseNamed("c.json", "default", seen); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	if _, err := parseNamed("=x", "default", seen); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := parseNamed("a/b=x", "default", seen); err == nil {
+		t.Fatal("name with '/' accepted")
+	}
+}

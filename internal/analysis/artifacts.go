@@ -1,0 +1,234 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"appvsweb/internal/core"
+	"appvsweb/internal/pii"
+)
+
+// An artifact is one self-contained evaluation deliverable — the full
+// report, a table, a figure panel as CSV or SVG, the cross-service survey
+// — computed from a dataset and served as bytes. The registry below is the
+// engine's unit of caching and parallelism: every artifact is an
+// independent job keyed by a fingerprint of the slice of the dataset it
+// actually reads (its view), so an incremental fold that leaves a view
+// unchanged leaves its artifacts cached.
+
+// Artifact is one computed deliverable, ready to serve.
+type Artifact struct {
+	ID          string `json:"id"`
+	ContentType string `json:"content_type"`
+	// ETag is a strong validator derived from the artifact's view
+	// fingerprint: identical dataset content yields identical ETags across
+	// processes, so HTTP caches revalidate with 304s even after a restart.
+	ETag  string `json:"etag"`
+	Bytes []byte `json:"-"`
+}
+
+// viewID names a projection of the dataset an artifact family reads.
+type viewID int
+
+const (
+	// viewFull covers everything the report renders (all result fields,
+	// the ReCon evaluation reports, scale/services).
+	viewFull viewID = iota
+	// viewLeaks covers the leak-derived artifacts: per-result identity,
+	// exclusion, leak records, leak types, PII/A&A domain sets.
+	viewLeaks
+	// viewComparative covers the app-vs-web figure metrics: A&A
+	// domain/flow/byte counts, PII domain counts, leaked type sets.
+	viewComparative
+	numViews
+)
+
+// viewLeaksResult is the canonical projection hashed for viewLeaks.
+type viewLeaksResult struct {
+	Service    string            `json:"s"`
+	Name       string            `json:"n"`
+	Category   string            `json:"c"`
+	Rank       int               `json:"r"`
+	OS         string            `json:"o"`
+	Medium     string            `json:"m"`
+	Excluded   bool              `json:"x,omitempty"`
+	Leaks      []core.LeakRecord `json:"l,omitempty"`
+	LeakTypes  pii.TypeSet       `json:"t"`
+	PIIDomains []string          `json:"p,omitempty"`
+	AADomains  []string          `json:"a,omitempty"`
+}
+
+// viewComparativeResult is the canonical projection hashed for
+// viewComparative.
+type viewComparativeResult struct {
+	Service    string      `json:"s"`
+	OS         string      `json:"o"`
+	Medium     string      `json:"m"`
+	Excluded   bool        `json:"x,omitempty"`
+	AADomains  []string    `json:"a,omitempty"`
+	AAFlows    int         `json:"f"`
+	AABytes    int64       `json:"b"`
+	PIIDomains []string    `json:"p,omitempty"`
+	LeakTypes  pii.TypeSet `json:"t"`
+}
+
+// viewFingerprint hashes one view of a dataset. GeneratedAt and Duration
+// are deliberately excluded everywhere: two campaigns producing identical
+// content must fingerprint identically (that property is what makes a
+// resumed run's artifacts provably byte-identical to an uninterrupted
+// one, and what lets HTTP caches survive a server restart).
+func viewFingerprint(ds *core.Dataset, v viewID) (string, error) {
+	h := sha256.New()
+	enc := json.NewEncoder(h)
+	switch v {
+	case viewFull:
+		if err := enc.Encode(struct {
+			Scale        float64                  `json:"scale"`
+			Services     int                      `json:"services"`
+			ReconReport  string                   `json:"recon,omitempty"`
+			ReconHoldout string                   `json:"holdout,omitempty"`
+			Failures     []core.FailureRecord     `json:"failures,omitempty"`
+			Stale        []string                 `json:"stale,omitempty"`
+			Results      []*core.ExperimentResult `json:"results"`
+		}{ds.Meta.Scale, ds.Meta.Services, ds.Meta.ReconReport, ds.Meta.ReconHoldout,
+			ds.Meta.Failures, ds.Meta.StaleResume, ds.Results}); err != nil {
+			return "", err
+		}
+	case viewLeaks:
+		for _, r := range ds.Results {
+			if err := enc.Encode(viewLeaksResult{
+				r.Service, r.Name, string(r.Category), r.Rank, string(r.OS), string(r.Medium),
+				r.Excluded, r.Leaks, r.LeakTypes, r.PIIDomains, r.AADomains,
+			}); err != nil {
+				return "", err
+			}
+		}
+	case viewComparative:
+		for _, r := range ds.Results {
+			if err := enc.Encode(viewComparativeResult{
+				r.Service, string(r.OS), string(r.Medium), r.Excluded,
+				r.AADomains, r.AAFlows, r.AABytes, r.PIIDomains, r.LeakTypes,
+			}); err != nil {
+				return "", err
+			}
+		}
+	default:
+		return "", fmt.Errorf("analysis: unknown view %d", v)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// artifactSpec wires one artifact ID to its view and compute function.
+type artifactSpec struct {
+	id          string
+	contentType string
+	view        viewID
+	compute     func(*core.Dataset) ([]byte, error)
+}
+
+func textArtifact(f func(*core.Dataset) string) func(*core.Dataset) ([]byte, error) {
+	return func(ds *core.Dataset) ([]byte, error) { return []byte(f(ds)), nil }
+}
+
+func jsonArtifact(f func(*core.Dataset) any) func(*core.Dataset) ([]byte, error) {
+	return func(ds *core.Dataset) ([]byte, error) {
+		b, err := json.MarshalIndent(f(ds), "", " ")
+		if err != nil {
+			return nil, err
+		}
+		return append(b, '\n'), nil
+	}
+}
+
+// artifactSpecs is the registry of every computable artifact, in serving
+// order. IDs are stable API surface: avwserve URLs and avwanalyze
+// -artifact use them verbatim.
+var artifactSpecs = buildArtifactSpecs()
+
+func buildArtifactSpecs() []artifactSpec {
+	specs := []artifactSpec{
+		{"report", "text/plain; charset=utf-8", viewFull, textArtifact(Report)},
+		{"report.md", "text/markdown; charset=utf-8", viewFull, textArtifact(ReportMarkdown)},
+		{"compare", "text/plain; charset=utf-8", viewFull, textArtifact(func(ds *core.Dataset) string {
+			return RenderCompare(Compare(ds))
+		})},
+		{"stats.json", "application/json", viewFull, jsonArtifact(func(ds *core.Dataset) any {
+			return ds.Stats()
+		})},
+		{"headlines.json", "application/json", viewComparative, jsonArtifact(func(ds *core.Dataset) any {
+			return ComputeHeadlines(ds)
+		})},
+		{"table1", "text/plain; charset=utf-8", viewLeaks, textArtifact(func(ds *core.Dataset) string {
+			return RenderTable1Grid(Table1(ds))
+		})},
+		{"table2", "text/plain; charset=utf-8", viewLeaks, textArtifact(func(ds *core.Dataset) string {
+			return RenderTable2(Table2(ds, 20))
+		})},
+		{"table3", "text/plain; charset=utf-8", viewLeaks, textArtifact(func(ds *core.Dataset) string {
+			return RenderTable3(Table3(ds))
+		})},
+		{"passwords", "text/plain; charset=utf-8", viewLeaks, func(ds *core.Dataset) ([]byte, error) {
+			var b []byte
+			for _, s := range PasswordLeaks(ds) {
+				b = append(b, s...)
+				b = append(b, '\n')
+			}
+			return b, nil
+		}},
+		{"crossservice", "text/plain; charset=utf-8", viewLeaks, textArtifact(func(ds *core.Dataset) string {
+			return RenderCrossService(CrossService(ds, 2))
+		})},
+		{"figures", "text/plain; charset=utf-8", viewComparative, textArtifact(Figures)},
+	}
+	for _, id := range FigureIDs() {
+		id := id
+		specs = append(specs,
+			artifactSpec{"figure-" + id + ".csv", "text/csv; charset=utf-8", viewComparative,
+				func(ds *core.Dataset) ([]byte, error) {
+					out, ok := FigureCSV(ds, id)
+					if !ok {
+						return nil, fmt.Errorf("analysis: unknown figure %q", id)
+					}
+					return []byte(out), nil
+				}},
+			artifactSpec{"figure-" + id + ".svg", "image/svg+xml", viewComparative,
+				func(ds *core.Dataset) ([]byte, error) {
+					out, ok := FigureSVG(ds, id)
+					if !ok {
+						return nil, fmt.Errorf("analysis: unknown figure %q", id)
+					}
+					return []byte(out), nil
+				}},
+		)
+	}
+	return specs
+}
+
+var artifactByID = func() map[string]*artifactSpec {
+	m := make(map[string]*artifactSpec, len(artifactSpecs))
+	for i := range artifactSpecs {
+		m[artifactSpecs[i].id] = &artifactSpecs[i]
+	}
+	return m
+}()
+
+// ArtifactIDs lists every artifact the engine can compute, in serving
+// order.
+func ArtifactIDs() []string {
+	out := make([]string, len(artifactSpecs))
+	for i, s := range artifactSpecs {
+		out[i] = s.id
+	}
+	return out
+}
+
+// ArtifactContentType reports the content type of one artifact ID.
+func ArtifactContentType(id string) (string, bool) {
+	s, ok := artifactByID[id]
+	if !ok {
+		return "", false
+	}
+	return s.contentType, true
+}

@@ -96,7 +96,13 @@ func CrossService(ds *core.Dataset, minServices int) []CrossServiceRow {
 		if len(rows[i].Services) != len(rows[j].Services) {
 			return len(rows[i].Services) > len(rows[j].Services)
 		}
-		return rows[i].Org < rows[j].Org
+		if rows[i].Org != rows[j].Org {
+			return rows[i].Org < rows[j].Org
+		}
+		// Two domains can share an org (e.g. two hosts of one A&A company
+		// under different TLDs); without this tie-break their order is map
+		// iteration order, destabilizing golden outputs across runs.
+		return rows[i].Domain < rows[j].Domain
 	})
 	return rows
 }

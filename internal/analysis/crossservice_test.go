@@ -70,6 +70,45 @@ func TestCrossServiceNotJoinableWithoutKeys(t *testing.T) {
 	}
 }
 
+// TestCrossServiceSortDeterministic pins the full sort order: reach desc,
+// then Org, then Domain. Two domains sharing an org (one company under two
+// TLDs, like two Google A&A hosts) with equal reach used to order by map
+// iteration — nondeterministically across runs.
+func TestCrossServiceSortDeterministic(t *testing.T) {
+	mk := func(svc string, domain string) *core.ExperimentResult {
+		ts := pii.NewTypeSet(pii.Location)
+		return &core.ExperimentResult{
+			Service: svc, Name: svc, OS: services.Android, Medium: services.App,
+			LeakTypes: ts,
+			Leaks:     []core.LeakRecord{{Domain: domain, Org: core.OrgOf(domain), Category: "a&a", Types: ts}},
+		}
+	}
+	// tracker-sim.example and tracker-sim.test share Org "tracker" and an
+	// identical two-service reach.
+	ds := &core.Dataset{Results: []*core.ExperimentResult{
+		mk("svc1", "tracker-sim.test"),
+		mk("svc2", "tracker-sim.test"),
+		mk("svc1", "tracker-sim.example"),
+		mk("svc2", "tracker-sim.example"),
+	}}
+	want := []string{"tracker-sim.example", "tracker-sim.test"}
+	for i := 0; i < 50; i++ {
+		rows := CrossService(ds, 2)
+		if len(rows) != 2 {
+			t.Fatalf("rows = %+v", rows)
+		}
+		for j, r := range rows {
+			if r.Org != "tracker" {
+				t.Fatalf("row %d org = %q, want tracker", j, r.Org)
+			}
+			if r.Domain != want[j] {
+				t.Fatalf("iteration %d: domain order = [%s %s], want %v",
+					i, rows[0].Domain, rows[1].Domain, want)
+			}
+		}
+	}
+}
+
 func TestRenderCrossService(t *testing.T) {
 	out := RenderCrossService(CrossService(crossDataset(), 2))
 	if !strings.Contains(out, "tracker") || !strings.Contains(out, "YES") {

@@ -1,0 +1,206 @@
+package analysis
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"appvsweb/internal/core"
+)
+
+// Incremental mode: instead of waiting for a campaign to finish and
+// loading its saved dataset, the engine can tail the campaign's crash-safe
+// journal (core.Journal JSONL) while it is still being written. Each
+// completed experiment record folds into a running partial dataset; the
+// handle's generation bumps and only the artifacts whose views actually
+// changed recompute. The fold is the same keep-last, (service, OS, medium)-
+// sorted order core.JournalSet.Records uses, so a live tail that has seen
+// the whole journal produces byte-identical artifacts to a cold load of
+// the same file — the differential property live_test.go pins.
+
+// JournalDataset folds a campaign journal into a (possibly partial)
+// dataset: one result per journaled experiment, keep-last on re-appends,
+// skipped experiments contributing their excluded placeholder plus a
+// failure record. Scale is recorded in Meta (the journal does not carry
+// it).
+func JournalDataset(path string, scale float64) (*core.Dataset, error) {
+	set, err := core.LoadJournal(path)
+	if err != nil {
+		return nil, err
+	}
+	return datasetFromRecords(set.Records(), scale), nil
+}
+
+// datasetFromRecords is the shared fold: records must already be in
+// keep-last, (service, OS, medium)-sorted order.
+func datasetFromRecords(recs []core.JournalRecord, scale float64) *core.Dataset {
+	ds := &core.Dataset{Meta: core.Meta{Scale: scale}}
+	seen := make(map[string]bool)
+	for _, rec := range recs {
+		if rec.Result != nil {
+			ds.Results = append(ds.Results, rec.Result)
+			seen[rec.Service] = true
+		}
+		if rec.Skipped {
+			ds.Meta.Failures = append(ds.Meta.Failures, core.FailureRecord{
+				Service: rec.Service, OS: rec.OS, Medium: rec.Medium,
+				Stage: rec.Stage, Attempts: rec.Attempts, Error: rec.Error,
+			})
+		}
+	}
+	ds.Meta.Services = len(seen)
+	return ds
+}
+
+// LiveOptions configure a journal tail.
+type LiveOptions struct {
+	// Scale is recorded in the partial dataset's Meta (journals do not
+	// carry it; pass the campaign's -scale).
+	Scale float64
+	// Interval is the polling cadence of Run. Default 500ms.
+	Interval time.Duration
+}
+
+// LiveTail tails one campaign journal into a registered live handle.
+// Poll performs one incremental read — tests drive it directly for
+// determinism; Run loops it on a timer for servers.
+type LiveTail struct {
+	h        *Handle
+	path     string
+	scale    float64
+	interval time.Duration
+
+	// Tail state: offset is the byte position up to which complete lines
+	// have been consumed; recs is the keep-last fold so far.
+	offset int64
+	recs   map[string]core.JournalRecord
+}
+
+// TailJournal registers a live handle (starting from an empty partial
+// dataset) fed by polling the journal at path. The journal need not exist
+// yet — a campaign that has not started simply yields no records. Call
+// Poll or Run to make the handle track the file.
+func (e *Engine) TailJournal(name, path string, opts LiveOptions) *LiveTail {
+	if opts.Interval <= 0 {
+		opts.Interval = 500 * time.Millisecond
+	}
+	h := e.Register(name, datasetFromRecords(nil, opts.Scale))
+	h.live = true
+	return &LiveTail{
+		h: h, path: path, scale: opts.Scale, interval: opts.Interval,
+		recs: make(map[string]core.JournalRecord),
+	}
+}
+
+// Handle returns the live handle artifacts are requested from.
+func (t *LiveTail) Handle() *Handle { return t.h }
+
+// Poll performs one incremental read of the journal: consume newly
+// appended complete lines, fold valid records, and — if anything changed —
+// update the handle (bumping its generation, invalidating exactly the
+// artifacts whose views the new records touched). It returns whether the
+// dataset changed. A missing journal is not an error; a journal that
+// shrank (the campaign restarted without -resume) resets the fold.
+func (t *LiveTail) Poll() (bool, error) {
+	f, err := os.Open(t.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return false, nil
+		}
+		return false, fmt.Errorf("analysis: open live journal: %w", err)
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return false, fmt.Errorf("analysis: stat live journal: %w", err)
+	}
+	metrics := t.h.eng.metrics
+	if info.Size() < t.offset {
+		// Truncated under us: a fresh campaign overwrote the journal.
+		t.offset = 0
+		t.recs = make(map[string]core.JournalRecord)
+		metrics.Counter("analysis.live.resets_total").Inc()
+	}
+	if info.Size() == t.offset {
+		return false, nil
+	}
+	if _, err := f.Seek(t.offset, io.SeekStart); err != nil {
+		return false, fmt.Errorf("analysis: seek live journal: %w", err)
+	}
+	buf, err := io.ReadAll(io.LimitReader(f, info.Size()-t.offset))
+	if err != nil {
+		return false, fmt.Errorf("analysis: read live journal: %w", err)
+	}
+
+	changed := false
+	// Consume only '\n'-terminated lines: the final fragment may be a
+	// record the campaign is mid-append on (core.Journal fsyncs whole
+	// lines, but our read can race the write); it stays unconsumed until a
+	// later poll sees its newline.
+	for {
+		nl := bytes.IndexByte(buf, '\n')
+		if nl < 0 {
+			break
+		}
+		line := buf[:nl]
+		buf = buf[nl+1:]
+		t.offset += int64(nl) + 1
+		if len(line) == 0 {
+			continue
+		}
+		var rec core.JournalRecord
+		if err := json.Unmarshal(line, &rec); err != nil || (rec.Result == nil && !rec.Skipped) {
+			// A complete-but-undecodable line; skip it, as LoadJournal
+			// tolerates a torn final line and CreateJournal repairs it.
+			metrics.Counter("analysis.live.bad_lines_total").Inc()
+			continue
+		}
+		t.recs[rec.Service+"/"+string(rec.OS)+"/"+string(rec.Medium)] = rec
+		metrics.Counter("analysis.live.records_total").Inc()
+		changed = true
+	}
+	if !changed {
+		return false, nil
+	}
+
+	recs := make([]core.JournalRecord, 0, len(t.recs))
+	for _, rec := range t.recs {
+		recs = append(recs, rec)
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		if a.Service != b.Service {
+			return a.Service < b.Service
+		}
+		if a.OS != b.OS {
+			return a.OS < b.OS
+		}
+		return a.Medium < b.Medium
+	})
+	t.h.Update(datasetFromRecords(recs, t.scale))
+	metrics.Counter("analysis.live.folds_total").Inc()
+	metrics.Gauge("analysis.live.experiments").Set(int64(len(t.recs)))
+	return true, nil
+}
+
+// Run polls until the context ends, logging nothing and ignoring transient
+// read errors (the next tick retries). Servers run this in a goroutine.
+func (t *LiveTail) Run(ctx context.Context) {
+	tick := time.NewTicker(t.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			if _, err := t.Poll(); err != nil {
+				t.h.eng.metrics.Counter("analysis.live.poll_errors_total").Inc()
+			}
+		}
+	}
+}

@@ -138,6 +138,13 @@ type Meta struct {
 	// skipped under FailSkip/FailRetrySkip (docs/robustness.md). Their
 	// cells appear in Results as excluded placeholders.
 	Failures []FailureRecord `json:"failures,omitempty"`
+	// StaleResume lists journal keys ("service/os/medium") from a -resume
+	// journal that matched no experiment in this campaign's spec — the
+	// signature of resuming with a journal from a different campaign (other
+	// services, or a changed -services subset). The records are ignored,
+	// never replayed; this field makes the mismatch auditable instead of
+	// silent.
+	StaleResume []string `json:"stale_resume,omitempty"`
 }
 
 // FailureRecord describes one experiment the campaign gave up on: which

@@ -4,7 +4,9 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"sync"
 
 	"appvsweb/internal/services"
@@ -43,13 +45,89 @@ type Journal struct {
 	enc *json.Encoder
 }
 
-// CreateJournal opens (or continues) a journal file for appending.
+// CreateJournal opens (or continues) a journal file for appending. An
+// existing file's tail is validated first: a crash mid-append can leave a
+// torn final line (the write raced the kill, the fsync never ran), and
+// appending the next record after it would fuse both into one corrupt
+// line in the middle of the file — corruption LoadJournal rightly rejects,
+// killing the exact resume the journal exists to enable. Torn or
+// undecodable trailing lines are truncated away before the journal
+// accepts appends; the experiments they described simply re-run.
 func CreateJournal(path string) (*Journal, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("core: open journal: %w", err)
 	}
+	if err := repairJournalTail(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("core: seek journal: %w", err)
+	}
 	return &Journal{f: f, enc: json.NewEncoder(f)}, nil
+}
+
+// validRecordLine reports whether one journal line decodes into a record
+// LoadJournal would accept.
+func validRecordLine(line []byte) bool {
+	var rec JournalRecord
+	if err := json.Unmarshal(line, &rec); err != nil {
+		return false
+	}
+	return rec.Result != nil || rec.Skipped
+}
+
+// repairJournalTail truncates a torn tail off an existing journal: the
+// trailing run of lines (unterminated or undecodable) after the last
+// valid record. Only a pure suffix is dropped — an invalid line followed
+// by later valid records is real mid-file corruption, which is left in
+// place for LoadJournal to reject rather than silently destroying data.
+func repairJournalTail(f *os.File) error {
+	info, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("core: stat journal: %w", err)
+	}
+	if info.Size() == 0 {
+		return nil
+	}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
+	var offset, validEnd int64 // validEnd: byte offset after the last line of the valid prefix
+	brokenSince := false       // an invalid line was seen after validEnd
+	for sc.Scan() {
+		line := sc.Bytes()
+		offset += int64(len(line)) + 1 // the scanner strips the '\n'
+		if offset > info.Size() {
+			// Final line without a trailing newline: torn mid-write.
+			brokenSince = true
+			break
+		}
+		if len(line) == 0 || validRecordLine(line) {
+			if brokenSince {
+				// Valid records resume after an invalid line: not a torn
+				// tail. Leave the file for LoadJournal to diagnose.
+				return nil
+			}
+			validEnd = offset
+			continue
+		}
+		brokenSince = true
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("core: read journal: %w", err)
+	}
+	if !brokenSince || validEnd == info.Size() {
+		return nil
+	}
+	if err := f.Truncate(validEnd); err != nil {
+		return fmt.Errorf("core: truncate torn journal tail: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("core: sync journal repair: %w", err)
+	}
+	return nil
 }
 
 // Append writes one record and forces it to stable storage.
@@ -98,6 +176,43 @@ func (s *JournalSet) Len() int {
 		return 0
 	}
 	return len(s.recs)
+}
+
+// Keys lists the journaled experiment keys ("service/os/medium"), sorted.
+func (s *JournalSet) Keys() []string {
+	if s == nil {
+		return nil
+	}
+	out := make([]string, 0, len(s.recs))
+	for k := range s.recs {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Records returns the journaled outcomes (last record per experiment),
+// sorted by service, OS, medium — the deterministic order a dataset built
+// from the journal uses.
+func (s *JournalSet) Records() []JournalRecord {
+	if s == nil {
+		return nil
+	}
+	out := make([]JournalRecord, 0, len(s.recs))
+	for _, rec := range s.recs {
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Service != b.Service {
+			return a.Service < b.Service
+		}
+		if a.OS != b.OS {
+			return a.OS < b.OS
+		}
+		return a.Medium < b.Medium
+	})
+	return out
 }
 
 // LoadJournal reads a campaign journal for resumption. A corrupt final

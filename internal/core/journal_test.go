@@ -1,0 +1,274 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"appvsweb/internal/obs"
+	"appvsweb/internal/services"
+)
+
+func journalRecord(svc string, cell services.Cell, flows int) JournalRecord {
+	return JournalRecord{
+		Service: svc, OS: cell.OS, Medium: cell.Medium, Attempts: 1,
+		Result: &ExperimentResult{
+			Service: svc, Name: svc, OS: cell.OS, Medium: cell.Medium,
+			TotalFlows: flows,
+		},
+	}
+}
+
+func writeJournal(t *testing.T, path string, recs ...JournalRecord) {
+	t.Helper()
+	j, err := CreateJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+var (
+	cellAA = services.Cell{OS: services.Android, Medium: services.App}
+	cellAW = services.Cell{OS: services.Android, Medium: services.Web}
+	cellIA = services.Cell{OS: services.IOS, Medium: services.App}
+)
+
+// TestJournalTornTailRepair is the headline regression: a crash mid-append
+// leaves a torn final line; reopening the journal for appending must
+// truncate it so the next record starts on a clean line, and LoadJournal
+// must accept the result. Before the fix, CreateJournal's O_APPEND fused
+// the new record onto the torn line, producing corrupt *non-final* content
+// that LoadJournal rejects — the exact crash the journal exists to survive
+// killed the resume.
+func TestJournalTornTailRepair(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	writeJournal(t, path, journalRecord("svc1", cellAA, 10), journalRecord("svc2", cellAA, 20))
+
+	// Crash simulation: the next append died partway through the write.
+	torn := []byte(`{"service":"svc3","os":"android","medium":"app","result":{"service":"sv`)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(torn); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen (the resume path) and append the re-run experiment.
+	writeJournal(t, path, journalRecord("svc3", cellAA, 30))
+
+	set, err := LoadJournal(path)
+	if err != nil {
+		t.Fatalf("LoadJournal after torn-tail repair: %v", err)
+	}
+	if set.Len() != 3 {
+		t.Fatalf("journal records = %d, want 3 (keys %v)", set.Len(), set.Keys())
+	}
+	rec, ok := set.Lookup("svc3", cellAA)
+	if !ok || rec.Result == nil || rec.Result.TotalFlows != 30 {
+		t.Fatalf("re-appended record = %+v, ok=%v", rec, ok)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), `"sv{`) || !strings.HasSuffix(string(raw), "\n") {
+		t.Fatalf("journal bytes still torn:\n%s", raw)
+	}
+}
+
+// TestJournalTornTailMultipleGarbageLines: repair drops the whole invalid
+// suffix, not just the final unterminated fragment (e.g. an editor or a
+// partial flush left a complete-but-undecodable line before the torn one).
+func TestJournalTornTailMultipleGarbageLines(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	writeJournal(t, path, journalRecord("svc1", cellAA, 1))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("{\"service\":\"x\",\"bogus\n{\"serv")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	writeJournal(t, path, journalRecord("svc2", cellAW, 2))
+	set, err := LoadJournal(path)
+	if err != nil {
+		t.Fatalf("LoadJournal: %v", err)
+	}
+	if set.Len() != 2 {
+		t.Fatalf("records = %d, want 2", set.Len())
+	}
+}
+
+// TestJournalRepairPreservesMidfileCorruption: an invalid line followed by
+// later valid records is not a torn tail; repair must not silently discard
+// the valid records after it, and LoadJournal must still reject the file
+// as genuinely corrupt.
+func TestJournalRepairPreservesMidfileCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	writeJournal(t, path, journalRecord("svc1", cellAA, 1))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Invalid line followed by a valid record: mid-file corruption, not a
+	// torn tail.
+	if _, err := f.Write([]byte("garbage-not-json\n" +
+		`{"service":"svc2","os":"ios","medium":"app","result":{"service":"svc2"}}` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := CreateJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) < len(before) {
+		t.Fatalf("repair discarded mid-file data: %d -> %d bytes", len(before), len(after))
+	}
+	if _, err := LoadJournal(path); err == nil {
+		t.Fatal("LoadJournal accepted genuine mid-file corruption")
+	}
+}
+
+// TestJournalTornTailOnly: a journal whose only content is a torn line
+// repairs to an empty file and accepts appends.
+func TestJournalTornTailOnly(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	if err := os.WriteFile(path, []byte(`{"service":"svc1","os":"andr`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	writeJournal(t, path, journalRecord("svc1", cellIA, 7))
+	set, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 1 {
+		t.Fatalf("records = %d, want 1", set.Len())
+	}
+}
+
+// TestResumeStaleJournalDetected: resuming with a journal from a different
+// campaign spec must not silently ignore the foreign records — they are
+// warned about, counted, and listed in Dataset.Meta.StaleResume (and never
+// replayed into the results).
+func TestResumeStaleJournalDetected(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a reduced campaign")
+	}
+	path := filepath.Join(t.TempDir(), "run.journal")
+	writeJournal(t, path, journalRecord("grubexpress", cellAA, 99))
+	set, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.New()
+	r := testRunner(t, Options{Scale: 0.05, Metrics: reg, Resume: set}, "weathernow")
+	ds, err := r.RunCampaign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"grubexpress/android/app"}
+	if len(ds.Meta.StaleResume) != 1 || ds.Meta.StaleResume[0] != want[0] {
+		t.Errorf("Meta.StaleResume = %v, want %v", ds.Meta.StaleResume, want)
+	}
+	if got := reg.Snapshot().Counters["campaign.stale_resume"]; got != 1 {
+		t.Errorf("campaign.stale_resume = %d, want 1", got)
+	}
+	for _, res := range ds.Results {
+		if res.Service == "grubexpress" {
+			t.Errorf("stale journal record was replayed into the dataset: %+v", res)
+		}
+	}
+}
+
+// TestResumeFreshJournalNotStale: a journal that matches the campaign spec
+// records nothing in StaleResume.
+func TestResumeFreshJournalNotStale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a reduced campaign")
+	}
+	r := testRunner(t, Options{Scale: 0.05}, "weathernow")
+	ds, err := r.RunCampaign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "run.journal")
+	var recs []JournalRecord
+	for _, res := range ds.Results {
+		recs = append(recs, JournalRecord{
+			Service: res.Service, OS: res.OS, Medium: res.Medium, Attempts: 1, Result: res,
+		})
+	}
+	writeJournal(t, path, recs...)
+	set, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := testRunner(t, Options{Scale: 0.05, Resume: set}, "weathernow")
+	ds2, err := r2.RunCampaign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds2.Meta.StaleResume) != 0 {
+		t.Errorf("Meta.StaleResume = %v, want empty", ds2.Meta.StaleResume)
+	}
+}
+
+// TestJournalSetRecords: Records returns keep-last, deterministically
+// sorted outcomes — the fold order live tailing and cold journal datasets
+// share.
+func TestJournalSetRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	writeJournal(t, path,
+		journalRecord("zeta", cellAA, 1),
+		journalRecord("alpha", cellAW, 2),
+		journalRecord("alpha", cellAA, 3),
+		journalRecord("alpha", cellAA, 4), // re-append: keep last
+	)
+	set, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := set.Records()
+	if len(recs) != 3 {
+		t.Fatalf("records = %d, want 3", len(recs))
+	}
+	if recs[0].Service != "alpha" || recs[0].Medium != services.App || recs[0].Result.TotalFlows != 4 {
+		t.Errorf("recs[0] = %+v, want alpha/app keep-last flows=4", recs[0])
+	}
+	if recs[1].Service != "alpha" || recs[1].Medium != services.Web {
+		t.Errorf("recs[1] = %+v, want alpha/web", recs[1])
+	}
+	if recs[2].Service != "zeta" {
+		t.Errorf("recs[2] = %+v, want zeta", recs[2])
+	}
+}

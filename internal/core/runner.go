@@ -708,7 +708,28 @@ func (r *Runner) RunCampaignContext(parent context.Context) (*Dataset, error) {
 	}
 
 	// Resume: experiments the journal already records are replayed from
-	// it instead of re-measured; everything else runs normally.
+	// it instead of re-measured; everything else runs normally. Journal
+	// records that match no job in this campaign are stale — a journal
+	// from a different campaign spec (other services, or a changed subset).
+	// They are never replayed, but the mismatch is warned about and
+	// recorded in Dataset.Meta.StaleResume rather than ignored silently.
+	var staleResume []string
+	if r.Opts.Resume.Len() > 0 {
+		known := make(map[string]bool, len(jobs))
+		for _, j := range jobs {
+			known[j.spec.Key+"/"+string(j.cell.OS)+"/"+string(j.cell.Medium)] = true
+		}
+		for _, k := range r.Opts.Resume.Keys() {
+			if !known[k] {
+				staleResume = append(staleResume, k)
+			}
+		}
+		if len(staleResume) > 0 {
+			r.Opts.Metrics.Counter("campaign.stale_resume").Add(int64(len(staleResume)))
+			r.Opts.Logger.Warn("stale resume journal: records match no experiment in this campaign",
+				"stale", len(staleResume), "journaled", r.Opts.Resume.Len(), "keys", staleResume)
+		}
+	}
 	var torun []campaignJob
 	resumedCount := 0
 	for _, j := range jobs {
@@ -809,6 +830,7 @@ func (r *Runner) RunCampaignContext(parent context.Context) (*Dataset, error) {
 			Services:    len(r.Eco.Catalog),
 			Scale:       r.Opts.Scale,
 			Duration:    r.Opts.Duration,
+			StaleResume: staleResume,
 		},
 	}
 	for _, run := range runs {

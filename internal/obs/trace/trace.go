@@ -42,6 +42,11 @@ const (
 	// request — the certificate-pinning signature that excludes an
 	// experiment.
 	EvTunnelFailure = "proxy.tunnel_failure"
+
+	// EvArtifactCompute records one artifact cache miss in the analysis
+	// engine: attrs carry the artifact ID, view fingerprint prefix, and
+	// output size; DurNS the compute cost. Cache hits emit nothing.
+	EvArtifactCompute = "artifact.compute"
 )
 
 // Event is one trace record. The JSON field names are the wire schema of

@@ -3,6 +3,7 @@ package appvsweb
 import (
 	"context"
 	"errors"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -69,7 +70,25 @@ func TestResumeProducesIdenticalReport(t *testing.T) {
 			len(partial.Results), len(full.Results))
 	}
 
-	// Resume: journaled experiments replay, the rest are measured.
+	// Crash realism: the kill also tore the final journal line mid-write
+	// (the record was partially flushed, the fsync never ran). Resume must
+	// survive this too — the torn line is repaired on reopen, and the next
+	// append must not fuse onto it (the PR 5 regression).
+	torn := []byte(`{"service":"weathernow","os":"android","medium":"app","result":{"serv`)
+	jf, err := os.OpenFile(journalPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jf.Write(torn); err != nil {
+		t.Fatal(err)
+	}
+	if err := jf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume exactly as avwrun -resume does: load the journal (tolerating
+	// the torn tail), reopen it for appending (repairing the tail), replay
+	// journaled experiments and measure the rest.
 	set, err := core.LoadJournal(journalPath)
 	if err != nil {
 		t.Fatal(err)
@@ -77,8 +96,15 @@ func TestResumeProducesIdenticalReport(t *testing.T) {
 	if set.Len() == 0 {
 		t.Fatal("journal is empty; nothing was checkpointed")
 	}
-	resumed, err := run(core.Options{Scale: 0.1, Parallelism: 2, Resume: set}, context.Background())
+	j2, err := core.CreateJournal(journalPath)
 	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := run(core.Options{Scale: 0.1, Parallelism: 2, Resume: set, Journal: j2}, context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
 		t.Fatal(err)
 	}
 	if len(resumed.Results) != len(full.Results) {
@@ -86,5 +112,15 @@ func TestResumeProducesIdenticalReport(t *testing.T) {
 	}
 	if got := analysis.Report(resumed); got != want {
 		t.Errorf("resumed report differs from uninterrupted run:\n--- uninterrupted ---\n%s\n--- resumed ---\n%s", want, got)
+	}
+
+	// The continued journal must itself be loadable (no corrupt non-final
+	// lines) and now cover the full campaign.
+	final, err := core.LoadJournal(journalPath)
+	if err != nil {
+		t.Fatalf("journal corrupt after torn-tail resume: %v", err)
+	}
+	if final.Len() != len(full.Results) {
+		t.Fatalf("journal covers %d experiments after resume, want %d", final.Len(), len(full.Results))
 	}
 }
