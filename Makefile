@@ -28,7 +28,8 @@ BENCH_TOLERANCE ?= 0.40
 
 .PHONY: build test short race race-fault vet fmt check bench bench-micro \
 	bench-macro bench-macro-gate bench-check bench-baseline \
-	bench-baseline-macro fuzz
+	bench-baseline-macro bench-serve bench-serve-gate \
+	bench-baseline-serve fuzz
 
 build:
 	$(GO) build ./...
@@ -46,7 +47,7 @@ short:
 race:
 	$(GO) test -race ./internal/obs/... ./internal/core/... \
 		./internal/pii ./internal/easylist ./internal/domains \
-		./internal/analysis ./cmd/avwserve
+		./internal/analysis ./internal/serve ./cmd/avwserve ./cmd/avwbench
 
 ## race-fault: the fault-tolerance suite under the race detector — every
 ## failure policy via scripted fault injection, cancellation, journal
@@ -142,6 +143,36 @@ bench-baseline: bench-micro
 
 bench-baseline-macro: bench-macro-gate
 	$(GO) run ./cmd/benchcheck -write bench_baseline_macro.json BENCH_macro_gate.json
+
+# The serve bench drives the production mux (internal/serve) over real
+# loopback HTTP with avwbench: closed loop, zipfian artifact mix, half the
+# repeat requests conditional. avwbench self-gates the protocol invariants
+# (-min-304: revalidation must work; -max-error-rate 0: any 5xx fails) and
+# writes BENCH_serve.json for the throughput/latency comparison. Like the
+# macro gate it compares -nodrift (the four serve benchmarks all move
+# together, so the median ratio would define the drift and gate nothing);
+# per-entry "tol" values in bench_baseline_serve.json widen the band for
+# the noisy tail quantiles only. docs/load-testing.md explains the knobs.
+SERVE_BENCH_TOLERANCE ?= 0.60
+SERVE_BENCH_FLAGS ?= -dataset dataset.json -mode closed -c 8 -warmup 1s \
+	-duration 5s -zipf 1.2 -revalidate 0.5 -seed 1 -min-304 0.2
+
+bench-serve:
+	$(GO) run ./cmd/avwbench $(SERVE_BENCH_FLAGS) -bench BENCH_serve.json
+	@echo "wrote BENCH_serve.json"
+
+## bench-serve-gate: serving-path regression guard — a fresh load run vs
+## the committed bench_baseline_serve.json (resampled once on failure)
+bench-serve-gate: bench-serve
+	@$(GO) run ./cmd/benchcheck -baseline bench_baseline_serve.json \
+		-nodrift -tol $(SERVE_BENCH_TOLERANCE) BENCH_serve.json || { \
+		echo "bench-serve-gate: failure reported; resampling once to rule out interference"; \
+		$(MAKE) bench-serve; \
+		$(GO) run ./cmd/benchcheck -baseline bench_baseline_serve.json \
+			-nodrift -tol $(SERVE_BENCH_TOLERANCE) BENCH_serve.json; }
+
+bench-baseline-serve: bench-serve
+	$(GO) run ./cmd/benchcheck -write bench_baseline_serve.json BENCH_serve.json
 
 ## fuzz: short smoke of every fuzz target (CI runs this)
 fuzz:

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// benchPackage is the package name the synthetic stream reports; baseline
+// keys become "appvsweb/cmd/avwbench/BenchmarkServe...".
+const benchPackage = "appvsweb/cmd/avwbench"
+
+// writeBenchStream renders the run as a test2json stream so benchcheck can
+// gate it exactly like a `go test -bench` suite. Four synthetic benchmarks
+// cover the axes that matter: wall time per request (the reciprocal of
+// throughput, so a throughput collapse reads as an ns/op regression) and
+// the exact latency quantiles from the reservoir. The iteration count is
+// the measured request count — benchcheck ignores it, humans reading the
+// stream get the sample size for free.
+func writeBenchStream(path string, res Result) error {
+	if res.RPS <= 0 {
+		return fmt.Errorf("cannot emit benchmarks from a zero-throughput run")
+	}
+	rows := []struct {
+		name string
+		ns   float64
+	}{
+		{"BenchmarkServeWallPerRequest", 1e9 / res.RPS},
+		{"BenchmarkServeLatencyP50", float64(res.LatencyNS.P50)},
+		{"BenchmarkServeLatencyP95", float64(res.LatencyNS.P95)},
+		{"BenchmarkServeLatencyP99", float64(res.LatencyNS.P99)},
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, row := range rows {
+		ev := struct {
+			Action  string `json:"Action"`
+			Package string `json:"Package"`
+			Output  string `json:"Output"`
+		}{
+			Action:  "output",
+			Package: benchPackage,
+			Output:  fmt.Sprintf("%s %d %.1f ns/op\n", row.name, res.Requests, row.ns),
+		}
+		if err := enc.Encode(&ev); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}

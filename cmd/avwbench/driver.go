@@ -1,0 +1,288 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"appvsweb/internal/obs"
+)
+
+// The load driver. Two generator disciplines, selected by Config.Mode:
+//
+//   - closed loop: Concurrency workers each issue back-to-back requests —
+//     offered load adapts to the server (classic saturation benchmark,
+//     measures capacity).
+//   - open loop: arrivals are generated at Rate per second regardless of
+//     how the server is doing, queued to at most Concurrency in-flight
+//     workers; latency is measured from *arrival*, so queue wait counts,
+//     and arrivals that find the queue full are counted as dropped instead
+//     of silently stretching the schedule (the coordinated-omission trap).
+//
+// Both phases of a run use the same workers: an unmeasured warm phase
+// (Config.Warmup — populates the server's artifact cache and the clients'
+// ETag maps) and a measured phase (Config.Duration). Setting Warmup to 0
+// benches the cold path: the first wave of requests pays artifact
+// computation, exactly like a just-restarted server.
+type Config struct {
+	BaseURL     string
+	Datasets    []string // dataset names to spread requests across (uniform)
+	Artifacts   []string // artifact IDs in popularity order (zipfian rank 0 = hottest)
+	Mode        string   // "closed" or "open"
+	Concurrency int
+	Rate        float64 // open-loop arrivals per second
+	Duration    time.Duration
+	Warmup      time.Duration
+	ZipfS       float64 // zipf exponent over artifact ranks (> 1)
+	Revalidate  float64 // fraction of repeat requests sent with If-None-Match
+	Seed        int64
+	Client      *http.Client
+}
+
+// Quantiles are exact latency order statistics from the measured phase.
+type Quantiles struct {
+	P50 int64 `json:"p50"`
+	P95 int64 `json:"p95"`
+	P99 int64 `json:"p99"`
+	Max int64 `json:"max"`
+}
+
+// Result is one run's measured-phase summary, printed as JSON and
+// convertible to a benchcheck stream (writeBenchStream).
+type Result struct {
+	Mode        string    `json:"mode"`
+	Concurrency int       `json:"concurrency"`
+	Requests    int64     `json:"requests"`
+	Errors      int64     `json:"errors"`
+	NotModified int64     `json:"not_modified"`
+	Bytes       int64     `json:"bytes"`
+	Dropped     int64     `json:"dropped_arrivals"`
+	DurationNS  int64     `json:"duration_ns"`
+	RPS         float64   `json:"rps"`
+	NotModRatio float64   `json:"not_modified_ratio"`
+	ErrorRate   float64   `json:"error_rate"`
+	LatencyNS   Quantiles `json:"latency_ns"`
+}
+
+type driver struct {
+	cfg    Config
+	client *http.Client
+
+	measuring atomic.Bool
+	requests  atomic.Int64
+	errors    atomic.Int64
+	notMod    atomic.Int64
+	bytes     atomic.Int64
+	dropped   atomic.Int64
+	lat       *obs.Reservoir
+}
+
+func newDriver(cfg Config) (*driver, error) {
+	if len(cfg.Datasets) == 0 || len(cfg.Artifacts) == 0 {
+		return nil, fmt.Errorf("avwbench: nothing to request (datasets=%d artifacts=%d)",
+			len(cfg.Datasets), len(cfg.Artifacts))
+	}
+	if cfg.Mode != "closed" && cfg.Mode != "open" {
+		return nil, fmt.Errorf("avwbench: unknown mode %q (want closed or open)", cfg.Mode)
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 8
+	}
+	if cfg.Mode == "open" && cfg.Rate <= 0 {
+		return nil, fmt.Errorf("avwbench: open-loop mode needs -rate > 0")
+	}
+	if cfg.ZipfS <= 1 {
+		return nil, fmt.Errorf("avwbench: zipf exponent must be > 1, got %v", cfg.ZipfS)
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{
+			Timeout: 30 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConns:        cfg.Concurrency * 2,
+				MaxIdleConnsPerHost: cfg.Concurrency * 2,
+				DisableCompression:  true,
+			},
+		}
+	}
+	return &driver{cfg: cfg, client: client, lat: obs.NewReservoir(1<<16, cfg.Seed)}, nil
+}
+
+// Run executes warm phase then measured phase and returns the summary.
+func (d *driver) Run(ctx context.Context) Result {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var arrivals chan time.Time
+	if d.cfg.Mode == "open" {
+		// Queue depth = concurrency: an arrival beyond "every worker busy
+		// plus one waiting each" is overload, reported as Dropped.
+		arrivals = make(chan time.Time, d.cfg.Concurrency)
+		go d.pace(ctx, arrivals)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < d.cfg.Concurrency; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			d.worker(ctx, int64(i), arrivals)
+		}(i)
+	}
+
+	sleepCtx(ctx, d.cfg.Warmup)
+	d.measuring.Store(true)
+	start := time.Now()
+	sleepCtx(ctx, d.cfg.Duration)
+	cancel()
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := Result{
+		Mode:        d.cfg.Mode,
+		Concurrency: d.cfg.Concurrency,
+		Requests:    d.requests.Load(),
+		Errors:      d.errors.Load(),
+		NotModified: d.notMod.Load(),
+		Bytes:       d.bytes.Load(),
+		Dropped:     d.dropped.Load(),
+		DurationNS:  elapsed.Nanoseconds(),
+		LatencyNS: Quantiles{
+			P50: d.lat.Quantile(0.50),
+			P95: d.lat.Quantile(0.95),
+			P99: d.lat.Quantile(0.99),
+			Max: d.lat.Max(),
+		},
+	}
+	if elapsed > 0 {
+		res.RPS = float64(res.Requests) / elapsed.Seconds()
+	}
+	if res.Requests > 0 {
+		res.NotModRatio = float64(res.NotModified) / float64(res.Requests)
+		res.ErrorRate = float64(res.Errors) / float64(res.Requests)
+	}
+	return res
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
+// pace generates open-loop arrivals at cfg.Rate using a 1ms accumulator
+// tick (exact for any rate without sub-millisecond timers).
+func (d *driver) pace(ctx context.Context, out chan<- time.Time) {
+	defer close(out)
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	perTick := d.cfg.Rate / 1000
+	var acc float64
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			for acc += perTick; acc >= 1; acc-- {
+				select {
+				case out <- time.Now():
+				default:
+					if d.measuring.Load() {
+						d.dropped.Add(1)
+					}
+				}
+			}
+		}
+	}
+}
+
+// worker issues requests until the context ends. Each worker owns its RNG
+// (deterministic per seed+index) and its ETag memory, mimicking an
+// independent HTTP client with a private cache.
+func (d *driver) worker(ctx context.Context, idx int64, arrivals <-chan time.Time) {
+	rng := rand.New(rand.NewSource(d.cfg.Seed + 7919*idx))
+	var zipf *rand.Zipf
+	if len(d.cfg.Artifacts) > 1 {
+		zipf = rand.NewZipf(rng, d.cfg.ZipfS, 1, uint64(len(d.cfg.Artifacts)-1))
+	}
+	etags := make(map[string]string)
+	for {
+		var arrival time.Time
+		if arrivals != nil {
+			select {
+			case <-ctx.Done():
+				return
+			case a, ok := <-arrivals:
+				if !ok {
+					return
+				}
+				arrival = a
+			}
+		} else {
+			if ctx.Err() != nil {
+				return
+			}
+			arrival = time.Now()
+		}
+		d.do(ctx, d.pickURL(rng, zipf), arrival, etags, rng)
+	}
+}
+
+// pickURL samples one request target: uniform over datasets, zipfian over
+// artifact popularity ranks.
+func (d *driver) pickURL(rng *rand.Rand, zipf *rand.Zipf) string {
+	ds := d.cfg.Datasets[rng.Intn(len(d.cfg.Datasets))]
+	rank := 0
+	if zipf != nil {
+		rank = int(zipf.Uint64())
+	}
+	return d.cfg.BaseURL + "/api/" + ds + "/artifact/" + d.cfg.Artifacts[rank]
+}
+
+// do issues one GET, optionally with If-None-Match conditional reuse, and
+// records into the measured-phase stats when measuring.
+func (d *driver) do(ctx context.Context, url string, arrival time.Time, etags map[string]string, rng *rand.Rand) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return
+	}
+	if et, ok := etags[url]; ok && rng.Float64() < d.cfg.Revalidate {
+		req.Header.Set("If-None-Match", et)
+	}
+	resp, err := d.client.Do(req)
+	if err != nil {
+		// Shutdown cancellation is the run ending, not a server failure.
+		if ctx.Err() == nil && d.measuring.Load() {
+			d.requests.Add(1)
+			d.errors.Add(1)
+		}
+		return
+	}
+	n, _ := io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if et := resp.Header.Get("ETag"); et != "" {
+		etags[url] = et
+	}
+	if !d.measuring.Load() {
+		return
+	}
+	d.requests.Add(1)
+	d.bytes.Add(n)
+	switch {
+	case resp.StatusCode == http.StatusNotModified:
+		d.notMod.Add(1)
+	case resp.StatusCode != http.StatusOK:
+		d.errors.Add(1)
+	}
+	d.lat.Observe(time.Since(arrival).Nanoseconds())
+}

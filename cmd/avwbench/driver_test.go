@@ -1,0 +1,230 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+	"time"
+
+	"appvsweb/internal/analysis"
+	"appvsweb/internal/core"
+	"appvsweb/internal/obs"
+	"appvsweb/internal/pii"
+	"appvsweb/internal/serve"
+	"appvsweb/internal/services"
+)
+
+func testDataset() *core.Dataset {
+	mk := func(m services.Medium, aaFlows int) *core.ExperimentResult {
+		r := &core.ExperimentResult{
+			Service: "svca", Name: "SVCA", Category: services.Weather, Rank: 3,
+			OS: services.Android, Medium: m,
+			TotalFlows: 40, TotalBytes: 1 << 20,
+			AADomains: []string{"ga-sim.example"}, AAFlows: aaFlows, AABytes: 1 << 18,
+		}
+		r.Leaks = []core.LeakRecord{{
+			Host: "ga-sim.example", Domain: "ga-sim.example", Org: "ga",
+			Category: "a&a", Types: pii.NewTypeSet(pii.Location),
+		}}
+		r.LeakTypes = pii.NewTypeSet(pii.Location)
+		r.PIIDomains = []string{"ga-sim.example"}
+		return r
+	}
+	return &core.Dataset{
+		Meta:    core.Meta{Services: 1, Scale: 1},
+		Results: []*core.ExperimentResult{mk(services.App, 12), mk(services.Web, 30)},
+	}
+}
+
+func testTarget(t *testing.T) *httptest.Server {
+	t.Helper()
+	reg := obs.New()
+	eng := analysis.NewEngine(analysis.EngineOptions{Metrics: reg})
+	eng.Register("default", testDataset())
+	srv := httptest.NewServer(serve.NewMux(eng, nil, reg, obs.NopLogger(), serve.Config{}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestDriverClosedLoop: a short closed-loop run against the production mux
+// completes without errors, revalidates via ETags it learned during
+// warmup, and reports coherent latency quantiles.
+func TestDriverClosedLoop(t *testing.T) {
+	srv := testTarget(t)
+	d, err := newDriver(Config{
+		BaseURL:     srv.URL,
+		Datasets:    []string{"default"},
+		Artifacts:   analysis.ArtifactIDs(),
+		Mode:        "closed",
+		Concurrency: 4,
+		Warmup:      150 * time.Millisecond,
+		Duration:    300 * time.Millisecond,
+		ZipfS:       1.2,
+		Revalidate:  1, // every repeat is conditional, so 304s are guaranteed
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := d.Run(context.Background())
+
+	if res.Requests == 0 {
+		t.Fatal("measured phase completed zero requests")
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d (error_rate %.4f), want 0", res.Errors, res.ErrorRate)
+	}
+	if res.NotModified == 0 {
+		t.Error("no 304s despite -revalidate 1 and a warm phase")
+	}
+	if res.RPS <= 0 {
+		t.Errorf("RPS = %v, want > 0", res.RPS)
+	}
+	q := res.LatencyNS
+	if q.P50 <= 0 || q.P95 < q.P50 || q.P99 < q.P95 || q.Max < q.P99 {
+		t.Errorf("incoherent quantiles: %+v", q)
+	}
+	if res.Mode != "closed" || res.Concurrency != 4 {
+		t.Errorf("result echo = mode %q concurrency %d", res.Mode, res.Concurrency)
+	}
+}
+
+// TestDriverOpenLoop: the paced generator produces requests at roughly the
+// configured rate and never errors against a healthy server.
+func TestDriverOpenLoop(t *testing.T) {
+	srv := testTarget(t)
+	d, err := newDriver(Config{
+		BaseURL:     srv.URL,
+		Datasets:    []string{"default"},
+		Artifacts:   analysis.ArtifactIDs(),
+		Mode:        "open",
+		Concurrency: 4,
+		Rate:        2000,
+		Warmup:      100 * time.Millisecond,
+		Duration:    300 * time.Millisecond,
+		ZipfS:       1.3,
+		Revalidate:  0.5,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := d.Run(context.Background())
+	if res.Requests == 0 {
+		t.Fatal("open loop completed zero requests")
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d, want 0", res.Errors)
+	}
+	// 2000/s for 300ms is ~600 arrivals; a loopback server at concurrency 4
+	// keeps up, so most arrivals must be served, not dropped.
+	if res.Dropped > res.Requests {
+		t.Errorf("dropped %d arrivals vs %d served — pacer is overwhelming a healthy server",
+			res.Dropped, res.Requests)
+	}
+}
+
+func TestDriverRejectsBadConfig(t *testing.T) {
+	base := Config{
+		BaseURL: "http://127.0.0.1:0", Datasets: []string{"d"},
+		Artifacts: []string{"report"}, Mode: "closed", ZipfS: 1.2,
+	}
+	for name, mut := range map[string]func(*Config){
+		"unknown mode":      func(c *Config) { c.Mode = "sideways" },
+		"zipf not > 1":      func(c *Config) { c.ZipfS = 1.0 },
+		"open without rate": func(c *Config) { c.Mode = "open"; c.Rate = 0 },
+		"no datasets":       func(c *Config) { c.Datasets = nil },
+		"no artifacts":      func(c *Config) { c.Artifacts = nil },
+	} {
+		cfg := base
+		mut(&cfg)
+		if _, err := newDriver(cfg); err == nil {
+			t.Errorf("%s: config accepted, want error", name)
+		}
+	}
+}
+
+// TestWriteBenchStream: the synthetic test2json stream must parse with the
+// exact line grammar benchcheck uses, yielding all four serve benchmarks.
+func TestWriteBenchStream(t *testing.T) {
+	res := Result{
+		Requests: 1234,
+		RPS:      2500,
+		LatencyNS: Quantiles{
+			P50: 1_500_000, P95: 4_000_000, P99: 9_000_000, Max: 20_000_000,
+		},
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	if err := writeBenchStream(path, res); err != nil {
+		t.Fatal(err)
+	}
+
+	// benchcheck's benchLine regex, verbatim.
+	benchLine := regexp.MustCompile(`^(Benchmark\S*?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+[0-9.]+ MB/s)?(?:\s+([0-9.]+) B/op)?(?:\s+([0-9]+) allocs/op)?`)
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	got := make(map[string]string)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var ev struct{ Action, Package, Output string }
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("stream line is not JSON: %v", err)
+		}
+		if ev.Action != "output" || ev.Package != benchPackage {
+			t.Fatalf("unexpected event %+v", ev)
+		}
+		m := benchLine.FindStringSubmatch(ev.Output)
+		if m == nil {
+			t.Fatalf("output %q does not match benchcheck's grammar", ev.Output)
+		}
+		got[m[1]] = m[2]
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"BenchmarkServeWallPerRequest",
+		"BenchmarkServeLatencyP50",
+		"BenchmarkServeLatencyP95",
+		"BenchmarkServeLatencyP99",
+	} {
+		if got[want] == "" {
+			t.Errorf("stream missing %s (got %v)", want, got)
+		}
+	}
+	if got["BenchmarkServeWallPerRequest"] != "400000.0" { // 1e9 / 2500 RPS
+		t.Errorf("wall/request = %s ns, want 400000.0", got["BenchmarkServeWallPerRequest"])
+	}
+
+	if err := writeBenchStream(path, Result{}); err == nil {
+		t.Error("zero-throughput run produced a bench stream, want error")
+	}
+}
+
+// TestDiscover: the mix discovery walks the public API of a live server.
+func TestDiscover(t *testing.T) {
+	srv := testTarget(t)
+	datasets, artifacts, err := discover(srv.Client(), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(datasets) != 1 || datasets[0] != "default" {
+		t.Errorf("datasets = %v, want [default]", datasets)
+	}
+	if len(artifacts) != len(analysis.ArtifactIDs()) {
+		t.Errorf("discovered %d artifacts, want %d", len(artifacts), len(analysis.ArtifactIDs()))
+	}
+
+	if _, _, err := discover(srv.Client(), srv.URL+"/api/nope"); err == nil {
+		t.Error("discovery against a bad base URL succeeded, want error")
+	}
+}

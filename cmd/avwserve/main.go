@@ -21,15 +21,25 @@
 // clients cannot pin connections open, and shuts down gracefully on
 // SIGINT/SIGTERM, draining in-flight requests for up to the -grace period.
 //
+// Two features push it past one process and one connection. With -store
+// the engine mirrors every computed artifact into a persistent
+// content-addressed store, so a restarted server — or a second replica
+// sharing the directory — rehydrates instead of recomputing. And
+// /api/{ds}/events is an SSE push channel: clients subscribe once and are
+// told exactly which artifacts a live fold invalidated, instead of
+// polling /live.
+//
 // Usage:
 //
 //	avwserve -dataset dataset.json                       # one campaign
 //	avwserve -dataset baseline=old.json -dataset adblock=new.json
 //	avwserve -dataset done=prev.json -live now=run.journal -scale 0.5
+//	avwserve -dataset dataset.json -store /var/lib/avw/artifacts -warm
 //	open http://127.0.0.1:8787/?os=android&weights=L=3,UID=5
 //	curl  http://127.0.0.1:8787/api/datasets
 //	curl  http://127.0.0.1:8787/api/default/artifact/table1
 //	curl  http://127.0.0.1:8787/api/default/artifact/figure-1a.svg
+//	curl  -N http://127.0.0.1:8787/api/default/events
 //	curl  http://127.0.0.1:8787/live
 //	curl  http://127.0.0.1:8787/debug/metrics
 //
@@ -39,11 +49,15 @@
 //	                      path gets the name "default".
 //	-live [name=]path     campaign journal to tail live; repeatable. A
 //	                      bare path gets the name "live".
+//	-store dir            persistent artifact store: computed artifacts of
+//	                      static datasets are mirrored here and rehydrated
+//	                      (SHA-256-verified) across restarts
 //	-scale fraction       catalog scale recorded for -live partial
 //	                      datasets (match the campaign's -scale)
 //	-interval duration    journal polling cadence for -live (default 500ms)
-//	-warm                 precompute all artifacts for static datasets at
-//	                      startup (cold-start latency moves to boot)
+//	-warm                 precompute all artifacts for every static
+//	                      dataset before listening, in parallel
+//	                      (cold-start latency moves to boot)
 //	-addr host:port       listen address (default 127.0.0.1:8787)
 //	-grace duration       shutdown drain period (default 5s)
 package main
@@ -57,12 +71,14 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"appvsweb/internal/analysis"
 	"appvsweb/internal/core"
 	"appvsweb/internal/obs"
+	"appvsweb/internal/serve"
 )
 
 // namedPath is one [name=]path flag value.
@@ -94,7 +110,8 @@ func main() {
 		grace    = flag.Duration("grace", 5*time.Second, "graceful-shutdown drain period")
 		scale    = flag.Float64("scale", 1, "catalog scale recorded for -live partial datasets")
 		interval = flag.Duration("interval", 500*time.Millisecond, "journal polling cadence for -live")
-		warm     = flag.Bool("warm", false, "precompute all artifacts for static datasets at startup")
+		warm     = flag.Bool("warm", false, "precompute all artifacts for static datasets before listening")
+		storeDir = flag.String("store", "", "persistent artifact store directory (rehydrated across restarts)")
 	)
 	var datasets, lives []namedPath
 	seen := make(map[string]bool)
@@ -119,11 +136,22 @@ func main() {
 		datasets = append(datasets, namedPath{name: "default", path: "dataset.json"})
 	}
 
-	eng := analysis.NewEngine(analysis.EngineOptions{Metrics: obs.Default})
+	opts := analysis.EngineOptions{Metrics: obs.Default}
+	if *storeDir != "" {
+		st, err := analysis.OpenStore(*storeDir)
+		if err != nil {
+			logger.Error("open store", "dir", *storeDir, "err", err)
+			os.Exit(1)
+		}
+		opts.Store = st
+		logger.Info("artifact store attached", "dir", *storeDir)
+	}
+	eng := analysis.NewEngine(opts)
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 
 	var primary *core.Dataset
+	var warming []*analysis.Handle
 	for _, np := range datasets {
 		ds, err := core.Load(np.path)
 		if err != nil {
@@ -134,19 +162,31 @@ func main() {
 		if primary == nil {
 			primary = ds
 		}
+		warming = append(warming, h)
 		logger.Info("dataset registered", "name", np.name, "path", np.path,
 			"experiments", len(ds.Results))
-		if *warm {
+	}
+	if *warm && len(warming) > 0 {
+		// All datasets warm concurrently, and each ComputeAll fans its 23
+		// artifacts across the engine's worker pool — with -store attached
+		// the warmup is mostly rehydration reads on a second boot. Blocking
+		// here is the point: once the listener opens, every artifact is a
+		// cache hit.
+		start := time.Now()
+		var wg sync.WaitGroup
+		for _, h := range warming {
+			wg.Add(1)
 			go func(h *analysis.Handle) {
-				start := time.Now()
+				defer wg.Done()
 				if _, err := h.ComputeAll(ctx); err != nil {
 					logger.Error("warm", "dataset", h.Name(), "err", err)
-					return
 				}
-				logger.Info("warmed", "dataset", h.Name(),
-					"artifacts", len(analysis.ArtifactIDs()), "elapsed", time.Since(start))
 			}(h)
 		}
+		wg.Wait()
+		logger.Info("warm complete", "datasets", len(warming),
+			"artifacts", len(warming)*len(analysis.ArtifactIDs()),
+			"elapsed", time.Since(start))
 	}
 	for _, np := range lives {
 		tail := eng.TailJournal(np.name, np.path, analysis.LiveOptions{
@@ -163,7 +203,7 @@ func main() {
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newMux(eng, primary, obs.Default, logger),
+		Handler:           serve.NewMux(eng, primary, obs.Default, logger, serve.Config{}),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 

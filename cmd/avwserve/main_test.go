@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+// TestParseNamed covers the [name=]path flag grammar.
+func TestParseNamed(t *testing.T) {
+	seen := make(map[string]bool)
+	np, err := parseNamed("baseline=a.json", "default", seen)
+	if err != nil || np.name != "baseline" || np.path != "a.json" {
+		t.Fatalf("parseNamed = %+v, %v", np, err)
+	}
+	np, err = parseNamed("b.json", "default", seen)
+	if err != nil || np.name != "default" || np.path != "b.json" {
+		t.Fatalf("bare path = %+v, %v", np, err)
+	}
+	if _, err := parseNamed("c.json", "default", seen); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	if _, err := parseNamed("=x", "default", seen); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := parseNamed("a/b=x", "default", seen); err == nil {
+		t.Fatal("name with '/' accepted")
+	}
+}

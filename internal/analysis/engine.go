@@ -28,9 +28,19 @@ type Engine struct {
 	workers    int
 	maxEntries int
 
-	hits      *obs.Counter
-	misses    *obs.Counter
-	computeNS *obs.Histogram
+	store *Store
+	bus   *Bus
+
+	hits       *obs.Counter
+	misses     *obs.Counter
+	computeNS  *obs.Histogram
+	storeHits  *obs.Counter
+	storeMiss  *obs.Counter
+	storeWrite *obs.Counter
+	storeErrs  *obs.Counter
+	storeRead  *obs.Counter
+	storeWrote *obs.Counter
+	published  *obs.Counter
 
 	mu    sync.Mutex
 	cache map[string]*cacheEntry
@@ -62,6 +72,15 @@ type EngineOptions struct {
 	// MaxEntries bounds the artifact cache; the oldest entries are evicted
 	// beyond it. Default 1024 — roughly 40 dataset generations' worth.
 	MaxEntries int
+	// Store, when non-nil, persists computed artifacts of static datasets
+	// on disk and rehydrates them on cache miss, so a restarted or
+	// horizontally-scaled process serves without recomputing
+	// (docs/serving.md). Live partial folds are never persisted.
+	Store *Store
+	// EventQueue bounds each invalidation subscriber's queue; a subscriber
+	// that falls further behind is evicted (analysis.events_dropped_total).
+	// Default 16.
+	EventQueue int
 }
 
 // NewEngine builds an artifact engine.
@@ -78,14 +97,24 @@ func NewEngine(opts EngineOptions) *Engine {
 	if opts.MaxEntries <= 0 {
 		opts.MaxEntries = 1024
 	}
+	dropped := opts.Metrics.Counter("analysis.events_dropped_total")
 	return &Engine{
 		metrics:    opts.Metrics,
 		tracer:     opts.Tracer,
 		workers:    opts.Workers,
 		maxEntries: opts.MaxEntries,
+		store:      opts.Store,
+		bus:        newBus(opts.EventQueue, dropped.Inc),
 		hits:       opts.Metrics.Counter("analysis.cache_hits_total"),
 		misses:     opts.Metrics.Counter("analysis.cache_misses_total"),
 		computeNS:  opts.Metrics.Histogram("analysis.compute_ns", "ns"),
+		storeHits:  opts.Metrics.Counter("analysis.store_hits_total"),
+		storeMiss:  opts.Metrics.Counter("analysis.store_misses_total"),
+		storeWrite: opts.Metrics.Counter("analysis.store_writes_total"),
+		storeErrs:  opts.Metrics.Counter("analysis.store_errors_total"),
+		storeRead:  opts.Metrics.Counter("analysis.store_read_bytes_total"),
+		storeWrote: opts.Metrics.Counter("analysis.store_write_bytes_total"),
+		published:  opts.Metrics.Counter("analysis.events_published_total"),
 		cache:      make(map[string]*cacheEntry),
 		handles:    make(map[string]*Handle),
 	}
@@ -166,13 +195,70 @@ func (h *Handle) Dataset() *core.Dataset {
 
 // Update replaces the handle's snapshot. Artifacts whose views the new
 // snapshot leaves unchanged remain cached (their fingerprints are
-// identical); only affected artifacts recompute on next request.
+// identical); only affected artifacts recompute on next request. An
+// invalidation Event naming exactly the artifacts whose content changed is
+// published to the engine's bus (Engine.Subscribe), which is what drives
+// the SSE push channel at /api/{ds}/events.
 func (h *Handle) Update(ds *core.Dataset) {
+	// Fingerprint every view of the new snapshot up front: the memo makes
+	// later Artifact calls cheaper, and the old-vs-new comparison below is
+	// what names the invalidated artifacts precisely.
+	newViews := make(map[viewID]string, numViews)
+	for v := viewID(0); v < numViews; v++ {
+		fp, err := viewFingerprint(ds, v)
+		if err != nil {
+			newViews = nil
+			break
+		}
+		newViews[v] = fp
+	}
+
 	h.mu.Lock()
+	oldDS, oldViews := h.ds, h.views
 	h.ds = ds
 	h.gen++
-	h.views = make(map[viewID]string)
+	gen := h.gen
+	if newViews != nil {
+		h.views = newViews
+	} else {
+		h.views = make(map[viewID]string)
+	}
 	h.mu.Unlock()
+
+	// A view whose fingerprint moved (or could not be compared) invalidates
+	// every artifact reading it; report them in registry order.
+	changed := make(map[viewID]bool, numViews)
+	for v := viewID(0); v < numViews; v++ {
+		oldFP, ok := oldViews[v]
+		if !ok {
+			if fp, err := viewFingerprint(oldDS, v); err == nil {
+				oldFP = fp
+			}
+		}
+		newFP := ""
+		if newViews != nil {
+			newFP = newViews[v]
+		}
+		changed[v] = oldFP == "" || newFP == "" || oldFP != newFP
+	}
+	var invalidated []string
+	for _, spec := range artifactSpecs {
+		if changed[spec.view] {
+			invalidated = append(invalidated, spec.id)
+		}
+	}
+	stats := ds.Stats()
+	h.eng.publish(Event{
+		Dataset: h.name, Generation: gen,
+		Experiments: stats.Experiments, Excluded: stats.Excluded,
+		Invalidated: invalidated,
+	})
+}
+
+// publish counts and fans out one invalidation event.
+func (e *Engine) publish(ev Event) {
+	e.published.Inc()
+	e.bus.Publish(ev)
 }
 
 // snapshotView resolves the handle's current dataset and the memoized
@@ -210,7 +296,10 @@ func (h *Handle) Artifact(ctx context.Context, id string) (Artifact, error) {
 	if err != nil {
 		return Artifact{}, err
 	}
-	return h.eng.artifact(ctx, fp, spec, ds)
+	// Live partial folds change every poll; persisting each generation
+	// would churn the store for entries never read back, so only static
+	// snapshots use it.
+	return h.eng.artifact(ctx, fp, spec, ds, !h.live)
 }
 
 // etagOf derives the strong ETag for an artifact from its view
@@ -219,7 +308,7 @@ func etagOf(fp, id string) string {
 	return `"` + fp[:16] + "-" + id + `"`
 }
 
-func (e *Engine) artifact(ctx context.Context, fp string, spec *artifactSpec, ds *core.Dataset) (Artifact, error) {
+func (e *Engine) artifact(ctx context.Context, fp string, spec *artifactSpec, ds *core.Dataset, persist bool) (Artifact, error) {
 	key := fp + "/" + spec.id
 	e.mu.Lock()
 	if ent := e.cache[key]; ent != nil {
@@ -243,6 +332,26 @@ func (e *Engine) artifact(ctx context.Context, fp string, spec *artifactSpec, ds
 	e.evictLocked()
 	e.mu.Unlock()
 
+	// Memory miss: try the persistent store before computing. A verified
+	// store hit rehydrates the entry with zero recomputation — it does not
+	// count toward analysis.cache_misses_total, whose meaning is "requests
+	// that computed".
+	if e.store != nil && persist {
+		b, ok, err := e.store.Get(fp, spec.id)
+		switch {
+		case err != nil:
+			e.storeErrs.Inc()
+		case ok:
+			e.storeHits.Inc()
+			e.storeRead.Add(int64(len(b)))
+			ent.art = Artifact{ID: spec.id, ContentType: spec.contentType, ETag: etagOf(fp, spec.id), Bytes: b}
+			close(ent.done)
+			return ent.art, nil
+		default:
+			e.storeMiss.Inc()
+		}
+	}
+
 	e.misses.Inc()
 	start := time.Now()
 	b, err := spec.compute(ds)
@@ -265,6 +374,16 @@ func (e *Engine) artifact(ctx context.Context, fp string, spec *artifactSpec, ds
 		e.mu.Unlock()
 	} else {
 		ent.art = Artifact{ID: spec.id, ContentType: spec.contentType, ETag: etagOf(fp, spec.id), Bytes: b}
+		if e.store != nil && persist {
+			// Best-effort: a failed write never fails the request; the
+			// artifact is already in memory.
+			if perr := e.store.Put(fp, spec.id, spec.contentType, b); perr != nil {
+				e.storeErrs.Inc()
+			} else {
+				e.storeWrite.Inc()
+				e.storeWrote.Add(int64(len(b)))
+			}
+		}
 	}
 	close(ent.done)
 	return ent.art, ent.err

@@ -1,9 +1,3 @@
-// Package analysis computes every table and figure of the paper's
-// evaluation (§4) from a measurement dataset: Table 1 (per-OS/category
-// leak summary), Table 2 (top-20 A&A domains), Table 3 (per-PII-type
-// summary), and Figures 1a–1f (app-vs-web CDFs/PDFs of A&A contact,
-// flows, bytes, leak domains, leaked identifier counts, and Jaccard
-// similarity).
 package analysis
 
 import (

@@ -1,0 +1,206 @@
+package analysis
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"appvsweb/internal/obs"
+)
+
+const testFP = "aabbccddeeff00112233445566778899aabbccddeeff00112233445566778899"
+
+func TestStoreRoundTrip(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("svc os medium\nrow row row\n")
+	if err := st.Put(testFP, "table1", "text/plain", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := st.Get(testFP, "table1")
+	if err != nil || !ok {
+		t.Fatalf("Get = (_, %v, %v), want hit", ok, err)
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("payload mismatch: %q vs %q", got, payload)
+	}
+	if _, ok, err := st.Get(testFP, "table2"); ok || err != nil {
+		t.Fatalf("unknown id Get = (_, %v, %v), want clean miss", ok, err)
+	}
+	if _, ok, err := st.Get(strings.Repeat("00", 32), "table1"); ok || err != nil {
+		t.Fatalf("unknown fp Get = (_, %v, %v), want clean miss", ok, err)
+	}
+	if n, err := st.Len(); n != 1 || err != nil {
+		t.Fatalf("Len = (%d, %v), want 1", n, err)
+	}
+}
+
+// TestStoreCorruptionRejected: a flipped payload byte fails SHA-256
+// verification; the bad entry is deleted so the next request recomputes.
+func TestStoreCorruptionRejected(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := OpenStore(dir)
+	if err := st.Put(testFP, "report", "text/plain", []byte("the full report")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, testFP[:2], testFP+"-report")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok, err := st.Get(testFP, "report"); err == nil || ok {
+		t.Fatalf("corrupt Get = (_, %v, %v), want verification error", ok, err)
+	}
+	// Self-healed: the entry is gone, the next Get is a clean miss.
+	if _, ok, err := st.Get(testFP, "report"); ok || err != nil {
+		t.Fatalf("post-corruption Get = (_, %v, %v), want clean miss", ok, err)
+	}
+}
+
+// TestStoreKeyMismatchRejected: an entry renamed under a different
+// fingerprint is not trusted — the header's key must match the request.
+func TestStoreKeyMismatchRejected(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := OpenStore(dir)
+	if err := st.Put(testFP, "report", "text/plain", []byte("content")); err != nil {
+		t.Fatal(err)
+	}
+	otherFP := strings.Repeat("11", 32)
+	if err := os.MkdirAll(filepath.Join(dir, otherFP[:2]), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(
+		filepath.Join(dir, testFP[:2], testFP+"-report"),
+		filepath.Join(dir, otherFP[:2], otherFP+"-report"),
+	); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := st.Get(otherFP, "report"); err == nil || ok {
+		t.Fatalf("mismatched Get = (_, %v, %v), want error", ok, err)
+	}
+}
+
+// TestEngineStoreRehydrate: a second engine over the same store directory
+// serves byte- and ETag-identical artifacts with zero computation.
+func TestEngineStoreRehydrate(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	st1, _ := OpenStore(dir)
+	reg1 := obs.New()
+	eng1 := NewEngine(EngineOptions{Metrics: reg1, Store: st1})
+	h1 := eng1.Register("x", synthDataset())
+	art1, err := h1.Artifact(ctx, "report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg1.Counter("analysis.store_writes_total").Value(); got != 1 {
+		t.Fatalf("store_writes_total = %d, want 1", got)
+	}
+	if got := reg1.Counter("analysis.store_misses_total").Value(); got != 1 {
+		t.Fatalf("store_misses_total = %d, want 1", got)
+	}
+
+	st2, _ := OpenStore(dir)
+	reg2 := obs.New()
+	eng2 := NewEngine(EngineOptions{Metrics: reg2, Store: st2})
+	h2 := eng2.Register("x", synthDataset())
+	art2, err := h2.Artifact(ctx, "report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(art2.Bytes) != string(art1.Bytes) || art2.ETag != art1.ETag {
+		t.Fatalf("rehydrated artifact differs: etag %q vs %q", art2.ETag, art1.ETag)
+	}
+	snap := reg2.Snapshot()
+	if snap.Counters["analysis.cache_misses_total"] != 0 {
+		t.Errorf("rehydration computed: misses = %d, want 0", snap.Counters["analysis.cache_misses_total"])
+	}
+	if snap.Counters["analysis.store_hits_total"] != 1 {
+		t.Errorf("store_hits_total = %d, want 1", snap.Counters["analysis.store_hits_total"])
+	}
+	if snap.Counters["analysis.store_read_bytes_total"] != int64(len(art1.Bytes)) {
+		t.Errorf("store_read_bytes_total = %d, want %d",
+			snap.Counters["analysis.store_read_bytes_total"], len(art1.Bytes))
+	}
+}
+
+// TestEngineStoreCorruptFallsBackToCompute: a corrupt store entry is
+// counted, dropped, and transparently recomputed (and re-persisted).
+func TestEngineStoreCorruptFallsBackToCompute(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	st1, _ := OpenStore(dir)
+	eng1 := NewEngine(EngineOptions{Metrics: obs.New(), Store: st1})
+	h1 := eng1.Register("x", synthDataset())
+	art1, err := h1.Artifact(ctx, "table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the (only) entry on disk.
+	var entry string
+	err = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() {
+			entry = path
+		}
+		return err
+	})
+	if err != nil || entry == "" {
+		t.Fatalf("no store entry found: %v", err)
+	}
+	data, _ := os.ReadFile(entry)
+	data[len(data)-1] ^= 0x01
+	os.WriteFile(entry, data, 0o644)
+
+	st2, _ := OpenStore(dir)
+	reg2 := obs.New()
+	eng2 := NewEngine(EngineOptions{Metrics: reg2, Store: st2})
+	h2 := eng2.Register("x", synthDataset())
+	art2, err := h2.Artifact(ctx, "table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(art2.Bytes) != string(art1.Bytes) {
+		t.Fatal("recomputed artifact differs from original")
+	}
+	snap := reg2.Snapshot()
+	if snap.Counters["analysis.store_errors_total"] != 1 {
+		t.Errorf("store_errors_total = %d, want 1", snap.Counters["analysis.store_errors_total"])
+	}
+	if snap.Counters["analysis.cache_misses_total"] != 1 {
+		t.Errorf("misses = %d, want 1 (recompute after corrupt entry)", snap.Counters["analysis.cache_misses_total"])
+	}
+	if snap.Counters["analysis.store_writes_total"] != 1 {
+		t.Errorf("store_writes_total = %d, want 1 (entry rewritten)", snap.Counters["analysis.store_writes_total"])
+	}
+}
+
+// TestEngineStoreSkipsLiveFolds: live partial datasets are never
+// persisted — each fold would write 23 entries that are read back never.
+func TestEngineStoreSkipsLiveFolds(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := OpenStore(dir)
+	reg := obs.New()
+	eng := NewEngine(EngineOptions{Metrics: reg, Store: st})
+	tail := eng.TailJournal("now", filepath.Join(t.TempDir(), "none.journal"), LiveOptions{Scale: 1})
+	if _, err := tail.Handle().Artifact(context.Background(), "report"); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := st.Len(); n != 0 {
+		t.Errorf("live artifact persisted: store has %d entries, want 0", n)
+	}
+	if got := reg.Counter("analysis.store_misses_total").Value(); got != 0 {
+		t.Errorf("store consulted for a live fold: store_misses_total = %d, want 0", got)
+	}
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Reservoir is a bounded, uniformly sampled set of observations with
+// exact quantiles over the retained sample — the complement to Histogram.
+// A Histogram is wait-free and unbounded but its quantiles are log-bucket
+// estimates (~2% relative error); a Reservoir keeps raw values, so its
+// quantiles are exact while the stream fits the capacity and an unbiased
+// uniform subsample beyond it (Vitter's algorithm R). Load drivers use it
+// for gate-grade p50/p95/p99 latency, where bucket-midpoint rounding would
+// eat a real regression's margin.
+//
+// The RNG is seeded explicitly so a replayed load run samples identically.
+// Observe takes a mutex — fine for a load generator's tens of thousands of
+// observations per second, not for per-byte hot paths.
+type Reservoir struct {
+	mu   sync.Mutex
+	cap  int
+	n    int64
+	vals []int64
+	rng  *rand.Rand
+}
+
+// NewReservoir builds a reservoir retaining up to capacity observations
+// (minimum 1), subsampling uniformly beyond it.
+func NewReservoir(capacity int, seed int64) *Reservoir {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Reservoir{
+		cap:  capacity,
+		vals: make([]int64, 0, capacity),
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Observe records one value.
+func (r *Reservoir) Observe(v int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.n++
+	if len(r.vals) < r.cap {
+		r.vals = append(r.vals, v)
+		return
+	}
+	if j := r.rng.Int63n(r.n); j < int64(r.cap) {
+		r.vals[j] = v
+	}
+}
+
+// Count reports how many values were observed (not how many are retained).
+func (r *Reservoir) Count() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Quantile returns the q-th quantile (0 < q <= 1) of the retained sample,
+// exact while the stream has not exceeded the capacity. Returns 0 with no
+// observations.
+func (r *Reservoir) Quantile(q float64) int64 {
+	r.mu.Lock()
+	vals := append([]int64(nil), r.vals...)
+	r.mu.Unlock()
+	if len(vals) == 0 {
+		return 0
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	if q <= 0 {
+		return vals[0]
+	}
+	idx := int(q*float64(len(vals))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(vals) {
+		idx = len(vals) - 1
+	}
+	return vals[idx]
+}
+
+// Max returns the largest retained observation (0 with none).
+func (r *Reservoir) Max() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var m int64
+	for _, v := range r.vals {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

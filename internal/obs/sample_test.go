@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestReservoirExactBelowCapacity: while the stream fits, quantiles are
+// exact order statistics, not estimates.
+func TestReservoirExactBelowCapacity(t *testing.T) {
+	r := NewReservoir(1000, 1)
+	for v := int64(100); v >= 1; v-- { // reversed insertion order must not matter
+		r.Observe(v)
+	}
+	if got := r.Count(); got != 100 {
+		t.Fatalf("Count = %d, want 100", got)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want int64
+	}{{0.50, 50}, {0.95, 95}, {0.99, 99}, {1.0, 100}} {
+		if got := r.Quantile(tc.q); got != tc.want {
+			t.Errorf("Quantile(%.2f) = %d, want %d", tc.q, got, tc.want)
+		}
+	}
+	if got := r.Max(); got != 100 {
+		t.Errorf("Max = %d, want 100", got)
+	}
+}
+
+// TestReservoirSubsamplesBeyondCapacity: past the capacity the reservoir
+// keeps a uniform subsample whose quantiles stay representative, and the
+// seeded RNG makes two identical runs identical.
+func TestReservoirSubsamplesBeyondCapacity(t *testing.T) {
+	run := func() int64 {
+		r := NewReservoir(256, 42)
+		for v := int64(1); v <= 100_000; v++ {
+			r.Observe(v)
+		}
+		return r.Quantile(0.5)
+	}
+	p50a, p50b := run(), run()
+	if p50a != p50b {
+		t.Fatalf("same seed, different medians: %d vs %d", p50a, p50b)
+	}
+	// A uniform subsample of 1..100k has a median well inside the middle
+	// half; a broken algorithm R (e.g. keeping only the head) lands far
+	// outside it.
+	if p50a < 25_000 || p50a > 75_000 {
+		t.Errorf("median of subsample = %d, implausible for uniform sampling", p50a)
+	}
+}
+
+func TestReservoirZeroAndConcurrent(t *testing.T) {
+	r := NewReservoir(0, 7) // clamps to capacity 1
+	if got := r.Quantile(0.99); got != 0 {
+		t.Errorf("empty Quantile = %d, want 0", got)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(base int64) {
+			defer wg.Done()
+			for v := int64(0); v < 1000; v++ {
+				r.Observe(base + v)
+			}
+		}(int64(i) * 1000)
+	}
+	wg.Wait()
+	if got := r.Count(); got != 8000 {
+		t.Errorf("Count = %d, want 8000", got)
+	}
+}

@@ -1,4 +1,12 @@
-package main
+// Package serve is the HTTP layer of the report server: the routing
+// surface, artifact handlers with ETag/304 revalidation, the live partial
+// view, and the SSE invalidation push channel, all over an
+// analysis.Engine. cmd/avwserve wires it to flags and process lifecycle;
+// cmd/avwbench mounts the same mux in-process to load-test it without a
+// network hop's worth of setup drift between "what we bench" and "what we
+// ship". Endpoints, cache semantics, and the SSE event schema are
+// documented in docs/serving.md.
+package serve
 
 import (
 	"encoding/json"
@@ -6,6 +14,7 @@ import (
 	"log/slog"
 	"net/http"
 	"strings"
+	"time"
 
 	"appvsweb/internal/analysis"
 	"appvsweb/internal/core"
@@ -13,16 +22,37 @@ import (
 	"appvsweb/internal/recommend"
 )
 
-// newMux builds the full routing surface of the report server over an
+// Config tunes the handler layer.
+type Config struct {
+	// Heartbeat is the SSE keepalive-comment cadence — frequent enough
+	// that idle proxies don't reap the connection. Default 15s.
+	Heartbeat time.Duration
+}
+
+// NewMux builds the full routing surface of the report server over an
 // artifact engine. primary, when non-nil, is the dataset the interactive
 // recommendation app at "/" scores (the first static -dataset).
-func newMux(eng *analysis.Engine, primary *core.Dataset, reg *obs.Registry, logger *slog.Logger) *http.ServeMux {
+func NewMux(eng *analysis.Engine, primary *core.Dataset, reg *obs.Registry, logger *slog.Logger, cfg Config) *http.ServeMux {
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = 15 * time.Second
+	}
 	mux := http.NewServeMux()
-	s := &server{eng: eng, reg: reg, logger: logger}
+	s := &server{
+		eng: eng, reg: reg, logger: logger, cfg: cfg,
+		sseSubscribers: reg.Gauge("serve.sse_subscribers"),
+		sseConnects:    reg.Counter("serve.sse_connects_total"),
+		sseEvents:      reg.Counter("serve.sse_events_total"),
+		sseEvicted:     reg.Counter("serve.sse_evicted_total"),
+	}
 
 	mux.Handle("GET /api/datasets", s.instrument(http.HandlerFunc(s.handleDatasets)))
 	mux.Handle("GET /api/{ds}/artifacts", s.instrument(http.HandlerFunc(s.handleArtifactIndex)))
 	mux.Handle("GET /api/{ds}/artifact/{id}", s.instrument(http.HandlerFunc(s.handleArtifact)))
+	// The SSE stream is deliberately outside the latency middleware: a
+	// subscription lives for minutes, and folding those durations into
+	// serve.request_ns would bury the artifact latencies the histogram is
+	// for. It has its own serve.sse_* instrumentation.
+	mux.Handle("GET /api/{ds}/events", http.HandlerFunc(s.handleEvents))
 	mux.Handle("GET /live", s.instrument(http.HandlerFunc(s.handleLiveIndex)))
 	mux.Handle("GET /live/{ds}", s.instrument(http.HandlerFunc(s.handleLive)))
 	mux.Handle("/debug/", obs.DebugMux(reg))
@@ -38,6 +68,12 @@ type server struct {
 	eng    *analysis.Engine
 	reg    *obs.Registry
 	logger *slog.Logger
+	cfg    Config
+
+	sseSubscribers *obs.Gauge
+	sseConnects    *obs.Counter
+	sseEvents      *obs.Counter
+	sseEvicted     *obs.Counter
 }
 
 // instrument wraps a handler with request counting and latency recording
@@ -60,8 +96,8 @@ func writeJSON(w http.ResponseWriter, v any) {
 	enc.Encode(v)
 }
 
-// datasetInfo is one row of the /api/datasets listing.
-type datasetInfo struct {
+// DatasetInfo is one row of the /api/datasets listing.
+type DatasetInfo struct {
 	Name        string  `json:"name"`
 	Live        bool    `json:"live"`
 	Generation  uint64  `json:"generation"`
@@ -72,10 +108,10 @@ type datasetInfo struct {
 }
 
 func (s *server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
-	var out []datasetInfo
+	var out []DatasetInfo
 	for _, h := range s.eng.Handles() {
 		stats := h.Dataset().Stats()
-		out = append(out, datasetInfo{
+		out = append(out, DatasetInfo{
 			Name: h.Name(), Live: h.Live(), Generation: h.Generation(),
 			Scale: h.Dataset().Meta.Scale, Experiments: stats.Experiments,
 			Excluded: stats.Excluded, Artifacts: len(analysis.ArtifactIDs()),
@@ -90,6 +126,7 @@ func (s *server) handleIndex(w http.ResponseWriter, _ *http.Request) {
 			"/api/datasets",
 			"/api/{dataset}/artifacts",
 			"/api/{dataset}/artifact/{id}",
+			"/api/{dataset}/events",
 			"/live",
 			"/debug/metrics",
 		},
@@ -105,8 +142,8 @@ func (s *server) lookup(w http.ResponseWriter, r *http.Request) (*analysis.Handl
 	return h, ok
 }
 
-// artifactInfo is one row of the per-dataset artifact index.
-type artifactInfo struct {
+// ArtifactInfo is one row of the per-dataset artifact index.
+type ArtifactInfo struct {
 	ID          string `json:"id"`
 	ContentType string `json:"content_type"`
 	URL         string `json:"url"`
@@ -117,10 +154,10 @@ func (s *server) handleArtifactIndex(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	var out []artifactInfo
+	var out []ArtifactInfo
 	for _, id := range analysis.ArtifactIDs() {
 		ct, _ := analysis.ArtifactContentType(id)
-		out = append(out, artifactInfo{ID: id, ContentType: ct,
+		out = append(out, ArtifactInfo{ID: id, ContentType: ct,
 			URL: "/api/" + h.Name() + "/artifact/" + id})
 	}
 	writeJSON(w, out)
@@ -186,7 +223,9 @@ func (s *server) handleLiveIndex(w http.ResponseWriter, r *http.Request) {
 
 // handleLive serves the partial results of an in-flight campaign: a status
 // header (generation, experiments folded so far) followed by the report
-// artifact computed from everything the journal tail has seen.
+// artifact computed from everything the journal tail has seen. Clients
+// that want to know *when* to refetch should subscribe to
+// /api/{ds}/events instead of polling this view.
 func (s *server) handleLive(w http.ResponseWriter, r *http.Request) {
 	h, ok := s.lookup(w, r)
 	if !ok {

@@ -1,0 +1,483 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"appvsweb/internal/analysis"
+	"appvsweb/internal/core"
+	"appvsweb/internal/obs"
+	"appvsweb/internal/pii"
+	"appvsweb/internal/services"
+)
+
+func testDataset() *core.Dataset {
+	mk := func(m services.Medium, aaFlows int) *core.ExperimentResult {
+		r := &core.ExperimentResult{
+			Service: "svca", Name: "SVCA", Category: services.Weather, Rank: 3,
+			OS: services.Android, Medium: m,
+			TotalFlows: 40, TotalBytes: 1 << 20,
+			AADomains: []string{"ga-sim.example"}, AAFlows: aaFlows, AABytes: 1 << 18,
+		}
+		r.Leaks = []core.LeakRecord{{
+			Host: "ga-sim.example", Domain: "ga-sim.example", Org: "ga",
+			Category: "a&a", Types: pii.NewTypeSet(pii.Location),
+		}}
+		r.LeakTypes = pii.NewTypeSet(pii.Location)
+		r.PIIDomains = []string{"ga-sim.example"}
+		return r
+	}
+	return &core.Dataset{
+		Meta:    core.Meta{Services: 1, Scale: 1},
+		Results: []*core.ExperimentResult{mk(services.App, 12), mk(services.Web, 30)},
+	}
+}
+
+func testServer(t *testing.T) (*httptest.Server, *analysis.Engine, *obs.Registry) {
+	t.Helper()
+	reg := obs.New()
+	eng := analysis.NewEngine(analysis.EngineOptions{Metrics: reg})
+	ds := testDataset()
+	eng.Register("default", ds)
+	srv := httptest.NewServer(NewMux(eng, ds, reg, obs.NopLogger(), Config{}))
+	t.Cleanup(srv.Close)
+	return srv, eng, reg
+}
+
+func get(t *testing.T, url string, hdr map[string]string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func body(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestServeArtifactETagRoundTrip: an artifact fetch returns a strong ETag;
+// revalidating with If-None-Match yields 304 with no body, and the second
+// fetch is a cache hit (no recomputation).
+func TestServeArtifactETagRoundTrip(t *testing.T) {
+	srv, _, reg := testServer(t)
+
+	resp := get(t, srv.URL+"/api/default/artifact/table1", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	etag := resp.Header.Get("ETag")
+	if etag == "" || !strings.HasPrefix(etag, `"`) {
+		t.Fatalf("ETag = %q, want a quoted strong validator", etag)
+	}
+	if cc := resp.Header.Get("Cache-Control"); !strings.Contains(cc, "must-revalidate") {
+		t.Errorf("Cache-Control = %q", cc)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if b := body(t, resp); !strings.Contains(b, "%leaking") {
+		t.Errorf("table1 body missing header:\n%s", b)
+	}
+
+	resp304 := get(t, srv.URL+"/api/default/artifact/table1", map[string]string{"If-None-Match": etag})
+	if resp304.StatusCode != http.StatusNotModified {
+		t.Fatalf("revalidation status = %d, want 304", resp304.StatusCode)
+	}
+	if b := body(t, resp304); b != "" {
+		t.Errorf("304 carried a body: %q", b)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["analysis.cache_misses_total"] != 1 {
+		t.Errorf("misses = %d, want 1", snap.Counters["analysis.cache_misses_total"])
+	}
+	if snap.Counters["analysis.cache_hits_total"] != 1 {
+		t.Errorf("hits = %d, want 1 (the 304 revalidation)", snap.Counters["analysis.cache_hits_total"])
+	}
+}
+
+// TestServeNotFound: unknown datasets and artifacts are 404s, not 500s.
+func TestServeNotFound(t *testing.T) {
+	srv, _, _ := testServer(t)
+	if resp := get(t, srv.URL+"/api/nope/artifact/report", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown dataset status = %d, want 404", resp.StatusCode)
+	}
+	if resp := get(t, srv.URL+"/api/default/artifact/bogus", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown artifact status = %d, want 404", resp.StatusCode)
+	}
+	if resp := get(t, srv.URL+"/api/nope/events", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown dataset events status = %d, want 404", resp.StatusCode)
+	}
+	if resp := get(t, srv.URL+"/live", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/live without a live campaign status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestServeDatasetAndArtifactListings: the discovery endpoints enumerate
+// registered datasets and the full artifact registry.
+func TestServeDatasetAndArtifactListings(t *testing.T) {
+	srv, eng, _ := testServer(t)
+	eng.Register("second", testDataset())
+
+	resp := get(t, srv.URL+"/api/datasets", nil)
+	var infos []DatasetInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 || infos[0].Name != "default" || infos[1].Name != "second" {
+		t.Fatalf("datasets = %+v", infos)
+	}
+	if infos[0].Experiments != 2 || infos[0].Live {
+		t.Errorf("default info = %+v", infos[0])
+	}
+
+	resp = get(t, srv.URL+"/api/second/artifacts", nil)
+	var arts []ArtifactInfo
+	if err := json.NewDecoder(resp.Body).Decode(&arts); err != nil {
+		t.Fatal(err)
+	}
+	if len(arts) != len(analysis.ArtifactIDs()) {
+		t.Fatalf("artifact index has %d entries, want %d", len(arts), len(analysis.ArtifactIDs()))
+	}
+	if arts[0].URL != "/api/second/artifact/"+arts[0].ID {
+		t.Errorf("artifact URL = %q", arts[0].URL)
+	}
+}
+
+// TestServeLiveView: /live serves partial results of an in-flight
+// campaign, and its content advances as journal records fold in.
+func TestServeLiveView(t *testing.T) {
+	reg := obs.New()
+	eng := analysis.NewEngine(analysis.EngineOptions{Metrics: reg})
+	path := filepath.Join(t.TempDir(), "run.journal")
+	tail := eng.TailJournal("now", path, analysis.LiveOptions{Scale: 1})
+	srv := httptest.NewServer(NewMux(eng, nil, reg, obs.NopLogger(), Config{}))
+	t.Cleanup(srv.Close)
+
+	// /live redirects to the (only) live handle.
+	resp := get(t, srv.URL+"/live", nil)
+	if resp.Request.URL.Path != "/live/now" {
+		t.Fatalf("redirected to %q, want /live/now", resp.Request.URL.Path)
+	}
+	before := body(t, resp)
+	if !strings.Contains(before, "generation 1") || !strings.Contains(before, "0 experiment(s)") {
+		t.Fatalf("empty live view:\n%s", before)
+	}
+
+	// A campaign writes its first record; the tail folds it.
+	appendRecord(t, path)
+	if changed, err := tail.Poll(); err != nil || !changed {
+		t.Fatalf("Poll = (%v, %v), want fold", changed, err)
+	}
+
+	after := body(t, get(t, srv.URL+"/live/now", nil))
+	if !strings.Contains(after, "generation 2") || !strings.Contains(after, "1 experiment(s)") {
+		t.Fatalf("live view did not advance:\n%s", after[:min(len(after), 400)])
+	}
+	if resp := get(t, srv.URL+"/api/now/artifact/report", nil); resp.StatusCode != http.StatusOK {
+		t.Errorf("live artifact status = %d", resp.StatusCode)
+	}
+	// Live responses must force revalidation.
+	if cc := get(t, srv.URL+"/api/now/artifact/report", nil).Header.Get("Cache-Control"); cc != "no-cache" {
+		t.Errorf("live Cache-Control = %q, want no-cache", cc)
+	}
+}
+
+// appendRecord writes one completed experiment into the journal at path.
+func appendRecord(t *testing.T, path string) {
+	t.Helper()
+	ds := testDataset()
+	j, err := core.CreateJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(core.JournalRecord{
+		Service: "svca", OS: services.Android, Medium: services.App,
+		Attempts: 1, Result: ds.Results[0],
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// readSSEFrame parses one Server-Sent-Events frame (event/data pair),
+// skipping comments and id fields, until the blank separator line.
+func readSSEFrame(br *bufio.Reader) (event, data string, err error) {
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return "", "", err
+		}
+		line = strings.TrimRight(line, "\n")
+		if line == "" {
+			if event != "" || data != "" {
+				return event, data, nil
+			}
+			continue
+		}
+		if strings.HasPrefix(line, ":") {
+			continue
+		}
+		if v, ok := strings.CutPrefix(line, "event: "); ok {
+			event = v
+		}
+		if v, ok := strings.CutPrefix(line, "data: "); ok {
+			data = v
+		}
+	}
+}
+
+// TestServeSSEInvalidationPush: a subscriber to /api/{ds}/events gets a
+// hello frame on connect, then one invalidate frame — naming the changed
+// artifacts — when a journal record folds in.
+func TestServeSSEInvalidationPush(t *testing.T) {
+	reg := obs.New()
+	eng := analysis.NewEngine(analysis.EngineOptions{Metrics: reg})
+	path := filepath.Join(t.TempDir(), "run.journal")
+	tail := eng.TailJournal("now", path, analysis.LiveOptions{Scale: 1})
+	srv := httptest.NewServer(NewMux(eng, nil, reg, obs.NopLogger(), Config{Heartbeat: time.Hour}))
+	t.Cleanup(srv.Close)
+
+	resp := get(t, srv.URL+"/api/now/events", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	br := bufio.NewReader(resp.Body)
+
+	event, data, err := readSSEFrame(br)
+	if err != nil || event != "hello" {
+		t.Fatalf("first frame = (%q, %q, %v), want hello", event, data, err)
+	}
+	var hello struct {
+		Dataset    string `json:"dataset"`
+		Generation uint64 `json:"generation"`
+		Live       bool   `json:"live"`
+	}
+	if err := json.Unmarshal([]byte(data), &hello); err != nil {
+		t.Fatal(err)
+	}
+	if hello.Dataset != "now" || hello.Generation != 1 || !hello.Live {
+		t.Fatalf("hello = %+v", hello)
+	}
+
+	appendRecord(t, path)
+	if changed, err := tail.Poll(); err != nil || !changed {
+		t.Fatalf("Poll = (%v, %v), want fold", changed, err)
+	}
+
+	event, data, err = readSSEFrame(br)
+	if err != nil || event != "invalidate" {
+		t.Fatalf("second frame = (%q, %q, %v), want invalidate", event, data, err)
+	}
+	var ev analysis.Event
+	if err := json.Unmarshal([]byte(data), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Dataset != "now" || ev.Generation != 2 || ev.Experiments != 1 {
+		t.Fatalf("invalidate = %+v", ev)
+	}
+	if len(ev.Invalidated) == 0 {
+		t.Fatal("invalidate frame named no artifacts")
+	}
+	found := false
+	for _, id := range ev.Invalidated {
+		if id == "report" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("invalidated = %v, want it to include \"report\"", ev.Invalidated)
+	}
+
+	resp.Body.Close()
+	waitForGauge(t, reg, "serve.sse_subscribers", 0)
+	snap := reg.Snapshot()
+	if snap.Counters["serve.sse_events_total"] != 1 {
+		t.Errorf("sse_events_total = %d, want 1", snap.Counters["serve.sse_events_total"])
+	}
+	if snap.Counters["serve.sse_connects_total"] != 1 {
+		t.Errorf("sse_connects_total = %d, want 1", snap.Counters["serve.sse_connects_total"])
+	}
+}
+
+func waitForGauge(t *testing.T, reg *obs.Registry, name string, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if reg.Gauge(name).Value() == want {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("gauge %s = %d, want %d", name, reg.Gauge(name).Value(), want)
+}
+
+// gateWriter is a ResponseWriter whose first Write (the hello frame)
+// succeeds and whose later Writes block until unblock closes — a
+// deterministic stand-in for a client that stops draining its socket.
+type gateWriter struct {
+	hdr       http.Header
+	firstDone chan struct{}
+	unblock   chan struct{}
+	once      sync.Once
+
+	mu   sync.Mutex
+	data bytes.Buffer
+}
+
+func (w *gateWriter) Header() http.Header { return w.hdr }
+func (w *gateWriter) WriteHeader(int)     {}
+func (w *gateWriter) Flush()              {}
+func (w *gateWriter) Write(p []byte) (int, error) {
+	first := false
+	w.once.Do(func() { first = true; close(w.firstDone) })
+	if !first {
+		<-w.unblock
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.data.Write(p)
+}
+
+// TestServeSSESlowConsumerEviction: a subscriber that stops draining is
+// evicted — its bounded queue overflows, the bus closes it, and the
+// handler ends the stream and counts the eviction — while the publisher
+// (the fold loop) never blocks.
+func TestServeSSESlowConsumerEviction(t *testing.T) {
+	reg := obs.New()
+	eng := analysis.NewEngine(analysis.EngineOptions{Metrics: reg, EventQueue: 1})
+	h := eng.Register("default", testDataset())
+	mux := NewMux(eng, nil, reg, obs.NopLogger(), Config{Heartbeat: time.Hour})
+
+	w := &gateWriter{
+		hdr:       make(http.Header),
+		firstDone: make(chan struct{}),
+		unblock:   make(chan struct{}),
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req := httptest.NewRequest(http.MethodGet, "/api/default/events", nil).WithContext(ctx)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		mux.ServeHTTP(w, req)
+	}()
+	<-w.firstDone // hello written; the handler is now in its event loop
+
+	// Three updates: the handler takes at most one event into its blocked
+	// write, the 1-slot queue holds one more, and the third overflows —
+	// evicting the subscriber. Publish returns immediately each time.
+	for i := 0; i < 3; i++ {
+		h.Update(testDataset())
+	}
+	if got := reg.Counter("analysis.events_dropped_total").Value(); got < 1 {
+		t.Fatalf("events_dropped_total = %d, want >= 1 (subscriber evicted)", got)
+	}
+
+	close(w.unblock) // the stalled client drains; the handler sees the closed queue
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler did not return after eviction")
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["serve.sse_evicted_total"] != 1 {
+		t.Errorf("sse_evicted_total = %d, want 1", snap.Counters["serve.sse_evicted_total"])
+	}
+	if snap.Gauges["serve.sse_subscribers"] != 0 {
+		t.Errorf("sse_subscribers = %d, want 0", snap.Gauges["serve.sse_subscribers"])
+	}
+}
+
+// TestServeStoreRehydration is the cold-restart acceptance criterion: a
+// server restarted onto the same -store directory serves every artifact
+// with zero recomputation and byte-identical ETags and bodies.
+func TestServeStoreRehydration(t *testing.T) {
+	dir := t.TempDir()
+	type fetched struct{ etag, body string }
+
+	round := func(reg *obs.Registry) map[string]fetched {
+		st, err := analysis.OpenStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := analysis.NewEngine(analysis.EngineOptions{Metrics: reg, Store: st})
+		eng.Register("default", testDataset())
+		srv := httptest.NewServer(NewMux(eng, nil, reg, obs.NopLogger(), Config{}))
+		defer srv.Close()
+
+		out := make(map[string]fetched)
+		for _, id := range analysis.ArtifactIDs() {
+			resp := get(t, srv.URL+"/api/default/artifact/"+id, nil)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("artifact %q status = %d", id, resp.StatusCode)
+			}
+			out[id] = fetched{etag: resp.Header.Get("ETag"), body: body(t, resp)}
+		}
+		return out
+	}
+
+	reg1 := obs.New()
+	first := round(reg1)
+	n := int64(len(analysis.ArtifactIDs()))
+	if got := reg1.Counter("analysis.store_writes_total").Value(); got != n {
+		t.Fatalf("first boot store_writes_total = %d, want %d", got, n)
+	}
+
+	// "Restart": a brand-new engine and registry over the same directory.
+	reg2 := obs.New()
+	second := round(reg2)
+
+	snap := reg2.Snapshot()
+	if got := snap.Counters["analysis.cache_misses_total"]; got != 0 {
+		t.Errorf("restart recomputed %d artifacts, want 0", got)
+	}
+	if got := snap.Counters["analysis.store_hits_total"]; got != n {
+		t.Errorf("restart store_hits_total = %d, want %d", got, n)
+	}
+	if got := snap.Histograms["analysis.compute_ns"].Count; got != 0 {
+		t.Errorf("restart ran %d computations, want 0", got)
+	}
+	if len(second) != len(first) {
+		t.Fatalf("artifact counts differ: %d vs %d", len(second), len(first))
+	}
+	for id, f1 := range first {
+		f2 := second[id]
+		if f2.etag != f1.etag {
+			t.Errorf("artifact %q ETag changed across restart: %q vs %q", id, f1.etag, f2.etag)
+		}
+		if f2.body != f1.body {
+			t.Errorf("artifact %q body changed across restart (%d vs %d bytes)", id, len(f1.body), len(f2.body))
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// The SSE push channel. GET /api/{ds}/events holds the connection open as
+// a text/event-stream and forwards the engine's artifact-invalidation
+// events, so a client refetches exactly the artifacts that changed,
+// exactly when they changed — no /live polling. Frames
+// (docs/serving.md#sse-event-schema):
+//
+//	event: hello        one frame on connect — the dataset's current
+//	                    generation, so the client knows its baseline
+//	event: invalidate   one frame per dataset update, listing the
+//	                    artifact IDs whose content (and ETags) changed
+//	: keepalive         comment every Config.Heartbeat, keeps proxies
+//	                    from reaping the idle connection
+//
+// Every data payload is one analysis.Event as JSON, and every frame's id:
+// field is the dataset generation. Each subscriber has a bounded queue;
+// one that stops draining is evicted (its stream just ends) rather than
+// allowed to stall the fold loop — reconnecting and refetching is always
+// safe because events are invalidation hints, not state transfer.
+func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	h, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+
+	sub := s.eng.Subscribe(h.Name())
+	defer sub.Close()
+	s.sseConnects.Inc()
+	s.sseSubscribers.Inc()
+	defer s.sseSubscribers.Dec()
+
+	hdr := w.Header()
+	hdr.Set("Content-Type", "text/event-stream")
+	hdr.Set("Cache-Control", "no-cache")
+	hdr.Set("X-Accel-Buffering", "no") // tell buffering reverse proxies to pass frames through
+	w.WriteHeader(http.StatusOK)
+
+	stats := h.Dataset().Stats()
+	gen := h.Generation()
+	writeSSE(w, "hello", gen, map[string]any{
+		"dataset": h.Name(), "generation": gen, "live": h.Live(),
+		"experiments": stats.Experiments, "excluded": stats.Excluded,
+	})
+	fl.Flush()
+
+	beat := time.NewTicker(s.cfg.Heartbeat)
+	defer beat.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-sub.C():
+			if !ok {
+				// Evicted: the queue overflowed while this client lagged.
+				// Ending the stream makes a spec-compliant EventSource
+				// reconnect, landing it on a fresh hello + refetch.
+				s.sseEvicted.Inc()
+				return
+			}
+			writeSSE(w, "invalidate", ev.Generation, ev)
+			s.sseEvents.Inc()
+			fl.Flush()
+		case <-beat.C:
+			fmt.Fprint(w, ": keepalive\n\n")
+			fl.Flush()
+		}
+	}
+}
+
+// writeSSE emits one Server-Sent-Events frame with a JSON data payload.
+func writeSSE(w io.Writer, event string, id uint64, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", event, id, b)
+}
