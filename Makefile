@@ -47,7 +47,8 @@ short:
 race:
 	$(GO) test -race ./internal/obs/... ./internal/core/... \
 		./internal/pii ./internal/easylist ./internal/domains \
-		./internal/analysis ./internal/serve ./cmd/avwserve ./cmd/avwbench
+		./internal/analysis ./internal/serve \
+		./cmd/avwserve ./cmd/avwbench ./cmd/avwtop
 
 ## race-fault: the fault-tolerance suite under the race detector — every
 ## failure policy via scripted fault injection, cancellation, journal

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -99,6 +100,9 @@ func main() {
 				logger.Error("metrics server", "err", err)
 			}
 		}()
+		// Keep /debug/metrics/series and the runtime.* gauges live for
+		// avwtop pointed at the proxy.
+		go obs.NewRecorder(obs.Default, obs.RecorderOptions{Logger: logger}).Run(context.Background())
 		logger.Info("metrics", "url", fmt.Sprintf("http://%s/debug/metrics", *metricsAddr))
 	}
 

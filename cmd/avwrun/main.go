@@ -26,6 +26,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -96,6 +97,10 @@ func main() {
 				fmt.Fprintf(os.Stderr, "avwrun: metrics server: %v\n", err)
 			}
 		}()
+		// A recorder alongside the snapshot endpoint: /debug/metrics/series
+		// answers "how fast is the campaign moving right now", which is what
+		// avwtop pointed at a running campaign shows.
+		go obs.NewRecorder(obs.Default, obs.RecorderOptions{Logger: logger}).Run(context.Background())
 		fmt.Fprintf(os.Stderr, "metrics on http://%s/debug/metrics\n", *metricsAddr)
 	}
 

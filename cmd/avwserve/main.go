@@ -15,9 +15,12 @@
 // invalidating only the artifacts each fold actually changes.
 //
 // Alongside the app it exposes the observability surface of internal/obs:
-// a JSON metrics snapshot at /debug/metrics (request counts, artifact
-// cache hits/misses, per-artifact compute latency) and the runtime
-// profiler at /debug/pprof/. The server uses a ReadHeaderTimeout so idle
+// a metrics snapshot at /debug/metrics (JSON by default; Prometheus or
+// OpenMetrics text via ?format=prom / ?format=openmetrics), the windowed
+// time-series view at /debug/metrics/series (a Recorder self-scrapes the
+// registry every second — this is what avwtop and the built-in SLO
+// watches consume), and the runtime profiler at /debug/pprof/. The
+// server uses a ReadHeaderTimeout so idle
 // clients cannot pin connections open, and shuts down gracefully on
 // SIGINT/SIGTERM, draining in-flight requests for up to the -grace period.
 //
@@ -200,6 +203,18 @@ func main() {
 		logger.Info("live journal attached", "name", np.name, "path", np.path,
 			"experiments", len(tail.Handle().Dataset().Results), "interval", *interval)
 	}
+
+	// The recorder makes /debug/metrics/series live and keeps the
+	// runtime.* gauges fresh for avwtop; the watches surface SLO burn in
+	// the server's own log without any scrape infrastructure.
+	rec := obs.NewRecorder(obs.Default, obs.RecorderOptions{
+		Logger: logger,
+		Watches: []obs.Watch{
+			{Name: "serve-5xx-rate", Rate: "serve.responses.5xx", Window: time.Minute, Threshold: 1},
+			{Name: "serve-p99-latency", Quantile: "serve.request_ns", Q: "p99", Threshold: float64(250 * time.Millisecond)},
+		},
+	})
+	go rec.Run(ctx)
 
 	srv := &http.Server{
 		Addr:              *addr,

@@ -1,0 +1,137 @@
+// Command avwtop is a live terminal dashboard for any avw binary exposing
+// /debug/metrics (avwserve, or avwrun/avwproxy with -metrics-addr). It
+// polls the JSON snapshot, computes windowed rates client-side, and
+// redraws one plain-ANSI frame per interval: request throughput and
+// latency quantiles, artifact cache hit ratio, SSE subscribers, PII hit
+// rates by wire encoding, and Go runtime health (goroutines, heap, GC) —
+// the runtime numbers come from the runtime.* gauges a server-side
+// obs.Recorder maintains.
+//
+// Usage:
+//
+//	avwtop                                  # watch http://127.0.0.1:8787
+//	avwtop -url http://127.0.0.1:8790 -interval 2s
+//	avwtop -once -once-delay 2s             # one plain frame, then exit
+//	avwtop -once -min-rps 1                 # CI gate: exit 1 if idle
+//	avwtop -csv load.csv                    # append one CSV row per frame
+//
+// Flags:
+//
+//	-url URL            base URL or full /debug/metrics URL to poll
+//	                    (default http://127.0.0.1:8787)
+//	-interval duration  poll and redraw cadence (default 1s)
+//	-window duration    rate window spanned by the sample ring (default 10s)
+//	-once               sample twice (-once-delay apart), print one frame
+//	                    without ANSI control codes, and exit — the mode CI
+//	                    and scripts consume
+//	-once-delay d       gap between the two -once samples (default 2s)
+//	-min-rps n          with -once: exit 1 unless the measured request
+//	                    rate is at least n (0 disables the gate)
+//	-csv path           append one CSV row per frame (header written when
+//	                    the file is empty); works in both modes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+)
+
+func main() {
+	var (
+		url       = flag.String("url", "http://127.0.0.1:8787", "base URL or /debug/metrics URL to poll")
+		interval  = flag.Duration("interval", time.Second, "poll and redraw cadence")
+		window    = flag.Duration("window", 10*time.Second, "rate window spanned by the sample ring")
+		once      = flag.Bool("once", false, "print one plain frame and exit")
+		onceDelay = flag.Duration("once-delay", 2*time.Second, "gap between the two -once samples")
+		minRPS    = flag.Float64("min-rps", 0, "with -once: exit 1 unless request rate >= this")
+		csvPath   = flag.String("csv", "", "append one CSV row per frame to this file")
+	)
+	flag.Parse()
+
+	target := *url
+	if !strings.Contains(target, "/debug/metrics") {
+		target = strings.TrimRight(target, "/") + "/debug/metrics"
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	var csv *os.File
+	if *csvPath != "" {
+		f, err := os.OpenFile(*csvPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "avwtop: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if info, err := f.Stat(); err == nil && info.Size() == 0 {
+			fmt.Fprintln(f, csvHeader())
+		}
+		csv = f
+	}
+
+	if *once {
+		os.Exit(runOnce(client, target, *onceDelay, *minRPS, csv))
+	}
+	runLive(client, target, *interval, *window, csv)
+}
+
+// runOnce samples twice, prints one plain frame, and gates on -min-rps.
+func runOnce(client *http.Client, target string, delay time.Duration, minRPS float64, csv *os.File) int {
+	r := newRing(2)
+	for i := 0; i < 2; i++ {
+		s, err := fetchSample(client, target)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "avwtop: %v\n", err)
+			return 1
+		}
+		r.push(s)
+		if i == 0 {
+			time.Sleep(delay)
+		}
+	}
+	st := computeStats(r)
+	render(os.Stdout, target, st, false)
+	if csv != nil {
+		fmt.Fprintln(csv, csvRow(st))
+	}
+	if minRPS > 0 && st.RPS < minRPS {
+		fmt.Fprintf(os.Stderr, "avwtop: measured %.2f req/s, want >= %.2f\n", st.RPS, minRPS)
+		return 1
+	}
+	return 0
+}
+
+// runLive redraws until interrupted. Fetch errors render in place of the
+// frame and the loop keeps polling — a restarting server comes back.
+func runLive(client *http.Client, target string, interval, window time.Duration, csv *os.File) {
+	r := newRing(int(window/interval) + 1)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		s, err := fetchSample(client, target)
+		if err != nil {
+			fmt.Printf("%savwtop — %s\n\n  %v\n", ansiClear, target, err)
+		} else {
+			r.push(s)
+			st := computeStats(r)
+			fmt.Print(ansiClear)
+			render(os.Stdout, target, st, true)
+			if csv != nil {
+				fmt.Fprintln(csv, csvRow(st))
+			}
+		}
+		select {
+		case <-sig:
+			fmt.Println()
+			return
+		case <-t.C:
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"appvsweb/internal/obs"
+)
+
+// The dashboard pipeline is three pure-ish stages so each is testable
+// without a terminal: fetch (one GET of the /debug/metrics JSON snapshot),
+// compute (rates and ratios between the oldest and newest held samples),
+// render (one ANSI frame, or one CSV row). Rates are computed client-side
+// from the cumulative counters, so avwtop works against any avw binary
+// exposing /debug/metrics — a Recorder on the server side is only needed
+// for the runtime.* gauges it maintains.
+
+// sample is one scrape of a /debug/metrics JSON snapshot.
+type sample struct {
+	at   time.Time
+	snap obs.Snapshot
+}
+
+// fetchSample GETs url and decodes the JSON snapshot.
+func fetchSample(client *http.Client, url string) (sample, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return sample{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return sample{}, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	s := sample{at: time.Now()}
+	if err := json.NewDecoder(resp.Body).Decode(&s.snap); err != nil {
+		return sample{}, fmt.Errorf("decode %s: %w", url, err)
+	}
+	return s, nil
+}
+
+// ring holds recent samples; rates span its full width, so the window is
+// capacity × poll interval.
+type ring struct {
+	samples []sample
+	cap     int
+}
+
+func newRing(capacity int) *ring {
+	if capacity < 2 {
+		capacity = 2
+	}
+	return &ring{cap: capacity}
+}
+
+func (r *ring) push(s sample) {
+	r.samples = append(r.samples, s)
+	if len(r.samples) > r.cap {
+		r.samples = r.samples[len(r.samples)-r.cap:]
+	}
+}
+
+// encRate is one row of the per-encoding PII hit table.
+type encRate struct {
+	Encoding string
+	Total    int64
+	Rate     float64 // hits/s over the ring window
+}
+
+// stats is everything one frame shows, computed from the ring's endpoints.
+type stats struct {
+	At      time.Time
+	Elapsed time.Duration // ring window the rates span
+
+	Requests   int64   // cumulative serve.requests_total
+	RPS        float64 // its rate
+	P50ns      int64   // serve.request_ns quantiles
+	P95ns      int64
+	P99ns      int64
+	Classes    map[string]int64 // serve.responses.<class> cumulatives
+	ErrorRate  float64          // serve.responses.5xx rate
+	SSESubs    int64
+	CacheHits  int64
+	CacheMiss  int64
+	HitRatio   float64 // hits / (hits+misses), cumulative
+	PII        []encRate
+	Goroutines int64
+	HeapBytes  int64
+	GCCycles   int64
+	WatchTrips int64
+}
+
+// rate is the per-second delta of one counter between two samples.
+func rate(prev, cur sample, name string) float64 {
+	dt := cur.at.Sub(prev.at).Seconds()
+	if dt <= 0 {
+		return 0
+	}
+	return float64(cur.snap.Counters[name]-prev.snap.Counters[name]) / dt
+}
+
+// computeStats derives the frame from the oldest and newest held samples.
+// With one sample the cumulative columns still fill; rates stay zero.
+func computeStats(r *ring) stats {
+	if len(r.samples) == 0 {
+		return stats{}
+	}
+	cur := r.samples[len(r.samples)-1]
+	prev := r.samples[0]
+	st := stats{
+		At:      cur.at,
+		Elapsed: cur.at.Sub(prev.at),
+		Classes: make(map[string]int64),
+	}
+	c := cur.snap.Counters
+	st.Requests = c["serve.requests_total"]
+	st.RPS = rate(prev, cur, "serve.requests_total")
+	st.ErrorRate = rate(prev, cur, "serve.responses.5xx")
+	for _, class := range []string{"2xx", "3xx", "4xx", "5xx"} {
+		st.Classes[class] = c["serve.responses."+class]
+	}
+	if h, ok := cur.snap.Histograms["serve.request_ns"]; ok {
+		st.P50ns, st.P95ns, st.P99ns = h.P50, h.P95, h.P99
+	}
+	st.SSESubs = cur.snap.Gauges["serve.sse_subscribers"]
+	st.CacheHits = c["analysis.cache_hits_total"]
+	st.CacheMiss = c["analysis.cache_misses_total"]
+	if total := st.CacheHits + st.CacheMiss; total > 0 {
+		st.HitRatio = float64(st.CacheHits) / float64(total)
+	}
+	const piiPrefix = "pii.match.hits."
+	for name, v := range c {
+		if enc, ok := strings.CutPrefix(name, piiPrefix); ok {
+			st.PII = append(st.PII, encRate{
+				Encoding: enc, Total: v, Rate: rate(prev, cur, name),
+			})
+		}
+	}
+	sort.Slice(st.PII, func(i, j int) bool {
+		if st.PII[i].Total != st.PII[j].Total {
+			return st.PII[i].Total > st.PII[j].Total
+		}
+		return st.PII[i].Encoding < st.PII[j].Encoding
+	})
+	st.Goroutines = cur.snap.Gauges["runtime.goroutines"]
+	st.HeapBytes = cur.snap.Gauges["runtime.heap_bytes"]
+	st.GCCycles = cur.snap.Gauges["runtime.gc_cycles"]
+	st.WatchTrips = c["obs.watch.trips_total"]
+	return st
+}
+
+// fmtNS renders a nanosecond latency human-first (µs/ms/s).
+func fmtNS(ns int64) string {
+	d := time.Duration(ns)
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	case d >= time.Microsecond:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}
+
+// fmtBytes renders a byte count in binary units.
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+const (
+	ansiClear = "\x1b[2J\x1b[H"
+	ansiBold  = "\x1b[1m"
+	ansiDim   = "\x1b[2m"
+	ansiReset = "\x1b[0m"
+)
+
+// render writes one dashboard frame. With color=false the frame is plain
+// text (the -once / CI mode and the tests).
+func render(w io.Writer, url string, st stats, color bool) {
+	bold, dim, reset := "", "", ""
+	if color {
+		bold, dim, reset = ansiBold, ansiDim, ansiReset
+	}
+	fmt.Fprintf(w, "%savwtop%s — %s — %s %s(rates over %.1fs)%s\n\n",
+		bold, reset, url, st.At.Format("15:04:05"), dim, st.Elapsed.Seconds(), reset)
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "%srequests%s\t%.1f req/s\ttotal %d\t5xx %.2f/s\n",
+		bold, reset, st.RPS, st.Requests, st.ErrorRate)
+	fmt.Fprintf(tw, "%slatency%s\tp50 %s\tp95 %s\tp99 %s\n",
+		bold, reset, fmtNS(st.P50ns), fmtNS(st.P95ns), fmtNS(st.P99ns))
+	fmt.Fprintf(tw, "%scache%s\thit ratio %.1f%%\thits %d\tmisses %d\n",
+		bold, reset, st.HitRatio*100, st.CacheHits, st.CacheMiss)
+	fmt.Fprintf(tw, "%sresponses%s\t2xx %d\t3xx %d\t4xx %d / 5xx %d\n",
+		bold, reset, st.Classes["2xx"], st.Classes["3xx"], st.Classes["4xx"], st.Classes["5xx"])
+	fmt.Fprintf(tw, "%ssse%s\tsubscribers %d\t\t\n", bold, reset, st.SSESubs)
+	fmt.Fprintf(tw, "%sruntime%s\tgoroutines %d\theap %s\tgc %d\n",
+		bold, reset, st.Goroutines, fmtBytes(st.HeapBytes), st.GCCycles)
+	if st.WatchTrips > 0 {
+		fmt.Fprintf(tw, "%swatches%s\ttrips %d\t\t\n", bold, reset, st.WatchTrips)
+	}
+	tw.Flush()
+
+	if len(st.PII) > 0 {
+		fmt.Fprintf(w, "\n%spii hits by encoding%s\n", bold, reset)
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		for _, e := range st.PII {
+			fmt.Fprintf(tw, "  %s\t%d\t%.2f/s\n", e.Encoding, e.Total, e.Rate)
+		}
+		tw.Flush()
+	}
+}
+
+// csvHeader/csvRow are the -csv recorder schema: one row per refresh.
+func csvHeader() string {
+	return "time,rps,p50_ns,p95_ns,p99_ns,err_5xx_per_s,cache_hit_ratio,sse_subscribers,goroutines,heap_bytes"
+}
+
+func csvRow(st stats) string {
+	return fmt.Sprintf("%s,%.3f,%d,%d,%d,%.3f,%.4f,%d,%d,%d",
+		st.At.Format(time.RFC3339), st.RPS, st.P50ns, st.P95ns, st.P99ns,
+		st.ErrorRate, st.HitRatio, st.SSESubs, st.Goroutines, st.HeapBytes)
+}

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"appvsweb/internal/obs"
+)
+
+// newTestServer boots the real observability surface in-process: a
+// registry with representative workload metrics, a ticked Recorder for
+// the runtime.* gauges, served by obs.DebugMux over httptest.
+func newTestServer(t *testing.T) (*httptest.Server, *obs.Registry) {
+	t.Helper()
+	reg := obs.New()
+	rec := obs.NewRecorder(reg, obs.RecorderOptions{Interval: time.Millisecond})
+	rec.Tick()
+	srv := httptest.NewServer(obs.DebugMux(reg))
+	t.Cleanup(srv.Close)
+	return srv, reg
+}
+
+func TestFetchComputeRender(t *testing.T) {
+	srv, reg := newTestServer(t)
+	client := srv.Client()
+	url := srv.URL + "/debug/metrics"
+
+	reg.Counter("serve.requests_total").Add(100)
+	reg.CounterVec("serve.responses", "class").WithLabelValues("2xx").Add(95)
+	reg.CounterVec("serve.responses", "class").WithLabelValues("5xx").Add(5)
+	reg.Counter("analysis.cache_hits_total").Add(30)
+	reg.Counter("analysis.cache_misses_total").Add(10)
+	reg.Gauge("serve.sse_subscribers").Set(2)
+	reg.CounterVec("pii.match.hits", "encoding").WithLabelValues("identity").Add(8)
+	reg.CounterVec("pii.match.hits", "encoding").WithLabelValues("md5").Add(3)
+	h := reg.Histogram("serve.request_ns", "ns")
+	for _, v := range []int64{1_000_000, 2_000_000, 50_000_000} {
+		h.Observe(v)
+	}
+
+	r := newRing(4)
+	s1, err := fetchSample(client, url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.push(s1)
+	time.Sleep(20 * time.Millisecond)
+	reg.Counter("serve.requests_total").Add(50)
+	reg.CounterVec("pii.match.hits", "encoding").WithLabelValues("identity").Add(4)
+	s2, err := fetchSample(client, url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.push(s2)
+
+	st := computeStats(r)
+	if st.Requests != 150 {
+		t.Fatalf("requests = %d, want 150", st.Requests)
+	}
+	if st.RPS <= 0 {
+		t.Fatalf("rps = %v, want > 0", st.RPS)
+	}
+	if st.Classes["2xx"] != 95 || st.Classes["5xx"] != 5 {
+		t.Fatalf("classes = %+v", st.Classes)
+	}
+	if st.HitRatio != 0.75 {
+		t.Fatalf("hit ratio = %v, want 0.75", st.HitRatio)
+	}
+	if st.SSESubs != 2 {
+		t.Fatalf("sse = %d, want 2", st.SSESubs)
+	}
+	if st.P99ns == 0 || st.P50ns == 0 {
+		t.Fatalf("latency quantiles empty: %+v", st)
+	}
+	// PII rows sort by total: identity (12) before md5 (3); only identity
+	// moved between samples, so only it carries a rate.
+	if len(st.PII) != 2 || st.PII[0].Encoding != "identity" || st.PII[0].Total != 12 {
+		t.Fatalf("pii rows = %+v", st.PII)
+	}
+	if st.PII[0].Rate <= 0 || st.PII[1].Rate != 0 {
+		t.Fatalf("pii rates = %+v", st.PII)
+	}
+	// The ticked Recorder populated the runtime gauges.
+	if st.Goroutines <= 0 || st.HeapBytes <= 0 {
+		t.Fatalf("runtime stats empty: goroutines=%d heap=%d", st.Goroutines, st.HeapBytes)
+	}
+
+	var buf strings.Builder
+	render(&buf, url, st, false)
+	out := buf.String()
+	for _, want := range []string{
+		"req/s", "p99", "hit ratio 75.0%", "subscribers 2",
+		"goroutines", "identity", "md5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("frame missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "\x1b[") {
+		t.Error("plain frame contains ANSI control codes")
+	}
+
+	var color strings.Builder
+	render(&color, url, st, true)
+	if !strings.Contains(color.String(), ansiBold) {
+		t.Error("color frame missing ANSI bold")
+	}
+}
+
+func TestFetchSampleErrors(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "nope", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	if _, err := fetchSample(srv.Client(), srv.URL+"/debug/metrics"); err == nil {
+		t.Fatal("want error on non-200")
+	}
+	if _, err := fetchSample(&http.Client{Timeout: time.Second}, "http://127.0.0.1:1/debug/metrics"); err == nil {
+		t.Fatal("want error on refused connection")
+	}
+}
+
+func TestRingBounded(t *testing.T) {
+	r := newRing(3)
+	for i := 0; i < 10; i++ {
+		r.push(sample{at: time.Unix(int64(i), 0)})
+	}
+	if len(r.samples) != 3 {
+		t.Fatalf("ring len = %d, want 3", len(r.samples))
+	}
+	if !r.samples[0].at.Equal(time.Unix(7, 0)) {
+		t.Fatalf("oldest = %v, want t=7", r.samples[0].at)
+	}
+}
+
+func TestCSVRow(t *testing.T) {
+	st := stats{
+		At: time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC), RPS: 12.5,
+		P50ns: 1000, P95ns: 2000, P99ns: 3000, HitRatio: 0.5,
+		SSESubs: 1, Goroutines: 10, HeapBytes: 1 << 20,
+	}
+	row := csvRow(st)
+	if fields := strings.Split(row, ","); len(fields) != len(strings.Split(csvHeader(), ",")) {
+		t.Fatalf("row width %d != header width: %s", len(fields), row)
+	}
+	if !strings.HasPrefix(row, "2026-08-08T12:00:00Z,12.500,1000,2000,3000,") {
+		t.Fatalf("row = %s", row)
+	}
+}
+
+func TestFmtHelpers(t *testing.T) {
+	if got := fmtNS(1_500_000); got != "1.50ms" {
+		t.Errorf("fmtNS = %q", got)
+	}
+	if got := fmtNS(2_500_000_000); got != "2.50s" {
+		t.Errorf("fmtNS = %q", got)
+	}
+	if got := fmtBytes(3 << 20); got != "3.0MiB" {
+		t.Errorf("fmtBytes = %q", got)
+	}
+}

@@ -33,7 +33,7 @@ type Engine struct {
 
 	hits       *obs.Counter
 	misses     *obs.Counter
-	computeNS  *obs.Histogram
+	computeNS  *obs.HistogramVec
 	storeHits  *obs.Counter
 	storeMiss  *obs.Counter
 	storeWrite *obs.Counter
@@ -107,7 +107,10 @@ func NewEngine(opts EngineOptions) *Engine {
 		bus:        newBus(opts.EventQueue, dropped.Inc),
 		hits:       opts.Metrics.Counter("analysis.cache_hits_total"),
 		misses:     opts.Metrics.Counter("analysis.cache_misses_total"),
-		computeNS:  opts.Metrics.Histogram("analysis.compute_ns", "ns"),
+		// One labeled family with an artifact dimension; the legacy
+		// analysis.compute_ns aggregate is a snapshot-time rollup of it,
+		// so the hot path records exactly once.
+		computeNS:  opts.Metrics.HistogramVec("analysis.compute", "ns", "artifact").WithRollup("analysis.compute_ns"),
 		storeHits:  opts.Metrics.Counter("analysis.store_hits_total"),
 		storeMiss:  opts.Metrics.Counter("analysis.store_misses_total"),
 		storeWrite: opts.Metrics.Counter("analysis.store_writes_total"),
@@ -356,8 +359,7 @@ func (e *Engine) artifact(ctx context.Context, fp string, spec *artifactSpec, ds
 	start := time.Now()
 	b, err := spec.compute(ds)
 	dur := time.Since(start)
-	e.computeNS.ObserveDuration(dur)
-	e.metrics.Histogram("analysis.compute."+spec.id+"_ns", "ns").ObserveDuration(dur)
+	e.computeNS.WithLabelValues(spec.id).ObserveDuration(dur)
 	e.tracer.Emit(trace.Event{Type: trace.EvArtifactCompute, DurNS: dur.Nanoseconds(),
 		Attrs: map[string]string{
 			"artifact": spec.id,

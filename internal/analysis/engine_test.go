@@ -120,7 +120,7 @@ func TestEngineSingleflight(t *testing.T) {
 	if snap.Counters["analysis.cache_hits_total"] != n-1 {
 		t.Errorf("hits = %d, want %d", snap.Counters["analysis.cache_hits_total"], n-1)
 	}
-	if got := reg.Histogram("analysis.compute.table2_ns", "ns").Count(); got != 1 {
+	if got := snap.Histograms["analysis.compute.table2_ns"].Count; got != 1 {
 		t.Errorf("table2 computed %d times, want 1", got)
 	}
 }

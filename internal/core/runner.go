@@ -360,7 +360,7 @@ func (r *Runner) runExperimentSpanned(ctx context.Context, spec *services.Spec, 
 		sessCfg.Adblock = easylist.Bundled()
 	}
 	sessCfg.DenyPermissions = r.Opts.DenyPermissions
-	sessSpan := reg.Histogram("stage.session_ns", "ns").Span()
+	sessSpan := reg.HistogramVec("stage", "ns", "stage").WithLabelValues("session").Span()
 	tr.Emit(trace.Event{Type: trace.EvSessionStart, Span: span, Attrs: map[string]string{"client": clientID}})
 	sessStage := tr.Stage(span, "session")
 	sres, err := device.RunSessionContext(ctx, sessCfg)
@@ -458,7 +458,7 @@ func analyzeFlows(metrics *obs.Registry, tr *trace.Tracer, span string, cat *dom
 	isBackground := func(host string) bool {
 		return cat.Categorize(serviceKey, host) == domains.Background
 	}
-	filterSpan := metrics.Histogram("stage.filter_ns", "ns").Span()
+	filterSpan := metrics.HistogramVec("stage", "ns", "stage").WithLabelValues("filter").Span()
 	var kept, dropped []*capture.Flow
 	if disableBGFilter {
 		kept = flows
@@ -598,8 +598,8 @@ func analyzeFlows(metrics *obs.Registry, tr *trace.Tracer, span string, cat *dom
 		result.LeakTypes = result.LeakTypes.Union(leakTypes)
 		piiDomains[reg] = true
 	}
-	metrics.Histogram("stage.detect_ns", "ns").ObserveDuration(detectNS)
-	metrics.Histogram("stage.categorize_ns", "ns").ObserveDuration(categorizeNS)
+	metrics.HistogramVec("stage", "ns", "stage").WithLabelValues("detect").ObserveDuration(detectNS)
+	metrics.HistogramVec("stage", "ns", "stage").WithLabelValues("categorize").ObserveDuration(categorizeNS)
 	result.AADomains = sortedKeys(aaDomains)
 	result.PIIDomains = sortedKeys(piiDomains)
 	return kept
@@ -865,7 +865,7 @@ func (r *Runner) RunCampaignContext(parent context.Context) (*Dataset, error) {
 	}
 
 	if r.Opts.TrainRecon {
-		reconSpan := r.Opts.Metrics.Histogram("stage.recon_ns", "ns").Span()
+		reconSpan := r.Opts.Metrics.HistogramVec("stage", "ns", "stage").WithLabelValues("recon").Span()
 		report, holdout := r.annotateWithRecon(runs)
 		reconSpan.End()
 		ds.Meta.ReconReport = report

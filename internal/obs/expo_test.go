@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a deterministic registry exercising every metric
+// kind: plain counter/gauge/histogram, all three vec kinds (including a
+// multi-label family and label values needing escaping), and a rollup.
+func goldenRegistry() *Registry {
+	r := New()
+	r.Counter("pii.scan.calls_total").Add(42)
+	r.Counter("proxy.flows_total").Add(7)
+	r.Gauge("serve.sse_subscribers").Set(3)
+	h := r.Histogram("serve.request_ns", "ns")
+	for _, v := range []int64{1000, 2000, 4000, 8000, 100000} {
+		h.Observe(v)
+	}
+
+	cv := r.CounterVec("pii.match.hits", "encoding")
+	cv.WithLabelValues("identity").Add(10)
+	cv.WithLabelValues("md5").Add(2)
+	cv.WithLabelValues(`we"ird\enc`).Inc() // label-value escaping
+
+	gv := r.GaugeVec("journal.depth", "shard", "state")
+	gv.WithLabelValues("0", "live").Set(5)
+	gv.WithLabelValues("1", "idle").Set(1)
+
+	hv := r.HistogramVec("stage", "ns", "stage")
+	hv.WithLabelValues("session").Observe(1500)
+	hv.WithLabelValues("session").Observe(2500)
+	hv.WithLabelValues("detect").Observe(300)
+
+	r.HistogramVec("analysis.compute", "ns", "artifact").
+		WithRollup("analysis.compute_ns").
+		WithLabelValues("report").Observe(5000)
+	return r
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestSnapshotJSONGolden pins the legacy /debug/metrics JSON byte-for-byte:
+// the vec migration must keep every pre-existing flat name
+// (pii.match.hits.<encoding>, stage.<stage>_ns, analysis.compute_ns, ...)
+// exactly as it serialized before labels existed.
+func TestSnapshotJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metrics.json", buf.Bytes())
+}
+
+func TestWritePromGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metrics.prom", buf.Bytes())
+}
+
+func TestWriteOpenMetricsGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.Bytes()
+	if !bytes.HasSuffix(out, []byte("# EOF\n")) {
+		t.Error("OpenMetrics output must end with # EOF")
+	}
+	checkGolden(t, "metrics.om", out)
+}
+
+// TestExpositionWellFormed checks structural invariants beyond the golden
+// bytes: every sample line belongs to a declared family, names stay in the
+// prom alphabet, and no family is declared twice.
+func TestExpositionWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	types := make(map[string]string)
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if line == "" || line == "# EOF" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			if _, dup := types[parts[2]]; dup {
+				t.Errorf("family %s declared twice", parts[2])
+			}
+			types[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(name, "{ "); i >= 0 {
+			name = name[:i]
+		}
+		if strings.ContainsAny(name, ".-") {
+			t.Errorf("unsanitized sample name %q", name)
+		}
+		found := false
+		for fam := range types {
+			if name == fam || strings.HasPrefix(name, fam+"_") ||
+				(types[fam] == "counter" && name == fam+"_total") {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("sample %q has no declared family", name)
+		}
+	}
+	if len(types) == 0 {
+		t.Fatal("no TYPE lines emitted")
+	}
+}
+
+func TestHandlerNegotiation(t *testing.T) {
+	r := goldenRegistry()
+	get := func(target string, accept string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest("GET", target, nil)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		w := httptest.NewRecorder()
+		r.Handler().ServeHTTP(w, req)
+		return w
+	}
+
+	if w := get("/debug/metrics", ""); !strings.HasPrefix(w.Header().Get("Content-Type"), "application/json") {
+		t.Errorf("default content type = %q, want JSON", w.Header().Get("Content-Type"))
+	}
+	if w := get("/debug/metrics?format=prom", ""); w.Header().Get("Content-Type") != promContentType {
+		t.Errorf("?format=prom content type = %q", w.Header().Get("Content-Type"))
+	}
+	if w := get("/debug/metrics?format=openmetrics", ""); w.Header().Get("Content-Type") != openMetricsContentType {
+		t.Errorf("?format=openmetrics content type = %q", w.Header().Get("Content-Type"))
+	}
+	if w := get("/debug/metrics", "application/openmetrics-text;version=1.0.0"); w.Header().Get("Content-Type") != openMetricsContentType {
+		t.Errorf("Accept openmetrics content type = %q", w.Header().Get("Content-Type"))
+	}
+	if w := get("/debug/metrics", "text/plain"); w.Header().Get("Content-Type") != promContentType {
+		t.Errorf("Accept text/plain content type = %q", w.Header().Get("Content-Type"))
+	}
+	// An explicit ?format=json wins over an Accept header.
+	if w := get("/debug/metrics?format=json", "text/plain"); !strings.HasPrefix(w.Header().Get("Content-Type"), "application/json") {
+		t.Errorf("?format=json with Accept text/plain = %q", w.Header().Get("Content-Type"))
+	}
+}
+
+// TestDebugMuxPprof pins the profiler mounts: /debug/pprof/heap and
+// /debug/pprof/goroutine must resolve through DebugMux (they route via
+// pprof.Index's path dispatch, which a refactor could silently drop).
+func TestDebugMuxPprof(t *testing.T) {
+	mux := DebugMux(New())
+	for _, path := range []string{
+		"/debug/pprof/heap?debug=1",
+		"/debug/pprof/goroutine?debug=1",
+		"/debug/pprof/",
+	} {
+		req := httptest.NewRequest("GET", path, nil)
+		w := httptest.NewRecorder()
+		mux.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200", path, w.Code)
+		}
+		if w.Body.Len() == 0 {
+			t.Errorf("GET %s returned empty body", path)
+		}
+	}
+}
+
+func TestDebugMuxSeriesWithoutRecorder(t *testing.T) {
+	mux := DebugMux(New())
+	req := httptest.NewRequest("GET", "/debug/metrics/series", nil)
+	w := httptest.NewRecorder()
+	mux.ServeHTTP(w, req)
+	if w.Code != http.StatusNotFound {
+		t.Errorf("series without recorder = %d, want 404", w.Code)
+	}
+}

@@ -149,6 +149,59 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
+// mergeHistograms sums the raw bucket counts of several histograms into
+// one snapshot — the aggregate a single histogram receiving every
+// observation would report (same buckets, hence byte-identical quantile
+// estimates). Used for HistogramVec rollups.
+func mergeHistograms(unit string, hs []*Histogram) HistogramSnapshot {
+	var buckets [numBuckets]int64
+	var count, sum, max int64
+	min := int64(math.MaxInt64)
+	for _, h := range hs {
+		count += h.count.Load()
+		sum += h.sum.Load()
+		if m := h.min.Load(); m < min {
+			min = m
+		}
+		if m := h.max.Load(); m > max {
+			max = m
+		}
+		for i := range h.buckets {
+			buckets[i] += h.buckets[i].Load()
+		}
+	}
+	s := HistogramSnapshot{Unit: unit, Count: count, Sum: sum, Max: max}
+	if min != math.MaxInt64 {
+		s.Min = min
+	}
+	quantile := func(q float64) int64 {
+		if count == 0 {
+			return 0
+		}
+		target := int64(math.Ceil(q * float64(count)))
+		if target < 1 {
+			target = 1
+		}
+		var cum int64
+		for i := range buckets {
+			cum += buckets[i]
+			if cum >= target {
+				v := bucketMid(i)
+				if v > max {
+					v = max
+				}
+				if v < s.Min && min != math.MaxInt64 {
+					v = s.Min
+				}
+				return v
+			}
+		}
+		return max
+	}
+	s.P50, s.P95, s.P99 = quantile(0.50), quantile(0.95), quantile(0.99)
+	return s
+}
+
 // bucketIndex maps a non-negative value to its bucket.
 func bucketIndex(v int64) int {
 	u := uint64(v)

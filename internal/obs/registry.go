@@ -3,10 +3,13 @@ package obs
 import (
 	"encoding/json"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Registry is a process-wide namespace of metrics. Lookups are
@@ -14,10 +17,17 @@ import (
 // callers (and exporters) share it. A Registry is safe for concurrent use;
 // hot paths should resolve metric pointers once and reuse them.
 type Registry struct {
-	mu         sync.RWMutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	histograms map[string]*Histogram
+	mu            sync.RWMutex
+	counters      map[string]*Counter
+	gauges        map[string]*Gauge
+	histograms    map[string]*Histogram
+	counterVecs   map[string]*CounterVec
+	gaugeVecs     map[string]*GaugeVec
+	histogramVecs map[string]*HistogramVec
+
+	// recorder, when a Recorder has attached itself, backs the
+	// /debug/metrics/series endpoint of DebugMux.
+	recorder atomic.Pointer[Recorder]
 }
 
 // Default is the process-wide registry. Instrumented packages record here
@@ -27,9 +37,12 @@ var Default = New()
 // New returns an empty registry.
 func New() *Registry {
 	return &Registry{
-		counters:   make(map[string]*Counter),
-		gauges:     make(map[string]*Gauge),
-		histograms: make(map[string]*Histogram),
+		counters:      make(map[string]*Counter),
+		gauges:        make(map[string]*Gauge),
+		histograms:    make(map[string]*Histogram),
+		counterVecs:   make(map[string]*CounterVec),
+		gaugeVecs:     make(map[string]*GaugeVec),
+		histogramVecs: make(map[string]*HistogramVec),
 	}
 }
 
@@ -68,24 +81,127 @@ func (r *Registry) Gauge(name string) *Gauge {
 }
 
 // Histogram returns the named histogram, creating it on first use with the
-// given unit label ("ns", "bytes"). The unit is fixed by the first caller.
+// given unit label ("ns", "bytes"). The unit is fixed by the first caller;
+// a later caller asking for a different unit gets the original histogram
+// back, with a warning logged and obs.unit_conflicts_total incremented —
+// two call sites disagreeing about a metric's unit is an instrumentation
+// bug that silent precedence used to hide.
 func (r *Registry) Histogram(name, unit string) *Histogram {
 	r.mu.RLock()
 	h := r.histograms[name]
 	r.mu.RUnlock()
-	if h != nil {
-		return h
+	if h == nil {
+		r.mu.Lock()
+		if h = r.histograms[name]; h == nil {
+			h = newHistogram(unit)
+			r.histograms[name] = h
+		}
+		r.mu.Unlock()
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if h = r.histograms[name]; h == nil {
-		h = newHistogram(unit)
-		r.histograms[name] = h
+	if h.unit != unit {
+		r.unitConflict(name, h.unit, unit)
 	}
 	return h
 }
 
+// unitConflict records a histogram registered twice with disagreeing
+// units. The counter lives in the same registry, so the conflict is
+// visible in the snapshot it corrupts.
+func (r *Registry) unitConflict(name, have, want string) {
+	r.Counter("obs.unit_conflicts_total").Inc()
+	slog.Warn("obs: histogram unit conflict; keeping first unit",
+		"metric", name, "unit", have, "conflicting_unit", want)
+}
+
+// CounterVec returns the named counter family with the given label
+// dimensions, creating it on first use. The label set is fixed by the
+// first caller; a later caller asking for different labels gets the
+// original family back, with a warning logged and
+// obs.label_conflicts_total incremented.
+func (r *Registry) CounterVec(name string, labels ...string) *CounterVec {
+	r.mu.RLock()
+	v := r.counterVecs[name]
+	r.mu.RUnlock()
+	if v == nil {
+		limited := r.Counter("obs.cardinality_limited_total")
+		r.mu.Lock()
+		if v = r.counterVecs[name]; v == nil {
+			v = &CounterVec{v: newVec[Counter](name, labels, 0, limited)}
+			r.counterVecs[name] = v
+		}
+		r.mu.Unlock()
+	}
+	r.checkLabels(name, v.v.labels, labels)
+	return v
+}
+
+// GaugeVec returns the named gauge family with the given label dimensions,
+// creating it on first use.
+func (r *Registry) GaugeVec(name string, labels ...string) *GaugeVec {
+	r.mu.RLock()
+	v := r.gaugeVecs[name]
+	r.mu.RUnlock()
+	if v == nil {
+		limited := r.Counter("obs.cardinality_limited_total")
+		r.mu.Lock()
+		if v = r.gaugeVecs[name]; v == nil {
+			v = &GaugeVec{v: newVec[Gauge](name, labels, 0, limited)}
+			r.gaugeVecs[name] = v
+		}
+		r.mu.Unlock()
+	}
+	r.checkLabels(name, v.v.labels, labels)
+	return v
+}
+
+// HistogramVec returns the named histogram family with the given unit and
+// label dimensions, creating it on first use. Unit conflicts are handled
+// like Registry.Histogram's.
+func (r *Registry) HistogramVec(name, unit string, labels ...string) *HistogramVec {
+	r.mu.RLock()
+	v := r.histogramVecs[name]
+	r.mu.RUnlock()
+	if v == nil {
+		limited := r.Counter("obs.cardinality_limited_total")
+		r.mu.Lock()
+		if v = r.histogramVecs[name]; v == nil {
+			v = &HistogramVec{v: newVec[Histogram](name, labels, 0, limited), unit: unit}
+			r.histogramVecs[name] = v
+		}
+		r.mu.Unlock()
+	}
+	if v.unit != unit {
+		r.unitConflict(name, v.unit, unit)
+	}
+	r.checkLabels(name, v.v.labels, labels)
+	return v
+}
+
+// checkLabels flags a vec family resolved twice with disagreeing label
+// names — like a unit conflict, an instrumentation bug worth surfacing.
+func (r *Registry) checkLabels(name string, have, want []string) {
+	if len(have) == len(want) {
+		same := true
+		for i := range have {
+			if have[i] != want[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return
+		}
+	}
+	r.Counter("obs.label_conflicts_total").Inc()
+	slog.Warn("obs: vec label conflict; keeping first label set",
+		"metric", name, "labels", strings.Join(have, ","),
+		"conflicting_labels", strings.Join(want, ","))
+}
+
 // Snapshot is a point-in-time export of every metric in a registry.
+// Labeled series fold into the same flat maps under their legacy dotted
+// names (family + "." + label values, histograms with the unit suffix),
+// so the JSON wire format is unchanged by the vec migration.
 type Snapshot struct {
 	Counters   map[string]int64             `json:"counters"`
 	Gauges     map[string]int64             `json:"gauges"`
@@ -96,7 +212,6 @@ type Snapshot struct {
 // Concurrent updates during the snapshot may be partially reflected.
 func (r *Registry) Snapshot() Snapshot {
 	r.mu.RLock()
-	defer r.mu.RUnlock()
 	s := Snapshot{
 		Counters:   make(map[string]int64, len(r.counters)),
 		Gauges:     make(map[string]int64, len(r.gauges)),
@@ -110,6 +225,37 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for name, h := range r.histograms {
 		s.Histograms[name] = h.Snapshot()
+	}
+	cvecs := make([]*CounterVec, 0, len(r.counterVecs))
+	for _, v := range r.counterVecs {
+		cvecs = append(cvecs, v)
+	}
+	gvecs := make([]*GaugeVec, 0, len(r.gaugeVecs))
+	for _, v := range r.gaugeVecs {
+		gvecs = append(gvecs, v)
+	}
+	hvecs := make([]*HistogramVec, 0, len(r.histogramVecs))
+	for _, v := range r.histogramVecs {
+		hvecs = append(hvecs, v)
+	}
+	r.mu.RUnlock()
+	for _, v := range cvecs {
+		v.v.series(func(vals []string, c *Counter) {
+			s.Counters[flatName(v.v.name, vals, "")] = c.Value()
+		})
+	}
+	for _, v := range gvecs {
+		v.v.series(func(vals []string, g *Gauge) {
+			s.Gauges[flatName(v.v.name, vals, "")] = g.Value()
+		})
+	}
+	for _, v := range hvecs {
+		v.v.series(func(vals []string, h *Histogram) {
+			s.Histograms[flatName(v.v.name, vals, v.unit)] = h.Snapshot()
+		})
+		if name := v.rollupName(); name != "" {
+			s.Histograms[name] = v.mergedSnapshot()
+		}
 	}
 	return s
 }
@@ -126,20 +272,68 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	return err
 }
 
-// Handler returns an http.Handler serving the JSON snapshot.
+// Handler returns an http.Handler serving the snapshot. The format is
+// negotiated: ?format=prom (or an Accept header preferring
+// text/plain / application/openmetrics-text) selects the OpenMetrics
+// text exposition; the default remains the legacy JSON snapshot.
 func (r *Registry) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		_ = r.WriteJSON(w)
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		switch negotiateFormat(req) {
+		case "openmetrics":
+			w.Header().Set("Content-Type", openMetricsContentType)
+			_ = r.WriteOpenMetrics(w)
+		case "prom":
+			w.Header().Set("Content-Type", promContentType)
+			_ = r.WriteProm(w)
+		default:
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			_ = r.WriteJSON(w)
+		}
 	})
 }
 
-// DebugMux returns a mux exposing the registry at /debug/metrics and the
-// runtime profiler at /debug/pprof/ — the observability surface the cmd
-// binaries mount.
+// negotiateFormat picks the exposition format for one request: an explicit
+// ?format= wins; otherwise the Accept header is consulted; JSON is the
+// backward-compatible default.
+func negotiateFormat(req *http.Request) string {
+	switch req.URL.Query().Get("format") {
+	case "prom", "prometheus":
+		return "prom"
+	case "openmetrics":
+		return "openmetrics"
+	case "json":
+		return "json"
+	}
+	accept := req.Header.Get("Accept")
+	switch {
+	case strings.Contains(accept, "application/openmetrics-text"):
+		return "openmetrics"
+	case strings.Contains(accept, "text/plain"):
+		return "prom"
+	}
+	return "json"
+}
+
+// Recorder returns the Recorder attached to this registry, or nil if none
+// is running. NewRecorder attaches itself.
+func (r *Registry) Recorder() *Recorder { return r.recorder.Load() }
+
+// DebugMux returns a mux exposing the registry at /debug/metrics (JSON,
+// Prometheus, or OpenMetrics by content negotiation), the windowed
+// time-series view at /debug/metrics/series (404 until a Recorder is
+// attached), and the runtime profiler at /debug/pprof/ — the
+// observability surface the cmd binaries mount.
 func DebugMux(r *Registry) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/debug/metrics", r.Handler())
+	mux.HandleFunc("/debug/metrics/series", func(w http.ResponseWriter, req *http.Request) {
+		rec := r.Recorder()
+		if rec == nil {
+			http.Error(w, "no recorder attached (start one with obs.NewRecorder)", http.StatusNotFound)
+			return
+		}
+		rec.Handler().ServeHTTP(w, req)
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"time"
+)
+
+// Watch is one SLO-burn rule: a threshold over a windowed value,
+// evaluated on every Recorder tick. A watch observes exactly one of
+//
+//   - Rate: the per-second rate of a counter over Window;
+//   - Gauge: the instantaneous level of a gauge;
+//   - Quantile: a quantile estimate (Q: "p50", "p95", "p99") of a
+//     histogram's cumulative distribution.
+//
+// When the observed value crosses the threshold (Op ">" or "<"), the
+// watch trips: one structured slog warning names the rule, value, and
+// threshold, and obs.watch.trips_total increments. The warning fires on
+// the transition only — a rule that stays tripped logs once, then once
+// more (at info) when it recovers. This is deliberately a pressure-relief
+// valve, not an alerting system: avwserve and avwrun use it to make SLO
+// burn visible in their own logs without any external scrape
+// infrastructure.
+type Watch struct {
+	// Name identifies the rule in log lines.
+	Name string
+	// Rate names a counter whose per-second rate over Window is watched.
+	Rate string
+	// Gauge names a gauge whose level is watched.
+	Gauge string
+	// Quantile names a histogram whose Q quantile is watched.
+	Quantile string
+	// Q selects the quantile for Quantile watches: "p50", "p95", "p99"
+	// (default "p99").
+	Q string
+	// Window is the rate window for Rate watches. Default 1m.
+	Window time.Duration
+	// Op is the comparison that trips the watch: ">" (default) or "<".
+	Op string
+	// Threshold is the boundary value (same unit as the watched metric:
+	// events/s for rates, the gauge's unit, nanoseconds for duration
+	// quantiles).
+	Threshold float64
+}
+
+// withDefaults fills the documented defaults.
+func (w Watch) withDefaults() Watch {
+	if w.Window <= 0 {
+		w.Window = time.Minute
+	}
+	if w.Op == "" {
+		w.Op = ">"
+	}
+	if w.Q == "" {
+		w.Q = "p99"
+	}
+	return w
+}
+
+// watchState tracks one rule's trip state across ticks.
+type watchState struct {
+	Watch
+	tripped bool
+}
+
+// evalWatches evaluates every rule against the current ring.
+func (rec *Recorder) evalWatches() {
+	if len(rec.watches) == 0 {
+		return
+	}
+	ticks := rec.ticks()
+	if len(ticks) == 0 {
+		return
+	}
+	cur := ticks[len(ticks)-1]
+	for _, ws := range rec.watches {
+		v, ok := watchValue(ws.Watch, ticks, cur)
+		if !ok {
+			continue
+		}
+		trip := (ws.Op == ">" && v > ws.Threshold) || (ws.Op == "<" && v < ws.Threshold)
+		switch {
+		case trip && !ws.tripped:
+			ws.tripped = true
+			rec.trips.Inc()
+			rec.logger.Warn("watch tripped",
+				"watch", ws.Name, "value", v, "op", ws.Op,
+				"threshold", ws.Threshold, "window", fmtWindow(ws.Window))
+		case !trip && ws.tripped:
+			ws.tripped = false
+			rec.logger.Info("watch recovered",
+				"watch", ws.Name, "value", v, "op", ws.Op,
+				"threshold", ws.Threshold)
+		}
+	}
+}
+
+// watchValue extracts the observed value for one rule. Reports false when
+// the metric has no data yet (e.g. a rate with fewer than two ticks).
+func watchValue(w Watch, ticks []tickSample, cur tickSample) (float64, bool) {
+	switch {
+	case w.Rate != "":
+		then, ok := baseline(ticks, cur.at, w.Window)
+		if !ok {
+			return 0, false
+		}
+		elapsed := cur.at.Sub(then.at).Seconds()
+		if elapsed <= 0 {
+			return 0, false
+		}
+		v, ok := cur.snap.Counters[w.Rate]
+		if !ok {
+			return 0, false
+		}
+		return float64(v-then.snap.Counters[w.Rate]) / elapsed, true
+	case w.Gauge != "":
+		v, ok := cur.snap.Gauges[w.Gauge]
+		return float64(v), ok
+	case w.Quantile != "":
+		h, ok := cur.snap.Histograms[w.Quantile]
+		if !ok || h.Count == 0 {
+			return 0, false
+		}
+		switch w.Q {
+		case "p50":
+			return float64(h.P50), true
+		case "p95":
+			return float64(h.P95), true
+		default:
+			return float64(h.P99), true
+		}
+	}
+	return 0, false
+}

@@ -11,8 +11,10 @@ import (
 
 // Matcher instrumentation (docs/metrics.md): scan volume plus hit counts
 // broken down by wire encoding, so a snapshot shows which obfuscations
-// actually carry PII in a campaign. Counters are resolved once at init —
-// the Scan hot path only touches atomics (and one map read per hit).
+// actually carry PII in a campaign. Hits are one labeled family —
+// pii.match.hits with an encoding dimension — whose per-encoding series
+// are resolved once at init, so the Scan hot path only touches atomics
+// (and one map read per hit).
 var matchMetrics = struct {
 	scans   *obs.Counter
 	needles *obs.Counter
@@ -24,8 +26,9 @@ var matchMetrics = struct {
 }
 
 func init() {
+	vec := obs.Default.CounterVec("pii.match.hits", "encoding")
 	for _, e := range Encoders() {
-		matchMetrics.hits[e.Name] = obs.Default.Counter("pii.match.hits." + string(e.Name))
+		matchMetrics.hits[e.Name] = vec.WithLabelValues(string(e.Name))
 	}
 }
 

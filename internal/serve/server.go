@@ -76,17 +76,57 @@ type server struct {
 	sseEvicted     *obs.Counter
 }
 
-// instrument wraps a handler with request counting and latency recording
-// (serve.requests_total, serve.request_ns in docs/metrics.md).
+// instrument wraps a handler with request counting, latency recording,
+// and a status-class breakdown (serve.requests_total, serve.request_ns,
+// and the serve.responses family in docs/metrics.md). The per-class
+// counters are resolved once here, so the per-request cost beyond the
+// legacy middleware is one small wrapper alloc and one atomic add.
 func (s *server) instrument(next http.Handler) http.Handler {
 	requests := s.reg.Counter("serve.requests_total")
 	latency := s.reg.Histogram("serve.request_ns", "ns")
+	responses := s.reg.CounterVec("serve.responses", "class")
+	classes := [4]*obs.Counter{
+		responses.WithLabelValues("2xx"),
+		responses.WithLabelValues("3xx"),
+		responses.WithLabelValues("4xx"),
+		responses.WithLabelValues("5xx"),
+	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		requests.Inc()
+		sw := &statusWriter{ResponseWriter: w}
 		sp := latency.Span()
-		next.ServeHTTP(w, r)
+		next.ServeHTTP(sw, r)
 		sp.End()
+		st := sw.status
+		if st == 0 {
+			st = http.StatusOK // handler returned without writing: implicit 200
+		}
+		if i := st/100 - 2; i >= 0 && i < len(classes) {
+			classes[i].Inc()
+		}
 	})
+}
+
+// statusWriter captures the response status for the class breakdown. An
+// unset status means the handler wrote a body (or nothing) without
+// WriteHeader — an implicit 200.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -1,0 +1,190 @@
+package appvsweb
+
+// TestMetricsDocDrift is the metric/doc drift lint: the set of metric
+// families emitted by code, the in-code catalog (internal/obs/desc.go),
+// and the reference tables in docs/metrics.md must agree in both
+// directions. Adding a metric means touching all three; this test is what
+// makes forgetting one a build failure instead of silent doc rot.
+//
+// The contract, per direction:
+//
+//   - every registration literal in non-test code resolves to a catalog
+//     entry of the matching type (and vec registrations to a labeled one);
+//   - every catalog entry appears somewhere in code as a string literal
+//     (metrics described but never emitted are dead docs);
+//   - the documented name set (backticked first column of the metrics.md
+//     tables, with <label> placeholders) equals the catalog rendered the
+//     same way;
+//   - no registration builds its name by string concatenation — dynamic
+//     names are invisible to this lint and to the exposition metadata;
+//     that is what labeled vec families are for.
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"appvsweb/internal/obs"
+)
+
+var (
+	registrationRE = regexp.MustCompile(`\.(Counter|Gauge|Histogram|CounterVec|GaugeVec|HistogramVec)\(\s*"([^"]+)"`)
+	rollupRE       = regexp.MustCompile(`\.WithRollup\(\s*"([^"]+)"`)
+	dynamicNameRE  = regexp.MustCompile(`\.(Counter|Gauge|Histogram|CounterVec|GaugeVec|HistogramVec)\(\s*"[^"]*"\s*\+`)
+	docNameRE      = regexp.MustCompile("^\\| `([^`]+)`")
+	stringLitRE    = regexp.MustCompile(`"([a-z][a-z0-9_.]*[a-z0-9])"`)
+)
+
+// kindToType maps a registration call to the catalog type it must have.
+var kindToType = map[string]string{
+	"Counter": "counter", "CounterVec": "counter",
+	"Gauge": "gauge", "GaugeVec": "gauge",
+	"Histogram": "histogram", "HistogramVec": "histogram",
+}
+
+// sourceFiles lists every non-test .go file under internal/ and cmd/.
+func sourceFiles(t *testing.T) []string {
+	t.Helper()
+	var files []string
+	for _, root := range []string{"internal", "cmd"} {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("walk %s: %v", root, err)
+		}
+	}
+	return files
+}
+
+// docName renders a catalog entry the way docs/metrics.md writes it: label
+// dimensions as <name> placeholder segments, vec histograms with the unit
+// suffix ("stage" {stage} ns -> "stage.<stage>_ns"). Flat histogram names
+// already carry their unit ("serve.request_ns") and pass through.
+func docName(name string, d obs.MetricDesc) string {
+	out := name
+	for _, l := range d.Labels {
+		out += ".<" + l + ">"
+	}
+	if d.Type == "histogram" && d.Unit != "" && len(d.Labels) > 0 {
+		out += "_" + d.Unit
+	}
+	return out
+}
+
+func TestMetricsDocDrift(t *testing.T) {
+	// 1. Scan code for registrations and raw string literals.
+	emitted := make(map[string]string) // family name -> "file: kind"
+	literals := make(map[string]bool)
+	for _, path := range sourceFiles(t) {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := string(b)
+		if m := dynamicNameRE.FindString(src); m != "" {
+			t.Errorf("%s: metric name built by concatenation (%q) — use a labeled vec family instead", path, m)
+		}
+		for _, m := range registrationRE.FindAllStringSubmatch(src, -1) {
+			kind, name := m[1], m[2]
+			emitted[name] = path + ": " + kind
+			d, ok := obs.Describe(name)
+			if !ok {
+				t.Errorf("%s: %s(%q) emitted but not described in internal/obs/desc.go", path, kind, name)
+				continue
+			}
+			if want := kindToType[kind]; d.Type != want {
+				t.Errorf("%s: %s(%q) registered as %s but cataloged as %s", path, kind, name, want, d.Type)
+			}
+			if strings.HasSuffix(kind, "Vec") && len(d.Labels) == 0 {
+				t.Errorf("%s: %s(%q) is a vec family but the catalog entry has no labels", path, kind, name)
+			}
+			if !strings.HasSuffix(kind, "Vec") && len(d.Labels) > 0 {
+				t.Errorf("%s: %s(%q) is a flat metric but the catalog entry has labels %v", path, kind, name, d.Labels)
+			}
+		}
+		for _, m := range rollupRE.FindAllStringSubmatch(src, -1) {
+			emitted[m[1]] = path + ": WithRollup"
+			if _, ok := obs.Describe(m[1]); !ok {
+				t.Errorf("%s: WithRollup(%q) emitted but not described in internal/obs/desc.go", path, m[1])
+			}
+		}
+		for _, m := range stringLitRE.FindAllStringSubmatch(src, -1) {
+			literals[m[1]] = true
+		}
+	}
+	if len(emitted) == 0 {
+		t.Fatal("no metric registrations found — the scan regexes are broken")
+	}
+
+	// 2. Every catalog entry must exist in code as a literal somewhere
+	// (registration call, rollup, or a name table like the recorder's
+	// runtime.* mapping).
+	for _, name := range obs.DescribedMetrics() {
+		if !literals[name] {
+			t.Errorf("catalog entry %q never appears in non-test code — dead description?", name)
+		}
+	}
+
+	// 3. The documented set must equal the catalog, both rendered with
+	// <label> placeholders.
+	docBytes, err := os.ReadFile(filepath.Join("docs", "metrics.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	documented := make(map[string]bool)
+	for _, line := range strings.Split(string(docBytes), "\n") {
+		m := docNameRE.FindStringSubmatch(line)
+		if m == nil || m[1] == "Name" {
+			continue
+		}
+		documented[m[1]] = true
+	}
+	if len(documented) == 0 {
+		t.Fatal("no metric rows found in docs/metrics.md — the table format changed?")
+	}
+	var missing, stale []string
+	for _, name := range obs.DescribedMetrics() {
+		d, _ := obs.Describe(name)
+		if !documented[docName(name, d)] {
+			missing = append(missing, docName(name, d))
+		}
+	}
+	expected := make(map[string]bool)
+	for _, name := range obs.DescribedMetrics() {
+		d, _ := obs.Describe(name)
+		expected[docName(name, d)] = true
+	}
+	for name := range documented {
+		if !expected[name] {
+			stale = append(stale, name)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(stale)
+	for _, n := range missing {
+		t.Errorf("metric %s described in code but missing from docs/metrics.md", n)
+	}
+	for _, n := range stale {
+		t.Errorf("docs/metrics.md documents %s, which no catalog entry matches", n)
+	}
+
+	if t.Failed() {
+		var names []string
+		for n := range emitted {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		t.Logf("emitted families found in code:\n%s", strings.Join(names, "\n"))
+	}
+}
