@@ -4,16 +4,20 @@ GO ?= go
 
 # Micro-benchmark suites: one BENCH_<suite>.json per suite so regressions
 # localize (pii matching, easylist matching, proxy flow handling, trace
-# emission). docs/performance.md explains how to read the files.
-BENCH_SUITES = pii easylist proxy trace
+# emission, the inline streaming gateway). docs/performance.md explains
+# how to read the files.
+BENCH_SUITES = pii easylist proxy trace inline
 BENCH_FILES = $(foreach s,$(BENCH_SUITES),BENCH_$(s).json)
 
 # Suites the regression gate compares against bench_baseline.json. The
 # proxy suite is excluded: its benchmarks run real loopback TLS
 # connections at millisecond scale, so scheduler noise swings them past
 # any usable tolerance — BENCH_proxy.json is still written for manual
-# benchstat comparison, it just isn't gated.
-GATED_BENCH_SUITES = pii easylist trace
+# benchstat comparison, it just isn't gated. The inline suite IS gated:
+# BenchmarkInlineThroughput relays in memory (no TLS, no sockets), so it
+# isolates the gateway's added scan cost at gateable noise levels
+# (docs/inline.md).
+GATED_BENCH_SUITES = pii easylist trace inline
 GATED_BENCH_FILES = $(foreach s,$(GATED_BENCH_SUITES),BENCH_$(s).json)
 
 # Allowed fractional regression in ns/op or allocs/op before bench-check
@@ -53,7 +57,10 @@ race:
 ## race-fault: the fault-tolerance suite under the race detector — every
 ## failure policy via scripted fault injection, cancellation, journal
 ## resume, plus the context-threaded session and proxy handshake deadline
-## (docs/robustness.md)
+## (docs/robustness.md). The full ./internal/proxy run also covers the
+## inline gateway's concurrency suite: parallel tunneled flows through one
+## shared gateway and client disconnects mid-stream (scanner-pool
+## settling).
 race-fault:
 	$(GO) test -race ./internal/device ./internal/proxy
 	$(GO) test -race -run 'TestFailurePolicy|TestExperimentTimeoutStall|TestCampaignCancel|TestProgressSlowSink|TestCampaignJournalResume' \
@@ -90,6 +97,7 @@ bench-micro:
 	$(GO) test -run='^$$' -bench=. -benchmem -count=$(BENCH_COUNT) -benchtime=$(BENCH_TIME) -json ./internal/easylist > BENCH_easylist.json
 	$(GO) test -run='^$$' -bench=. -benchmem -count=$(BENCH_COUNT) -benchtime=$(BENCH_TIME) -json ./internal/proxy > BENCH_proxy.json
 	$(GO) test -run='^$$' -bench=. -benchmem -count=$(BENCH_COUNT) -benchtime=$(BENCH_TIME) -json ./internal/obs/trace > BENCH_trace.json
+	$(GO) test -run='^$$' -bench='^BenchmarkInlineThroughput$$' -benchmem -count=$(BENCH_COUNT) -benchtime=$(BENCH_TIME) -json ./internal/proxy > BENCH_inline.json
 	@echo "wrote $(BENCH_FILES)"
 
 bench-macro:

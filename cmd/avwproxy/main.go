@@ -18,6 +18,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -30,6 +31,7 @@ import (
 	"appvsweb/internal/capture"
 	"appvsweb/internal/obs"
 	"appvsweb/internal/obs/trace"
+	"appvsweb/internal/pii"
 	"appvsweb/internal/proxy"
 )
 
@@ -42,7 +44,9 @@ func main() {
 		caOut       = flag.String("ca", "avwproxy-ca.pem", "path to write the interception CA certificate")
 		flowOut     = flag.String("flows", "flows.jsonl", "path for the captured flow log (JSONL)")
 		metricsAddr = flag.String("metrics-addr", "", "serve /debug/metrics and /debug/pprof/ on this address")
-		tracePath   = flag.String("trace", "", "stream trace events (tunnel failures) to this JSONL file")
+		tracePath   = flag.String("trace", "", "stream trace events (tunnel failures, inline verdicts) to this JSONL file")
+		inline      = flag.String("inline", "", "inline PII gateway action: log, redact, or block (requires -pii)")
+		piiPath     = flag.String("pii", "", "ground-truth PII record (JSON) the inline gateway detects")
 	)
 	flag.Parse()
 
@@ -74,15 +78,24 @@ func main() {
 	defer f.Close()
 	sink := capture.NewJSONLSink(f)
 
+	gateway, err := loadInlineGateway(*inline, *piiPath)
+	if err != nil {
+		fatal("inline gateway", err)
+	}
+
 	p, err := proxy.New(proxy.Config{
 		CA:       ca,
 		Resolver: proxy.SystemResolver{},
 		Sink:     sink,
 		ClientID: "avwproxy",
 		Tracer:   tracer,
+		Inline:   gateway,
 	})
 	if err != nil {
 		fatal("configure proxy", err)
+	}
+	if gateway != nil {
+		logger.Info("inline gateway", "action", string(gateway.Action()), "pii", *piiPath)
 	}
 	if err := p.Start(); err != nil {
 		fatal("start proxy", err)
@@ -122,6 +135,33 @@ func main() {
 			fatal("trace file", err)
 		}
 	}
+}
+
+// loadInlineGateway builds the streaming detect-and-mitigate gateway from
+// the -inline and -pii flags (both or neither).
+func loadInlineGateway(action, piiPath string) (*proxy.Inline, error) {
+	if action == "" && piiPath == "" {
+		return nil, nil
+	}
+	a, err := proxy.ParseInlineAction(action)
+	if err != nil {
+		return nil, err
+	}
+	if a == proxy.InlineOff {
+		return nil, fmt.Errorf("-pii %s given without -inline", piiPath)
+	}
+	if piiPath == "" {
+		return nil, fmt.Errorf("-inline %s requires -pii with the ground-truth record", action)
+	}
+	data, err := os.ReadFile(piiPath)
+	if err != nil {
+		return nil, err
+	}
+	var rec pii.Record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", piiPath, err)
+	}
+	return proxy.NewInline(&rec, a, obs.Default), nil
 }
 
 // fatal logs a startup/shutdown failure as structured JSON and exits

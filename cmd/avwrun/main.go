@@ -42,6 +42,7 @@ import (
 	"appvsweb/internal/obs"
 	"appvsweb/internal/obs/trace"
 	"appvsweb/internal/pii"
+	"appvsweb/internal/proxy"
 	"appvsweb/internal/services"
 )
 
@@ -55,6 +56,7 @@ func main() {
 		subset      = flag.String("services", "", "comma-separated service keys (default: all 50)")
 		report      = flag.Bool("report", true, "print the evaluation report after the run")
 		protect     = flag.Bool("protect", false, "enable the ReCon-style PII-redacting protection mode")
+		inline      = flag.String("inline", "", "inline streaming PII gateway action: log, redact, or block")
 		adblock     = flag.Bool("adblock", false, "equip browser sessions with the bundled EasyList")
 		traceDir    = flag.String("traces", "", "directory for per-experiment flow traces (JSONL)")
 		selection   = flag.Bool("selection", false, "print the §3.1 store-crawl selection audit and exit")
@@ -157,12 +159,16 @@ func main() {
 	if err != nil {
 		fatalf("-fail-policy: %v", err)
 	}
+	if _, err := proxy.ParseInlineAction(*inline); err != nil {
+		fatalf("-inline: %v", err)
+	}
 	opts := core.Options{
 		Scale:             *scale,
 		Duration:          *duration,
 		Parallelism:       *parallelism,
 		TrainRecon:        *recon,
 		Protect:           *protect,
+		Inline:            *inline,
 		BrowserAdblock:    *adblock,
 		TraceDir:          *traceDir,
 		DenyPermissions:   denied,

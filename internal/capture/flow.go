@@ -52,6 +52,35 @@ type Flow struct {
 	// modified before forwarding; the recorded content is what actually
 	// reached the network.
 	Rewritten bool `json:"rewritten,omitempty"`
+
+	// Inline carries the inline gateway's verdict when the proxy ran in
+	// detect-and-mitigate mode (docs/inline.md). Nil when the gateway was
+	// off or the flow carried no ground-truth PII.
+	Inline *InlineVerdict `json:"inline,omitempty"`
+}
+
+// InlineVerdict is the inline gateway's per-flow outcome: the mitigation
+// action taken, the PII classes seen, and the match evidence (body
+// occurrences carry absolute stream offsets, e.g.
+// "E (Email) as base64 in body @12..56").
+type InlineVerdict struct {
+	Action   string   `json:"action"`             // log | redact | block
+	Types    []string `json:"types,omitempty"`    // PII class abbreviations (Table 1 columns)
+	Evidence []string `json:"evidence,omitempty"` // one line per match, stream offsets for body hits
+	// Mitigated marks flows whose content was actually rewritten
+	// (redact) or refused (block); log verdicts observe only.
+	Mitigated bool `json:"mitigated,omitempty"`
+}
+
+// Clone returns a deep copy of the verdict.
+func (v *InlineVerdict) Clone() *InlineVerdict {
+	if v == nil {
+		return nil
+	}
+	c := *v
+	c.Types = append([]string(nil), v.Types...)
+	c.Evidence = append([]string(nil), v.Evidence...)
+	return &c
 }
 
 // Plaintext reports whether the flow's content travelled unencrypted and
@@ -114,6 +143,7 @@ func (f *Flow) Clone() *Flow {
 	c := *f
 	c.RequestHeaders = cloneMap(f.RequestHeaders)
 	c.ResponseHeaders = cloneMap(f.ResponseHeaders)
+	c.Inline = f.Inline.Clone()
 	return &c
 }
 

@@ -57,6 +57,11 @@ type Provenance struct {
 	Matches []MatchEvidence `json:"matches,omitempty"` // PII-match evidence
 	Rule    string          `json:"rule,omitempty"`    // EasyList rule (A&A destinations only)
 	Policy  string          `json:"policy,omitempty"`  // the deciding policy clause
+	// Inline summarizes the proxy's live gateway verdict for the flow
+	// ("block: E,L" style), when the campaign ran with -inline. Blocked
+	// flows keep their full capture→match→action chain here even though
+	// nothing reached the network.
+	Inline string `json:"inline,omitempty"`
 }
 
 // ExperimentResult is the outcome of one four-minute session plus its

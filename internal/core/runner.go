@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -49,6 +50,11 @@ type Options struct {
 	// leak-position PII from flows before they reach the network (the
 	// paper's proposed extension).
 	Protect bool
+	// Inline runs the proxy's streaming PII gateway on every exchange
+	// with the given action ("log", "redact", or "block"); empty disables
+	// it (docs/inline.md). Unlike Protect, detection happens as bodies
+	// transit the proxy, and verdicts are folded into leak provenance.
+	Inline string
 	// BrowserAdblock equips the browser sessions with the bundled
 	// EasyList (the "existing browser privacy protection tools" question
 	// from the paper's conclusion). Apps are unaffected: content blockers
@@ -318,6 +324,13 @@ func (r *Runner) runExperimentSpanned(ctx context.Context, spec *services.Spec, 
 	}
 	if r.Opts.Protect {
 		pxCfg.Rewriter = NewProtector(spec.Key, identity, r.Eco.Categorizer)
+	}
+	if r.Opts.Inline != "" {
+		action, err := proxy.ParseInlineAction(r.Opts.Inline)
+		if err != nil {
+			return nil, &ExperimentError{Stage: StageProxy, Err: err}
+		}
+		pxCfg.Inline = proxy.NewInline(identity, action, reg)
 	}
 	px, err := proxy.New(pxCfg)
 	if err != nil {
@@ -593,6 +606,7 @@ func analyzeFlows(metrics *obs.Registry, tr *trace.Tracer, span string, cat *dom
 				Matches: evidence,
 				Rule:    aaRule,
 				Policy:  clause,
+				Inline:  inlineDesc(f.Inline),
 			},
 		})
 		result.LeakTypes = result.LeakTypes.Union(leakTypes)
@@ -603,6 +617,19 @@ func analyzeFlows(metrics *obs.Registry, tr *trace.Tracer, span string, cat *dom
 	result.AADomains = sortedKeys(aaDomains)
 	result.PIIDomains = sortedKeys(piiDomains)
 	return kept
+}
+
+// inlineDesc renders a flow's inline-gateway verdict for leak provenance,
+// e.g. "block: E,L (mitigated)". Empty when the gateway was off or silent.
+func inlineDesc(iv *capture.InlineVerdict) string {
+	if iv == nil {
+		return ""
+	}
+	s := iv.Action + ": " + strings.Join(iv.Types, ",")
+	if iv.Mitigated {
+		s += " (mitigated)"
+	}
+	return s
 }
 
 func sortedKeys(m map[string]bool) []string {

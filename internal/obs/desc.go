@@ -34,11 +34,16 @@ var descriptions = map[string]MetricDesc{
 	"proxy.bytes_up_total":        {Type: "counter", Help: "Approximate request wire bytes through all proxies."},
 	"proxy.bytes_down_total":      {Type: "counter", Help: "Approximate response wire bytes through all proxies."},
 	"proxy.flow_bytes":            {Type: "histogram", Unit: "bytes", Help: "Wire size (up + down) of one captured exchange."},
+	"proxy.inline.flows_total":    {Type: "counter", Help: "Exchanges inspected by the inline streaming PII gateway (verdict or not)."},
+	"proxy.inline.bytes_total":    {Type: "counter", Help: "Request body bytes fed through the gateway's stream scanner as they transited."},
+	"proxy.inline.matches_total":  {Type: "counter", Help: "PII occurrences (URL + headers + body) behind inline verdicts."},
+	"proxy.inline.verdicts":       {Type: "counter", Labels: []string{"action"}, Help: "Flows that carried ground-truth PII, by the mitigation action applied (log, redact, block)."},
 
 	// internal/pii
 	"pii.scan.calls_total":   {Type: "counter", Help: "Matcher/Scanner scan invocations on non-empty content."},
 	"pii.scan.needles_total": {Type: "counter", Help: "Needles covered per scan (scan calls x needles per matcher) — the detection workload volume."},
 	"pii.match.hits":         {Type: "counter", Labels: []string{"encoding"}, Help: "Needle hits by wire encoding (identity, base64, md5, ...)."},
+	"pii.stream.bytes_total": {Type: "counter", Help: "Bytes consumed by StreamScanner writes (the streaming detection workload volume)."},
 
 	// internal/easylist
 	"easylist.hostcache.hits_total":      {Type: "counter", Help: "Host-to-A&A-verdict lookups answered from the HostCache memo without walking the rule list."},

@@ -43,6 +43,12 @@ const (
 	// experiment.
 	EvTunnelFailure = "proxy.tunnel_failure"
 
+	// EvInlineVerdict records one inline-gateway verdict emitted live on
+	// the proxy hot path (docs/inline.md): attrs carry the destination
+	// host, the mitigation action (log/redact/block), the PII classes,
+	// and the match evidence with absolute stream offsets.
+	EvInlineVerdict = "proxy.inline_verdict"
+
 	// EvArtifactCompute records one artifact cache miss in the analysis
 	// engine: attrs carry the artifact ID, view fingerprint prefix, and
 	// output size; DurNS the compute cost. Cache hits emit nothing.

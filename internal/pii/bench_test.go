@@ -127,3 +127,41 @@ func BenchmarkNewMatcher(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkStreamScan measures the streaming scanner against the batch
+// engine on the same content: whole-body single Write (the pure DFA-walk
+// overhead of the streaming bookkeeping) and 4 KiB chunked Writes (the
+// relay shape the proxy's inline gateway feeds it).
+func BenchmarkStreamScan(b *testing.B) {
+	rec := benchRecord()
+	m := NewMatcher(rec)
+	body := []byte(benchBody(EncBase64, rec))
+	for _, chunk := range []int{0, 4096} {
+		name := "whole"
+		if chunk > 0 {
+			name = "chunk4k"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(body)))
+			ss := m.NewStreamScanner("body")
+			for i := 0; i < b.N; i++ {
+				ss.Reset("body")
+				if chunk == 0 {
+					ss.Write(body) //nolint:errcheck
+				} else {
+					for off := 0; off < len(body); off += chunk {
+						end := off + chunk
+						if end > len(body) {
+							end = len(body)
+						}
+						ss.Write(body[off:end]) //nolint:errcheck
+					}
+				}
+				if len(ss.Matches()) == 0 {
+					b.Fatal("no match")
+				}
+			}
+		})
+	}
+}

@@ -1,6 +1,7 @@
 package pii
 
 import (
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
@@ -42,17 +43,107 @@ func allEncodings(v string) string {
 }
 
 // diffCheck asserts the automaton and the naive reference return identical
-// match sets — type, value, encoding, and where — for one content.
+// match sets — type, value, encoding, and where — for one content, and
+// that the streaming scanner reproduces the batch set at every tested
+// chunking.
 func diffCheck(t *testing.T, m *Matcher, content string) {
 	t.Helper()
 	got := m.Scan("body", content)
 	want := m.scanNaive("body", content)
+	if len(got) != 0 || len(want) != 0 {
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("match sets diverge on %q:\n  engine: %v\n  naive:  %v", content, got, want)
+		}
+	}
+	diffStreamCheck(t, m, content, want)
+}
+
+// streamChunkSizes are the fixed chunkings every differential input is
+// replayed at: pathological single-byte and two-byte writes (every needle
+// crosses a boundary), a prime stride that desynchronizes from base64
+// quanta and URL escapes, and a bulk size larger than most inputs.
+var streamChunkSizes = []int{1, 2, 7, 4096}
+
+// diffStreamCheck replays content through a StreamScanner at the fixed
+// chunk sizes plus a fuzz-chosen split schedule derived from the content
+// itself, asserting each replay's match set is byte-identical to the
+// batch scanner's, and that every reported occurrence's offsets point at
+// bytes that really spell the matched needle.
+func diffStreamCheck(t *testing.T, m *Matcher, content string, want []Match) {
+	t.Helper()
+	for _, size := range streamChunkSizes {
+		checkOneStream(t, m, content, want, fmt.Sprintf("chunk=%d", size),
+			func(int) int { return size })
+	}
+	// Fuzz-chosen splits: an FNV-1a hash of the content seeds a splitmix
+	// generator, so the fuzzer explores irregular chunkings (1..64 bytes)
+	// without changing the corpus entry format.
+	seed := fnv1a(content)
+	checkOneStream(t, m, content, want, "chunk=fuzz", func(int) int {
+		seed = splitmix(seed)
+		return int(seed%64) + 1
+	})
+}
+
+func checkOneStream(t *testing.T, m *Matcher, content string, want []Match, label string, next func(i int) int) {
+	t.Helper()
+	ss := m.NewStreamScanner("body")
+	for i := 0; i < len(content); {
+		n := next(i)
+		if n < 1 {
+			n = 1
+		}
+		if i+n > len(content) {
+			n = len(content) - i
+		}
+		ss.WriteString(content[i : i+n])
+		i += n
+	}
+	if ss.Offset() != int64(len(content)) {
+		t.Fatalf("%s: stream offset %d after %d bytes", label, ss.Offset(), len(content))
+	}
+	sms := ss.Matches()
+	got := make([]Match, len(sms))
+	for i, sm := range sms {
+		got[i] = sm.Match
+		// Offset soundness: the bytes at [Start, End) must spell the
+		// needle (case-folded; raw equality is the scanner's own check
+		// for case-sensitive needles).
+		text := Encode(sm.Encoding, sm.Value)
+		if sm.End-sm.Start != int64(len(text)) ||
+			sm.Start < 0 || sm.End > int64(len(content)) ||
+			asciiLower(content[sm.Start:sm.End]) != asciiLower(text) {
+			t.Fatalf("%s: offsets [%d,%d) do not spell %q in %q", label, sm.Start, sm.End, text, content)
+		}
+	}
+	sortMatches(got)
 	if len(got) == 0 && len(want) == 0 {
 		return
 	}
 	if !reflect.DeepEqual(got, want) {
-		t.Fatalf("match sets diverge on %q:\n  engine: %v\n  naive:  %v", content, got, want)
+		t.Fatalf("%s: stream diverges from batch on %q:\n  stream: %v\n  batch:  %v", label, content, got, want)
 	}
+}
+
+// fnv1a is the 64-bit FNV-1a hash (content → deterministic fuzz seed).
+func fnv1a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// splitmix advances a splitmix64 state — a tiny deterministic generator
+// for the fuzz-chosen chunk schedule (math/rand would tie the test to
+// seeding behavior).
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }
 
 // TestScanMatchesNaiveOnSeeds pins the differential property on the seed
@@ -70,6 +161,12 @@ func TestScanMatchesNaiveOnSeeds(t *testing.T) {
 // the match set of the retained per-needle reference matcher, including
 // overlapping and adjacent needle occurrences and case-sensitivity
 // verification. Any divergence is a correctness bug in the engine.
+//
+// The streaming leg (diffStreamCheck) extends the same property to the
+// chunked StreamScanner: every input is additionally replayed at chunk
+// sizes 1, 2, 7, 4096 and a fuzz-chosen split schedule, and each replay
+// must reproduce the batch match set byte-identically — needles split
+// across base64/URL-escape boundaries at any position included.
 func FuzzScanDifferential(f *testing.F) {
 	rec := testRecord()
 	m := NewMatcher(rec)

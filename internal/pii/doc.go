@@ -1,0 +1,48 @@
+// Package pii defines the taxonomy of personally identifiable information
+// used throughout the study, ground-truth records for controlled
+// experiments, common wire encodings of PII values, a direct string
+// matcher (batch and streaming), and structured key/value extractors for
+// HTTP flows.
+//
+// The taxonomy mirrors the ten identifier classes of the paper's Table 1:
+// Birthday, Device info (device name), Email address, Gender, Location,
+// Name, Phone number, Username, Password, and Unique identifiers.
+//
+// # Batch and streaming scanning
+//
+// A Matcher compiles every (value, encoding) needle of a ground-truth
+// Record into one Aho–Corasick DFA (ac.go). Two front ends walk it:
+//
+//   - Scanner scans content already in memory — the capture-then-scan
+//     pipeline's detect stage.
+//   - StreamScanner scans content chunk by chunk as it transits — the
+//     proxy's inline detection-and-mitigation gateway (docs/inline.md).
+//     Both return identical match sets for identical content; the
+//     differential test layer (diff_test.go, stream_test.go) locks the
+//     equivalence at every chunking.
+//
+// # The State resume invariant
+//
+// State is the exported handle for resuming a scan from an interior DFA
+// position without copying the automaton. Its contract:
+//
+//   - The zero State is the start state.
+//   - Matcher.Step(st, b) is the only way to derive new States; the
+//     automaton is immutable after construction, so concurrent Steps from
+//     distinct States are safe.
+//   - A State is only meaningful for the Matcher that produced it.
+//     Matchers compile needles in record order onto a dense table, so a
+//     State's numeric position is unrelated across Matchers — resuming a
+//     stream against a different Matcher (or a rebuilt one) is undefined
+//     and must restart from the zero State.
+//   - A non-zero candidate count from Step means needles *end* at the new
+//     position in the case-folded view. Case-sensitive needles (base64,
+//     base64url, digests on non-hex content) additionally require the raw
+//     preceding bytes; StreamScanner retains Matcher.MaxLookbehind()
+//     bytes — the longest needle minus one — which is exactly enough to
+//     verify any occurrence whose final byte is in the current chunk.
+//
+// StreamScanner reports occurrences in absolute stream coordinates:
+// StreamMatch.Start/End are byte offsets from the beginning of the
+// stream, independent of how Writes were chunked.
+package pii

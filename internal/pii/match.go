@@ -65,6 +65,10 @@ type Matcher struct {
 	needles  []needle
 	ac       *automaton
 	scanners sync.Pool // *Scanner scratch for the convenience methods
+	// maxLookbehind is the raw-byte window a StreamScanner must retain
+	// across chunk boundaries: the longest needle minus one byte (at
+	// least one byte of any occurrence lies in the current chunk).
+	maxLookbehind int
 }
 
 type needle struct {
@@ -111,6 +115,11 @@ func NewMatcher(rec *Record) *Matcher {
 				enc:       e.Name,
 				fold:      fold,
 			})
+		}
+	}
+	for i := range m.needles {
+		if n := len(m.needles[i].text) - 1; n > m.maxLookbehind {
+			m.maxLookbehind = n
 		}
 	}
 	m.ac = buildAutomaton(m.needles)

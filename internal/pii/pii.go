@@ -1,11 +1,3 @@
-// Package pii defines the taxonomy of personally identifiable information
-// used throughout the study, ground-truth records for controlled
-// experiments, common wire encodings of PII values, a direct string
-// matcher, and structured key/value extractors for HTTP flows.
-//
-// The taxonomy mirrors the ten identifier classes of the paper's Table 1:
-// Birthday, Device info (device name), Email address, Gender, Location,
-// Name, Phone number, Username, Password, and Unique identifiers.
 package pii
 
 import (

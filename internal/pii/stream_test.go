@@ -1,0 +1,226 @@
+package pii
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// splitAt replays content through a fresh StreamScanner with explicit cut
+// points (stream offsets where a new Write begins) and returns the
+// scanner for inspection.
+func splitAt(m *Matcher, content string, cuts ...int) *StreamScanner {
+	ss := m.NewStreamScanner("body")
+	prev := 0
+	for _, c := range cuts {
+		ss.WriteString(content[prev:c])
+		prev = c
+	}
+	ss.WriteString(content[prev:])
+	return ss
+}
+
+// TestStreamChunkBoundaries is the deterministic table suite behind the
+// differential fuzz: each case plants one encoded needle at a known
+// offset and cuts the stream at the nastiest position for that encoding —
+// mid-base64-quantum, mid-URL-escape, and exactly at the lookbehind
+// window edge.
+func TestStreamChunkBoundaries(t *testing.T) {
+	rec := testRecord()
+	m := NewMatcher(rec)
+
+	b64 := Encode(EncBase64, rec.Email) // case-sensitive: exercises verifyRaw across chunks
+	urlEnc := Encode(EncURL, rec.Email) // contains %40 for '@'
+	escIdx := strings.Index(urlEnc, "%")
+	if escIdx < 0 {
+		t.Fatal("URL encoding of the email has no escape — pick a different value")
+	}
+	lb := m.MaxLookbehind()
+	if lb <= 0 {
+		t.Fatalf("MaxLookbehind = %d", lb)
+	}
+
+	cases := []struct {
+		name    string
+		prefix  string // bytes before the needle
+		needle  string
+		enc     Encoding
+		cutsRel []int // cut offsets relative to the needle's start
+	}{
+		{
+			// A base64 quantum is 4 output bytes for 3 input bytes;
+			// cutting 2 bytes into a quantum splits every hit candidate
+			// the DFA is mid-way through.
+			name: "mid-base64-quantum", prefix: "x=",
+			needle: b64, enc: EncBase64,
+			cutsRel: []int{2, 6, len(b64) - 2},
+		},
+		{
+			// Splitting between '%' and its hex digits desynchronizes any
+			// scanner that resets per chunk.
+			name: "mid-url-escape", prefix: "q=",
+			needle: urlEnc, enc: EncURL,
+			cutsRel: []int{escIdx + 1, escIdx + 2},
+		},
+		{
+			// The needle's final byte arrives alone: verification of a
+			// case-sensitive needle must reach back len(needle)-1 bytes —
+			// at most the lookbehind bound, never past it.
+			name: "lookbehind-window-edge", prefix: strings.Repeat("#", lb),
+			needle: b64, enc: EncBase64,
+			cutsRel: []int{len(b64) - 1},
+		},
+		{
+			// Every byte of the needle in its own Write.
+			name: "byte-at-a-time", prefix: "id:",
+			needle: Encode(EncHex, rec.IMEI), enc: EncHex,
+			cutsRel: func() []int {
+				cuts := make([]int, len(Encode(EncHex, rec.IMEI)))
+				for i := range cuts {
+					cuts[i] = i
+				}
+				return cuts
+			}(),
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			content := tc.prefix + tc.needle + "&tail"
+			start := int64(len(tc.prefix))
+			cuts := make([]int, len(tc.cutsRel))
+			for i, rel := range tc.cutsRel {
+				cuts[i] = len(tc.prefix) + rel
+			}
+			ss := splitAt(m, content, cuts...)
+
+			want := m.Scan("body", content)
+			got := make([]Match, len(ss.Matches()))
+			for i, sm := range ss.Matches() {
+				got[i] = sm.Match
+			}
+			sortMatches(got)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("chunked stream diverges from batch:\n  stream: %v\n  batch:  %v", got, want)
+			}
+
+			// The planted needle must be among the hits, at its exact
+			// absolute offsets.
+			found := false
+			for _, sm := range ss.Matches() {
+				if sm.Encoding == tc.enc && sm.Start == start && sm.End == start+int64(len(tc.needle)) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("planted %s needle at [%d,%d) not reported: %v",
+					tc.enc, start, start+int64(len(tc.needle)), ss.Matches())
+			}
+		})
+	}
+}
+
+// TestStreamOffsetsAbsolute pins the offset semantics: coordinates are
+// absolute from the first Write, regardless of chunking.
+func TestStreamOffsetsAbsolute(t *testing.T) {
+	rec := testRecord()
+	m := NewMatcher(rec)
+	pad := strings.Repeat("z", 1000)
+	content := pad + rec.Email + pad
+	ss := splitAt(m, content, 500, 1003, 1004, 1900)
+	var hit *StreamMatch
+	for i := range ss.Matches() {
+		if ss.Matches()[i].Encoding == EncIdentity && ss.Matches()[i].Value == rec.Email {
+			hit = &ss.Matches()[i]
+		}
+	}
+	if hit == nil {
+		t.Fatalf("email not found: %v", ss.Matches())
+	}
+	if hit.Start != 1000 || hit.End != int64(1000+len(rec.Email)) {
+		t.Errorf("offsets [%d,%d), want [1000,%d)", hit.Start, hit.End, 1000+len(rec.Email))
+	}
+	if ss.Offset() != int64(len(content)) {
+		t.Errorf("Offset() = %d, want %d", ss.Offset(), len(content))
+	}
+}
+
+// TestStreamScannerResetReuse: a Reset scanner on a fresh stream must
+// behave exactly like a new one — the pool-reuse contract the proxy's
+// inline gateway depends on.
+func TestStreamScannerResetReuse(t *testing.T) {
+	rec := testRecord()
+	m := NewMatcher(rec)
+	ss := m.NewStreamScanner("body")
+	for round := 0; round < 3; round++ {
+		for _, content := range diffSeeds(rec) {
+			ss.Reset("body")
+			for i := 0; i < len(content); i += 3 {
+				end := i + 3
+				if end > len(content) {
+					end = len(content)
+				}
+				ss.WriteString(content[i:end])
+			}
+			got := make([]Match, len(ss.Matches()))
+			for i, sm := range ss.Matches() {
+				got[i] = sm.Match
+			}
+			sortMatches(got)
+			want := m.Scan("body", content)
+			if len(got) == 0 && len(want) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("round %d: reused stream scanner diverges on %q:\n  got:  %v\n  want: %v",
+					round, content, got, want)
+			}
+		}
+	}
+}
+
+// TestStepResumesAcrossBoundary exercises the exported State handle
+// directly: walking a needle byte-by-byte through Matcher.Step must
+// surface a candidate exactly at the needle's final byte, from whatever
+// interior state the previous bytes produced.
+func TestStepResumesAcrossBoundary(t *testing.T) {
+	rec := testRecord()
+	m := NewMatcher(rec)
+	needle := rec.Email
+	var st State
+	for i := 0; i < len(needle); i++ {
+		var hits int
+		st, hits = m.Step(st, needle[i])
+		if i < len(needle)-1 {
+			continue
+		}
+		if hits == 0 {
+			t.Fatalf("no candidate at the needle's final byte (i=%d)", i)
+		}
+	}
+	// The zero State restarts cleanly.
+	st = State{}
+	if _, hits := m.Step(st, 'q'); hits != 0 {
+		t.Errorf("unexpected candidate from start state on 'q': %d", hits)
+	}
+}
+
+// TestStreamScannerEmptyAndBinary: zero-length writes are no-ops, and
+// binary garbage never panics or desynchronizes offsets.
+func TestStreamScannerEmptyAndBinary(t *testing.T) {
+	m := NewMatcher(testRecord())
+	ss := m.NewStreamScanner("body")
+	if n, err := ss.Write(nil); n != 0 || err != nil {
+		t.Fatalf("Write(nil) = %d, %v", n, err)
+	}
+	blob := []byte{0x00, 0xff, 0xfe, 'a', 0x80, 0x00}
+	for i := 0; i < 100; i++ {
+		ss.Write(blob)
+	}
+	if ss.Offset() != int64(100*len(blob)) {
+		t.Errorf("Offset() = %d", ss.Offset())
+	}
+	if got := len(ss.Matches()); got != 0 {
+		t.Errorf("matches in garbage: %d", got)
+	}
+}

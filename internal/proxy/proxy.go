@@ -57,6 +57,11 @@ type Config struct {
 	// conclusion proposes. Recorded flows reflect what actually reached
 	// the network.
 	Rewriter Rewriter
+	// Inline, when set, runs the streaming PII gateway on every exchange:
+	// request bodies are scanned as they transit, and the gateway's action
+	// (log/redact/block) is applied before the Rewriter sees the flow
+	// (docs/inline.md). Nil disables inline detection.
+	Inline *Inline
 	// Tracer, when set, receives proxy-level trace events (certificate-
 	// pinning tunnel failures) under SpanID — the experiment span the
 	// campaign runner allocated. Nil disables them.
@@ -245,18 +250,42 @@ func (p *Proxy) handleHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := p.cfg.Now()
+	insp := p.cfg.Inline.begin()
+	defer insp.release()
+	r.Body = insp.tee(r.Body)
 	body, err := p.readBody(r)
 	if err != nil {
 		http.Error(w, "proxy: read body: "+err.Error(), http.StatusBadGateway)
 		return
 	}
 	host := strings.ToLower(r.URL.Hostname())
-	absURL, body, rewritten := p.rewrite(host, true, r.URL.String(), body)
+	absURL := r.URL.String()
+	iv, absURL, body := insp.finish(absURL, r.Header, body)
+	if iv != nil {
+		p.traceInlineVerdict(host, iv)
+	}
+	if iv != nil && iv.Action == string(InlineBlock) {
+		f := p.newFlow(start, capture.HTTP, r, host, absURL, body, false)
+		f.Inline = iv
+		page := blockPage(iv)
+		f.Status = http.StatusForbidden
+		f.ResponseHeaders = map[string]string{"Content-Type": "text/plain; charset=utf-8"}
+		f.ResponseSize = int64(len(page))
+		f.BytesDown = int64(len(page))
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusForbidden)
+		w.Write(page) //nolint:errcheck // client teardown is not an error
+		p.recordStats(f)
+		p.cfg.Sink.Record(f)
+		return
+	}
+	absURL, body, rewritten := p.rewrite(host, true, absURL, body)
 	out := p.outboundRequest(r, absURL, body)
 	resp, respBody, upErr := p.roundTrip(out)
 
 	f := p.newFlow(start, capture.HTTP, r, host, absURL, body, false)
-	f.Rewritten = rewritten
+	f.Rewritten = rewritten || (iv != nil && iv.Mitigated)
+	f.Inline = iv
 	if upErr != nil {
 		p.writeError(w, f, upErr)
 		return
@@ -362,16 +391,40 @@ func (p *Proxy) serveTunneledRequest(conn net.Conn, r *http.Request, tunnelHost 
 	reqHost = strings.ToLower(reqHost)
 	absURL := "https://" + reqHost + r.RequestURI
 
+	insp := p.cfg.Inline.begin()
+	defer insp.release()
+	r.Body = insp.tee(r.Body)
 	body, err := p.readBody(r)
 	if err != nil {
 		return false
+	}
+	iv, absURL, body := insp.finish(absURL, r.Header, body)
+	if iv != nil {
+		p.traceInlineVerdict(reqHost, iv)
+	}
+	if iv != nil && iv.Action == string(InlineBlock) {
+		f := p.newFlow(start, capture.HTTPS, r, reqHost, absURL, body, true)
+		f.Inline = iv
+		page := blockPage(iv)
+		f.Status = http.StatusForbidden
+		f.ResponseHeaders = map[string]string{"Content-Type": "text/plain; charset=utf-8"}
+		f.ResponseSize = int64(len(page))
+		hdr := http.Header{"Content-Type": []string{"text/plain; charset=utf-8"}}
+		n, werr := writeSimpleResponse(conn, http.StatusForbidden, hdr, page)
+		f.BytesDown = n
+		p.recordStats(f)
+		p.cfg.Sink.Record(f)
+		// The request was refused, not the tunnel: later requests on the
+		// same connection get their own verdicts.
+		return werr == nil
 	}
 	absURL, body, rewritten := p.rewrite(reqHost, false, absURL, body)
 	out := p.outboundRequest(r, absURL, body)
 	resp, respBody, upErr := p.roundTrip(out)
 
 	f := p.newFlow(start, capture.HTTPS, r, reqHost, absURL, body, true)
-	f.Rewritten = rewritten
+	f.Rewritten = rewritten || (iv != nil && iv.Mitigated)
+	f.Inline = iv
 	if upErr != nil {
 		f.Status = http.StatusBadGateway
 		f.ResponseHeaders = map[string]string{"X-Proxy-Error": upErr.Error()}
@@ -508,6 +561,18 @@ func (p *Proxy) recordStats(f *capture.Flow) {
 	p.metrics.bytesUp.Add(f.BytesUp)
 	p.metrics.bytesDown.Add(f.BytesDown)
 	p.metrics.flowBytes.Observe(f.BytesUp + f.BytesDown)
+}
+
+// traceInlineVerdict publishes one inline-gateway verdict as a live trace
+// event (nil-safe on the tracer, like every emit site).
+func (p *Proxy) traceInlineVerdict(host string, iv *capture.InlineVerdict) {
+	p.cfg.Tracer.Emit(trace.Event{Type: trace.EvInlineVerdict, Span: p.cfg.SpanID, Attrs: map[string]string{
+		"host":     host,
+		"action":   iv.Action,
+		"types":    strings.Join(iv.Types, ","),
+		"evidence": strings.Join(iv.Evidence, "; "),
+		"client":   p.cfg.ClientID,
+	}})
 }
 
 func (p *Proxy) recordTunnelFailure(start time.Time, host, reason string) {
