@@ -4,9 +4,9 @@ GO ?= go
 
 # Micro-benchmark suites: one BENCH_<suite>.json per suite so regressions
 # localize (pii matching, easylist matching, proxy flow handling, trace
-# emission, the inline streaming gateway). docs/performance.md explains
-# how to read the files.
-BENCH_SUITES = pii easylist proxy trace inline
+# emission, the inline streaming gateway, the WS/h2 interception paths).
+# docs/performance.md explains how to read the files.
+BENCH_SUITES = pii easylist proxy trace inline ws
 BENCH_FILES = $(foreach s,$(BENCH_SUITES),BENCH_$(s).json)
 
 # Suites the regression gate compares against bench_baseline.json. The
@@ -16,8 +16,10 @@ BENCH_FILES = $(foreach s,$(BENCH_SUITES),BENCH_$(s).json)
 # benchstat comparison, it just isn't gated. The inline suite IS gated:
 # BenchmarkInlineThroughput relays in memory (no TLS, no sockets), so it
 # isolates the gateway's added scan cost at gateable noise levels
-# (docs/inline.md).
-GATED_BENCH_SUITES = pii easylist trace inline
+# (docs/inline.md). The ws suite is gated for the same reason: the frame
+# relay and h2 stream benchmarks pump in-memory byte streams against a
+# stubbed upstream (docs/protocols.md).
+GATED_BENCH_SUITES = pii easylist trace inline ws
 GATED_BENCH_FILES = $(foreach s,$(GATED_BENCH_SUITES),BENCH_$(s).json)
 
 # Allowed fractional regression in ns/op or allocs/op before bench-check
@@ -46,12 +48,13 @@ short:
 
 ## race: race-detect the concurrency-heavy packages (obs registry, campaign
 ## runner incl. the fault-injection suite and journal repair, the scan
-## engine + classification caches, and the artifact engine's cache /
-## singleflight / live-tailing paths)
+## engine + classification caches, the artifact engine's cache /
+## singleflight / live-tailing paths, and the WebSocket frame codec the
+## two-pump relay is built on)
 race:
 	$(GO) test -race ./internal/obs/... ./internal/core/... \
 		./internal/pii ./internal/easylist ./internal/domains \
-		./internal/analysis ./internal/serve \
+		./internal/analysis ./internal/serve ./internal/ws \
 		./cmd/avwserve ./cmd/avwbench ./cmd/avwtop
 
 ## race-fault: the fault-tolerance suite under the race detector — every
@@ -98,6 +101,7 @@ bench-micro:
 	$(GO) test -run='^$$' -bench=. -benchmem -count=$(BENCH_COUNT) -benchtime=$(BENCH_TIME) -json ./internal/proxy > BENCH_proxy.json
 	$(GO) test -run='^$$' -bench=. -benchmem -count=$(BENCH_COUNT) -benchtime=$(BENCH_TIME) -json ./internal/obs/trace > BENCH_trace.json
 	$(GO) test -run='^$$' -bench='^BenchmarkInlineThroughput$$' -benchmem -count=$(BENCH_COUNT) -benchtime=$(BENCH_TIME) -json ./internal/proxy > BENCH_inline.json
+	$(GO) test -run='^$$' -bench='^(BenchmarkWSRelay|BenchmarkH2Intercept)$$' -benchmem -count=$(BENCH_COUNT) -benchtime=$(BENCH_TIME) -json ./internal/proxy > BENCH_ws.json
 	@echo "wrote $(BENCH_FILES)"
 
 bench-macro:

@@ -14,10 +14,18 @@
 //	avwproxy -ca ca.pem -flows flows.jsonl [-metrics-addr 127.0.0.1:8789]
 //	curl -x http://127.0.0.1:<port> --cacert ca.pem https://example.com/
 //	curl http://127.0.0.1:8789/debug/metrics
+//
+// For interop tests against a local TLS origin (see the ws-interop CI
+// job), -addr pins the listen port, -resolve maps a hostname to the
+// origin's loopback address, and -origin-ca trusts the origin's root:
+//
+//	avwproxy -addr 127.0.0.1:18080 -resolve echo.test=127.0.0.1:8443 \
+//	    -origin-ca origin-ca.pem -inline redact -pii record.json
 package main
 
 import (
 	"context"
+	"crypto/x509"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -25,6 +33,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -41,13 +50,25 @@ var logger = obs.NopLogger()
 
 func main() {
 	var (
+		addr        = flag.String("addr", "127.0.0.1:0", "proxy listen address")
 		caOut       = flag.String("ca", "avwproxy-ca.pem", "path to write the interception CA certificate")
+		originCA    = flag.String("origin-ca", "", "PEM bundle of extra roots to trust when dialing origins (a test origin's CA)")
 		flowOut     = flag.String("flows", "flows.jsonl", "path for the captured flow log (JSONL)")
 		metricsAddr = flag.String("metrics-addr", "", "serve /debug/metrics and /debug/pprof/ on this address")
 		tracePath   = flag.String("trace", "", "stream trace events (tunnel failures, inline verdicts) to this JSONL file")
 		inline      = flag.String("inline", "", "inline PII gateway action: log, redact, or block (requires -pii)")
 		piiPath     = flag.String("pii", "", "ground-truth PII record (JSON) the inline gateway detects")
+		idleTimeout = flag.Duration("idle-timeout", 0, "reap established tunnels after this much client silence (0 = 5m default, negative = never)")
 	)
+	resolves := make(map[string]string)
+	flag.Func("resolve", "pin host=addr instead of DNS (repeatable, e.g. -resolve echo.test=127.0.0.1:8443)", func(v string) error {
+		host, target, ok := strings.Cut(v, "=")
+		if !ok || host == "" || target == "" {
+			return fmt.Errorf("want host=addr, got %q", v)
+		}
+		resolves[strings.ToLower(host)] = target
+		return nil
+	})
 	flag.Parse()
 
 	var tracer *trace.Tracer
@@ -83,13 +104,30 @@ func main() {
 		fatal("inline gateway", err)
 	}
 
+	var originPool *x509.CertPool
+	if *originCA != "" {
+		pem, err := os.ReadFile(*originCA)
+		if err != nil {
+			fatal("read origin CA", err)
+		}
+		originPool, err = x509.SystemCertPool()
+		if err != nil {
+			originPool = x509.NewCertPool()
+		}
+		if !originPool.AppendCertsFromPEM(pem) {
+			fatal("origin CA", fmt.Errorf("no certificates in %s", *originCA))
+		}
+	}
+
 	p, err := proxy.New(proxy.Config{
-		CA:       ca,
-		Resolver: proxy.SystemResolver{},
-		Sink:     sink,
-		ClientID: "avwproxy",
-		Tracer:   tracer,
-		Inline:   gateway,
+		CA:          ca,
+		Resolver:    buildResolver(resolves),
+		OriginPool:  originPool,
+		Sink:        sink,
+		ClientID:    "avwproxy",
+		Tracer:      tracer,
+		Inline:      gateway,
+		IdleTimeout: *idleTimeout,
 	})
 	if err != nil {
 		fatal("configure proxy", err)
@@ -97,7 +135,7 @@ func main() {
 	if gateway != nil {
 		logger.Info("inline gateway", "action", string(gateway.Action()), "pii", *piiPath)
 	}
-	if err := p.Start(); err != nil {
+	if err := p.StartOn(*addr); err != nil {
 		fatal("start proxy", err)
 	}
 	logger.Info("listening", "addr", p.Addr(), "ca", *caOut, "flows", *flowOut,
@@ -135,6 +173,34 @@ func main() {
 			fatal("trace file", err)
 		}
 	}
+}
+
+// buildResolver returns the proxy's name resolution: -resolve pins layered
+// over the system resolver, so a test origin on loopback coexists with real
+// DNS for everything else.
+func buildResolver(pins map[string]string) proxy.Resolver {
+	if len(pins) == 0 {
+		return proxy.SystemResolver{}
+	}
+	m := proxy.NewMapResolver()
+	for host, addr := range pins {
+		m.Register(host, "443", addr)
+		m.Register(host, "80", addr)
+	}
+	return pinResolver{pins: m}
+}
+
+// pinResolver consults the -resolve table first and falls through to the
+// operating system for unpinned hosts.
+type pinResolver struct {
+	pins *proxy.MapResolver
+}
+
+func (r pinResolver) Resolve(host, port string) (string, error) {
+	if addr, err := r.pins.Resolve(host, port); err == nil {
+		return addr, nil
+	}
+	return proxy.SystemResolver{}.Resolve(host, port)
 }
 
 // loadInlineGateway builds the streaming detect-and-mitigate gateway from

@@ -22,6 +22,13 @@ type Protocol string
 const (
 	HTTP  Protocol = "http"
 	HTTPS Protocol = "https"
+	// H2 marks intercepted HTTPS exchanges carried as HTTP/2 streams; one
+	// flow per stream, with StreamID and Trailers populated.
+	H2 Protocol = "h2"
+	// WS marks intercepted WebSocket (wss) sessions; one flow per socket,
+	// with frame-level detail in the WS field. RequestBody holds the
+	// concatenated client→server data payloads (capped like HTTP bodies).
+	WS Protocol = "wss"
 )
 
 // Flow is one captured request/response exchange.
@@ -57,6 +64,57 @@ type Flow struct {
 	// detect-and-mitigate mode (docs/inline.md). Nil when the gateway was
 	// off or the flow carried no ground-truth PII.
 	Inline *InlineVerdict `json:"inline,omitempty"`
+
+	// StreamID identifies the HTTP/2 stream that carried an h2 flow
+	// (client-initiated, so odd: 1, 3, 5, … in arrival order). Zero for
+	// every other protocol.
+	StreamID int64 `json:"stream_id,omitempty"`
+	// Trailers records request trailer fields received after the body
+	// (HTTP/2 flows only).
+	Trailers map[string]string `json:"trailers,omitempty"`
+	// WS carries frame-level detail for WebSocket flows.
+	WS *WSInfo `json:"ws,omitempty"`
+}
+
+// WSInfo summarizes one relayed WebSocket session: frame and message
+// counts per direction, the close code observed from the client, and —
+// when the inline gateway ran — which data frame each PII match completed
+// in. Only the client→server direction is scanned (docs/protocols.md).
+type WSInfo struct {
+	FramesUp     int64 `json:"frames_up"`
+	FramesDown   int64 `json:"frames_down"`
+	MessagesUp   int64 `json:"messages_up"`
+	MessagesDown int64 `json:"messages_down"`
+	// CloseCode is the close status the client sent (0 if the socket died
+	// without a close handshake).
+	CloseCode int `json:"close_code,omitempty"`
+	// Blocked marks sockets the inline gateway tore down mid-connection
+	// (close code 1008 sent both ways).
+	Blocked bool `json:"blocked,omitempty"`
+	// Hits attributes inline scanner matches to data frames.
+	Hits []WSFrameHit `json:"hits,omitempty"`
+}
+
+// WSFrameHit is one inline PII match attributed to the client→server data
+// frame in which it completed (a needle split across frames is attributed
+// to the frame carrying its last byte). Offsets are absolute positions in
+// the concatenated pre-mitigation payload stream, matching the verdict's
+// body evidence.
+type WSFrameHit struct {
+	Frame int    `json:"frame"` // 0-based data-frame index, client→server order
+	Type  string `json:"type"`  // PII class abbreviation (Table 1 columns)
+	Start int64  `json:"start"`
+	End   int64  `json:"end"`
+}
+
+// Clone returns a deep copy.
+func (w *WSInfo) Clone() *WSInfo {
+	if w == nil {
+		return nil
+	}
+	c := *w
+	c.Hits = append([]WSFrameHit(nil), w.Hits...)
+	return &c
 }
 
 // InlineVerdict is the inline gateway's per-flow outcome: the mitigation
@@ -144,6 +202,8 @@ func (f *Flow) Clone() *Flow {
 	c.RequestHeaders = cloneMap(f.RequestHeaders)
 	c.ResponseHeaders = cloneMap(f.ResponseHeaders)
 	c.Inline = f.Inline.Clone()
+	c.Trailers = cloneMap(f.Trailers)
+	c.WS = f.WS.Clone()
 	return &c
 }
 

@@ -398,6 +398,10 @@ func (r *Runner) runExperimentSpanned(ctx context.Context, spec *services.Spec, 
 		return nil, &ExperimentError{Stage: StageAnalysis, Err: err}
 	}
 	det := &Detector{Matcher: pii.NewMatcher(identity)}
+	// The session has closed its sockets and idle h2 connections, but the
+	// proxy-side tunnel goroutines record their flows only when they observe
+	// those closes — drain them before snapshotting the sink.
+	px.Drain(2 * time.Second)
 	raw := sink.Flows()
 	analysisStage := tr.Stage(span, "analysis")
 	flows := r.analyze(spec, result, det, raw, span)

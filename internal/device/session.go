@@ -2,6 +2,7 @@ package device
 
 import (
 	"context"
+	"crypto/tls"
 	"crypto/x509"
 	"errors"
 	"fmt"
@@ -20,6 +21,7 @@ import (
 	"appvsweb/internal/proxy"
 	"appvsweb/internal/services"
 	"appvsweb/internal/vclock"
+	"appvsweb/internal/ws"
 )
 
 // SessionConfig describes one four-minute experiment session (§3.2
@@ -80,12 +82,39 @@ type sessionState struct {
 	ctx      context.Context
 	cfg      SessionConfig
 	client   *http.Client
+	h2c      *http.Client // lazy; plan entries with Protocol "h2"
 	expander *Expander
 	ua       string
 	result   SessionResult
 	pace     time.Duration
 	bgEvery  int
 	bgHost   string
+}
+
+// h2Client lazily builds the multiplexing HTTP/2 client that h2-analytics
+// SDK traffic rides (proxy.ClientTransportH2). Pinned apps keep their
+// pinned h1 transport for everything: the pin check, not the transport
+// shape, decides their fate.
+func (s *sessionState) h2Client() *http.Client {
+	if s.cfg.Pin != "" && s.cfg.Medium == services.App {
+		return s.client
+	}
+	if s.h2c == nil {
+		tr := proxy.ClientTransportH2(s.cfg.ProxyURL, s.cfg.Trust)
+		s.h2c = &http.Client{Transport: tr, Timeout: 15 * time.Second}
+	}
+	return s.h2c
+}
+
+// cleanup releases session transports. The h2 client keeps its tunnel
+// alive for multiplexing, so its idle connections must be closed or the
+// proxy-side h2 goroutine would outlive the session.
+func (s *sessionState) cleanup() {
+	if s.h2c != nil {
+		if tr, ok := s.h2c.Transport.(*http.Transport); ok {
+			tr.CloseIdleConnections()
+		}
+	}
 }
 
 // RunSession performs one scripted session and returns its statistics. The
@@ -134,6 +163,7 @@ func RunSessionContext(ctx context.Context, cfg SessionConfig) (*SessionResult, 
 		transport = proxy.ClientTransport(cfg.ProxyURL, cfg.Trust)
 	}
 	s.client = &http.Client{Transport: transport, Timeout: 15 * time.Second}
+	defer s.cleanup()
 	if cfg.Medium == services.Web {
 		// Private-mode browsing: a fresh cookie jar per session.
 		jar, _ := cookiejar.New(nil)
@@ -277,6 +307,15 @@ func (s *sessionState) executePlan(plan []services.PlannedRequest) {
 	for i, r := range plan {
 		remaining[i] = s.scaled(r.Repeat)
 	}
+	// Sockets stay open across the round-robin — one socket, many
+	// messages, one captured flow — and close when the plan is done.
+	sockets := make(map[int]*ws.Conn)
+	defer func() {
+		for _, c := range sockets {
+			c.Close(ws.CloseNormal, "session over") //nolint:errcheck // best-effort goodbye
+			c.NetConn().Close()
+		}
+	}()
 	sent := 0
 	for {
 		progress := false
@@ -290,10 +329,23 @@ func (s *sessionState) executePlan(plan []services.PlannedRequest) {
 			remaining[i]--
 			progress = true
 			r := plan[i]
-			u := s.expander.Expand(r.URL)
-			body := s.expander.ExpandBody(r.Body)
-			if err := s.do(r.Method, u, body, r.ContentType); err != nil {
-				s.result.Failed++
+			switch r.Protocol {
+			case services.ProtoWS:
+				if err := s.doSocket(sockets, i, r); err != nil {
+					s.result.Failed++
+				}
+			case services.ProtoH2:
+				u := s.expander.Expand(r.URL)
+				body := s.expander.ExpandBody(r.Body)
+				if err := s.doWith(s.h2Client(), r.Method, u, body, r.ContentType); err != nil {
+					s.result.Failed++
+				}
+			default:
+				u := s.expander.Expand(r.URL)
+				body := s.expander.ExpandBody(r.Body)
+				if err := s.do(r.Method, u, body, r.ContentType); err != nil {
+					s.result.Failed++
+				}
 			}
 			sent++
 			if !s.cfg.DisableBackground && sent%s.bgEvery == 0 {
@@ -306,8 +358,52 @@ func (s *sessionState) executePlan(plan []services.PlannedRequest) {
 	}
 }
 
+// doSocket sends one chat message on the plan entry's WebSocket, dialing
+// it through the proxy on first use and waiting for the service's ack.
+func (s *sessionState) doSocket(sockets map[int]*ws.Conn, i int, r services.PlannedRequest) error {
+	defer s.cfg.Clock.Advance(s.pace)
+	if err := s.ctx.Err(); err != nil {
+		return err
+	}
+	s.result.Requests++
+	c := sockets[i]
+	if c == nil {
+		var err error
+		c, err = ws.Dial(s.ctx, s.expander.Expand(r.URL), ws.DialOptions{
+			ProxyAddr: s.cfg.ProxyURL.Host,
+			TLSConfig: &tls.Config{RootCAs: s.cfg.Trust},
+			Header:    http.Header{"User-Agent": {s.ua}},
+			Timeout:   15 * time.Second,
+		})
+		if err != nil {
+			return err
+		}
+		sockets[i] = c
+	}
+	drop := func(err error) error {
+		c.NetConn().Close()
+		delete(sockets, i)
+		return err
+	}
+	msg := s.expander.ExpandBody(r.Body)
+	if err := c.WriteMessage(ws.OpText, []byte(msg)); err != nil {
+		return drop(err)
+	}
+	c.NetConn().SetReadDeadline(time.Now().Add(15 * time.Second)) //nolint:errcheck // TCP conns accept deadlines
+	if _, _, err := c.ReadMessage(); err != nil {
+		return drop(err)
+	}
+	c.NetConn().SetReadDeadline(time.Time{}) //nolint:errcheck
+	return nil
+}
+
 // do issues one request through the proxy and advances the virtual clock.
 func (s *sessionState) do(method, rawURL, body, contentType string) error {
+	return s.doWith(s.client, method, rawURL, body, contentType)
+}
+
+// doWith is do on an explicit client (the h1 default or the h2 one).
+func (s *sessionState) doWith(client *http.Client, method, rawURL, body, contentType string) error {
 	defer s.cfg.Clock.Advance(s.pace)
 	if err := s.ctx.Err(); err != nil {
 		return err
@@ -325,7 +421,7 @@ func (s *sessionState) do(method, rawURL, body, contentType string) error {
 		req.Header.Set("Content-Type", contentType)
 	}
 	s.result.Requests++
-	resp, err := s.client.Do(req)
+	resp, err := client.Do(req)
 	if err != nil {
 		return err
 	}

@@ -43,6 +43,12 @@ const (
 	// experiment.
 	EvTunnelFailure = "proxy.tunnel_failure"
 
+	// EvTunnelIdle marks an established tunnel reaped by the proxy's idle
+	// read deadline (Config.IdleTimeout): interception worked, the client
+	// just went silent. Attrs carry the host, requests served, and the
+	// configured idle window. Counted apart from tunnel failures.
+	EvTunnelIdle = "proxy.tunnel_idle"
+
 	// EvInlineVerdict records one inline-gateway verdict emitted live on
 	// the proxy hot path (docs/inline.md): attrs carry the destination
 	// host, the mitigation action (log/redact/block), the PII classes,

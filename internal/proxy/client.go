@@ -25,6 +25,23 @@ func ClientTransport(proxyURL *url.URL, trust *x509.CertPool) *http.Transport {
 	}
 }
 
+// ClientTransportH2 is ClientTransport's HTTP/2 twin: the client offers
+// "h2" via ALPN inside the CONNECT tunnel, and the proxy's h2 serving
+// path multiplexes its requests into per-stream flows. Keep-alives stay
+// on — multiplexing over one connection is the point — so callers must
+// CloseIdleConnections when the session ends to release the tunnel.
+func ClientTransportH2(proxyURL *url.URL, trust *x509.CertPool) *http.Transport {
+	return &http.Transport{
+		Proxy: http.ProxyURL(proxyURL),
+		TLSClientConfig: &tls.Config{
+			RootCAs:            trust,
+			ClientSessionCache: tls.NewLRUClientSessionCache(64),
+		},
+		ForceAttemptHTTP2:  true,
+		DisableCompression: true,
+	}
+}
+
 // ErrPinMismatch is returned (wrapped) by pinned transports when the
 // presented certificate does not carry the expected public identity.
 var ErrPinMismatch = fmt.Errorf("certificate pin mismatch")

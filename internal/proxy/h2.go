@@ -1,0 +1,158 @@
+package proxy
+
+import (
+	"crypto/tls"
+	"net"
+	"net/http"
+	"strings"
+	"sync/atomic"
+
+	"appvsweb/internal/capture"
+)
+
+// serveH2Tunnel serves a CONNECT tunnel whose client negotiated "h2" via
+// ALPN. The stdlib bundles an HTTP/2 server that http.Server.Serve
+// auto-configures when TLSConfig is nil and dispatches for any accepted
+// *tls.Conn with NegotiatedProtocol "h2" — so a one-connection listener
+// turns the already-handshaked tunnel conn into a fully multiplexed h2
+// session without any external dependency. Each stream lands in
+// serveH2Stream as an ordinary *http.Request and is recorded as its own
+// capture.Flow with an inferred stream ID and any request trailers.
+//
+// Serve returns as soon as the listener is exhausted while the connection
+// is still being served in the background; raw.done (the close-notifying
+// wrapper under the TLS layer) is the completion signal — the h2 server
+// closes the conn when the client disconnects or IdleTimeout reaps it.
+func (p *Proxy) serveH2Tunnel(tlsConn *tls.Conn, raw *notifyConn, tunnelHost string) {
+	p.metrics.h2Conns.Inc()
+	h := &h2TunnelHandler{p: p, tunnelHost: tunnelHost}
+	srv := &http.Server{
+		Handler:           h,
+		IdleTimeout:       p.cfg.IdleTimeout,
+		ReadHeaderTimeout: p.cfg.HandshakeTimeout,
+	}
+	srv.Serve(&oneConnListener{conn: tlsConn}) //nolint:errcheck // returns once the single conn is handed off
+	<-raw.done
+}
+
+// h2TunnelHandler fans the tunnel's multiplexed streams into flows.
+type h2TunnelHandler struct {
+	p          *Proxy
+	tunnelHost string
+	streams    atomic.Int64
+}
+
+func (h *h2TunnelHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	// The bundled h2 server does not expose wire stream IDs; client-
+	// initiated streams are odd and arrive in order, so the Nth request on
+	// this connection rode stream 2N-1.
+	sid := h.streams.Add(1)*2 - 1
+	h.p.metrics.h2Streams.Inc()
+	h.p.serveH2Stream(w, r, h.tunnelHost, sid)
+}
+
+// serveH2Stream is serveTunneledRequest's HTTP/2 twin: one multiplexed
+// stream in, one capture.Flow out, with the same inline-gateway lifecycle
+// (begin → tee → finish → release) wrapped around the upstream exchange.
+func (p *Proxy) serveH2Stream(w http.ResponseWriter, r *http.Request, tunnelHost string, streamID int64) {
+	start := p.cfg.Now()
+	reqHost := r.Host
+	if reqHost == "" {
+		reqHost = tunnelHost
+	}
+	if h, _, err := net.SplitHostPort(reqHost); err == nil {
+		reqHost = h
+	}
+	reqHost = strings.ToLower(reqHost)
+	absURL := "https://" + reqHost + r.RequestURI
+
+	insp := p.cfg.Inline.begin()
+	defer insp.release()
+	r.Body = insp.tee(r.Body)
+	body, err := p.readBody(r)
+	if err != nil {
+		http.Error(w, "proxy: read body: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	iv, absURL, body := insp.finish(absURL, r.Header, body)
+	if iv != nil {
+		p.traceInlineVerdict(reqHost, iv)
+	}
+	if iv != nil && iv.Action == string(InlineBlock) {
+		f := p.newFlow(start, capture.H2, r, reqHost, absURL, body, true)
+		f.StreamID = streamID
+		f.Trailers = trailerMap(r.Trailer)
+		f.Inline = iv
+		page := blockPage(iv)
+		f.Status = http.StatusForbidden
+		f.ResponseHeaders = map[string]string{"Content-Type": "text/plain; charset=utf-8"}
+		f.ResponseSize = int64(len(page))
+		f.BytesUp = requestWireSize(r, body)
+		f.BytesDown = int64(len(page))
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusForbidden)
+		w.Write(page) //nolint:errcheck // client teardown is not an error
+		p.recordStats(f)
+		p.cfg.Sink.Record(f)
+		return
+	}
+	absURL, body, rewritten := p.rewrite(reqHost, false, absURL, body)
+	out := p.outboundRequest(r, absURL, body)
+	resp, respBody, upErr := p.roundTrip(out)
+
+	f := p.newFlow(start, capture.H2, r, reqHost, absURL, body, true)
+	f.StreamID = streamID
+	// Trailers arrive after the body; readBody above consumed it, so the
+	// bundle has merged any trailer fields by now.
+	f.Trailers = trailerMap(r.Trailer)
+	f.Rewritten = rewritten || (iv != nil && iv.Mitigated)
+	f.Inline = iv
+	if upErr != nil {
+		p.writeError(w, f, upErr)
+		return
+	}
+	p.finishFlow(f, resp, respBody)
+	for k, vv := range resp.Header {
+		for _, v := range vv {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	w.Write(respBody) //nolint:errcheck // client teardown is not an error
+	p.recordStats(f)
+	p.cfg.Sink.Record(f)
+}
+
+// trailerMap flattens received request trailers, dropping declared-but-
+// absent fields (nil values before the body is consumed).
+func trailerMap(t http.Header) map[string]string {
+	var out map[string]string
+	for k, vv := range t {
+		if len(vv) == 0 {
+			continue
+		}
+		if out == nil {
+			out = make(map[string]string, len(t))
+		}
+		out[k] = strings.Join(vv, ", ")
+	}
+	return out
+}
+
+// oneConnListener hands http.Server.Serve exactly one already-accepted
+// connection, then reports closure so the accept loop exits.
+type oneConnListener struct {
+	conn net.Conn
+	used bool
+}
+
+func (l *oneConnListener) Accept() (net.Conn, error) {
+	if l.used {
+		return nil, net.ErrClosed
+	}
+	l.used = true
+	return l.conn, nil
+}
+
+func (l *oneConnListener) Close() error   { return nil }
+func (l *oneConnListener) Addr() net.Addr { return l.conn.LocalAddr() }

@@ -187,6 +187,45 @@ func (in *inlineInspection) finish(absURL string, hdr http.Header, body []byte) 
 		return nil, absURL, body
 	}
 	g := in.g
+	iv, types := in.collect(absURL, hdr)
+	if iv == nil {
+		return nil, absURL, body
+	}
+	switch g.action {
+	case InlineRedact:
+		newURL, _ := g.redactor.Redact(absURL, types)
+		newBody, _ := g.redactor.Redact(string(body), types)
+		iv.Mitigated = newURL != absURL || newBody != string(body)
+		return iv, newURL, []byte(newBody)
+	case InlineBlock:
+		iv.Mitigated = true
+	}
+	return iv, absURL, body
+}
+
+// socketVerdict builds the verdict for a relayed WebSocket session: the
+// handshake URL and headers batch-scanned plus every stream match the
+// frame relay fed through the scanner. Unlike finish, no rewrite happens
+// here — for sockets, mitigation already ran frame-by-frame mid-relay, and
+// the caller reports whether it changed (or refused) anything.
+func (in *inlineInspection) socketVerdict(absURL string, hdr http.Header, mitigated bool) *capture.InlineVerdict {
+	if in == nil {
+		return nil
+	}
+	iv, _ := in.collect(absURL, hdr)
+	if iv == nil {
+		return nil
+	}
+	iv.Mitigated = mitigated
+	return iv
+}
+
+// collect runs the batch URL/header scans, merges them with the stream
+// scanner's body matches, and assembles the verdict skeleton (action not
+// yet applied, Mitigated unset). Nil when the exchange carried no
+// ground-truth PII. Counts the exchange in the gateway metrics either way.
+func (in *inlineInspection) collect(absURL string, hdr http.Header) (*capture.InlineVerdict, pii.TypeSet) {
+	g := in.g
 	g.metrics.flows.Inc()
 
 	urlMatches := g.m.Scan("url", absURL)
@@ -194,7 +233,8 @@ func (in *inlineInspection) finish(absURL string, hdr http.Header, body []byte) 
 	bodyMatches := in.ss.Matches()
 	total := len(urlMatches) + len(hdrMatches) + len(bodyMatches)
 	if total == 0 {
-		return nil, absURL, body
+		var zero pii.TypeSet
+		return nil, zero
 	}
 	g.metrics.matches.Add(int64(total))
 	g.metrics.verdict.Inc()
@@ -219,21 +259,11 @@ func (in *inlineInspection) finish(absURL string, hdr http.Header, body []byte) 
 	for _, t := range types.Types() {
 		abbrevs = append(abbrevs, t.Abbrev())
 	}
-	iv := &capture.InlineVerdict{
+	return &capture.InlineVerdict{
 		Action:   string(g.action),
 		Types:    abbrevs,
 		Evidence: evidence,
-	}
-	switch g.action {
-	case InlineRedact:
-		newURL, _ := g.redactor.Redact(absURL, types)
-		newBody, _ := g.redactor.Redact(string(body), types)
-		iv.Mitigated = newURL != absURL || newBody != string(body)
-		return iv, newURL, []byte(newBody)
-	case InlineBlock:
-		iv.Mitigated = true
-	}
-	return iv, absURL, body
+	}, types
 }
 
 // headerText serializes headers exactly like capture.Flow.Sections, so the

@@ -21,6 +21,7 @@ import (
 	"appvsweb/internal/capture"
 	"appvsweb/internal/obs"
 	"appvsweb/internal/obs/trace"
+	"appvsweb/internal/ws"
 )
 
 // Config parameterizes a measurement proxy.
@@ -49,6 +50,14 @@ type Config struct {
 	// timeout the tunnel is torn down and counted as an intercept failure
 	// (proxy.tunnel_failures_total). Defaults to 15s.
 	HandshakeTimeout time.Duration
+	// IdleTimeout bounds the wait between tunneled requests (and between
+	// WebSocket frames) once the handshake has succeeded. An established
+	// tunnel whose client goes silent forever would otherwise pin its
+	// goroutine for the life of the process. Reaps are counted under
+	// proxy.tunnel_idle_reaps_total — distinct from handshake failures,
+	// because by this point interception has demonstrably worked.
+	// Defaults to 5m; negative disables.
+	IdleTimeout time.Duration
 	// DisableTLSResume turns off the upstream TLS session cache; used by
 	// the ablation bench.
 	DisableTLSResume bool
@@ -86,15 +95,24 @@ type Rewriter interface {
 type Proxy struct {
 	cfg      Config
 	upstream *http.Transport
+	rt       http.RoundTripper // p.upstream, swappable by benchmarks
 	srv      *http.Server
 	ln       net.Listener
 
 	mu     sync.Mutex
 	closed bool
 
+	// tunnelWG tracks in-flight tunnel goroutines. Hijacked connections
+	// fall outside http.Server's accounting, and the WS/h2 serving paths
+	// record their flows only when the client's close is observed — so a
+	// caller that snapshots the Sink right after its traffic ends can race
+	// a flow still being written. Drain closes that window.
+	tunnelWG sync.WaitGroup
+
 	stats struct {
 		tunnels        atomic.Int64 // CONNECT tunnels accepted
 		tunnelFailures atomic.Int64 // tunnels that died before a request
+		tunnelIdle     atomic.Int64 // established tunnels reaped for idleness
 		requests       atomic.Int64 // exchanges served (plain + tunneled)
 		upstreamErrors atomic.Int64 // 502s returned
 		bytesUp        atomic.Int64
@@ -111,24 +129,39 @@ type proxyMetrics struct {
 	requests       *obs.Counter
 	tunnels        *obs.Counter
 	tunnelFailures *obs.Counter
+	tunnelIdle     *obs.Counter
 	upstreamErrors *obs.Counter
 	bytesUp        *obs.Counter
 	bytesDown      *obs.Counter
 	flowBytes      *obs.Histogram
+	h2Conns        *obs.Counter
+	h2Streams      *obs.Counter
+	wsConns        *obs.Counter
+	wsFramesUp     *obs.Counter
+	wsFramesDown   *obs.Counter
+	wsBytes        *obs.Counter
 }
 
 func newProxyMetrics(reg *obs.Registry) proxyMetrics {
 	if reg == nil {
 		reg = obs.Default
 	}
+	wsFrames := reg.CounterVec("proxy.ws.frames", "dir")
 	return proxyMetrics{
 		requests:       reg.Counter("proxy.requests_total"),
 		tunnels:        reg.Counter("proxy.tunnels_total"),
 		tunnelFailures: reg.Counter("proxy.tunnel_failures_total"),
+		tunnelIdle:     reg.Counter("proxy.tunnel_idle_reaps_total"),
 		upstreamErrors: reg.Counter("proxy.upstream_errors_total"),
 		bytesUp:        reg.Counter("proxy.bytes_up_total"),
 		bytesDown:      reg.Counter("proxy.bytes_down_total"),
 		flowBytes:      reg.Histogram("proxy.flow_bytes", "bytes"),
+		h2Conns:        reg.Counter("proxy.h2.conns_total"),
+		h2Streams:      reg.Counter("proxy.h2.streams_total"),
+		wsConns:        reg.Counter("proxy.ws.conns_total"),
+		wsFramesUp:     wsFrames.WithLabelValues("up"),
+		wsFramesDown:   wsFrames.WithLabelValues("down"),
+		wsBytes:        reg.Counter("proxy.ws.bytes_total"),
 	}
 }
 
@@ -136,6 +169,7 @@ func newProxyMetrics(reg *obs.Registry) proxyMetrics {
 type Stats struct {
 	Tunnels        int64
 	TunnelFailures int64
+	TunnelIdle     int64 // established tunnels reaped by IdleTimeout
 	Requests       int64
 	UpstreamErrors int64
 	BytesUp        int64
@@ -147,6 +181,7 @@ func (p *Proxy) Stats() Stats {
 	return Stats{
 		Tunnels:        p.stats.tunnels.Load(),
 		TunnelFailures: p.stats.tunnelFailures.Load(),
+		TunnelIdle:     p.stats.tunnelIdle.Load(),
 		Requests:       p.stats.requests.Load(),
 		UpstreamErrors: p.stats.upstreamErrors.Load(),
 		BytesUp:        p.stats.bytesUp.Load(),
@@ -177,6 +212,11 @@ func New(cfg Config) (*Proxy, error) {
 	if cfg.HandshakeTimeout <= 0 {
 		cfg.HandshakeTimeout = 15 * time.Second
 	}
+	if cfg.IdleTimeout == 0 {
+		cfg.IdleTimeout = 5 * time.Minute
+	} else if cfg.IdleTimeout < 0 {
+		cfg.IdleTimeout = 0
+	}
 	tlsCfg := &tls.Config{RootCAs: cfg.OriginPool}
 	if !cfg.DisableTLSResume {
 		tlsCfg.ClientSessionCache = tls.NewLRUClientSessionCache(256)
@@ -191,15 +231,22 @@ func New(cfg Config) (*Proxy, error) {
 			IdleConnTimeout:     30 * time.Second,
 		},
 	}
+	p.rt = p.upstream
 	p.srv = &http.Server{Handler: p}
 	return p, nil
 }
 
 // Start listens on an ephemeral loopback port and serves until Close.
 func (p *Proxy) Start() error {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	return p.StartOn("127.0.0.1:0")
+}
+
+// StartOn listens on a fixed address (e.g. "127.0.0.1:18080") and serves
+// until Close; avwproxy's -addr flag uses it.
+func (p *Proxy) StartOn(addr string) error {
+	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return fmt.Errorf("proxy: listen: %w", err)
+		return fmt.Errorf("proxy: listen %s: %w", addr, err)
 	}
 	p.ln = ln
 	go p.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
@@ -217,6 +264,25 @@ func (p *Proxy) Addr() string {
 // URL returns the proxy URL for http.Transport.Proxy.
 func (p *Proxy) URL() *url.URL {
 	return &url.URL{Scheme: "http", Host: p.Addr()}
+}
+
+// Drain blocks until every in-flight tunnel goroutine has exited — and
+// therefore recorded its flow — or the timeout elapses; it reports whether
+// the proxy fully drained. Callers whose clients have already closed their
+// sockets use it to make the Sink snapshot complete: WS and h2 tunnels
+// record asynchronously when they observe the client's close.
+func (p *Proxy) Drain(timeout time.Duration) bool {
+	done := make(chan struct{})
+	go func() {
+		p.tunnelWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-time.After(timeout):
+		return false
+	}
 }
 
 // Close shuts the proxy down and releases its upstream connections.
@@ -320,27 +386,38 @@ func (p *Proxy) handleConnect(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "proxy: hijacking unsupported", http.StatusInternalServerError)
 		return
 	}
-	raw, _, err := hj.Hijack()
+	rawConn, _, err := hj.Hijack()
 	if err != nil {
 		return
 	}
+	p.tunnelWG.Add(1)
+	defer p.tunnelWG.Done()
 	p.stats.tunnels.Add(1)
 	p.metrics.tunnels.Inc()
+	// The close-notifying wrapper lets the h2 serving path learn when the
+	// bundled HTTP/2 server (which owns the conn after handoff) is done
+	// with it; for h1 and WS tunnels it is inert.
+	raw := newNotifyConn(rawConn)
 	defer raw.Close()
+	start := p.cfg.Now()
 	// The deadline covers both the 200 write and the TLS handshake: a
 	// client that stalls mid-handshake must not pin this goroutine. The
 	// deadline is real wall-clock time (p.cfg.Now may be a virtual clock).
 	deadline := time.Now().Add(p.cfg.HandshakeTimeout)
 	if err := raw.SetDeadline(deadline); err != nil {
+		p.recordTunnelFailure(start, host, "connect setup: arm handshake deadline: "+err.Error())
 		return
 	}
 	if _, err := io.WriteString(raw, "HTTP/1.1 200 Connection Established\r\n\r\n"); err != nil {
+		p.recordTunnelFailure(start, host, "connect setup: write 200 Connection Established: "+err.Error())
 		return
 	}
 
-	tlsConn := tls.Server(raw, &tls.Config{GetCertificate: p.cfg.CA.GetCertificate(host)})
+	tlsConn := tls.Server(raw, &tls.Config{
+		GetCertificate: p.cfg.CA.GetCertificate(host),
+		NextProtos:     []string{"h2", "http/1.1"},
+	})
 	defer tlsConn.Close()
-	start := p.cfg.Now()
 	if err := tlsConn.HandshakeContext(r.Context()); err != nil {
 		reason := "handshake: " + err.Error()
 		var nerr net.Error
@@ -351,16 +428,38 @@ func (p *Proxy) handleConnect(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Handshake done: lift the deadline so long-lived tunnels keep
-	// serving requests at their own pace.
+	// serving requests at their own pace (the idle deadline below re-arms
+	// reads per request).
 	if err := tlsConn.SetDeadline(time.Time{}); err != nil {
+		p.recordTunnelFailure(start, host, "connect setup: lift handshake deadline: "+err.Error())
 		return
 	}
 
-	br := bufio.NewReader(tlsConn)
+	if tlsConn.ConnectionState().NegotiatedProtocol == "h2" {
+		p.serveH2Tunnel(tlsConn, raw, host)
+		return
+	}
+
+	br := newTunnelReader(tlsConn)
+	defer putTunnelReader(br)
 	served := 0
 	for {
+		if p.cfg.IdleTimeout > 0 {
+			if err := tlsConn.SetReadDeadline(time.Now().Add(p.cfg.IdleTimeout)); err != nil {
+				p.recordTunnelFailure(start, host, "arm idle deadline: "+err.Error())
+				return
+			}
+		}
 		req, err := http.ReadRequest(br)
 		if err != nil {
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				// The handshake worked and requests may already have been
+				// served; the client just went silent. Reap the goroutine
+				// and count it apart from intercept failures.
+				p.recordTunnelIdle(host, served)
+				return
+			}
 			if served == 0 {
 				// The client completed the handshake but sent nothing:
 				// the signature of certificate pinning rejecting our
@@ -370,11 +469,29 @@ func (p *Proxy) handleConnect(w http.ResponseWriter, r *http.Request) {
 			}
 			return
 		}
+		if ws.IsUpgrade(req) {
+			p.serveWSTunnel(tlsConn, br, req, host)
+			return
+		}
 		if !p.serveTunneledRequest(tlsConn, req, host) {
 			return
 		}
 		served++
 	}
+}
+
+// recordTunnelIdle accounts an established tunnel reaped by IdleTimeout —
+// deliberately not a tunnel failure: interception succeeded, the client
+// just stopped talking.
+func (p *Proxy) recordTunnelIdle(host string, served int) {
+	p.stats.tunnelIdle.Add(1)
+	p.metrics.tunnelIdle.Inc()
+	p.cfg.Tracer.Emit(trace.Event{Type: trace.EvTunnelIdle, Span: p.cfg.SpanID, Attrs: map[string]string{
+		"host":   host,
+		"served": fmt.Sprint(served),
+		"idle":   p.cfg.IdleTimeout.String(),
+		"client": p.cfg.ClientID,
+	}})
 }
 
 // serveTunneledRequest forwards one decrypted request; reports whether the
@@ -411,6 +528,10 @@ func (p *Proxy) serveTunneledRequest(conn net.Conn, r *http.Request, tunnelHost 
 		f.ResponseSize = int64(len(page))
 		hdr := http.Header{"Content-Type": []string{"text/plain; charset=utf-8"}}
 		n, werr := writeSimpleResponse(conn, http.StatusForbidden, hdr, page)
+		// Leak-table byte totals must count the upstream cost of blocked
+		// requests too (the client paid it even though nothing was
+		// forwarded); mirror the upstream-error path's accounting.
+		f.BytesUp = requestWireSize(r, body)
 		f.BytesDown = n
 		p.recordStats(f)
 		p.cfg.Sink.Record(f)
@@ -487,7 +608,7 @@ func (p *Proxy) outboundRequest(r *http.Request, absURL string, body []byte) *ht
 
 // roundTrip performs the upstream exchange and drains the response body.
 func (p *Proxy) roundTrip(out *http.Request) (*http.Response, []byte, error) {
-	resp, err := p.upstream.RoundTrip(out)
+	resp, err := p.rt.RoundTrip(out)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -647,4 +768,42 @@ func isHopHeader(k string) bool {
 		}
 	}
 	return false
+}
+
+// tunnelReaderPool recycles the per-tunnel request readers: a campaign
+// opens one tunnel per simulated connection (clients disable keep-alive),
+// so without pooling every CONNECT allocated a fresh 8 KiB buffer.
+var tunnelReaderPool = sync.Pool{
+	New: func() any { return bufio.NewReaderSize(nil, 8<<10) },
+}
+
+func newTunnelReader(r io.Reader) *bufio.Reader {
+	br := tunnelReaderPool.Get().(*bufio.Reader)
+	br.Reset(r)
+	return br
+}
+
+func putTunnelReader(br *bufio.Reader) {
+	br.Reset(nil)
+	tunnelReaderPool.Put(br)
+}
+
+// notifyConn wraps the hijacked TCP conn underneath the TLS layer and
+// closes a channel on first Close. The h2 tunnel path needs it: the
+// bundled HTTP/2 server owns the *tls.Conn after handoff and closes it
+// when the session ends, and that close (propagating to this wrapper) is
+// the only completion signal available to the tunnel goroutine.
+type notifyConn struct {
+	net.Conn
+	once sync.Once
+	done chan struct{}
+}
+
+func newNotifyConn(c net.Conn) *notifyConn {
+	return &notifyConn{Conn: c, done: make(chan struct{})}
+}
+
+func (c *notifyConn) Close() error {
+	c.once.Do(func() { close(c.done) })
+	return c.Conn.Close()
 }

@@ -21,7 +21,18 @@ type PlannedRequest struct {
 	Body        string `json:"body,omitempty"`
 	ContentType string `json:"content_type,omitempty"`
 	Repeat      int    `json:"repeat"`
+	// Protocol selects a non-default transport shape: "" (HTTP/1.1),
+	// ProtoH2 (the request rides an h2-multiplexed connection), or ProtoWS
+	// (the URL is a wss:// endpoint; Repeat counts messages on one socket,
+	// each expanding Body anew).
+	Protocol string `json:"protocol,omitempty"`
 }
+
+// Planned transport shapes beyond plain HTTP/1.1.
+const (
+	ProtoH2 = "h2"
+	ProtoWS = "ws"
+)
 
 // subdomainFor deterministically picks a tracker subdomain prefix.
 func subdomainFor(org, purpose string) string {
@@ -98,6 +109,7 @@ func (p *Profile) RequestPlan() []PlannedRequest {
 				Body:        `{"sdk":"` + t.Org + `","session":"{{nonce}}","events":[{"type":"heartbeat"}]}`,
 				ContentType: "application/json",
 				Repeat:      n,
+				Protocol:    p.analyticsProto(),
 			})
 		} else {
 			plan = append(plan, PlannedRequest{
@@ -111,6 +123,18 @@ func (p *Profile) RequestPlan() []PlannedRequest {
 	// PII beacons.
 	for _, b := range p.Beacons {
 		plan = append(plan, p.beaconRequest(b, domain))
+	}
+
+	// Chat-style WebSocket: one socket per session, Repeat messages, each
+	// carrying the user's name and location in the message body.
+	if p.Cell.Medium == App && p.Service.ChatSocket {
+		plan = append(plan, PlannedRequest{
+			Method:   "GET",
+			URL:      fmt.Sprintf("wss://%s/ws/chat", domain),
+			Body:     `{"from":"{{name}}","msg":"meet me at {{gps}}","cb":"{{nonce}}"}`,
+			Protocol: ProtoWS,
+			Repeat:   12,
+		})
 	}
 
 	// RTB chains (Web only by construction).
@@ -128,6 +152,15 @@ func (p *Profile) RequestPlan() []PlannedRequest {
 		})
 	}
 	return plan
+}
+
+// analyticsProto returns the transport shape the app's analytics SDK
+// uses: ProtoH2 for H2Analytics services, "" (h1) otherwise.
+func (p *Profile) analyticsProto() string {
+	if p.Cell.Medium == App && p.Service.H2Analytics {
+		return ProtoH2
+	}
+	return ""
 }
 
 // beaconRequest renders one beacon as a planned request. App beacons ride
@@ -155,12 +188,17 @@ func (p *Profile) beaconRequest(b Beacon, domain string) PlannedRequest {
 		}
 	}
 	if p.Cell.Medium == App {
+		proto := p.analyticsProto()
+		if b.Plaintext {
+			proto = "" // h2 requires TLS+ALPN; plaintext beacons stay h1
+		}
 		return PlannedRequest{
 			Method:      "POST",
 			URL:         trackerURL(b.Org, "/v1/events", "", b.Plaintext),
 			Body:        beaconJSONBody(b),
 			ContentType: "application/json",
 			Repeat:      b.Repeat,
+			Protocol:    proto,
 		}
 	}
 	// A&A beacons are tracking pixels; non-A&A third parties (identity

@@ -6,7 +6,10 @@ import (
 	"html"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
+
+	"appvsweb/internal/ws"
 )
 
 // ServiceHandler serves a first-party service: the mobile Web site (whose
@@ -57,6 +60,26 @@ func ServiceHandler(spec *Spec) http.Handler {
 		w.WriteHeader(http.StatusNoContent)
 	})
 
+	mux.HandleFunc("/ws/chat", func(w http.ResponseWriter, r *http.Request) {
+		c, err := ws.Upgrade(w, r)
+		if err != nil {
+			return
+		}
+		defer c.NetConn().Close()
+		// Chat backend: acknowledge each message with an echo envelope,
+		// like a delivery receipt, until the client closes.
+		for {
+			_, msg, err := c.ReadMessage()
+			if err != nil {
+				return
+			}
+			ack := `{"delivered":true,"echo":` + strconv.Quote(string(msg)) + `}`
+			if err := c.WriteMessage(ws.OpText, []byte(ack)); err != nil {
+				return
+			}
+		}
+	})
+
 	mux.HandleFunc("/static/", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/css")
 		w.WriteHeader(http.StatusOK)
@@ -80,7 +103,9 @@ func serveHome(w http.ResponseWriter, r *http.Request, spec *Spec) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "<!doctype html><html><head><title>%s</title>\n", html.EscapeString(spec.Name))
 	for _, req := range profile.RequestPlan() {
-		if req.Method != http.MethodGet {
+		// Non-GETs and non-h1 transports (sockets, h2 SDK traffic) are app
+		// behaviours; the rendered page carries only fetchable resources.
+		if req.Method != http.MethodGet || req.Protocol != "" {
 			continue
 		}
 		tag := "script"

@@ -206,6 +206,15 @@ type Spec struct {
 	// session triggers.
 	RTBChains int
 
+	// ChatSocket marks an app whose session opens a chat-style WebSocket
+	// (wss://chat.<domain>/ws/chat) and streams messages carrying the
+	// user's name and location — the shape that exercises the proxy's
+	// frame-level interception path (docs/protocols.md).
+	ChatSocket bool
+	// H2Analytics marks an app whose analytics SDK multiplexes its beacon
+	// traffic over HTTP/2 instead of one-connection-per-request h1.
+	H2Analytics bool
+
 	// Leak behaviour per cell, in the cell mini-language.
 	AndroidApp string
 	IOSApp     string

@@ -1,0 +1,157 @@
+package ws
+
+import (
+	"bufio"
+	"crypto/rand"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+)
+
+// DefaultMaxPayload caps a single frame's payload for Conn readers.
+const DefaultMaxPayload = 4 << 20
+
+// CloseError is returned by ReadMessage when the peer sends a close frame.
+type CloseError struct {
+	Code   int
+	Reason string
+}
+
+func (e *CloseError) Error() string {
+	return fmt.Sprintf("ws: connection closed: %d %s", e.Code, e.Reason)
+}
+
+// Conn is a message-level WebSocket endpoint over an established (and, for
+// wss, already-handshaked TLS) connection. Client conns mask outgoing
+// frames as RFC 6455 requires. Not safe for concurrent use; the proxy's
+// relay bypasses Conn and works on raw frames instead.
+type Conn struct {
+	raw    net.Conn
+	br     *bufio.Reader
+	client bool
+	wbuf   []byte
+	rbuf   []byte
+}
+
+// NewConn wraps an established connection. br may be nil; client selects
+// the masking role.
+func NewConn(raw net.Conn, br *bufio.Reader, client bool) *Conn {
+	if br == nil {
+		br = bufio.NewReader(raw)
+	}
+	return &Conn{raw: raw, br: br, client: client}
+}
+
+// NetConn exposes the underlying transport connection (for deadlines).
+func (c *Conn) NetConn() net.Conn { return c.raw }
+
+// WriteMessage sends one unfragmented message.
+func (c *Conn) WriteMessage(op byte, payload []byte) error {
+	f := Frame{FIN: true, Opcode: op, Payload: payload}
+	if c.client {
+		f.Masked = true
+		if _, err := rand.Read(f.MaskKey[:]); err != nil {
+			return err
+		}
+	}
+	c.wbuf = AppendFrame(c.wbuf[:0], f)
+	_, err := c.raw.Write(c.wbuf)
+	return err
+}
+
+// ReadMessage reassembles the next message, answering pings and ignoring
+// pongs along the way. A peer close frame is echoed and returned as
+// *CloseError.
+func (c *Conn) ReadMessage() (op byte, payload []byte, err error) {
+	var msg []byte
+	for {
+		f, buf, err := ReadFrame(c.br, c.rbuf, DefaultMaxPayload)
+		if cap(buf) > cap(c.rbuf) {
+			c.rbuf = buf[:cap(buf)]
+		}
+		if err != nil {
+			return 0, nil, err
+		}
+		switch f.Opcode {
+		case OpPing:
+			if err := c.WriteMessage(OpPong, f.Payload); err != nil {
+				return 0, nil, err
+			}
+			continue
+		case OpPong:
+			continue
+		case OpClose:
+			code, reason := ParseClose(f.Payload)
+			c.WriteMessage(OpClose, ClosePayload(code, "")) //nolint:errcheck // peer may already be gone
+			return 0, nil, &CloseError{Code: code, Reason: reason}
+		}
+		if f.Opcode != OpContinuation {
+			op = f.Opcode
+		}
+		msg = append(msg, f.Payload...)
+		if f.FIN {
+			return op, msg, nil
+		}
+	}
+}
+
+// Close sends a close frame and tears the transport down.
+func (c *Conn) Close(code int, reason string) error {
+	c.WriteMessage(OpClose, ClosePayload(code, reason)) //nolint:errcheck // best-effort goodbye
+	return c.raw.Close()
+}
+
+// IsUpgrade reports whether a server-side request asks for the WebSocket
+// protocol (RFC 6455 §4.2.1); the Connection header is scanned as a token
+// list ("keep-alive, Upgrade" qualifies).
+func IsUpgrade(r *http.Request) bool {
+	if !strings.EqualFold(r.Header.Get("Upgrade"), "websocket") {
+		return false
+	}
+	for _, v := range r.Header.Values("Connection") {
+		for _, tok := range strings.Split(v, ",") {
+			if strings.EqualFold(strings.TrimSpace(tok), "upgrade") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Upgrade completes the server side of the opening handshake by hijacking
+// the HTTP connection, and returns the message-level conn. On failure an
+// HTTP error has already been written.
+func Upgrade(w http.ResponseWriter, r *http.Request) (*Conn, error) {
+	if r.Method != http.MethodGet || !IsUpgrade(r) {
+		http.Error(w, "ws: not a websocket handshake", http.StatusBadRequest)
+		return nil, fmt.Errorf("ws: not a websocket handshake")
+	}
+	key := r.Header.Get("Sec-WebSocket-Key")
+	if key == "" {
+		http.Error(w, "ws: missing Sec-WebSocket-Key", http.StatusBadRequest)
+		return nil, fmt.Errorf("ws: missing Sec-WebSocket-Key")
+	}
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		http.Error(w, "ws: hijacking unsupported", http.StatusInternalServerError)
+		return nil, fmt.Errorf("ws: hijacking unsupported")
+	}
+	conn, brw, err := hj.Hijack()
+	if err != nil {
+		return nil, fmt.Errorf("ws: hijack: %w", err)
+	}
+	resp := "HTTP/1.1 101 Switching Protocols\r\n" +
+		"Upgrade: websocket\r\n" +
+		"Connection: Upgrade\r\n" +
+		"Sec-WebSocket-Accept: " + AcceptKey(key) + "\r\n\r\n"
+	if _, err := brw.WriteString(resp); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := brw.Flush(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return NewConn(conn, brw.Reader, false), nil
+}

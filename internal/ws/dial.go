@@ -1,0 +1,160 @@
+package ws
+
+import (
+	"bufio"
+	"context"
+	"crypto/rand"
+	"crypto/sha1"
+	"crypto/tls"
+	"encoding/base64"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// keyGUID is the fixed handshake GUID of RFC 6455 §1.3.
+const keyGUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+// AcceptKey computes the Sec-WebSocket-Accept value for a client key.
+func AcceptKey(key string) string {
+	h := sha1.Sum([]byte(key + keyGUID))
+	return base64.StdEncoding.EncodeToString(h[:])
+}
+
+// NewKey generates a random Sec-WebSocket-Key.
+func NewKey() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", err
+	}
+	return base64.StdEncoding.EncodeToString(b[:]), nil
+}
+
+// DialOptions configures Dial.
+type DialOptions struct {
+	// ProxyAddr is the host:port of an HTTP CONNECT proxy to tunnel
+	// through; empty dials the origin directly.
+	ProxyAddr string
+	// TLSConfig is used for the origin TLS handshake; ServerName defaults
+	// to the URL host. Required: only wss URLs are supported.
+	TLSConfig *tls.Config
+	// Header adds extra handshake request headers (e.g. User-Agent).
+	Header http.Header
+	// Timeout bounds the dial plus both handshakes. Defaults to 15s.
+	Timeout time.Duration
+}
+
+// Dial opens a wss connection, optionally tunneling CONNECT through a
+// forward proxy, and completes the opening handshake.
+func Dial(ctx context.Context, rawURL string, opts DialOptions) (*Conn, error) {
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return nil, fmt.Errorf("ws: dial %s: %w", rawURL, err)
+	}
+	if u.Scheme != "wss" {
+		return nil, fmt.Errorf("ws: dial %s: only wss URLs are supported", rawURL)
+	}
+	host := u.Hostname()
+	port := u.Port()
+	if port == "" {
+		port = "443"
+	}
+	hostport := net.JoinHostPort(host, port)
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = 15 * time.Second
+	}
+
+	dialAddr := hostport
+	if opts.ProxyAddr != "" {
+		dialAddr = opts.ProxyAddr
+	}
+	d := &net.Dialer{Timeout: timeout}
+	raw, err := d.DialContext(ctx, "tcp", dialAddr)
+	if err != nil {
+		return nil, fmt.Errorf("ws: dial %s: %w", dialAddr, err)
+	}
+	raw.SetDeadline(time.Now().Add(timeout)) //nolint:errcheck // TCP conns accept deadlines
+
+	if opts.ProxyAddr != "" {
+		if err := connectThrough(raw, hostport); err != nil {
+			raw.Close()
+			return nil, err
+		}
+	}
+
+	tcfg := opts.TLSConfig.Clone()
+	if tcfg == nil {
+		tcfg = &tls.Config{}
+	}
+	if tcfg.ServerName == "" {
+		tcfg.ServerName = host
+	}
+	tconn := tls.Client(raw, tcfg)
+	if err := tconn.HandshakeContext(ctx); err != nil {
+		raw.Close()
+		return nil, fmt.Errorf("ws: tls handshake with %s: %w", hostport, err)
+	}
+
+	key, err := NewKey()
+	if err != nil {
+		tconn.Close()
+		return nil, err
+	}
+	path := u.RequestURI()
+	var req strings.Builder
+	fmt.Fprintf(&req, "GET %s HTTP/1.1\r\nHost: %s\r\n", path, u.Host)
+	req.WriteString("Upgrade: websocket\r\nConnection: Upgrade\r\n")
+	fmt.Fprintf(&req, "Sec-WebSocket-Key: %s\r\nSec-WebSocket-Version: 13\r\n", key)
+	for k, vv := range opts.Header {
+		for _, v := range vv {
+			fmt.Fprintf(&req, "%s: %s\r\n", k, v)
+		}
+	}
+	req.WriteString("\r\n")
+	if _, err := io.WriteString(tconn, req.String()); err != nil {
+		tconn.Close()
+		return nil, fmt.Errorf("ws: write handshake: %w", err)
+	}
+	br := bufio.NewReader(tconn)
+	resp, err := http.ReadResponse(br, nil)
+	if err != nil {
+		tconn.Close()
+		return nil, fmt.Errorf("ws: read handshake response: %w", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusSwitchingProtocols {
+		tconn.Close()
+		return nil, fmt.Errorf("ws: handshake refused: %s", resp.Status)
+	}
+	if got := resp.Header.Get("Sec-WebSocket-Accept"); got != AcceptKey(key) {
+		tconn.Close()
+		return nil, fmt.Errorf("ws: bad Sec-WebSocket-Accept %q", got)
+	}
+	raw.SetDeadline(time.Time{}) //nolint:errcheck // TCP conns accept deadlines
+	return NewConn(tconn, br, true), nil
+}
+
+// connectThrough issues a CONNECT for hostport and requires a 2xx.
+func connectThrough(conn net.Conn, hostport string) error {
+	if _, err := fmt.Fprintf(conn, "CONNECT %s HTTP/1.1\r\nHost: %s\r\n\r\n", hostport, hostport); err != nil {
+		return fmt.Errorf("ws: proxy CONNECT: %w", err)
+	}
+	br := bufio.NewReader(conn)
+	resp, err := http.ReadResponse(br, &http.Request{Method: http.MethodConnect})
+	if err != nil {
+		return fmt.Errorf("ws: proxy CONNECT response: %w", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("ws: proxy refused CONNECT: %s", resp.Status)
+	}
+	if br.Buffered() > 0 {
+		return fmt.Errorf("ws: proxy sent %d unexpected bytes after CONNECT", br.Buffered())
+	}
+	return nil
+}

@@ -1,0 +1,182 @@
+// Package ws is a minimal RFC 6455 WebSocket implementation shared by the
+// interception proxy's frame relay, the simulated services' chat endpoint,
+// and the device/session client. It is deliberately small: frames, the
+// opening handshake, and a message-level Conn — no extensions, no
+// compression, wss (TLS) transport only for the client.
+//
+// The frame codec is allocation-conscious because the proxy relays frames
+// on its hot path: ReadFrame parses into a caller-supplied buffer (pooled
+// by the relay) and AppendFrame serializes into a reused destination
+// slice, so a steady-state relay loop does no per-frame allocation.
+package ws
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Opcodes (RFC 6455 §5.2).
+const (
+	OpContinuation byte = 0x0
+	OpText         byte = 0x1
+	OpBinary       byte = 0x2
+	OpClose        byte = 0x8
+	OpPing         byte = 0x9
+	OpPong         byte = 0xA
+)
+
+// Close status codes used by the proxy and services.
+const (
+	CloseNormal          = 1000
+	CloseGoingAway       = 1001
+	ClosePolicyViolation = 1008
+)
+
+// ErrFrameTooLarge is returned by ReadFrame when a frame's declared
+// payload length exceeds the caller's limit.
+var ErrFrameTooLarge = errors.New("ws: frame payload exceeds limit")
+
+// Frame is one wire frame. Payload is unmasked regardless of the Masked
+// flag; AppendFrame re-applies MaskKey when Masked is set.
+type Frame struct {
+	FIN     bool
+	Opcode  byte
+	Masked  bool
+	MaskKey [4]byte
+	Payload []byte
+}
+
+// IsControl reports whether the frame is a control frame (close/ping/pong).
+func (f Frame) IsControl() bool { return f.Opcode&0x8 != 0 }
+
+// IsData reports whether the frame carries message payload (text, binary,
+// or a continuation fragment).
+func (f Frame) IsData() bool { return !f.IsControl() }
+
+// ReadFrame parses one frame from br. The payload is read into buf (grown
+// as needed) and returned unmasked via both Frame.Payload and the second
+// return value's backing array, so callers reusing a pooled buffer must
+// consume the payload before the next call. maxPayload <= 0 means
+// unlimited.
+func ReadFrame(br *bufio.Reader, buf []byte, maxPayload int64) (Frame, []byte, error) {
+	var f Frame
+	var hdr [2]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return f, buf, err
+	}
+	f.FIN = hdr[0]&0x80 != 0
+	if hdr[0]&0x70 != 0 {
+		return f, buf, fmt.Errorf("ws: reserved bits set in frame header 0x%02x", hdr[0])
+	}
+	f.Opcode = hdr[0] & 0x0F
+	f.Masked = hdr[1]&0x80 != 0
+	n := int64(hdr[1] & 0x7F)
+	switch n {
+	case 126:
+		var ext [2]byte
+		if _, err := io.ReadFull(br, ext[:]); err != nil {
+			return f, buf, err
+		}
+		n = int64(binary.BigEndian.Uint16(ext[:]))
+	case 127:
+		var ext [8]byte
+		if _, err := io.ReadFull(br, ext[:]); err != nil {
+			return f, buf, err
+		}
+		v := binary.BigEndian.Uint64(ext[:])
+		if v > 1<<31 {
+			return f, buf, ErrFrameTooLarge
+		}
+		n = int64(v)
+	}
+	if f.IsControl() && (n > 125 || !f.FIN) {
+		return f, buf, fmt.Errorf("ws: malformed control frame (opcode 0x%x, len %d, fin %v)", f.Opcode, n, f.FIN)
+	}
+	if maxPayload > 0 && n > maxPayload {
+		return f, buf, ErrFrameTooLarge
+	}
+	if f.Masked {
+		if _, err := io.ReadFull(br, f.MaskKey[:]); err != nil {
+			return f, buf, err
+		}
+	}
+	if int64(cap(buf)) < n {
+		buf = make([]byte, n)
+	} else {
+		buf = buf[:n]
+	}
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return f, buf, err
+	}
+	if f.Masked {
+		maskBytes(f.MaskKey, buf)
+	}
+	f.Payload = buf
+	return f, buf, nil
+}
+
+// AppendFrame serializes f onto dst and returns the extended slice. When
+// f.Masked is set the payload is masked with f.MaskKey on the wire;
+// f.Payload itself is left unmasked.
+func AppendFrame(dst []byte, f Frame) []byte {
+	b0 := f.Opcode
+	if f.FIN {
+		b0 |= 0x80
+	}
+	dst = append(dst, b0)
+	var mask byte
+	if f.Masked {
+		mask = 0x80
+	}
+	n := len(f.Payload)
+	switch {
+	case n < 126:
+		dst = append(dst, mask|byte(n))
+	case n <= 0xFFFF:
+		dst = append(dst, mask|126, byte(n>>8), byte(n))
+	default:
+		dst = append(dst, mask|127, 0, 0, 0, 0,
+			byte(n>>24), byte(n>>16), byte(n>>8), byte(n))
+	}
+	if f.Masked {
+		dst = append(dst, f.MaskKey[:]...)
+		off := len(dst)
+		dst = append(dst, f.Payload...)
+		maskBytes(f.MaskKey, dst[off:])
+		return dst
+	}
+	return append(dst, f.Payload...)
+}
+
+// WriteFrame serializes and writes one frame.
+func WriteFrame(w io.Writer, f Frame) error {
+	_, err := w.Write(AppendFrame(nil, f))
+	return err
+}
+
+// maskBytes XORs b in place with the repeating 4-byte key.
+func maskBytes(key [4]byte, b []byte) {
+	for i := range b {
+		b[i] ^= key[i&3]
+	}
+}
+
+// ClosePayload builds a close frame payload: status code plus UTF-8 reason.
+func ClosePayload(code int, reason string) []byte {
+	p := make([]byte, 2+len(reason))
+	binary.BigEndian.PutUint16(p, uint16(code))
+	copy(p[2:], reason)
+	return p
+}
+
+// ParseClose decodes a close frame payload. An empty payload is legal and
+// reported as code 1005 (no status received), matching RFC 6455 §7.1.5.
+func ParseClose(payload []byte) (code int, reason string) {
+	if len(payload) < 2 {
+		return 1005, ""
+	}
+	return int(binary.BigEndian.Uint16(payload)), string(payload[2:])
+}

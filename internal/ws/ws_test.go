@@ -1,0 +1,209 @@
+package ws
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestAcceptKey checks the handshake digest against the worked example in
+// RFC 6455 §1.3.
+func TestAcceptKey(t *testing.T) {
+	got := AcceptKey("dGhlIHNhbXBsZSBub25jZQ==")
+	want := "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+	if got != want {
+		t.Fatalf("AcceptKey = %q, want %q", got, want)
+	}
+}
+
+func roundTrip(t *testing.T, f Frame) Frame {
+	t.Helper()
+	wire := AppendFrame(nil, f)
+	got, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(wire)), nil, 0)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	return got
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := []int{0, 1, 125, 126, 127, 65535, 65536, 70000}
+	for _, n := range payloads {
+		payload := bytes.Repeat([]byte{0xAB}, n)
+		for _, masked := range []bool{false, true} {
+			f := Frame{FIN: true, Opcode: OpBinary, Masked: masked, Payload: payload}
+			if masked {
+				f.MaskKey = [4]byte{1, 2, 3, 4}
+			}
+			got := roundTrip(t, f)
+			if got.FIN != f.FIN || got.Opcode != f.Opcode || got.Masked != f.Masked {
+				t.Fatalf("n=%d masked=%v: header mismatch: %+v", n, masked, got)
+			}
+			if !bytes.Equal(got.Payload, payload) {
+				t.Fatalf("n=%d masked=%v: payload corrupted (len %d)", n, masked, len(got.Payload))
+			}
+		}
+	}
+}
+
+// TestFrameMaskingOnWire verifies the payload is actually XOR-masked on
+// the wire, not just flagged.
+func TestFrameMaskingOnWire(t *testing.T) {
+	f := Frame{FIN: true, Opcode: OpText, Masked: true, MaskKey: [4]byte{0x37, 0xFA, 0x21, 0x3D}, Payload: []byte("Hello")}
+	wire := AppendFrame(nil, f)
+	// RFC 6455 §5.7: single-frame masked "Hello".
+	want := []byte{0x81, 0x85, 0x37, 0xFA, 0x21, 0x3D, 0x7F, 0x9F, 0x4D, 0x51, 0x58}
+	if !bytes.Equal(wire, want) {
+		t.Fatalf("wire = %x, want %x", wire, want)
+	}
+}
+
+func TestReadFrameTooLarge(t *testing.T) {
+	f := Frame{FIN: true, Opcode: OpBinary, Payload: make([]byte, 4096)}
+	wire := AppendFrame(nil, f)
+	_, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(wire)), nil, 1024)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+// TestFragmentedMessage reassembles text split across continuations, with
+// an interleaved ping answered mid-message.
+func TestFragmentedMessage(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+
+	go func() {
+		var wire []byte
+		wire = AppendFrame(wire, Frame{FIN: false, Opcode: OpText, Payload: []byte("hel")})
+		wire = AppendFrame(wire, Frame{FIN: true, Opcode: OpPing, Payload: []byte("hb")})
+		wire = AppendFrame(wire, Frame{FIN: false, Opcode: OpContinuation, Payload: []byte("lo ")})
+		wire = AppendFrame(wire, Frame{FIN: true, Opcode: OpContinuation, Payload: []byte("world")})
+		server.Write(wire)
+		// Consume the pong the reader sends back (net.Pipe writes are
+		// synchronous, so the reader would otherwise block mid-pong).
+		io.Copy(io.Discard, server)
+	}()
+
+	c := NewConn(client, nil, true)
+	op, msg, err := c.ReadMessage()
+	if err != nil {
+		t.Fatalf("ReadMessage: %v", err)
+	}
+	if op != OpText || string(msg) != "hello world" {
+		t.Fatalf("got op=%d msg=%q", op, msg)
+	}
+}
+
+func TestCloseHandshake(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+
+	go func() {
+		WriteFrame(server, Frame{FIN: true, Opcode: OpClose, Payload: ClosePayload(CloseNormal, "bye")})
+		io.Copy(io.Discard, server)
+	}()
+
+	c := NewConn(client, nil, false)
+	_, _, err := c.ReadMessage()
+	var ce *CloseError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *CloseError", err)
+	}
+	if ce.Code != CloseNormal || ce.Reason != "bye" {
+		t.Fatalf("close = %+v", ce)
+	}
+}
+
+func TestIsUpgrade(t *testing.T) {
+	mk := func(connection, upgrade string) *http.Request {
+		r := httptest.NewRequest(http.MethodGet, "/ws", nil)
+		if connection != "" {
+			r.Header.Set("Connection", connection)
+		}
+		if upgrade != "" {
+			r.Header.Set("Upgrade", upgrade)
+		}
+		return r
+	}
+	if !IsUpgrade(mk("Upgrade", "websocket")) {
+		t.Error("plain upgrade not detected")
+	}
+	if !IsUpgrade(mk("keep-alive, Upgrade", "WebSocket")) {
+		t.Error("token-list Connection header not detected")
+	}
+	if IsUpgrade(mk("keep-alive", "websocket")) {
+		t.Error("missing Connection: upgrade accepted")
+	}
+	if IsUpgrade(mk("Upgrade", "h2c")) {
+		t.Error("non-websocket Upgrade accepted")
+	}
+}
+
+// TestUpgradeEcho runs the server-side Upgrade against a real HTTP server
+// and drives a message exchange over the hijacked connection.
+func TestUpgradeEcho(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c, err := Upgrade(w, r)
+		if err != nil {
+			return
+		}
+		defer c.NetConn().Close()
+		for {
+			op, msg, err := c.ReadMessage()
+			if err != nil {
+				return
+			}
+			if err := c.WriteMessage(op, msg); err != nil {
+				return
+			}
+		}
+	}))
+	defer srv.Close()
+
+	raw, err := net.Dial("tcp", srv.Listener.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	key, _ := NewKey()
+	req := "GET /chat HTTP/1.1\r\nHost: example.test\r\n" +
+		"Upgrade: websocket\r\nConnection: Upgrade\r\n" +
+		"Sec-WebSocket-Key: " + key + "\r\nSec-WebSocket-Version: 13\r\n\r\n"
+	if _, err := io.WriteString(raw, req); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(raw)
+	resp, err := http.ReadResponse(br, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusSwitchingProtocols {
+		t.Fatalf("status = %s", resp.Status)
+	}
+	if got := resp.Header.Get("Sec-WebSocket-Accept"); got != AcceptKey(key) {
+		t.Fatalf("accept = %q, want %q", got, AcceptKey(key))
+	}
+
+	c := NewConn(raw, br, true)
+	want := strings.Repeat("ping pong ", 50)
+	if err := c.WriteMessage(OpText, []byte(want)); err != nil {
+		t.Fatal(err)
+	}
+	op, msg, err := c.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op != OpText || string(msg) != want {
+		t.Fatalf("echo mismatch: op=%d len=%d", op, len(msg))
+	}
+}
