@@ -35,7 +35,8 @@ BENCH_TOLERANCE ?= 0.40
 .PHONY: build test short race race-fault vet fmt check bench bench-micro \
 	bench-macro bench-macro-gate bench-check bench-baseline \
 	bench-baseline-macro bench-serve bench-serve-gate \
-	bench-baseline-serve fuzz
+	bench-baseline-serve bench-shard bench-shard-gate \
+	bench-baseline-shard fuzz
 
 build:
 	$(GO) build ./...
@@ -49,12 +50,15 @@ short:
 ## race: race-detect the concurrency-heavy packages (obs registry, campaign
 ## runner incl. the fault-injection suite and journal repair, the scan
 ## engine + classification caches, the artifact engine's cache /
-## singleflight / live-tailing paths, and the WebSocket frame codec the
-## two-pump relay is built on)
+## singleflight / live-tailing paths, the WebSocket frame codec the
+## two-pump relay is built on, and the shard coordinator's lease
+## watchdog / reassignment machinery incl. the kill-and-reassign
+## campaign tests)
 race:
 	$(GO) test -race ./internal/obs/... ./internal/core/... \
 		./internal/pii ./internal/easylist ./internal/domains \
 		./internal/analysis ./internal/serve ./internal/ws \
+		./internal/shard \
 		./cmd/avwserve ./cmd/avwbench ./cmd/avwtop
 
 ## race-fault: the fault-tolerance suite under the race detector — every
@@ -186,6 +190,34 @@ bench-serve-gate: bench-serve
 
 bench-baseline-serve: bench-serve
 	$(GO) run ./cmd/benchcheck -write bench_baseline_serve.json BENCH_serve.json
+
+# The shard bench pairs BenchmarkCampaign with BenchmarkShardedCampaign —
+# the identical 50-service matrix, single-process vs 4 in-process shard
+# workers with per-shard journals and the deterministic merge — so the
+# stream doubles as a direct benchstat comparison of coordination
+# overhead. Gated -nodrift like the other macro comparisons (two
+# benchmarks that move together would define the drift) against
+# bench_baseline_shard.json (docs/distributed.md).
+SHARD_BENCH_TOLERANCE ?= 0.60
+
+bench-shard:
+	$(GO) test -run='^$$' -bench='^(BenchmarkCampaign|BenchmarkShardedCampaign)$$' \
+		-benchtime=1x -count=$(MACRO_BENCH_COUNT) -benchmem -json . > BENCH_shard.json
+	@echo "wrote BENCH_shard.json"
+
+## bench-shard-gate: distributed-execution regression guard — a fresh
+## sharded-vs-single sample against the committed bench_baseline_shard.json
+## (resampled once on failure)
+bench-shard-gate: bench-shard
+	@$(GO) run ./cmd/benchcheck -baseline bench_baseline_shard.json \
+		-nodrift -tol $(SHARD_BENCH_TOLERANCE) BENCH_shard.json || { \
+		echo "bench-shard-gate: failure reported; resampling once to rule out interference"; \
+		$(MAKE) bench-shard; \
+		$(GO) run ./cmd/benchcheck -baseline bench_baseline_shard.json \
+			-nodrift -tol $(SHARD_BENCH_TOLERANCE) BENCH_shard.json; }
+
+bench-baseline-shard: bench-shard
+	$(GO) run ./cmd/benchcheck -write bench_baseline_shard.json BENCH_shard.json
 
 ## fuzz: short smoke of every fuzz target (CI runs this)
 fuzz:

@@ -28,6 +28,7 @@ import (
 	"appvsweb/internal/proxy"
 	"appvsweb/internal/recon"
 	"appvsweb/internal/services"
+	"appvsweb/internal/shard"
 )
 
 // --- Tables -----------------------------------------------------------------
@@ -221,6 +222,44 @@ func BenchmarkCampaign(b *testing.B) {
 			b.Fatal(err)
 		}
 		if len(ds.Results) != 200 {
+			b.Fatal("incomplete campaign")
+		}
+	}
+}
+
+// BenchmarkShardedCampaign runs the same reduced-scale campaign as
+// BenchmarkCampaign, but through the distributed machinery: a 4-shard
+// plan, in-process workers each journaling to its own file, heartbeat
+// leases, and the deterministic journal merge. Gated side by side with
+// BenchmarkCampaign in BENCH_shard.json (make bench-shard), the pair
+// bounds the coordination overhead — planning, four journal fsync
+// streams, and the merge — relative to a single-process run
+// (docs/distributed.md).
+func BenchmarkShardedCampaign(b *testing.B) {
+	eco, err := services.Start(services.Catalog())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eco.Close()
+	opts := core.Options{Scale: 0.05}
+	plan, err := shard.NewPlan(services.Catalog(), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dir := b.TempDir()
+		merged, err := shard.Run(context.Background(), shard.Config{
+			Plan:     plan,
+			Dir:      dir,
+			Launcher: &shard.InProcess{Eco: eco, Opts: opts, Plan: plan, Dir: dir},
+			LeaseTTL: time.Minute,
+			Metrics:  obs.New(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if merged.Len() != 200 {
 			b.Fatal("incomplete campaign")
 		}
 	}

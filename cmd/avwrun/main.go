@@ -23,6 +23,14 @@
 //	                                          # with backoff, then degrade to
 //	                                          # an excluded cell (see
 //	                                          # docs/robustness.md)
+//	avwrun -shards 3 -shard-dir run.shards ...
+//	                                          # distribute the campaign across
+//	                                          # 3 workers with per-shard
+//	                                          # journals, heartbeat leases, and
+//	                                          # a deterministic merge (see
+//	                                          # docs/distributed.md); add
+//	                                          # -shard-exec for subprocess
+//	                                          # workers
 package main
 
 import (
@@ -33,6 +41,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -44,6 +53,7 @@ import (
 	"appvsweb/internal/pii"
 	"appvsweb/internal/proxy"
 	"appvsweb/internal/services"
+	"appvsweb/internal/shard"
 )
 
 func main() {
@@ -70,6 +80,11 @@ func main() {
 		expTimeout  = flag.Duration("experiment-timeout", 0, "wall-clock deadline per experiment attempt (0 = none)")
 		failPolicy  = flag.String("fail-policy", "abort", "failed-experiment policy: abort, skip, or retry-then-skip")
 		retries     = flag.Int("retries", 0, "max retries per experiment on transient failures (retry-then-skip defaults to 2)")
+		shards      = flag.Int("shards", 0, "split the campaign across N shard workers with per-shard journals and a deterministic merge (0 = single-process; docs/distributed.md)")
+		shardDir    = flag.String("shard-dir", "", "directory for per-shard journals (default: <out>.shards)")
+		shardExec   = flag.Bool("shard-exec", false, "launch shard workers as avwrun subprocesses instead of in-process goroutine pools")
+		shardLease  = flag.Duration("shard-lease", time.Minute, "heartbeat lease: a worker silent this long is killed and its shard reassigned")
+		shardWorker = flag.Int("shard-worker", -1, "internal: run as shard worker k of -shards and exit (stdout lines are heartbeats)")
 	)
 	flag.Parse()
 
@@ -181,6 +196,23 @@ func main() {
 	if *progress {
 		opts.OnProgress = printProgress
 	}
+	if *shards > 0 || *shardWorker >= 0 {
+		if *journalPath != "" || *resumePath != "" {
+			fatalf("-shards keeps one journal per shard under -shard-dir; drop -journal/-resume (rerunning with the same -shard-dir resumes)")
+		}
+		runSharded(eco, catalog, opts, shardedConfig{
+			shards:    *shards,
+			dir:       *shardDir,
+			exec:      *shardExec,
+			lease:     *shardLease,
+			worker:    *shardWorker,
+			out:       *out,
+			scale:     *scale,
+			report:    *report,
+			startedAt: time.Now(),
+		})
+		return
+	}
 	journalFile := *journalPath
 	if *resumePath != "" {
 		if journalFile != "" && journalFile != *resumePath {
@@ -255,6 +287,97 @@ func main() {
 	fmt.Fprintf(os.Stderr, "dataset written to %s\n", *out)
 
 	if *report {
+		fmt.Println(analysis.Report(ds))
+	}
+}
+
+// shardedConfig carries the -shard* flag values into runSharded.
+type shardedConfig struct {
+	shards    int
+	dir       string
+	exec      bool
+	lease     time.Duration
+	worker    int
+	out       string
+	scale     float64
+	report    bool
+	startedAt time.Time
+}
+
+// runSharded is the -shards / -shard-worker entry point: worker mode
+// runs one shard's slice of the campaign and exits; coordinator mode
+// launches every shard (in-process goroutine pools, or avwrun
+// subprocesses under -shard-exec), supervises them via heartbeat
+// leases, merges the per-shard journals deterministically, and renders
+// the same dataset and report a single-process run would have produced
+// (docs/distributed.md).
+func runSharded(eco *services.Ecosystem, catalog []*services.Spec, opts core.Options, cfg shardedConfig) {
+	if cfg.shards < 1 {
+		fatalf("-shard-worker requires -shards")
+	}
+	dir := cfg.dir
+	if dir == "" {
+		dir = cfg.out + ".shards"
+	}
+	plan, err := shard.NewPlan(catalog, cfg.shards)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if cfg.worker >= 0 {
+		// Worker mode: stdout is the heartbeat channel — one line per
+		// completed experiment keeps the coordinator's lease alive.
+		prev := opts.OnProgress
+		opts.OnProgress = func(ev core.ProgressEvent) {
+			fmt.Printf("done %s/%s/%s\n", ev.Service, ev.OS, ev.Medium)
+			if prev != nil {
+				prev(ev)
+			}
+		}
+		if err := shard.RunWorker(context.Background(), eco, opts, plan, cfg.worker, dir); err != nil {
+			fatalf("shard worker %d: %v", cfg.worker, err)
+		}
+		return
+	}
+	var launcher shard.Launcher
+	if cfg.exec {
+		launcher = &shard.Subprocess{
+			Command: func(k int) []string {
+				// Re-invoke this binary with the original flags; the
+				// trailing -shard-worker wins over any earlier value.
+				argv := append([]string{os.Args[0]}, os.Args[1:]...)
+				return append(argv, "-shard-worker", strconv.Itoa(k))
+			},
+			Stderr: os.Stderr,
+		}
+	} else {
+		launcher = &shard.InProcess{Eco: eco, Opts: opts, Plan: plan, Dir: dir}
+	}
+	merged, err := shard.Run(context.Background(), shard.Config{
+		Plan:          plan,
+		Dir:           dir,
+		Launcher:      launcher,
+		LeaseTTL:      cfg.lease,
+		FailurePolicy: opts.FailurePolicy,
+		Tracer:        opts.Tracer,
+		Logger:        opts.Logger,
+	})
+	if err != nil {
+		fatalf("sharded campaign: %v\nper-shard journals survive in %s; rerun with the same -shard-dir to resume", err, dir)
+	}
+	ds := analysis.JournalSetDataset(merged, cfg.scale)
+	ds.Meta.GeneratedAt = time.Now()
+	ds.Meta.Duration = time.Since(cfg.startedAt)
+	fmt.Fprintf(os.Stderr, "sharded campaign complete: %d experiments across %d shards in %v\n",
+		len(ds.Results), cfg.shards, time.Since(cfg.startedAt).Round(time.Millisecond))
+	for _, f := range ds.Meta.Failures {
+		fmt.Fprintf(os.Stderr, "skipped %s/%s/%s after %d attempt(s) at stage %s: %s\n",
+			f.Service, f.OS, f.Medium, f.Attempts, f.Stage, f.Error)
+	}
+	if err := ds.Save(cfg.out); err != nil {
+		fatalf("save: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "dataset written to %s\n", cfg.out)
+	if cfg.report {
 		fmt.Println(analysis.Report(ds))
 	}
 }

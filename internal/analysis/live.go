@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"appvsweb/internal/core"
+	"appvsweb/internal/services"
 )
 
 // Incremental mode: instead of waiting for a campaign to finish and
@@ -34,6 +35,15 @@ func JournalDataset(path string, scale float64) (*core.Dataset, error) {
 		return nil, err
 	}
 	return datasetFromRecords(set.Records(), scale), nil
+}
+
+// JournalSetDataset folds an already-loaded (possibly merged) journal
+// set into a dataset, exactly as JournalDataset does for one file. The
+// sharded campaign path builds its merged dataset through this fold, so
+// a merge of per-shard journals and a cold load of a single-process
+// journal render identical reports.
+func JournalSetDataset(set *core.JournalSet, scale float64) *core.Dataset {
+	return datasetFromRecords(set.Records(), scale)
 }
 
 // datasetFromRecords is the shared fold: records must already be in
@@ -79,6 +89,14 @@ type LiveTail struct {
 	// have been consumed; recs is the keep-last fold so far.
 	offset int64
 	recs   map[string]core.JournalRecord
+	// Replacement detection: fileID is the FileInfo of the journal as last
+	// consumed (os.SameFile catches a renamed-in replacement on a new
+	// inode), and firstLine is the journal's first complete line including
+	// its newline (a truncate-and-rewrite reuses the inode and can regrow
+	// past offset between polls, but a fresh campaign's first record will
+	// not be byte-identical at the same position).
+	fileID    os.FileInfo
+	firstLine []byte
 }
 
 // TailJournal registers a live handle (starting from an empty partial
@@ -104,8 +122,13 @@ func (t *LiveTail) Handle() *Handle { return t.h }
 // appended complete lines, fold valid records, and — if anything changed —
 // update the handle (bumping its generation, invalidating exactly the
 // artifacts whose views the new records touched). It returns whether the
-// dataset changed. A missing journal is not an error; a journal that
-// shrank (the campaign restarted without -resume) resets the fold.
+// dataset changed. A missing journal is not an error; a replaced journal
+// (the campaign restarted without -resume) resets the fold. Replacement is
+// detected three ways, because size alone is not enough — a fresh journal
+// that grew to the old offset or past it between polls would otherwise be
+// read from the middle of a record: the file shrank, the path now names a
+// different file (os.SameFile), or the first journal line no longer
+// matches the fingerprint remembered when it was first consumed.
 func (t *LiveTail) Poll() (bool, error) {
 	f, err := os.Open(t.path)
 	if err != nil {
@@ -120,13 +143,17 @@ func (t *LiveTail) Poll() (bool, error) {
 		return false, fmt.Errorf("analysis: stat live journal: %w", err)
 	}
 	metrics := t.h.eng.metrics
-	if info.Size() < t.offset {
-		// Truncated under us: a fresh campaign overwrote the journal.
+	if replaced, err := t.journalReplaced(f, info); err != nil {
+		return false, err
+	} else if replaced {
 		t.offset = 0
 		t.recs = make(map[string]core.JournalRecord)
+		t.fileID = nil
+		t.firstLine = nil
 		metrics.Counter("analysis.live.resets_total").Inc()
 	}
 	if info.Size() == t.offset {
+		t.fileID = info
 		return false, nil
 	}
 	if _, err := f.Seek(t.offset, io.SeekStart); err != nil {
@@ -149,6 +176,11 @@ func (t *LiveTail) Poll() (bool, error) {
 		}
 		line := buf[:nl]
 		buf = buf[nl+1:]
+		if t.offset == 0 {
+			// Remember the journal's first complete line (newline included)
+			// as the replacement fingerprint later polls verify.
+			t.firstLine = append(append([]byte(nil), line...), '\n')
+		}
 		t.offset += int64(nl) + 1
 		if len(line) == 0 {
 			continue
@@ -160,10 +192,11 @@ func (t *LiveTail) Poll() (bool, error) {
 			metrics.Counter("analysis.live.bad_lines_total").Inc()
 			continue
 		}
-		t.recs[rec.Service+"/"+string(rec.OS)+"/"+string(rec.Medium)] = rec
+		t.recs[core.ExperimentKey(rec.Service, services.Cell{OS: rec.OS, Medium: rec.Medium})] = rec
 		metrics.Counter("analysis.live.records_total").Inc()
 		changed = true
 	}
+	t.fileID = info
 	if !changed {
 		return false, nil
 	}
@@ -186,6 +219,33 @@ func (t *LiveTail) Poll() (bool, error) {
 	metrics.Counter("analysis.live.folds_total").Inc()
 	metrics.Gauge("analysis.live.experiments").Set(int64(len(t.recs)))
 	return true, nil
+}
+
+// journalReplaced reports whether the file at the tail's path is no longer
+// the journal the consumed prefix came from. Size regression is the
+// classic signal, but it misses a fresh journal that regrew to ≥ offset
+// between polls — hence the inode identity check and the first-line
+// fingerprint (which also catches truncate-and-rewrite on the same inode).
+func (t *LiveTail) journalReplaced(f *os.File, info os.FileInfo) (bool, error) {
+	if t.offset == 0 {
+		return false, nil // nothing consumed yet, nothing to invalidate
+	}
+	if info.Size() < t.offset {
+		return true, nil // truncated under us
+	}
+	if t.fileID != nil && !os.SameFile(t.fileID, info) {
+		return true, nil // the path names a different file now
+	}
+	if len(t.firstLine) > 0 {
+		head := make([]byte, len(t.firstLine))
+		if _, err := f.ReadAt(head, 0); err != nil {
+			return false, fmt.Errorf("analysis: reread live journal head: %w", err)
+		}
+		if !bytes.Equal(head, t.firstLine) {
+			return true, nil // same size class and inode, different content
+		}
+	}
+	return false, nil
 }
 
 // Run polls until the context ends, logging nothing and ignoring transient

@@ -253,3 +253,108 @@ func TestJournalDatasetKeepLast(t *testing.T) {
 		t.Errorf("Meta = %+v, want scale 0.5, services 1", got.Meta)
 	}
 }
+
+// TestLiveTailSameSizeRestartReset is the replacement-detection
+// regression: a restarted campaign whose fresh journal grows to the same
+// size or larger than the consumed offset between polls must reset the
+// fold, not silently continue reading from a mid-record offset. The old
+// code reset only on info.Size() < t.offset, so both legs here — a
+// truncate-and-rewrite on the same inode and a rename-in replacement —
+// folded garbage from the middle of the new file.
+func TestLiveTailSameSizeRestartReset(t *testing.T) {
+	ds := synthDataset()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.journal")
+	reg := obs.New()
+	eng := NewEngine(EngineOptions{Metrics: reg})
+	tail := eng.TailJournal("live", path, LiveOptions{Scale: 1})
+
+	j, err := core.CreateJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendJournal(t, j, resultRecord(ds.Results[0]))
+	appendJournal(t, j, resultRecord(ds.Results[1]))
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tail.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tail.Handle().Dataset().Results); got != 2 {
+		t.Fatalf("results = %d, want 2", got)
+	}
+
+	// Restart leg 1: truncate-and-rewrite in place (same inode) with a
+	// journal that is at least as large as the consumed offset by the time
+	// the tail polls again.
+	rewrite := func(results []*core.ExperimentResult) {
+		t.Helper()
+		if err := os.Truncate(path, 0); err != nil {
+			t.Fatal(err)
+		}
+		j, err := core.CreateJournal(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range results {
+			appendJournal(t, j, resultRecord(r))
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rewrite(ds.Results[2:6]) // four records: strictly larger than the two consumed
+	now, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !os.SameFile(old, now) {
+		t.Fatal("test setup: rewrite changed the inode; the fingerprint leg needs the same file")
+	}
+	if now.Size() < old.Size() {
+		t.Fatalf("test setup: fresh journal (%d bytes) smaller than consumed offset (%d)", now.Size(), old.Size())
+	}
+	if _, err := tail.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tail.Handle().Dataset().Results); got != 4 {
+		t.Errorf("results after same-inode restart = %d, want 4 (fold not reset)", got)
+	}
+	if got := reg.Snapshot().Counters["analysis.live.resets_total"]; got != 1 {
+		t.Errorf("resets_total = %d, want 1", got)
+	}
+	if bad := reg.Snapshot().Counters["analysis.live.bad_lines_total"]; bad != 0 {
+		t.Errorf("bad_lines_total = %d, want 0 (tail read from a mid-record offset)", bad)
+	}
+
+	// Restart leg 2: a new journal written aside and renamed over the path
+	// (new inode, same or larger size).
+	side := filepath.Join(dir, "next.journal")
+	j2, err := core.CreateJournal(side)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range ds.Results[6:12] {
+		appendJournal(t, j2, resultRecord(r))
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(side, path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tail.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tail.Handle().Dataset().Results); got != 6 {
+		t.Errorf("results after rename-in restart = %d, want 6 (fold not reset)", got)
+	}
+	if got := reg.Snapshot().Counters["analysis.live.resets_total"]; got != 2 {
+		t.Errorf("resets_total = %d, want 2", got)
+	}
+}

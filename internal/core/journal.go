@@ -3,10 +3,13 @@ package core
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 
 	"appvsweb/internal/services"
@@ -32,7 +35,30 @@ type JournalRecord struct {
 }
 
 func (r *JournalRecord) key() string {
-	return r.Service + "/" + string(r.OS) + "/" + string(r.Medium)
+	return ExperimentKey(r.Service, services.Cell{OS: r.OS, Medium: r.Medium})
+}
+
+// ExperimentKey canonically names one experiment (service × OS × medium).
+// Components are %-escaped ("%" → "%25", "/" → "%2F") before joining with
+// "/", so a component containing a slash can never alias another cell —
+// raw concatenation is ambiguous, and the ambiguity becomes load-bearing
+// the moment per-shard journals from independent workers are merged into
+// one set. For slash-free names (the entire shipped catalog) the key reads
+// exactly as before: "service/os/medium". The shard planner keys shards by
+// the same function, so journal keys and shard-assignment keys can never
+// disagree.
+func ExperimentKey(service string, cell services.Cell) string {
+	return escapeKeyPart(service) + "/" + escapeKeyPart(string(cell.OS)) + "/" + escapeKeyPart(string(cell.Medium))
+}
+
+// escapeKeyPart escapes the two metacharacters of the key grammar. The
+// fast path returns the input untouched: catalog keys never contain them.
+func escapeKeyPart(s string) string {
+	if !strings.ContainsAny(s, "/%") {
+		return s
+	}
+	s = strings.ReplaceAll(s, "%", "%25")
+	return strings.ReplaceAll(s, "/", "%2F")
 }
 
 // Journal is the crash-safe campaign checkpoint: an append-only JSONL
@@ -166,7 +192,7 @@ func (s *JournalSet) Lookup(service string, cell services.Cell) (JournalRecord, 
 	if s == nil {
 		return JournalRecord{}, false
 	}
-	rec, ok := s.recs[service+"/"+string(cell.OS)+"/"+string(cell.Medium)]
+	rec, ok := s.recs[ExperimentKey(service, cell)]
 	return rec, ok
 }
 
@@ -178,7 +204,8 @@ func (s *JournalSet) Len() int {
 	return len(s.recs)
 }
 
-// Keys lists the journaled experiment keys ("service/os/medium"), sorted.
+// Keys lists the journaled experiment keys (ExperimentKey form,
+// "service/os/medium" with escaped components), sorted.
 func (s *JournalSet) Keys() []string {
 	if s == nil {
 		return nil
@@ -213,6 +240,35 @@ func (s *JournalSet) Records() []JournalRecord {
 		return a.Medium < b.Medium
 	})
 	return out
+}
+
+// MergeJournals folds several campaign journals — typically the
+// per-shard journals of one distributed campaign — into a single set.
+// Within one journal the last record per experiment wins (LoadJournal's
+// rule); across journals, later paths win, so callers pass paths in a
+// deterministic order (sorted shard order). Duplicate records across
+// journals are expected and harmless: a reassigned shard re-runs
+// deterministic experiments, so any overlap re-asserts the same outcome.
+// Records() of the merged set — and therefore the rendered report — is
+// byte-identical to a single-process run over the same matrix, because
+// the sort order depends only on (service, OS, medium). A missing path
+// contributes nothing: a shard that died before journaling anything (and
+// was given up on under a skip policy) has no records to merge.
+func MergeJournals(paths ...string) (*JournalSet, error) {
+	merged := &JournalSet{recs: make(map[string]JournalRecord)}
+	for _, p := range paths {
+		set, err := LoadJournal(p)
+		if errors.Is(err, fs.ErrNotExist) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		for k, rec := range set.recs {
+			merged.recs[k] = rec
+		}
+	}
+	return merged, nil
 }
 
 // LoadJournal reads a campaign journal for resumption. A corrupt final

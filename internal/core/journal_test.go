@@ -272,3 +272,53 @@ func TestJournalSetRecords(t *testing.T) {
 		t.Errorf("recs[2] = %+v, want zeta", recs[2])
 	}
 }
+
+// TestJournalKeyCollision is the key-ambiguity regression: under the old
+// raw service+"/"+os+"/"+medium concatenation, a component containing a
+// slash aliased another cell — service "a" under OS "b/ios" and service
+// "a/b" under OS "ios" both keyed "a/b/ios/app", so loading a journal (or
+// merging per-shard journals) silently folded two distinct experiments
+// into one record. ExperimentKey escapes components, keeping them apart.
+func TestJournalKeyCollision(t *testing.T) {
+	slashCell := services.Cell{OS: services.OS("b/ios"), Medium: services.App}
+	iosCell := services.Cell{OS: services.OS("ios"), Medium: services.App}
+	path := filepath.Join(t.TempDir(), "run.journal")
+	writeJournal(t, path,
+		journalRecord("a", slashCell, 11),
+		journalRecord("a/b", iosCell, 22),
+	)
+	set, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 2 {
+		t.Fatalf("journal records = %d, want 2 distinct experiments (keys %v)", set.Len(), set.Keys())
+	}
+	if rec, ok := set.Lookup("a", slashCell); !ok || rec.Result.TotalFlows != 11 {
+		t.Errorf(`Lookup("a", b/ios) = %+v, ok=%v; want flows=11`, rec.Result, ok)
+	}
+	if rec, ok := set.Lookup("a/b", iosCell); !ok || rec.Result.TotalFlows != 22 {
+		t.Errorf(`Lookup("a/b", ios) = %+v, ok=%v; want flows=22`, rec.Result, ok)
+	}
+}
+
+// TestExperimentKeyEscaping pins the key grammar: metacharacters are
+// escaped, everything else passes through byte-identical to the historic
+// "service/os/medium" form (existing journals keep resolving).
+func TestExperimentKeyEscaping(t *testing.T) {
+	cases := []struct {
+		service string
+		cell    services.Cell
+		want    string
+	}{
+		{"weathernow", cellAA, "weathernow/android/app"},
+		{"a/b", cellIA, "a%2Fb/ios/app"},
+		{"50%off", cellAW, "50%25off/android/web"},
+		{"a%2Fb", cellAA, "a%252Fb/android/app"}, // pre-escaped input stays distinct
+	}
+	for _, c := range cases {
+		if got := ExperimentKey(c.service, c.cell); got != c.want {
+			t.Errorf("ExperimentKey(%q, %v) = %q, want %q", c.service, c.cell, got, c.want)
+		}
+	}
+}

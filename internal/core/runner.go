@@ -103,6 +103,15 @@ type Options struct {
 	// FaultInjector is the deterministic fault-injection seam for the
 	// fault-tolerance tests. Nil in production campaigns.
 	FaultInjector FaultInjector
+	// Experiments, when set, selects which experiments this process runs:
+	// matrix cells the predicate rejects are neither launched nor
+	// journaled. Global experiment indices — and therefore each
+	// experiment's virtual-clock base — are assigned over the full
+	// catalog × cell matrix BEFORE filtering, so a filtered run measures
+	// exactly what a full run would have measured for the same cells.
+	// Sharded campaigns (internal/shard) rely on this for byte-identical
+	// merged reports (docs/distributed.md). Nil runs everything.
+	Experiments func(service string, cell services.Cell) bool
 }
 
 // ProgressEvent reports one completed experiment to Options.OnProgress.
@@ -218,7 +227,7 @@ func (r *Runner) runExperimentResilient(ctx context.Context, spec *services.Spec
 		if ctx.Err() != nil || !retry || attempt >= max {
 			return nil, attempt + 1, err
 		}
-		delay := r.Opts.Retry.Delay(attempt, spec.Key+"/"+string(cell.OS)+"/"+string(cell.Medium))
+		delay := r.Opts.Retry.Delay(attempt, ExperimentKey(spec.Key, cell))
 		reg.Counter("campaign.retries").Inc()
 		r.Opts.Tracer.Emit(trace.Event{Type: trace.EvExperimentRetry, Attrs: map[string]string{
 			"service": spec.Key, "os": string(cell.OS), "medium": string(cell.Medium),
@@ -665,14 +674,23 @@ type campaignJob struct {
 // even under the default abort policy, the dataset built from every
 // completed experiment is returned with the error rather than discarded.
 func (r *Runner) RunCampaignContext(parent context.Context) (*Dataset, error) {
+	// Enumerate the full matrix first so every job's global index — the
+	// seed of its virtual-clock base — is identical no matter how the
+	// campaign is later filtered, then drop the cells an Experiments
+	// predicate (a shard assignment) excludes from this process.
 	var jobs []campaignJob
 	idx := 0
 	for _, spec := range r.Eco.Catalog {
 		for _, cell := range services.AllCells() {
-			jobs = append(jobs, campaignJob{spec, cell, idx})
+			j := campaignJob{spec, cell, idx}
 			idx++
+			if r.Opts.Experiments != nil && !r.Opts.Experiments(spec.Key, cell) {
+				continue
+			}
+			jobs = append(jobs, j)
 		}
 	}
+	matrix := idx // full-matrix size; jobs index into [0, matrix) sparsely
 
 	tr := r.Opts.Tracer
 	campaignStart := time.Now()
@@ -690,8 +708,8 @@ func (r *Runner) RunCampaignContext(parent context.Context) (*Dataset, error) {
 	defer cancel()
 
 	r.Opts.Metrics.Gauge("campaign.jobs").Set(int64(len(jobs)))
-	runs := make([]*experimentRun, len(jobs))
-	failures := make([]*FailureRecord, len(jobs))
+	runs := make([]*experimentRun, matrix)
+	failures := make([]*FailureRecord, matrix)
 
 	// First terminal failure under the abort policy: record it once and
 	// cancel the campaign context so no further experiments launch.
@@ -748,7 +766,7 @@ func (r *Runner) RunCampaignContext(parent context.Context) (*Dataset, error) {
 	if r.Opts.Resume.Len() > 0 {
 		known := make(map[string]bool, len(jobs))
 		for _, j := range jobs {
-			known[j.spec.Key+"/"+string(j.cell.OS)+"/"+string(j.cell.Medium)] = true
+			known[ExperimentKey(j.spec.Key, j.cell)] = true
 		}
 		for _, k := range r.Opts.Resume.Keys() {
 			if !known[k] {

@@ -59,6 +59,15 @@ const (
 	// engine: attrs carry the artifact ID, view fingerprint prefix, and
 	// output size; DurNS the compute cost. Cache hits emit nothing.
 	EvArtifactCompute = "artifact.compute"
+
+	// Sharded-campaign coordinator events (docs/distributed.md): a worker
+	// launch (attrs: shard, attempt, experiments), a heartbeat lease
+	// expiring on a stalled worker, a shard being reassigned after its
+	// worker died or stalled, and the final deterministic journal merge.
+	EvShardLaunch       = "shard.launch"
+	EvShardLeaseExpired = "shard.lease_expired"
+	EvShardReassign     = "shard.reassign"
+	EvShardMerge        = "shard.merge"
 )
 
 // Event is one trace record. The JSON field names are the wire schema of

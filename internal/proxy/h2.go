@@ -4,6 +4,7 @@ import (
 	"crypto/tls"
 	"net"
 	"net/http"
+	"reflect"
 	"strings"
 	"sync/atomic"
 
@@ -17,7 +18,7 @@ import (
 // turns the already-handshaked tunnel conn into a fully multiplexed h2
 // session without any external dependency. Each stream lands in
 // serveH2Stream as an ordinary *http.Request and is recorded as its own
-// capture.Flow with an inferred stream ID and any request trailers.
+// capture.Flow with its true wire stream ID and any request trailers.
 //
 // Serve returns as soon as the listener is exhausted while the connection
 // is still being served in the background; raw.done (the close-notifying
@@ -43,12 +44,49 @@ type h2TunnelHandler struct {
 }
 
 func (h *h2TunnelHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	// The bundled h2 server does not expose wire stream IDs; client-
-	// initiated streams are odd and arrive in order, so the Nth request on
-	// this connection rode stream 2N-1.
-	sid := h.streams.Add(1)*2 - 1
+	sid, ok := h2StreamID(w)
+	if !ok {
+		// Arrival-order inference: client-initiated streams are odd, and in
+		// the common sequential case the Nth request rode stream 2N-1. A
+		// client that opens streams concurrently or skips IDs (both legal)
+		// breaks this, which is why it is only the fallback.
+		sid = h.streams.Add(1)*2 - 1
+		h.p.metrics.h2StreamIDFallback.Inc()
+	}
 	h.p.metrics.h2Streams.Inc()
 	h.p.serveH2Stream(w, r, h.tunnelHost, sid)
+}
+
+// h2StreamID reads the true wire stream ID of the request the bundled h2
+// server dispatched to w. The server does not expose it through any API,
+// but its ResponseWriter is `http2responseWriter{rws: &...{stream:
+// &...{id: uint32}}}`; reflection can read that unexported primitive
+// chain without copying it out. Every step is kind-checked so a stdlib
+// layout change degrades to (0, false) — the arrival-order fallback —
+// instead of panicking on a hot path.
+func h2StreamID(w http.ResponseWriter) (int64, bool) {
+	v := reflect.ValueOf(w)
+	for _, field := range []string{"rws", "stream"} {
+		if v.Kind() != reflect.Pointer || v.IsNil() {
+			return 0, false
+		}
+		v = v.Elem()
+		if v.Kind() != reflect.Struct {
+			return 0, false
+		}
+		v = v.FieldByName(field)
+		if !v.IsValid() {
+			return 0, false
+		}
+	}
+	if v.Kind() != reflect.Pointer || v.IsNil() || v.Elem().Kind() != reflect.Struct {
+		return 0, false
+	}
+	id := v.Elem().FieldByName("id")
+	if !id.IsValid() || id.Kind() != reflect.Uint32 {
+		return 0, false
+	}
+	return int64(id.Uint()), true
 }
 
 // serveH2Stream is serveTunneledRequest's HTTP/2 twin: one multiplexed

@@ -56,7 +56,8 @@ func (w *testWorld) wsDial(t *testing.T, rawURL string) *ws.Conn {
 
 // TestH2Interception: a client that negotiates h2 via ALPN inside the
 // CONNECT tunnel gets real multiplexing, and every stream lands as its own
-// flow with the inferred odd stream ID.
+// flow with its true wire stream ID (the Go client numbers sequential
+// requests 1, 3, ... on one connection).
 func TestH2Interception(t *testing.T) {
 	w := newWorld(t)
 	w.serveTLS("h2.example", echoHandler())
@@ -435,4 +436,116 @@ func TestBlockBytesUpAccounted(t *testing.T) {
 	if f.BytesDown <= 0 {
 		t.Errorf("blocked flow BytesDown = %d, want > 0 (the 403 page)", f.BytesDown)
 	}
+}
+
+// h2Frame appends one HTTP/2 frame (RFC 7540 §4.1: 3-byte length, type,
+// flags, 4-byte stream ID, payload) to buf.
+func h2Frame(buf []byte, typ, flags byte, streamID uint32, payload []byte) []byte {
+	n := len(payload)
+	buf = append(buf, byte(n>>16), byte(n>>8), byte(n),
+		typ, flags,
+		byte(streamID>>24), byte(streamID>>16), byte(streamID>>8), byte(streamID))
+	return append(buf, payload...)
+}
+
+// h2RawHeaders HPACK-encodes a minimal GET request header block without
+// Huffman coding: indexed static entries for :method GET (2) and :scheme
+// https (7), literal-without-indexing values against the static :path (4)
+// and :authority (1) names.
+func h2RawHeaders(path, authority string) []byte {
+	b := []byte{0x82, 0x87}
+	b = append(b, 0x04, byte(len(path)))
+	b = append(b, path...)
+	b = append(b, 0x01, byte(len(authority)))
+	return append(b, authority...)
+}
+
+// TestH2InterleavedStreamIDs is the stream-attribution regression: a
+// hand-rolled h2 client opens streams 3, 7, and 11 back-to-back — legal
+// (client IDs only have to be odd and increasing, not contiguous) but
+// fatal to arrival-order inference, which would stamp the three flows
+// 1, 3, 5. Each flow must carry the ID its frames actually rode, matched
+// to the per-stream request path.
+func TestH2InterleavedStreamIDs(t *testing.T) {
+	w := newWorld(t)
+	w.serveTLS("h2i.example", echoHandler())
+
+	raw, err := net.DialTimeout("tcp", w.proxy.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	fmt.Fprintf(raw, "CONNECT h2i.example:443 HTTP/1.1\r\nHost: h2i.example:443\r\n\r\n")
+	buf := make([]byte, 1024)
+	if _, err := raw.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	tlsConn := tls.Client(raw, &tls.Config{
+		RootCAs:    w.proxyCA.Pool(),
+		ServerName: "h2i.example",
+		NextProtos: []string{"h2"},
+	})
+	if err := tlsConn.Handshake(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tlsConn.ConnectionState().NegotiatedProtocol; got != "h2" {
+		t.Fatalf("negotiated %q, want h2", got)
+	}
+
+	wantIDs := []uint32{3, 7, 11}
+	out := []byte("PRI * HTTP/2.0\r\n\r\nSM\r\n\r\n")
+	out = h2Frame(out, 0x4, 0, 0, nil) // empty SETTINGS completes the preface
+	for _, sid := range wantIDs {
+		hb := h2RawHeaders(fmt.Sprintf("/s/%d", sid), "h2i.example")
+		out = h2Frame(out, 0x1, 0x05, sid, hb) // HEADERS, END_STREAM|END_HEADERS
+	}
+	if _, err := tlsConn.Write(out); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drain server frames (acking its SETTINGS so it keeps talking) until
+	// all three flows are recorded or the deadline passes.
+	tlsConn.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+	for len(w.sink.Flows()) < len(wantIDs) {
+		hdr := make([]byte, 9)
+		if _, err := io.ReadFull(tlsConn, hdr); err != nil {
+			t.Fatalf("read frame header (flows so far: %d): %v", len(w.sink.Flows()), err)
+		}
+		n := int(hdr[0])<<16 | int(hdr[1])<<8 | int(hdr[2])
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(tlsConn, payload); err != nil {
+			t.Fatal(err)
+		}
+		if hdr[3] == 0x4 && hdr[4]&0x1 == 0 { // SETTINGS, not an ACK
+			if _, err := tlsConn.Write(h2Frame(nil, 0x4, 0x1, 0, nil)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	byID := make(map[int64]*capture.Flow)
+	for _, f := range w.sink.Flows() {
+		byID[f.StreamID] = f
+	}
+	for _, sid := range wantIDs {
+		f := byID[int64(sid)]
+		if f == nil {
+			t.Errorf("no flow carries stream ID %d (IDs recorded: %v)", sid, flowIDs(w.sink.Flows()))
+			continue
+		}
+		if want := fmt.Sprintf("/s/%d", sid); f.Path() != want {
+			t.Errorf("stream %d: path = %q, want %q (cross-stream misattribution)", sid, f.Path(), want)
+		}
+		if f.Protocol != capture.H2 {
+			t.Errorf("stream %d: protocol = %q, want h2", sid, f.Protocol)
+		}
+	}
+}
+
+func flowIDs(flows []*capture.Flow) []int64 {
+	out := make([]int64, len(flows))
+	for i, f := range flows {
+		out[i] = f.StreamID
+	}
+	return out
 }

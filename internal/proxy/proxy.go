@@ -136,10 +136,13 @@ type proxyMetrics struct {
 	flowBytes      *obs.Histogram
 	h2Conns        *obs.Counter
 	h2Streams      *obs.Counter
-	wsConns        *obs.Counter
-	wsFramesUp     *obs.Counter
-	wsFramesDown   *obs.Counter
-	wsBytes        *obs.Counter
+	// h2StreamIDFallback counts streams whose wire ID could not be read
+	// from the h2 server internals and got an arrival-order guess instead.
+	h2StreamIDFallback *obs.Counter
+	wsConns            *obs.Counter
+	wsFramesUp         *obs.Counter
+	wsFramesDown       *obs.Counter
+	wsBytes            *obs.Counter
 }
 
 func newProxyMetrics(reg *obs.Registry) proxyMetrics {
@@ -148,20 +151,21 @@ func newProxyMetrics(reg *obs.Registry) proxyMetrics {
 	}
 	wsFrames := reg.CounterVec("proxy.ws.frames", "dir")
 	return proxyMetrics{
-		requests:       reg.Counter("proxy.requests_total"),
-		tunnels:        reg.Counter("proxy.tunnels_total"),
-		tunnelFailures: reg.Counter("proxy.tunnel_failures_total"),
-		tunnelIdle:     reg.Counter("proxy.tunnel_idle_reaps_total"),
-		upstreamErrors: reg.Counter("proxy.upstream_errors_total"),
-		bytesUp:        reg.Counter("proxy.bytes_up_total"),
-		bytesDown:      reg.Counter("proxy.bytes_down_total"),
-		flowBytes:      reg.Histogram("proxy.flow_bytes", "bytes"),
-		h2Conns:        reg.Counter("proxy.h2.conns_total"),
-		h2Streams:      reg.Counter("proxy.h2.streams_total"),
-		wsConns:        reg.Counter("proxy.ws.conns_total"),
-		wsFramesUp:     wsFrames.WithLabelValues("up"),
-		wsFramesDown:   wsFrames.WithLabelValues("down"),
-		wsBytes:        reg.Counter("proxy.ws.bytes_total"),
+		requests:           reg.Counter("proxy.requests_total"),
+		tunnels:            reg.Counter("proxy.tunnels_total"),
+		tunnelFailures:     reg.Counter("proxy.tunnel_failures_total"),
+		tunnelIdle:         reg.Counter("proxy.tunnel_idle_reaps_total"),
+		upstreamErrors:     reg.Counter("proxy.upstream_errors_total"),
+		bytesUp:            reg.Counter("proxy.bytes_up_total"),
+		bytesDown:          reg.Counter("proxy.bytes_down_total"),
+		flowBytes:          reg.Histogram("proxy.flow_bytes", "bytes"),
+		h2Conns:            reg.Counter("proxy.h2.conns_total"),
+		h2Streams:          reg.Counter("proxy.h2.streams_total"),
+		h2StreamIDFallback: reg.Counter("proxy.h2.streamid_fallback_total"),
+		wsConns:            reg.Counter("proxy.ws.conns_total"),
+		wsFramesUp:         wsFrames.WithLabelValues("up"),
+		wsFramesDown:       wsFrames.WithLabelValues("down"),
+		wsBytes:            reg.Counter("proxy.ws.bytes_total"),
 	}
 }
 

@@ -1,0 +1,238 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"appvsweb/internal/core"
+	"appvsweb/internal/obs"
+	"appvsweb/internal/services"
+)
+
+// funcLauncher adapts a function to Launcher for coordinator-only tests
+// that never run real campaigns.
+type funcLauncher func(ctx context.Context, k, attempt int, beat func()) error
+
+func (f funcLauncher) Launch(ctx context.Context, k, attempt int, beat func()) error {
+	return f(ctx, k, attempt, beat)
+}
+
+// touchJournal creates shard k's (empty) journal the way a worker's
+// first act does, so the merge step has a file to fold.
+func touchJournal(t *testing.T, dir string, k int) {
+	t.Helper()
+	j, err := core.CreateJournal(JournalPath(dir, k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testPlan(t *testing.T, n int) *Plan {
+	t.Helper()
+	p, err := NewPlan(services.Catalog()[:2], n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestCoordinatorReassignsDeadWorker: a worker that dies with a generic
+// error (the subprocess-killed shape) is relaunched up to MaxReassign,
+// and the retry is observable in campaign.reassigned_total.
+func TestCoordinatorReassignsDeadWorker(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.New()
+	var mu sync.Mutex
+	attempts := make(map[int]int)
+	merged, err := Run(context.Background(), Config{
+		Plan: testPlan(t, 2),
+		Dir:  dir,
+		Launcher: funcLauncher(func(ctx context.Context, k, attempt int, beat func()) error {
+			beat()
+			mu.Lock()
+			attempts[k]++
+			mu.Unlock()
+			if k == 1 && attempt == 0 {
+				return errors.New("worker process exited unexpectedly")
+			}
+			touchJournal(t, dir, k)
+			return nil
+		}),
+		LeaseTTL: time.Minute,
+		Metrics:  reg,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if merged.Len() != 0 {
+		t.Fatalf("merged %d records from empty journals", merged.Len())
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if attempts[0] != 1 || attempts[1] != 2 {
+		t.Errorf("attempts = %v, want shard 0 once, shard 1 twice", attempts)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["campaign.reassigned_total"]; got != 1 {
+		t.Errorf("campaign.reassigned_total = %d, want 1", got)
+	}
+	if got := snap.Counters["shard.lease_expired"]; got != 0 {
+		t.Errorf("shard.lease_expired = %d, want 0", got)
+	}
+	if got := snap.Gauges["campaign.shards"]; got != 2 {
+		t.Errorf("campaign.shards = %d, want 2", got)
+	}
+}
+
+// TestCoordinatorKillsStalledWorker: a worker that stops heartbeating
+// loses its lease — the coordinator cancels its context and relaunches
+// the shard — without any cooperation from the worker beyond honoring
+// cancellation.
+func TestCoordinatorKillsStalledWorker(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.New()
+	merged, err := Run(context.Background(), Config{
+		Plan: testPlan(t, 1),
+		Dir:  dir,
+		Launcher: funcLauncher(func(ctx context.Context, k, attempt int, beat func()) error {
+			beat()
+			if attempt == 0 {
+				<-ctx.Done() // wedged worker: never beats again
+				return ctx.Err()
+			}
+			touchJournal(t, dir, k)
+			return nil
+		}),
+		LeaseTTL: 200 * time.Millisecond,
+		Metrics:  reg,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if merged == nil {
+		t.Fatal("Run returned nil set")
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["shard.lease_expired"]; got != 1 {
+		t.Errorf("shard.lease_expired = %d, want 1", got)
+	}
+	if got := snap.Counters["campaign.reassigned_total"]; got != 1 {
+		t.Errorf("campaign.reassigned_total = %d, want 1", got)
+	}
+}
+
+// TestCoordinatorAbortsOnFatalError: a worker failing with a
+// non-retryable experiment error is not relaunched under the default
+// abort policy — the campaign fails and sibling shards are canceled.
+func TestCoordinatorAbortsOnFatalError(t *testing.T) {
+	dir := t.TempDir()
+	var launches atomic.Int64
+	sibling := make(chan struct{})
+	_, err := Run(context.Background(), Config{
+		Plan: testPlan(t, 2),
+		Dir:  dir,
+		Launcher: funcLauncher(func(ctx context.Context, k, attempt int, beat func()) error {
+			beat()
+			launches.Add(1)
+			if k == 0 {
+				return &core.ExperimentError{
+					Service: "weathernow", Stage: core.StageSession,
+					Retryable: false, Err: errors.New("scripted fatal"),
+				}
+			}
+			select { // sibling runs until the abort cancels it
+			case <-ctx.Done():
+				close(sibling)
+				return ctx.Err()
+			case <-time.After(30 * time.Second):
+				return errors.New("sibling was never canceled")
+			}
+		}),
+		LeaseTTL: time.Minute,
+		Metrics:  obs.New(),
+	})
+	if err == nil || !strings.Contains(err.Error(), "shard 0") {
+		t.Fatalf("Run error = %v, want shard 0 failure", err)
+	}
+	select {
+	case <-sibling:
+	case <-time.After(5 * time.Second):
+		t.Fatal("sibling shard was not canceled by the abort")
+	}
+	if got := launches.Load(); got != 2 {
+		t.Errorf("launches = %d, want 2 (no reassignment of a fatal failure)", got)
+	}
+}
+
+// TestCoordinatorSkipPolicyMergesPartialJournals: under a skip policy a
+// shard that exhausts its reassignment budget is abandoned, and the
+// campaign still merges what every shard (including the lost one)
+// journaled. The lost shard here journaled nothing — its journal file
+// does not even exist — and the merge tolerates that too.
+func TestCoordinatorSkipPolicyMergesPartialJournals(t *testing.T) {
+	dir := t.TempDir()
+	merged, err := Run(context.Background(), Config{
+		Plan: testPlan(t, 2),
+		Dir:  dir,
+		Launcher: funcLauncher(func(ctx context.Context, k, attempt int, beat func()) error {
+			beat()
+			if k == 1 {
+				return errors.New("worker host unreachable")
+			}
+			touchJournal(t, dir, k)
+			return nil
+		}),
+		LeaseTTL:      time.Minute,
+		MaxReassign:   1,
+		FailurePolicy: core.FailSkip,
+		Metrics:       obs.New(),
+	})
+	if err != nil {
+		t.Fatalf("Run under FailSkip: %v", err)
+	}
+	if merged == nil {
+		t.Fatal("Run returned nil set")
+	}
+}
+
+// TestSubprocessHeartbeatsPerLine: the subprocess launcher turns each
+// worker stdout line into a lease heartbeat.
+func TestSubprocessHeartbeatsPerLine(t *testing.T) {
+	var beats atomic.Int64
+	l := &Subprocess{Command: func(k int) []string {
+		return []string{"sh", "-c", "echo a; echo b; echo c"}
+	}}
+	if err := l.Launch(context.Background(), 0, 0, func() { beats.Add(1) }); err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	if got := beats.Load(); got != 4 { // 1 at start + one per line
+		t.Errorf("beats = %d, want 4", got)
+	}
+}
+
+// TestSubprocessKilledOnCancel: canceling the launch context kills the
+// worker process (the lease-expiry path) instead of waiting it out.
+func TestSubprocessKilledOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	l := &Subprocess{Command: func(k int) []string { return []string{"sleep", "60"} }}
+	start := time.Now()
+	err := l.Launch(ctx, 0, 0, func() {})
+	if err == nil {
+		t.Fatal("Launch of killed worker returned nil error")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("kill took %v, want prompt termination", elapsed)
+	}
+}

@@ -1,0 +1,102 @@
+// Package shard distributes one measurement campaign across N workers.
+//
+// The planner partitions the service × OS × medium experiment matrix
+// into N size-balanced shards keyed by the same canonical experiment key
+// the journal uses (core.ExperimentKey), so shard assignment and journal
+// identity can never disagree. Each worker runs its shard through the
+// ordinary campaign runner with Options.Experiments filtering, writing
+// its own fsync'd journal under the shard directory; the coordinator
+// tracks workers via heartbeat leases, reassigns shards from dead or
+// stalled workers (the journal bounds re-work to the experiments still
+// in flight), and finally folds every per-shard journal into one merged
+// set whose rendered report is byte-identical to a single-process run
+// (docs/distributed.md).
+package shard
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+
+	"appvsweb/internal/core"
+	"appvsweb/internal/services"
+)
+
+// Plan is a deterministic partition of the experiment matrix into N
+// shards. Experiments are dealt round-robin in global matrix order (the
+// same enumeration order the campaign runner indexes jobs by), which
+// balances shard sizes to within one experiment and keeps the
+// assignment a pure function of (catalog, N).
+type Plan struct {
+	// N is the shard count.
+	N int
+
+	assign map[string]int // canonical experiment key → shard
+	counts []int
+}
+
+// NewPlan partitions the catalog's full experiment matrix into n shards.
+func NewPlan(catalog []*services.Spec, n int) (*Plan, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shard: shard count %d, want >= 1", n)
+	}
+	p := &Plan{N: n, assign: make(map[string]int, 4*len(catalog)), counts: make([]int, n)}
+	idx := 0
+	for _, spec := range catalog {
+		for _, cell := range services.AllCells() {
+			k := idx % n
+			p.assign[core.ExperimentKey(spec.Key, cell)] = k
+			p.counts[k]++
+			idx++
+		}
+	}
+	return p, nil
+}
+
+// Shard reports which shard owns one experiment.
+func (p *Plan) Shard(service string, cell services.Cell) (int, bool) {
+	k, ok := p.assign[core.ExperimentKey(service, cell)]
+	return k, ok
+}
+
+// Size reports how many experiments shard k owns.
+func (p *Plan) Size(k int) int { return p.counts[k] }
+
+// Total reports the number of experiments across all shards.
+func (p *Plan) Total() int { return len(p.assign) }
+
+// Keys lists shard k's canonical experiment keys, sorted.
+func (p *Plan) Keys(k int) []string {
+	var out []string
+	for key, s := range p.assign {
+		if s == k {
+			out = append(out, key)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Predicate returns shard k's membership test in the shape
+// core.Options.Experiments expects.
+func (p *Plan) Predicate(k int) func(service string, cell services.Cell) bool {
+	return func(service string, cell services.Cell) bool {
+		s, ok := p.assign[core.ExperimentKey(service, cell)]
+		return ok && s == k
+	}
+}
+
+// JournalPath names shard k's journal under the shard directory.
+func JournalPath(dir string, k int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%d.jsonl", k))
+}
+
+// JournalPaths lists every shard journal path in shard order — the
+// deterministic merge order core.MergeJournals folds in.
+func JournalPaths(dir string, n int) []string {
+	out := make([]string, n)
+	for k := range out {
+		out[k] = JournalPath(dir, k)
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+package shard
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"appvsweb/internal/core"
+	"appvsweb/internal/services"
+)
+
+func TestNewPlanRejectsBadShardCount(t *testing.T) {
+	for _, n := range []int{0, -1, -7} {
+		if _, err := NewPlan(services.Catalog()[:1], n); err == nil {
+			t.Errorf("NewPlan(n=%d) = nil error, want rejection", n)
+		}
+	}
+}
+
+// TestPlanPartition checks the planner's contract: every experiment in
+// the matrix belongs to exactly one shard, shard sizes are balanced to
+// within one experiment, and the assignment is a pure function of
+// (catalog, N).
+func TestPlanPartition(t *testing.T) {
+	catalog := services.Catalog()[:5] // 20 experiments
+	for _, n := range []int{1, 2, 3, 7, 20, 33} {
+		p, err := NewPlan(catalog, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := p.Total(), 4*len(catalog); got != want {
+			t.Fatalf("n=%d: Total = %d, want %d", n, got, want)
+		}
+
+		// Exactly-once cover: every matrix experiment maps to one shard,
+		// and shard key lists are disjoint and account for the matrix.
+		seen := make(map[string]int)
+		sum, min, max := 0, p.Total(), 0
+		for k := 0; k < n; k++ {
+			keys := p.Keys(k)
+			if len(keys) != p.Size(k) {
+				t.Fatalf("n=%d shard %d: Keys = %d entries, Size = %d", n, k, len(keys), p.Size(k))
+			}
+			sum += len(keys)
+			if len(keys) < min {
+				min = len(keys)
+			}
+			if len(keys) > max {
+				max = len(keys)
+			}
+			for _, key := range keys {
+				if prev, dup := seen[key]; dup {
+					t.Fatalf("n=%d: key %q in shards %d and %d", n, key, prev, k)
+				}
+				seen[key] = k
+			}
+		}
+		if sum != p.Total() {
+			t.Fatalf("n=%d: shards cover %d experiments, want %d", n, sum, p.Total())
+		}
+		if max-min > 1 {
+			t.Fatalf("n=%d: shard sizes span [%d, %d], want balanced to within 1", n, min, max)
+		}
+		for _, spec := range catalog {
+			for _, cell := range services.AllCells() {
+				k, ok := p.Shard(spec.Key, cell)
+				if !ok {
+					t.Fatalf("n=%d: %s/%s/%s not in plan", n, spec.Key, cell.OS, cell.Medium)
+				}
+				if want := seen[core.ExperimentKey(spec.Key, cell)]; k != want {
+					t.Fatalf("n=%d: Shard and Keys disagree for %s/%s/%s: %d vs %d",
+						n, spec.Key, cell.OS, cell.Medium, k, want)
+				}
+				if !p.Predicate(k)(spec.Key, cell) {
+					t.Fatalf("n=%d: Predicate(%d) rejects its own experiment %s/%s/%s",
+						n, k, spec.Key, cell.OS, cell.Medium)
+				}
+				if n > 1 && p.Predicate((k+1)%n)(spec.Key, cell) {
+					t.Fatalf("n=%d: Predicate(%d) accepts shard %d's experiment", n, (k+1)%n, k)
+				}
+			}
+		}
+
+		// Determinism: an independently built plan is identical.
+		q, err := NewPlan(catalog, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < n; k++ {
+			if !reflect.DeepEqual(p.Keys(k), q.Keys(k)) {
+				t.Fatalf("n=%d shard %d: two plans over the same catalog disagree", n, k)
+			}
+		}
+	}
+}
+
+func TestJournalPaths(t *testing.T) {
+	if got, want := JournalPath("run", 3), filepath.Join("run", "shard-3.jsonl"); got != want {
+		t.Errorf("JournalPath = %q, want %q", got, want)
+	}
+	paths := JournalPaths("d", 3)
+	want := []string{
+		filepath.Join("d", "shard-0.jsonl"),
+		filepath.Join("d", "shard-1.jsonl"),
+		filepath.Join("d", "shard-2.jsonl"),
+	}
+	if !reflect.DeepEqual(paths, want) {
+		t.Errorf("JournalPaths = %v, want %v", paths, want)
+	}
+}

@@ -1,0 +1,47 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"io/fs"
+
+	"appvsweb/internal/core"
+	"appvsweb/internal/services"
+)
+
+// RunWorker executes shard k of the campaign described by opts against
+// eco, journaling every completed experiment to JournalPath(dir, k).
+// A journal left by a previous attempt of the same shard (the worker
+// died or its lease expired) is resumed: journaled experiments replay
+// from their records and only the remainder re-runs, so reassignment
+// re-measures at most the experiments that were in flight at the kill.
+// The caller's Journal/Resume/Experiments options are overridden — a
+// worker owns exactly its shard journal.
+func RunWorker(ctx context.Context, eco *services.Ecosystem, opts core.Options, plan *Plan, k int, dir string) error {
+	if k < 0 || k >= plan.N {
+		return errors.New("shard: worker index out of range")
+	}
+	path := JournalPath(dir, k)
+	set, err := core.LoadJournal(path)
+	switch {
+	case err == nil:
+		opts.Resume = set
+	case errors.Is(err, fs.ErrNotExist):
+		opts.Resume = nil // first launch of this shard
+	default:
+		return err
+	}
+	j, err := core.CreateJournal(path)
+	if err != nil {
+		return err
+	}
+	defer j.Close()
+	opts.Journal = j
+	opts.Experiments = plan.Predicate(k)
+	runner, err := core.NewRunner(eco, opts)
+	if err != nil {
+		return err
+	}
+	_, err = runner.RunCampaignContext(ctx)
+	return err
+}
